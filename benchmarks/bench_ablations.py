@@ -1,0 +1,48 @@
+"""Ablations of FLARE's design choices (DESIGN.md Section 5).
+
+Quantifies what each mechanism buys by switching it off:
+
+* ``no_gbr`` — FLARE's decisions without MAC enforcement (AVIS-style
+  indirect control of FLARE's own assignments);
+* ``no_hysteresis`` / ``no_step_limit`` — Algorithm 1's two stability
+  mechanisms;
+* ``relaxed_solver`` — the scalable convex relaxation;
+* ``raw_costs`` — no smoothing of the b/n capacity estimates.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_flare_design_ablations(benchmark, output_dir, cell_scale):
+    # The mobile cell is where the stability mechanisms earn their
+    # keep: in a benign static cell most "changes" are the deliberate
+    # ramp itself.
+    results = benchmark.pedantic(
+        lambda: run_ablations(cell_scale, mobile=True),
+        rounds=1, iterations=1)
+
+    lines = ["FLARE design ablations (mobile cell)",
+             f"{'variant':<16s} {'avg kbps':>10s} {'changes':>9s} "
+             f"{'rebuf s':>9s}"]
+    for name, result in results.items():
+        lines.append(
+            f"{name:<16s} {result.mean_bitrate_kbps():10.0f} "
+            f"{result.mean_changes():9.1f} "
+            f"{result.mean_rebuffer_s():9.1f}")
+    save_artifact(output_dir, "ablations", "\n".join(lines))
+
+    base = results["flare"]
+    # The hysteresis trades bitrate for safety: removing it raises the
+    # average bitrate but introduces rebuffering under mobility.
+    assert (results["no_hysteresis"].mean_bitrate_kbps()
+            >= base.mean_bitrate_kbps())
+    assert (results["no_hysteresis"].mean_rebuffer_s()
+            >= base.mean_rebuffer_s())
+    # Raw (unsmoothed) capacity estimates destabilise the decisions.
+    assert (results["raw_costs"].mean_changes()
+            >= base.mean_changes() - 1.0)
+    # Every variant still streams above the bottom rung on average.
+    for result in results.values():
+        assert result.mean_bitrate_kbps() > 150.0

@@ -1,0 +1,64 @@
+"""Extension bench: the full client-side ABR field vs FLARE.
+
+Beyond the paper's comparison set, the library ships RobustMPC-style
+lookahead, BBA-0 buffer-based, plain rate-based, and the AVIS
+network-side scheme.  This bench runs the whole field on the
+trace-driven channel workload and ranks them by the composite QoE
+score (bitrate − rebuffer penalty − switch penalty).
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.runner import ExperimentScale, is_full_run
+from repro.metrics.qoe_score import QoeWeights, mean_qoe_bps
+from repro.workload.scenarios import build_trace_scenario
+
+SCHEMES = ("flare", "avis", "festive", "google", "mpc", "rate", "bba")
+
+
+def run_field(scale: ExperimentScale):
+    outcome = {}
+    for scheme in SCHEMES:
+        clients = []
+        for seed in scale.seeds():
+            report = build_trace_scenario(
+                scheme, trace_kind="markov-fade", seed=seed,
+                num_video=4, duration_s=scale.duration_s).run()
+            clients.extend(report.clients)
+        outcome[scheme] = clients
+    return outcome
+
+
+def test_extended_baseline_field(benchmark, output_dir):
+    scale = (ExperimentScale(duration_s=1200.0, num_runs=5)
+             if is_full_run()
+             else ExperimentScale(duration_s=400.0, num_runs=2))
+    outcome = benchmark.pedantic(lambda: run_field(scale),
+                                 rounds=1, iterations=1)
+
+    weights = QoeWeights(rebuffer_penalty_bps=3000e3, switch_penalty=1.0)
+    rows = ["Extended baseline field on markov-fade traces "
+            f"({scale.duration_s:.0f} s x {scale.num_runs} seeds)",
+            f"{'scheme':<9s} {'QoE kbps':>9s} {'avg kbps':>9s} "
+            f"{'changes':>8s} {'rebuf s':>8s}"]
+    ranked = sorted(
+        outcome.items(),
+        key=lambda kv: mean_qoe_bps(kv[1], weights), reverse=True)
+    for scheme, clients in ranked:
+        avg = sum(c.average_bitrate_kbps for c in clients) / len(clients)
+        changes = sum(c.num_bitrate_changes for c in clients) / len(clients)
+        rebuf = sum(c.rebuffer_time_s for c in clients) / len(clients)
+        rows.append(f"{scheme:<9s} "
+                    f"{mean_qoe_bps(clients, weights) / 1e3:9.0f} "
+                    f"{avg:9.0f} {changes:8.1f} {rebuf:8.1f}")
+    save_artifact(output_dir, "extended_baselines", "\n".join(rows))
+
+    qoe = {scheme: mean_qoe_bps(clients, weights)
+           for scheme, clients in outcome.items()}
+    # The coordinated scheme must rank in the field's top half.
+    better_than_flare = sum(1 for s, v in qoe.items()
+                            if s != "flare" and v > qoe["flare"])
+    assert better_than_flare <= len(SCHEMES) // 2
+    # Every scheme streams something.
+    for scheme, clients in outcome.items():
+        assert all(c.segments_downloaded > 0 for c in clients), scheme

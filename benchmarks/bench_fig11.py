@@ -1,0 +1,65 @@
+"""Figure 11: the alpha sweep (video/data balance).
+
+As alpha grows from 0.25 to 4, the weight of data-flow utility in
+FLARE's objective rises: data throughput should increase and video
+bitrate decrease (weakly) across the sweep.
+
+The trade-off binds at the optimizer's equilibrium, which the slow
+12-rung ramp only reaches late in a run; the quick mode therefore uses
+delta = 1 and extends the sweep to alpha = 16 so the monotone shape is
+visible at reduced duration (full mode uses the paper's values).
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.runner import ExperimentScale, is_full_run
+from repro.experiments.sweeps import alpha_sweep
+from repro.util import RunningStat
+from repro.workload.scenarios import FlareParams, build_mixed_scenario
+
+
+def quick_alpha_sweep(values, scale):
+    """Alpha sweep with delta=1 (fast ramp) for reduced-scale runs."""
+    points = []
+    for alpha in values:
+        video, data = RunningStat(), RunningStat()
+        for seed in scale.seeds():
+            report = build_mixed_scenario(
+                scheme="flare", seed=seed, duration_s=scale.duration_s,
+                flare_params=FlareParams(alpha=alpha, delta=1)).run()
+            for client in report.clients:
+                video.update(client.average_bitrate_bps / 1e3)
+            for tput in report.data_throughput_bps.values():
+                data.update(tput / 1e3)
+        points.append((alpha, video.mean, video.stddev, data.mean,
+                       data.stddev))
+    return points
+
+
+def test_fig11_alpha_sweep(benchmark, output_dir, cell_scale):
+    if is_full_run():
+        values = (0.25, 0.5, 1.0, 2.0, 4.0)
+        run = lambda: [  # noqa: E731
+            (p.alpha, p.video_mean_kbps, p.video_std_kbps,
+             p.data_mean_kbps, p.data_std_kbps)
+            for p in alpha_sweep(values, cell_scale)]
+    else:
+        values = (0.25, 4.0, 16.0)
+        scale = ExperimentScale(duration_s=360.0,
+                                num_runs=cell_scale.num_runs)
+        run = lambda: quick_alpha_sweep(values, scale)  # noqa: E731
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Figure 11: average flow throughputs vs alpha",
+             f"{'alpha':>7s} {'video kbps':>11s} {'+/-':>7s} "
+             f"{'data kbps':>11s} {'+/-':>7s}"]
+    for alpha, v_mean, v_std, d_mean, d_std in points:
+        lines.append(f"{alpha:7.2f} {v_mean:11.0f} {v_std:7.0f} "
+                     f"{d_mean:11.0f} {d_std:7.0f}")
+    save_artifact(output_dir, "fig11", "\n".join(lines))
+
+    # The trade-off's direction across the sweep's endpoints.
+    first, last = points[0], points[-1]
+    assert last[3] >= first[3]          # data throughput rises
+    assert last[1] <= first[1] + 50.0   # video bitrate falls (weakly)

@@ -1,0 +1,32 @@
+"""Figure 12: the delta sweep (bitrate vs stability knob).
+
+Recommended bitrate increases are applied only after being recommended
+for ``delta * (L + 1)`` consecutive BAIs.  The paper: as delta grows
+from 1 to 12 the average bitrate decreases and so does the number of
+bitrate changes.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.runner import is_full_run
+from repro.experiments.sweeps import delta_sweep
+
+
+def test_fig12_delta_sweep(benchmark, output_dir, cell_scale):
+    values = (1, 2, 4, 6, 8, 10, 12) if is_full_run() else (1, 4, 12)
+    points = benchmark.pedantic(
+        lambda: delta_sweep(values, cell_scale), rounds=1, iterations=1)
+
+    lines = ["Figure 12: average bitrate and #changes vs delta",
+             f"{'delta':>6s} {'avg kbps':>10s} {'changes':>9s}"]
+    for point in points:
+        lines.append(f"{point.delta:6d} {point.mean_bitrate_kbps:10.0f} "
+                     f"{point.mean_changes:9.1f}")
+    save_artifact(output_dir, "fig12", "\n".join(lines))
+
+    first, last = points[0], points[-1]
+    # Higher delta -> more conservative upgrades -> lower avg bitrate.
+    assert last.mean_bitrate_kbps <= first.mean_bitrate_kbps
+    # Higher delta -> fewer bitrate changes (weak inequality: both ends
+    # can be very stable at reduced scale).
+    assert last.mean_changes <= first.mean_changes + 1.0

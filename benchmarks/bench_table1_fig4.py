@@ -1,0 +1,44 @@
+"""Table I / Figure 4: the static femtocell testbed scenario.
+
+Regenerates the FESTIVE vs GOOGLE vs FLARE comparison (3 video flows +
+1 data flow, fixed iTbs) and checks the paper's qualitative shape:
+FLARE has the fewest bitrate changes and no rebuffering; GOOGLE is the
+only scheme that rebuffers; FESTIVE leaves the most throughput to the
+data flow.
+"""
+
+from conftest import save_artifact
+
+from repro.experiments.tables import render_summary_table
+from repro.experiments.testbed import (
+    figure_time_series,
+    render_time_series,
+    run_static,
+)
+
+
+def test_table1_static_testbed(benchmark, output_dir, testbed_scale):
+    results = benchmark.pedantic(
+        lambda: run_static(testbed_scale), rounds=1, iterations=1)
+
+    table = render_summary_table(
+        results, "Table I: summary of the static scenario")
+    panels = "\n\n".join(
+        render_time_series(figure_time_series(
+            scheme, dynamic=False, duration_s=testbed_scale.duration_s))
+        for scheme in ("festive", "google", "flare"))
+    save_artifact(output_dir, "table1_fig4",
+                  table + "\n\nFigure 4 panels:\n" + panels)
+
+    flare = results["flare"]
+    festive = results["festive"]
+    google = results["google"]
+    # Paper shape: FLARE is the most stable and never rebuffers.
+    assert flare.mean_changes() <= festive.mean_changes()
+    assert flare.mean_rebuffer_s() == 0.0
+    assert festive.mean_rebuffer_s() <= google.mean_rebuffer_s() + 1.0
+    # FESTIVE leaves the most bandwidth to the data flow.
+    assert (festive.mean_data_throughput_bps()
+            >= flare.mean_data_throughput_bps())
+    assert (festive.mean_data_throughput_bps()
+            >= google.mean_data_throughput_bps())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The video/data balance knob (paper Figure 11) and coexistence.
+
+Part 1 sweeps ``alpha`` — the weight of data-flow utility in FLARE's
+objective (3) — over the paper's 0.25..4 range in a mixed cell of 8
+video and 8 data flows.  Data throughput should rise, and video
+bitrate fall, monotonically in ``alpha``.
+
+Part 2 demonstrates the paper's Section V deployment story: FLARE
+clients coexisting with legacy (FESTIVE) players that are served as
+ordinary best-effort traffic, without bitrate guarantees.
+
+Run:  python examples/alpha_tradeoff.py [--duration 300]
+"""
+
+import argparse
+
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.sweeps import alpha_sweep
+from repro.workload.scenarios import build_coexistence_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=300.0)
+    parser.add_argument("--runs", type=int, default=1)
+    args = parser.parse_args()
+    scale = ExperimentScale(duration_s=args.duration, num_runs=args.runs)
+
+    print("Figure 11: throughput balance vs alpha")
+    print(f"{'alpha':>7s} {'video kbps':>11s} {'data kbps':>11s}")
+    for point in alpha_sweep(values=(0.25, 1.0, 4.0), scale=scale):
+        print(f"{point.alpha:7.2f} {point.video_mean_kbps:11.0f} "
+              f"{point.data_mean_kbps:11.0f}")
+
+    print("\nCoexistence: 4 FLARE + 4 legacy FESTIVE clients in one cell")
+    scenario = build_coexistence_scenario(
+        seed=3, duration_s=args.duration)
+    report = scenario.run()
+    flare_ids = {p.flow.flow_id for p in scenario.players[:4]}
+    print(f"{'client':>10s} {'kind':>8s} {'avg kbps':>9s} {'changes':>8s}")
+    for client in report.clients:
+        kind = "flare" if client.flow_id in flare_ids else "legacy"
+        print(f"{client.flow_id:10d} {kind:>8s} "
+              f"{client.average_bitrate_kbps:9.0f} "
+              f"{client.num_bitrate_changes:8d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The femtocell testbed experiments (paper Section IV-A).
+
+Reproduces the Table I / Table II comparisons — FESTIVE vs GOOGLE vs
+FLARE with three video flows and one Iperf-style data flow on a
+10 MHz femtocell — and renders the Figure 4/5 time-series panels as
+text sparklines.
+
+Run:  python examples/femtocell_testbed.py [--dynamic] [--duration 600]
+"""
+
+import argparse
+
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.tables import render_summary_table
+from repro.experiments.testbed import (
+    figure_time_series,
+    render_time_series,
+    run_dynamic,
+    run_static,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dynamic", action="store_true",
+                        help="run the cyclic-iTbs dynamic scenario "
+                             "(Table II / Figure 5)")
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="simulated seconds per run (paper: 600)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="independent seeds per scheme")
+    args = parser.parse_args()
+
+    scale = ExperimentScale(duration_s=args.duration, num_runs=args.runs,
+                            num_clients=3)
+    if args.dynamic:
+        results = run_dynamic(scale)
+        title = "Table II: summary of the dynamic scenario"
+    else:
+        results = run_static(scale)
+        title = "Table I: summary of the static scenario"
+    print(render_summary_table(results, title))
+
+    print("\nTime-series panels (Figure {}):".format(
+        "5" if args.dynamic else "4"))
+    for scheme in ("festive", "google", "flare"):
+        traces = figure_time_series(scheme, dynamic=args.dynamic,
+                                    duration_s=args.duration)
+        print()
+        print(render_time_series(traces))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Result analysis end-to-end: audit logs, CSV export, significance.
+
+Runs a small FLARE-vs-AVIS comparison, then demonstrates the analysis
+surface a downstream user works with:
+
+1. JSONL audit logs of the OneAPI server's BAI decisions and one
+   player's segment history (`repro.experiments.audit`);
+2. CSV export of the per-client populations
+   (`repro.experiments.export`);
+3. bootstrap confidence intervals and a Mann-Whitney U test on the
+   per-client bitrate-change counts (`repro.metrics.stats`).
+
+Run:  python examples/result_analysis.py [--duration 240]
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.experiments.audit import dump_bai_log, dump_segment_log, read_jsonl
+from repro.experiments.export import export_clients_csv, read_csv_rows
+from repro.experiments.runner import ExperimentScale, run_comparison
+from repro.metrics.stats import compare_with_ci, mann_whitney_u
+from repro.workload.scenarios import build_cell_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=240.0)
+    parser.add_argument("--runs", type=int, default=2)
+    args = parser.parse_args()
+    out = Path(tempfile.mkdtemp(prefix="flare_analysis_"))
+
+    # 1. Run the comparison.
+    scale = ExperimentScale(duration_s=args.duration, num_runs=args.runs)
+    results = run_comparison(build_cell_scenario, ("flare", "avis"),
+                             scale=scale)
+
+    # 2. Audit logs from one dedicated FLARE run.
+    scenario = build_cell_scenario("flare", seed=99,
+                                   duration_s=args.duration)
+    scenario.run()
+    bai_path = dump_bai_log(scenario.flare.server, out / "bai.jsonl")
+    seg_path = dump_segment_log(scenario.players[0], out / "segments.jsonl")
+    bai_events = list(read_jsonl(bai_path))
+    print(f"BAI log: {len(bai_events)} decisions -> {bai_path}")
+    print(f"  last decision: r={bai_events[-1]['r']:.2f}, "
+          f"solve={bai_events[-1]['solve_time_ms']:.2f} ms")
+    print(f"segment log: {len(list(read_jsonl(seg_path)))} segments "
+          f"-> {seg_path}")
+
+    # 3. CSV export of the populations.
+    csv_path = export_clients_csv(results, out / "clients.csv")
+    rows = list(read_csv_rows(csv_path))
+    print(f"\nclients.csv: {len(rows)} rows -> {csv_path}")
+
+    # 4. Statistics.
+    changes = {name: [float(c.num_bitrate_changes) for c in r.clients]
+               for name, r in results.items()}
+    print()
+    print(compare_with_ci(changes, label="bitrate changes per client"))
+    test = mann_whitney_u(changes["flare"], changes["avis"])
+    print(f"\nMann-Whitney U (flare vs avis changes): "
+          f"U={test.u_statistic:.1f}, p={test.p_value:.4f}, "
+          f"{'significant' if test.significant else 'not significant'} "
+          f"at alpha=0.05")
+
+
+if __name__ == "__main__":
+    main()

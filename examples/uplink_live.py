@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Uplink live streaming under FLARE (paper Section V).
+
+Three UEs run live encoders (think bodycams or mobile broadcasters)
+and upload 2-second segments over one cell's uplink.  FLARE's
+unchanged OneAPI optimization assigns each *encoder's* bitrate; the
+GBR protects each upload at the MAC.  The freshness metrics — the
+downlink world's stalls become latency and drops here — show the
+coordinated encoders climbing to exactly what the uplink carries.
+
+A second run on a weak cell shows the adaptation holding freshness by
+lowering quality instead of dropping stale segments.
+
+Run:  python examples/uplink_live.py
+"""
+
+from repro.has.mpd import SIMULATION_LADDER
+from repro.net.flows import UserEquipment
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.cell import Cell, CellConfig
+from repro.uplink import FlareUplinkSystem
+
+
+def run_cell(itbs: int, label: str, duration_s: float = 150.0) -> None:
+    cell = Cell(CellConfig())
+    uplink = FlareUplinkSystem(delta=1, bai_s=2.0)
+    streamers = [
+        uplink.attach_streamer(cell, UserEquipment(StaticItbsChannel(itbs)),
+                               SIMULATION_LADDER, segment_duration_s=2.0)
+        for _ in range(3)
+    ]
+    uplink.install(cell)
+    cell.run(duration_s)
+
+    print(f"--- {label} (iTbs {itbs}) ---")
+    print(f"{'streamer':>9s} {'late kbps':>10s} {'uploaded':>9s} "
+          f"{'dropped':>8s} {'latency s':>10s}")
+    for i, streamer in enumerate(streamers):
+        encoder = streamer.encoder
+        late = [s.bitrate_bps for s in encoder.uploaded_segments()
+                if s.produced_at_s > duration_s * 0.6]
+        late_kbps = (sum(late) / len(late) / 1e3) if late else 0.0
+        print(f"{i:9d} {late_kbps:10.0f} "
+              f"{len(encoder.uploaded_segments()):9d} "
+              f"{encoder.dropped_count():8d} "
+              f"{encoder.mean_latency_s():10.2f}")
+
+
+def main() -> None:
+    run_cell(itbs=15, label="strong uplink")   # ~14 Mbps cell
+    print()
+    run_cell(itbs=5, label="weak uplink")      # ~2.9 Mbps cell
+
+
+if __name__ == "__main__":
+    main()

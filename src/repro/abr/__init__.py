@@ -1,0 +1,26 @@
+"""ABR algorithms: baselines and the coordinated schemes' client halves."""
+
+from repro.abr.avis import AvisNetworkAgent, AvisUeAdapter
+from repro.abr.base import AbrAlgorithm, AbrContext, ConstantAbr
+from repro.abr.bba import BufferBased
+from repro.abr.festive import Festive
+from repro.abr.flare_client import FlareClientAbr
+from repro.abr.google import GoogleDemo
+from repro.abr.mpc import ModelPredictive
+from repro.abr.phy_informed import PhyInformed
+from repro.abr.rate_based import RateBased
+
+__all__ = [
+    "AvisNetworkAgent",
+    "AvisUeAdapter",
+    "AbrAlgorithm",
+    "AbrContext",
+    "ConstantAbr",
+    "BufferBased",
+    "Festive",
+    "FlareClientAbr",
+    "GoogleDemo",
+    "ModelPredictive",
+    "PhyInformed",
+    "RateBased",
+]

@@ -1,0 +1,44 @@
+"""Buffer-based ABR baseline (BBA-0 style).
+
+A buffer-based scheme in the spirit of Huang et al. (SIGCOMM'14):
+bitrate is a piecewise-linear function of the buffer level alone —
+minimum rate below the *reservoir*, maximum rate above the *cushion*,
+and linear in between.  The paper does not evaluate BBA, but it is the
+canonical third family of client-side ABR and gives the ablation
+benches a throughput-oblivious reference point.
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.util import require_positive
+
+
+class BufferBased(AbrAlgorithm):
+    """BBA-0: map buffer occupancy linearly onto the ladder.
+
+    Attributes:
+        reservoir_s: below this buffer level, stream the minimum rate.
+        cushion_s: above ``reservoir_s + cushion_s``, stream the
+            maximum rate.
+    """
+
+    name = "buffer-based"
+
+    def __init__(self, reservoir_s: float = 5.0, cushion_s: float = 20.0) -> None:
+        require_positive("reservoir_s", reservoir_s)
+        require_positive("cushion_s", cushion_s)
+        self.reservoir_s = reservoir_s
+        self.cushion_s = cushion_s
+
+    def select_index(self, ctx: AbrContext) -> int:
+        buffer_level = ctx.buffer_level_s
+        if buffer_level <= self.reservoir_s:
+            return 0
+        if buffer_level >= self.reservoir_s + self.cushion_s:
+            return len(ctx.ladder) - 1
+        fraction = (buffer_level - self.reservoir_s) / self.cushion_s
+        min_rate = ctx.ladder.min_rate
+        max_rate = ctx.ladder.max_rate
+        target = min_rate + fraction * (max_rate - min_rate)
+        return ctx.ladder.highest_at_most(target)

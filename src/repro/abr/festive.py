@@ -1,0 +1,138 @@
+"""FESTIVE client-side rate adaptation [Jiang, Sekar, Zhang; CoNEXT'12].
+
+FESTIVE is the representative client-side baseline of the paper.  Its
+three mechanisms, all reproduced here:
+
+* **Harmonic bandwidth estimation** — the bandwidth estimate is the
+  harmonic mean of the last 20 per-segment throughput samples, which
+  is robust to outlier-fast segments.
+* **Stateful, gradual bitrate selection** — the *reference* bitrate
+  ``b_ref`` moves at most one ladder step at a time.  Stepping *up*
+  from level ``k`` is allowed only after ``k`` consecutive segments
+  have recommended it (higher levels upgrade more slowly); stepping
+  down happens immediately.
+* **Delayed update (stability vs efficiency trade-off)** — the player
+  actually switches from the current bitrate ``b_cur`` to ``b_ref``
+  only if the combined score ``stability(b) + alpha * efficiency(b)``
+  favours it, where the stability score counts recent switches
+  (``2^(#switches in the last 10 segments)``) and the efficiency score
+  measures distance from the bandwidth target ``p * w``.
+
+Defaults follow the paper's Table IV: ``k = 4`` (the target-buffer
+randomisation constant, folded into the player's request threshold
+here), ``p = 0.85``, ``alpha = 12``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.util import SlidingWindow, require_in_range, require_positive
+
+
+class Festive(AbrAlgorithm):
+    """FESTIVE rate adaptation.
+
+    Attributes:
+        p: bandwidth safety factor (target = ``p * estimate``).
+        alpha: weight of the efficiency score against stability.
+        window: number of throughput samples in the harmonic mean.
+        switch_history: number of recent segments considered when
+            counting switches for the stability score.
+    """
+
+    name = "festive"
+
+    def __init__(self, p: float = 0.85, alpha: float = 12.0,
+                 window: int = 5, switch_history: int = 10) -> None:
+        require_in_range("p", p, 0.0, 1.0)
+        require_positive("alpha", alpha)
+        if window < 1 or switch_history < 1:
+            raise ValueError("window and switch_history must be >= 1")
+        self.p = p
+        self.alpha = alpha
+        self.window = window
+        self.switch_history = switch_history
+        self._samples = SlidingWindow(window)
+        self._up_streak = 0
+        self._recent_indices: List[int] = []
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._up_streak = 0
+        self._recent_indices.clear()
+
+    def on_segment_complete(self, ctx: AbrContext,
+                            throughput_bps: float) -> None:
+        self._samples.push(throughput_bps)
+
+    # ------------------------------------------------------------------
+    def _bandwidth_estimate(self) -> Optional[float]:
+        """Harmonic mean of retained samples (None before any sample)."""
+        return self._samples.harmonic_mean()
+
+    def _reference_index(self, ctx: AbrContext, cur: int, target: int) -> int:
+        """Gradual movement of the reference bitrate (one step max)."""
+        if target > cur:
+            self._up_streak += 1
+            # Stepping up from level k requires k consecutive
+            # recommendations (1-based level => cur + 1).
+            if self._up_streak >= cur + 1:
+                self._up_streak = 0
+                return cur + 1
+            return cur
+        self._up_streak = 0
+        if target < cur:
+            return cur - 1
+        return cur
+
+    def _count_recent_switches(self, extra_index: Optional[int]) -> int:
+        """Switches among the recent selections (plus a hypothetical)."""
+        indices = self._recent_indices[-self.switch_history:]
+        if extra_index is not None:
+            indices = indices + [extra_index]
+        return sum(1 for a, b in zip(indices, indices[1:]) if a != b)
+
+    def _stability_score(self, candidate: int) -> float:
+        return float(2 ** self._count_recent_switches(candidate))
+
+    def _efficiency_score(self, ctx: AbrContext, candidate: int,
+                          bandwidth: float) -> float:
+        rate = ctx.ladder.rate(candidate)
+        reference = min(self.p * bandwidth, ctx.ladder.max_rate)
+        if reference <= 0:
+            return 0.0
+        return abs(rate / reference - 1.0)
+
+    # ------------------------------------------------------------------
+    def select_index(self, ctx: AbrContext) -> int:
+        bandwidth = self._bandwidth_estimate()
+        if bandwidth is None or ctx.last_index is None:
+            choice = 0  # conservative start at the lowest rung
+        else:
+            cur = ctx.last_index
+            target = ctx.ladder.highest_at_most(self.p * bandwidth)
+            ref = ctx.ladder.clamp_index(
+                self._reference_index(ctx, cur, target))
+            if ref == cur:
+                choice = cur
+            elif self._count_recent_switches(None) == 0:
+                # No recent instability: follow the reference freely.
+                choice = ref
+            else:
+                # Delayed update: with recent switches on record, move
+                # only when the combined score favours the reference
+                # bitrate (the exponential stability term damps
+                # oscillation harder the more switching occurred).
+                score_cur = (self._stability_score(cur)
+                             + self.alpha
+                             * self._efficiency_score(ctx, cur, bandwidth))
+                score_ref = (self._stability_score(ref)
+                             + self.alpha
+                             * self._efficiency_score(ctx, ref, bandwidth))
+                choice = ref if score_ref < score_cur else cur
+        self._recent_indices.append(choice)
+        if len(self._recent_indices) > 4 * self.switch_history:
+            del self._recent_indices[:-2 * self.switch_history]
+        return choice

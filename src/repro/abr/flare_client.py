@@ -1,0 +1,33 @@
+"""FLARE's client-side rate selection.
+
+Trivial by design: "FLARE ensures ... that UEs always utilize the
+bitrates assigned by the HAS network entity."  The plugin holds the
+latest per-BAI assignment from the OneAPI server; the player requests
+exactly that representation.  Before the first assignment arrives the
+client streams the lowest rung (the same conservative start every
+scheme uses), so playback can begin without waiting for a BAI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+
+if TYPE_CHECKING:  # avoid a package-level circular import with repro.core
+    from repro.core.plugin import FlarePlugin
+
+
+class FlareClientAbr(AbrAlgorithm):
+    """Request whatever the OneAPI server assigned."""
+
+    name = "flare"
+
+    def __init__(self, plugin: "FlarePlugin") -> None:
+        self.plugin = plugin
+
+    def select_index(self, ctx: AbrContext) -> int:
+        assigned = self.plugin.assigned_index
+        if assigned is None:
+            return 0
+        return ctx.ladder.clamp_index(assigned)

@@ -1,0 +1,140 @@
+"""Model-predictive-control ABR (after Yin et al., SIGCOMM 2015).
+
+The paper cites MPC as the state-of-the-art client-side scheme that
+"optimally combines throughput and buffer occupancy information"
+(reference [11]).  It is not part of the paper's comparison set, but
+it is the natural extra baseline for a library users will reach for,
+and the ablation benches use it as a stronger client-side reference
+than FESTIVE.
+
+Each decision solves a small lookahead: over the next ``horizon``
+segments, enumerate ladder choices (pruned to moves of at most
+``max_step`` per segment, as the reference implementation does) and
+simulate the buffer under a conservative throughput prediction
+(harmonic mean discounted by the recent prediction error — the
+"RobustMPC" variant).  The objective is the standard QoE sum:
+
+    sum bitrate  -  lambda_rebuf * rebuffer_time  -  lambda_switch * |switches|
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.util import SlidingWindow, require_non_negative, require_positive
+
+
+class ModelPredictive(AbrAlgorithm):
+    """RobustMPC-style lookahead rate control.
+
+    Attributes:
+        horizon: segments of lookahead.
+        max_step: maximum ladder-index move per segment considered.
+        rebuffer_penalty: QoE penalty per second of predicted stall,
+            in bits/s units (the reference uses the top bitrate).
+        switch_penalty: QoE penalty per bit/s of bitrate change.
+        window: throughput samples for the harmonic-mean predictor.
+    """
+
+    name = "mpc"
+
+    def __init__(self, horizon: int = 5, max_step: int = 2,
+                 rebuffer_penalty: float = 3000e3,
+                 switch_penalty: float = 1.0,
+                 window: int = 5) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if max_step < 1:
+            raise ValueError(f"max_step must be >= 1, got {max_step}")
+        require_non_negative("rebuffer_penalty", rebuffer_penalty)
+        require_non_negative("switch_penalty", switch_penalty)
+        self.horizon = horizon
+        self.max_step = max_step
+        self.rebuffer_penalty = rebuffer_penalty
+        self.switch_penalty = switch_penalty
+        self._samples = SlidingWindow(window)
+        self._prediction_errors = SlidingWindow(window)
+        self._last_prediction: Optional[float] = None
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._prediction_errors.clear()
+        self._last_prediction = None
+
+    def on_segment_complete(self, ctx: AbrContext,
+                            throughput_bps: float) -> None:
+        if self._last_prediction is not None and throughput_bps > 0:
+            error = abs(self._last_prediction - throughput_bps)
+            self._prediction_errors.push(error / throughput_bps)
+        self._samples.push(throughput_bps)
+
+    # ------------------------------------------------------------------
+    def _predict_throughput(self) -> Optional[float]:
+        """Harmonic mean discounted by the max recent relative error."""
+        estimate = self._samples.harmonic_mean()
+        if estimate is None:
+            return None
+        errors = self._prediction_errors.samples
+        max_error = max(errors) if errors else 0.0
+        prediction = estimate / (1.0 + max_error)
+        self._last_prediction = prediction
+        return prediction
+
+    def _candidate_moves(self, ladder_size: int, index: int) -> List[int]:
+        lo = max(0, index - self.max_step)
+        hi = min(ladder_size - 1, index + self.max_step)
+        return list(range(lo, hi + 1))
+
+    def _plan_value(self, ctx: AbrContext, plan: Sequence[int],
+                    start_index: int, throughput_bps: float) -> float:
+        """Simulated QoE of one candidate plan."""
+        buffer_s = ctx.buffer_level_s
+        previous_rate = (ctx.ladder.rate(start_index)
+                         if ctx.last_index is not None else None)
+        value = 0.0
+        for index in plan:
+            rate = ctx.ladder.rate(index)
+            download_s = (rate * ctx.segment_duration_s) / throughput_bps
+            rebuffer_s = max(0.0, download_s - buffer_s)
+            buffer_s = max(buffer_s - download_s, 0.0) + ctx.segment_duration_s
+            value += rate
+            value -= self.rebuffer_penalty * rebuffer_s
+            if previous_rate is not None:
+                value -= self.switch_penalty * abs(rate - previous_rate)
+            previous_rate = rate
+        return value
+
+    # ------------------------------------------------------------------
+    def select_index(self, ctx: AbrContext) -> int:
+        throughput = self._predict_throughput()
+        if throughput is None or throughput <= 0:
+            return 0
+        start = ctx.last_index if ctx.last_index is not None else 0
+        ladder_size = len(ctx.ladder)
+
+        # Keep the search tree tractable on large ladders by shrinking
+        # the effective lookahead until the tree is bounded.
+        branching = 2 * self.max_step + 1
+        horizon = self.horizon
+        while branching ** horizon > 4096 and horizon > 1:
+            horizon -= 1
+
+        best_value, best_first = -float("inf"), start
+
+        # Enumerate plans where each step moves at most max_step from
+        # the previous index (depth-first over the candidate tree).
+        def search(prefix: Tuple[int, ...]) -> None:
+            nonlocal best_value, best_first
+            if len(prefix) == horizon:
+                value = self._plan_value(ctx, prefix, start, throughput)
+                if value > best_value:
+                    best_value = value
+                    best_first = prefix[0]
+                return
+            last = prefix[-1] if prefix else start
+            for index in self._candidate_moves(ladder_size, last):
+                search(prefix + (index,))
+
+        search(())
+        return best_first

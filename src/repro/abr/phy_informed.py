@@ -1,0 +1,80 @@
+"""PHY-informed client ABR (after piStream, Xie et al. MOBICOM 2015).
+
+The paper's related work cites a cross-layer client-side scheme in
+which "the PHY-layer information of the LTE network is used to
+estimate available bandwidth" — the UE watches its own channel quality
+(it always knows its CQI/MCS) and the cell's scheduling, instead of
+inferring bandwidth from segment throughput alone.
+
+Our UE model exposes exactly that observable (the channel's current
+bytes-per-PRB), so the scheme decomposes the bandwidth estimate into
+
+    estimate = own_peak_rate(now) * resource_share
+
+where ``own_peak_rate`` reacts *instantly* to channel changes (the
+PHY-informed part) and ``resource_share`` — the fraction of the cell's
+PRBs the UE has been receiving — is learned slowly from realised
+per-segment throughput.  Compared to pure throughput estimators this
+adapts immediately to fades without waiting for a slow segment sample,
+at the cost of needing PHY access (which network-side and JavaScript
+players do not have — the deployment argument FLARE makes).
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.net.flows import UserEquipment
+from repro.util import Ewma, require_in_range, require_positive
+
+
+class PhyInformed(AbrAlgorithm):
+    """Cross-layer rate selection from CQI plus learned PRB share.
+
+    Attributes:
+        ue: the UE whose PHY state is observed (a real implementation
+            reads the modem's CQI registers; we read the channel
+            model).
+        prbs_per_second: the cell's PRB budget (broadcast in LTE system
+            information, so genuinely client-observable).
+        safety: discount on the estimate.
+        share_smoothing: EWMA weight of the resource-share estimate.
+    """
+
+    name = "phy-informed"
+
+    def __init__(self, ue: UserEquipment, prbs_per_second: float = 50_000.0,
+                 safety: float = 0.85, share_smoothing: float = 0.3,
+                 initial_share: float = 0.5) -> None:
+        require_positive("prbs_per_second", prbs_per_second)
+        require_in_range("safety", safety, 0.0, 1.0)
+        require_in_range("share_smoothing", share_smoothing, 0.0, 1.0)
+        require_in_range("initial_share", initial_share, 0.0, 1.0)
+        self.ue = ue
+        self.prbs_per_second = prbs_per_second
+        self.safety = safety
+        self._share = Ewma(share_smoothing)
+        self._initial_share = initial_share
+
+    def reset(self) -> None:
+        self._share.reset()
+
+    def _own_peak_bps(self, now_s: float) -> float:
+        """Rate if the whole cell served this UE right now."""
+        bytes_per_prb = self.ue.channel.bytes_per_prb_at(now_s)
+        return bytes_per_prb * 8.0 * self.prbs_per_second
+
+    def on_segment_complete(self, ctx: AbrContext,
+                            throughput_bps: float) -> None:
+        peak = self._own_peak_bps(ctx.now_s)
+        if peak <= 0:
+            return  # outage: no share information in this sample
+        share = min(throughput_bps / peak, 1.0)
+        self._share.update(share)
+
+    def select_index(self, ctx: AbrContext) -> int:
+        peak = self._own_peak_bps(ctx.now_s)
+        if peak <= 0:
+            return 0  # out of coverage: minimum rate when service returns
+        share = self._share.value_or(self._initial_share)
+        estimate = peak * share
+        return ctx.ladder.highest_at_most(self.safety * estimate)

@@ -1,0 +1,46 @@
+"""Plain throughput-based ABR baseline.
+
+Not part of the paper's comparison set, but the simplest member of the
+client-side family: pick the highest ladder rate below a discounted
+harmonic-mean throughput estimate, with no hysteresis at all.  Useful
+as (a) a lower bound on stability in the ablation benches and (b) the
+UE-side rate requester inside AVIS, which the paper describes as "a
+simple rate adaptation algorithm on a UE that requests the highest
+possible rate based on the estimated throughput".
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import AbrAlgorithm, AbrContext
+from repro.util import SlidingWindow, require_in_range
+
+
+class RateBased(AbrAlgorithm):
+    """Discounted harmonic-mean throughput rule.
+
+    Attributes:
+        safety: multiplicative discount on the estimate.
+        window: number of samples in the harmonic mean.
+    """
+
+    name = "rate-based"
+
+    def __init__(self, safety: float = 0.9, window: int = 5) -> None:
+        require_in_range("safety", safety, 0.0, 1.0)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.safety = safety
+        self._samples = SlidingWindow(window)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def on_segment_complete(self, ctx: AbrContext,
+                            throughput_bps: float) -> None:
+        self._samples.push(throughput_bps)
+
+    def select_index(self, ctx: AbrContext) -> int:
+        estimate = self._samples.harmonic_mean()
+        if estimate is None:
+            return 0
+        return ctx.ladder.highest_at_most(self.safety * estimate)

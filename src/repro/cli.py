@@ -1,0 +1,113 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    flare-repro table1            # static testbed summary (Table I)
+    flare-repro table2            # dynamic testbed summary (Table II)
+    flare-repro fig4 --scheme flare   # testbed time series panels
+    flare-repro fig6 ... fig12    # simulation-study figures
+    flare-repro ablations         # DESIGN.md design-choice ablations
+    flare-repro all               # everything, in order
+    flare-repro report --out results/   # full results directory + CSVs
+
+Scale control: ``--full`` (or ``REPRO_FULL=1``) runs paper-fidelity
+experiments (1200 s, 20 seeds); the default is a quick mode suitable
+for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablation_text,
+    generate_report,
+    figure6_text,
+    figure7_text,
+    figure8_text,
+    figure9_text,
+    figure10_text,
+    figure11_text,
+    figure12_text,
+    figure_time_series,
+    render_time_series,
+    table1_text,
+    table2_text,
+)
+
+
+def _fig4(scheme: str, dynamic: bool) -> str:
+    duration = 600.0 if os.environ.get("REPRO_FULL") == "1" else 240.0
+    traces = figure_time_series(scheme, dynamic=dynamic,
+                                duration_s=duration)
+    return render_time_series(traces)
+
+
+def _all_schemes_fig(dynamic: bool) -> str:
+    return "\n\n".join(_fig4(scheme, dynamic)
+                       for scheme in ("festive", "google", "flare"))
+
+
+def _command_table() -> Dict[str, Callable[[argparse.Namespace], str]]:
+    return {
+        "table1": lambda args: table1_text(),
+        "table2": lambda args: table2_text(),
+        "fig4": lambda args: (_fig4(args.scheme, False) if args.scheme
+                              else _all_schemes_fig(False)),
+        "fig5": lambda args: (_fig4(args.scheme, True) if args.scheme
+                              else _all_schemes_fig(True)),
+        "fig6": lambda args: figure6_text(),
+        "fig7": lambda args: figure7_text(),
+        "fig8": lambda args: figure8_text(),
+        "fig9": lambda args: figure9_text(),
+        "fig10": lambda args: figure10_text(),
+        "fig11": lambda args: figure11_text(),
+        "fig12": lambda args: figure12_text(),
+        "ablations": lambda args: ablation_text(),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="flare-repro",
+        description="Reproduce FLARE (ICDCS 2017) tables and figures.",
+    )
+    commands = list(_command_table()) + ["all", "report"]
+    parser.add_argument("command", choices=commands,
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scheme", default=None,
+                        choices=("festive", "google", "flare"),
+                        help="single scheme for fig4/fig5 panels")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-fidelity scale (slow); equivalent to "
+                             "REPRO_FULL=1")
+    parser.add_argument("--out", default="results",
+                        help="output directory for the report command")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+    table = _command_table()
+    if args.command == "report":
+        path = generate_report(args.out)
+        print(f"report written to {path}")
+        return 0
+    if args.command == "all":
+        for name, handler in table.items():
+            print(f"\n### {name}\n")
+            print(handler(args))
+        return 0
+    print(table[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

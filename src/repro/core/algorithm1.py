@@ -1,0 +1,159 @@
+"""Algorithm 1: FLARE's stateful per-BAI bitrate calculation.
+
+The solver (:mod:`repro.core.optimizer`) produces the *recommended*
+index ``L*_u`` for every video flow each BAI.  Algorithm 1 wraps the
+solve with the paper's stability post-processing:
+
+* The solver's input already carries the hard constraint
+  ``R_u <= r_u(L_prev + 1)`` (at most one step up per BAI) — the
+  caller encodes it into each :class:`FlowSpec`'s ``max_index``.
+* An *increase* is additionally applied only after it has been
+  recommended for ``delta * (L_prev + 1)`` consecutive BAIs (levels
+  are 1-based in the paper; higher levels therefore upgrade more
+  slowly, FESTIVE-style).
+* *Decreases* of any size apply immediately
+  (``L_i = min(L_prev, L*)``), so new arrivals or channel collapses
+  are absorbed at once.
+
+``delta`` is the knob of paper Figure 12; the hysteresis can be
+disabled entirely (``delta = 0``) for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.optimizer import (
+    FlowSpec,
+    ProblemSpec,
+    Solution,
+    Solver,
+)
+from repro.util import require_non_negative
+
+
+@dataclass
+class FlowState:
+    """Per-flow state carried across BAIs.
+
+    Attributes:
+        level: current ladder index ``L_u^{i-1}`` (0-based).
+        up_streak: consecutive BAIs in which the solver recommended
+            exactly one step up.
+    """
+
+    level: int = 0
+    up_streak: int = 0
+
+
+@dataclass
+class BaiDecision:
+    """Outcome of one BAI for the whole cell.
+
+    Attributes:
+        indices: enforced ladder index per flow (after hysteresis).
+        rates_bps: corresponding bitrate per flow.
+        solution: the raw solver output (pre-hysteresis).
+    """
+
+    indices: Dict[int, int]
+    rates_bps: Dict[int, float]
+    solution: Solution
+
+
+class Algorithm1:
+    """The paper's Algorithm 1, parameterised by a solver.
+
+    Attributes:
+        solver: exact or relaxed optimizer.
+        delta: stability parameter; an upgrade from 0-based index
+            ``L`` needs ``delta * (L + 2)`` consecutive recommendations
+            (``L + 2`` is the paper's 1-based ``L_prev + 1``).  With
+            ``delta = 0`` recommendations apply immediately.
+        enforce_step_limit: when False, the hard one-step-up constraint
+            is dropped from the solver input (ablation knob; the paper
+            always keeps it on).
+    """
+
+    def __init__(self, solver: Solver, delta: int = 4,
+                 enforce_step_limit: bool = True) -> None:
+        require_non_negative("delta", delta)
+        self.solver = solver
+        self.delta = int(delta)
+        self.enforce_step_limit = enforce_step_limit
+        self._states: Dict[int, FlowState] = {}
+
+    # ------------------------------------------------------------------
+    def state_of(self, flow_id: int) -> FlowState:
+        """The persistent state of ``flow_id`` (created on first use)."""
+        return self._states.setdefault(flow_id, FlowState())
+
+    def forget(self, flow_id: int) -> None:
+        """Drop state for a departed flow."""
+        self._states.pop(flow_id, None)
+
+    def _required_streak(self, level: int) -> int:
+        """BAIs of consecutive recommendation needed to step up."""
+        if self.delta == 0:
+            return 1
+        # paper: delta * (L_prev + 1) with 1-based levels.
+        return self.delta * (level + 2)
+
+    # ------------------------------------------------------------------
+    def constrain(self, spec: FlowSpec) -> FlowSpec:
+        """Fold the stability constraint into a flow's allowed range."""
+        if not self.enforce_step_limit:
+            return spec
+        state = self.state_of(spec.flow_id)
+        step_cap = state.level + 1
+        current_cap = spec.allowed_max_index()
+        new_cap = min(step_cap, current_cap)
+        return FlowSpec(
+            flow_id=spec.flow_id,
+            ladder=spec.ladder,
+            beta=spec.beta,
+            theta_bps=spec.theta_bps,
+            rbs_per_bps=spec.rbs_per_bps,
+            max_index=new_cap,
+        )
+
+    def run_bai(self, problem: ProblemSpec) -> BaiDecision:
+        """Execute one BAI: constrain, solve, apply hysteresis.
+
+        The returned decision's ``indices`` are what the OneAPI server
+        enforces (GBR + plugin assignment).
+        """
+        constrained = ProblemSpec(
+            flows=tuple(self.constrain(spec) for spec in problem.flows),
+            num_data_flows=problem.num_data_flows,
+            alpha=problem.alpha,
+            total_rbs=problem.total_rbs,
+        )
+        solution = self.solver.solve(constrained)
+        indices: Dict[int, int] = {}
+        rates: Dict[int, float] = {}
+        for spec in problem.flows:
+            state = self.state_of(spec.flow_id)
+            recommended = solution.indices[spec.flow_id]
+            if recommended > state.level:
+                # With the step limit on, the solver can only ever
+                # recommend level + 1 (the paper's "L* = L_prev + 1"
+                # test); without it (ablation) any upgrade counts.
+                state.up_streak += 1
+                if state.up_streak >= self._required_streak(state.level):
+                    if self.enforce_step_limit:
+                        state.level += 1
+                    else:
+                        state.level = recommended
+                    state.up_streak = 0
+                # else: hold at the previous level this BAI.
+            else:
+                state.up_streak = 0
+                state.level = min(state.level, recommended)
+            level = spec.ladder.clamp_index(state.level)
+            state.level = level
+            indices[spec.flow_id] = level
+            rates[spec.flow_id] = spec.ladder.rate(level)
+        return BaiDecision(indices=indices, rates_bps=rates,
+                           solution=solution)

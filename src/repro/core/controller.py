@@ -1,0 +1,127 @@
+"""End-to-end FLARE wiring helpers.
+
+:class:`FlareSystem` assembles the whole coordinated stack for one
+cell — solver, Algorithm 1, OneAPI server, per-client plugins and the
+plugin-driven ABR — so scenarios and examples can attach FLARE clients
+in two lines.  :class:`MultiCellOneApi` mirrors the paper's note that
+"a single OneAPI server can manage multiple BSs, though the bitrates
+are calculated independently for each network cell."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.abr.flare_client import FlareClientAbr
+from repro.core.algorithm1 import Algorithm1
+from repro.core.oneapi import OneApiServer
+from repro.core.optimizer import ExactSolver, RelaxedSolver, Solver
+from repro.core.plugin import FlarePlugin
+from repro.has.mpd import MediaPresentation
+from repro.has.player import HasPlayer, PlayerConfig
+from repro.net.flows import UserEquipment
+from repro.sim.cell import Cell
+
+
+def make_solver(kind: Union[str, Solver]) -> Solver:
+    """Build a solver from a name ('exact' / 'relaxed') or pass through."""
+    if isinstance(kind, Solver):
+        return kind
+    if kind == "exact":
+        return ExactSolver()
+    if kind == "relaxed":
+        return RelaxedSolver()
+    raise ValueError(f"unknown solver kind: {kind!r}")
+
+
+class FlareSystem:
+    """One cell's complete FLARE deployment.
+
+    Attributes:
+        server: the OneAPI server driving BAIs (register it on the cell
+            via :meth:`install`).
+        algorithm: the underlying Algorithm 1 instance.
+    """
+
+    def __init__(
+        self,
+        solver: Union[str, Solver] = "exact",
+        delta: int = 4,
+        alpha: float = 1.0,
+        bai_s: float = 2.0,
+        enforce_gbr: bool = True,
+        enforce_step_limit: bool = True,
+        cost_smoothing: float = 0.1,
+    ) -> None:
+        self.algorithm = Algorithm1(
+            make_solver(solver), delta=delta,
+            enforce_step_limit=enforce_step_limit)
+        self.server = OneApiServer(
+            self.algorithm, interval_s=bai_s, alpha=alpha,
+            enforce_gbr=enforce_gbr, cost_smoothing=cost_smoothing)
+        self._plugins: Dict[int, FlarePlugin] = {}
+
+    def install(self, cell: Cell) -> None:
+        """Register the OneAPI server as the cell's BAI controller."""
+        cell.add_controller(self.server)
+
+    def attach_client(
+        self,
+        cell: Cell,
+        ue: UserEquipment,
+        mpd: MediaPresentation,
+        player_config: Optional[PlayerConfig] = None,
+        max_bitrate_bps: Optional[float] = None,
+        skimming: bool = False,
+    ) -> HasPlayer:
+        """Add a FLARE-enabled HAS client to ``cell``.
+
+        Creates the video flow and player, embeds a plugin, registers
+        the plugin with the OneAPI server (the "client sends its ladder
+        on stream start" message), and returns the player.
+        """
+        # The flow id is allocated inside add_video_flow; create the
+        # player with a placeholder ABR, then wire the plugin to it.
+        placeholder = FlareClientAbr(FlarePlugin(-1, mpd.ladder))
+        player = cell.add_video_flow(ue, mpd, placeholder, player_config)
+        plugin = FlarePlugin(
+            player.flow.flow_id, mpd.ladder,
+            max_bitrate_bps=max_bitrate_bps, skimming=skimming)
+        player.abr = FlareClientAbr(plugin)
+        self._plugins[player.flow.flow_id] = plugin
+        self.server.register_plugin(plugin)
+        return player
+
+    def plugin_for(self, flow_id: int) -> FlarePlugin:
+        """The plugin embedded in flow ``flow_id``'s player.
+
+        Raises:
+            KeyError: for flows not attached through this system.
+        """
+        return self._plugins[flow_id]
+
+
+class MultiCellOneApi:
+    """One logical OneAPI server spanning several cells.
+
+    Bitrates are computed independently per cell (paper Section II-A),
+    so this is a registry of per-cell :class:`FlareSystem` instances
+    sharing configuration.
+    """
+
+    def __init__(self, **flare_kwargs) -> None:
+        self._kwargs = flare_kwargs
+        self._systems: Dict[int, FlareSystem] = {}
+
+    def system_for(self, cell: Cell) -> FlareSystem:
+        """The (lazily created and installed) FLARE system for a cell."""
+        if cell.cell_id not in self._systems:
+            system = FlareSystem(**self._kwargs)
+            system.install(cell)
+            self._systems[cell.cell_id] = system
+        return self._systems[cell.cell_id]
+
+    @property
+    def cells(self) -> List[int]:
+        """Cell ids currently managed."""
+        return sorted(self._systems)

@@ -1,0 +1,449 @@
+"""Solvers for FLARE's bitrate optimization, problem (3)-(4).
+
+Per bitrate assignment interval (BAI), the OneAPI server maximizes
+
+    sum_u beta_u (1 - theta_u / R_u)  +  n * alpha * log(1 - r)
+
+over the video bitrates ``R_u`` (each drawn from flow ``u``'s ladder)
+and the video RB share ``r in [0, 1]``, subject to the capacity
+constraint
+
+    sum_u w_u * R_u <= r * N,       w_u = B * n_u^{i-1} / (8 * b_u^{i-1})
+
+(``w_u`` is RBs-per-(bit/s), estimated from the previous BAI's RB and
+byte counters) and the one-step-up stability constraint, which the
+caller folds into each flow's allowed index range.
+
+Two solvers are provided, mirroring the paper's evaluation:
+
+* :class:`ExactSolver` — the discrete problem, solved exactly (up to a
+  configurable capacity quantisation) with a multiple-choice-knapsack
+  dynamic program over the RB budget, jointly optimised with ``r`` by
+  scanning the quantised budget.  This replaces the paper's KNITRO
+  solve of (3)-(4).
+* :class:`RelaxedSolver` — the continuous relaxation of Proposition 1
+  (``r_u(1) <= R_u <= r_u(M_u)``), solved to optimality with a KKT
+  water-filling step nested in a ternary search over the concave
+  1-D problem in ``r``; the result is rounded down to the ladder as in
+  Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.utility import data_utility, video_utility
+from repro.has.mpd import BitrateLadder
+from repro.util import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One video flow's inputs to the per-BAI optimization.
+
+    Attributes:
+        flow_id: flow identifier.
+        ladder: the flow's bitrate ladder.
+        beta: importance weight ``beta_u``.
+        theta_bps: screen-size parameter ``theta_u`` (bits/s).
+        rbs_per_bps: capacity cost ``w_u`` — RBs consumed per (bit/s)
+            of sustained rate over the BAI, estimated from the previous
+            BAI's trace (``B * n_u / (8 * b_u)``).
+        max_index: highest ladder index allowed this BAI.  The caller
+            encodes the stability constraint (``L_prev + 1``) and any
+            client-side caps here; drops to index 0 are always allowed.
+    """
+
+    flow_id: int
+    ladder: BitrateLadder
+    beta: float
+    theta_bps: float
+    rbs_per_bps: float
+    max_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require_non_negative("beta", self.beta)
+        require_non_negative("theta_bps", self.theta_bps)
+        require_positive("rbs_per_bps", self.rbs_per_bps)
+
+    def allowed_max_index(self) -> int:
+        """Effective upper ladder index for this BAI."""
+        top = len(self.ladder) - 1
+        if self.max_index is None:
+            return top
+        return max(0, min(self.max_index, top))
+
+    def utility(self, rate_bps: float) -> float:
+        """This flow's utility at ``rate_bps``."""
+        return video_utility(rate_bps, self.beta, self.theta_bps)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One BAI's optimization instance.
+
+    Attributes:
+        flows: the video flows ``U``.
+        num_data_flows: the PCRF-reported ``n``.
+        alpha: video/data balance knob.
+        total_rbs: ``N``, the RBs available over the whole BAI.
+    """
+
+    flows: Tuple[FlowSpec, ...]
+    num_data_flows: int
+    alpha: float
+    total_rbs: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("alpha", self.alpha)
+        require_positive("total_rbs", self.total_rbs)
+        if self.num_data_flows < 0:
+            raise ValueError("num_data_flows must be >= 0")
+
+
+@dataclass
+class Solution:
+    """Solver output for one BAI.
+
+    Attributes:
+        indices: recommended ladder index ``L*_u`` per flow.
+        rates_bps: the corresponding discrete rate per flow.
+        continuous_rates_bps: pre-rounding rates (relaxed solver only;
+            equals ``rates_bps`` for the exact solver).
+        r: RB share assigned to video flows.
+        utility: objective value at the *discrete* rates.
+        solve_time_s: wall-clock solver time (paper Figure 9's metric).
+        feasible: False when even the minimum ladder rates exceed the
+            capacity (the solver then returns all-minimum).
+    """
+
+    indices: Dict[int, int]
+    rates_bps: Dict[int, float]
+    continuous_rates_bps: Dict[int, float] = field(default_factory=dict)
+    r: float = 0.0
+    utility: float = 0.0
+    solve_time_s: float = 0.0
+    feasible: bool = True
+
+
+def _discrete_objective(problem: ProblemSpec, indices: Dict[int, int],
+                        r: float) -> float:
+    """Objective (2) at a discrete assignment."""
+    total = 0.0
+    for flow in problem.flows:
+        total += flow.utility(flow.ladder.rate(indices[flow.flow_id]))
+    if problem.num_data_flows > 0:
+        r_eval = min(r, 1.0 - 1e-9)
+        total += data_utility(r_eval, problem.num_data_flows, problem.alpha)
+    return total
+
+
+def _all_minimum_solution(problem: ProblemSpec, started: float) -> Solution:
+    """Fallback when the cell is overloaded: everyone at the lowest rung."""
+    indices = {flow.flow_id: 0 for flow in problem.flows}
+    rates = {flow.flow_id: flow.ladder.min_rate for flow in problem.flows}
+    used = sum(flow.rbs_per_bps * flow.ladder.min_rate
+               for flow in problem.flows)
+    r = min(used / problem.total_rbs, 1.0)
+    return Solution(
+        indices=indices,
+        rates_bps=rates,
+        continuous_rates_bps=dict(rates),
+        r=r,
+        utility=_discrete_objective(problem, indices, r),
+        solve_time_s=time.perf_counter() - started,
+        feasible=False,
+    )
+
+
+class Solver:
+    """Interface shared by the exact and relaxed solvers."""
+
+    def solve(self, problem: ProblemSpec) -> Solution:
+        """Return the recommended per-flow ladder indices and ``r``."""
+        raise NotImplementedError
+
+
+class ExactSolver(Solver):
+    """Exact discrete solve via multiple-choice knapsack DP.
+
+    The RB budget ``N`` is quantised into ``quanta`` buckets.  A DP
+    over flows computes, for every budget level, the best achievable
+    video utility with exactly one ladder choice per flow; the outer
+    scan then adds the data term ``n * alpha * log(1 - q/Q)`` for every
+    budget level ``q`` and keeps the best, which jointly optimises
+    ``r`` (for a given RB usage, the optimal ``r`` is the smallest
+    share covering it, since the data term decreases in ``r``).
+
+    Exactness is up to the quantisation: each choice's RB weight is
+    rounded *up*, so the capacity constraint is never violated, and
+    with the default 1000 quanta the conservatism is below 0.1% of the
+    budget per flow.
+
+    Attributes:
+        quanta: number of capacity buckets ``Q``.
+    """
+
+    name = "exact"
+
+    def __init__(self, quanta: int = 1000) -> None:
+        if quanta < 10:
+            raise ValueError(f"quanta must be >= 10, got {quanta}")
+        self.quanta = quanta
+
+    def solve(self, problem: ProblemSpec) -> Solution:
+        started = time.perf_counter()
+        if not problem.flows:
+            r = 0.0
+            return Solution(indices={}, rates_bps={}, r=r,
+                            utility=_discrete_objective(problem, {}, r),
+                            solve_time_s=time.perf_counter() - started)
+        quantum = problem.total_rbs / self.quanta
+
+        # Per-flow choice lists: (weight_in_quanta, value, index).
+        choices: List[List[Tuple[int, float, int]]] = []
+        for flow in problem.flows:
+            options: List[Tuple[int, float, int]] = []
+            for index in range(flow.allowed_max_index() + 1):
+                rate = flow.ladder.rate(index)
+                weight = int(math.ceil(flow.rbs_per_bps * rate / quantum))
+                options.append((weight, flow.utility(rate), index))
+            choices.append(options)
+
+        min_weight_total = sum(min(w for w, _, _ in opts) for opts in choices)
+        if min_weight_total > self.quanta:
+            return _all_minimum_solution(problem, started)
+
+        neg_inf = -1e18
+        # dp[q]: best video utility using exactly q quanta (or less,
+        # tracked per exact usage; unreachable states stay neg_inf).
+        dp = np.full(self.quanta + 1, neg_inf)
+        dp[0] = 0.0
+        parents: List[np.ndarray] = []
+        for options in choices:
+            ndp = np.full(self.quanta + 1, neg_inf)
+            parent = np.full(self.quanta + 1, -1, dtype=np.int64)
+            for choice_number, (weight, value, _) in enumerate(options):
+                if weight > self.quanta:
+                    continue
+                if weight == 0:
+                    candidate = dp + value
+                else:
+                    candidate = np.full(self.quanta + 1, neg_inf)
+                    candidate[weight:] = dp[:self.quanta + 1 - weight] + value
+                better = candidate > ndp
+                ndp = np.where(better, candidate, ndp)
+                parent[better] = choice_number
+            parents.append(parent)
+            dp = ndp
+
+        # Outer scan over the quantised budget: pick the usage level q
+        # maximising video utility + data term at r = q/Q.
+        best_q, best_obj = -1, neg_inf
+        running_best = neg_inf
+        running_best_q = -1
+        for q in range(self.quanta + 1):
+            if dp[q] > running_best:
+                running_best = dp[q]
+                running_best_q = q
+            if running_best <= neg_inf / 2:
+                continue
+            r = q / self.quanta
+            if problem.num_data_flows > 0:
+                if r >= 1.0:
+                    continue
+                objective = running_best + data_utility(
+                    r, problem.num_data_flows, problem.alpha)
+            else:
+                objective = running_best
+            if objective > best_obj:
+                best_obj = objective
+                best_q = running_best_q
+        if best_q < 0:
+            return _all_minimum_solution(problem, started)
+
+        # Backtrack the DP to recover per-flow choices.
+        indices: Dict[int, int] = {}
+        q = best_q
+        for flow, options, parent in zip(
+                reversed(problem.flows), reversed(choices), reversed(parents)):
+            choice_number = int(parent[q])
+            if choice_number < 0:
+                choice_number = 0  # unreachable in a feasible DP; be safe
+            weight, _, index = options[choice_number]
+            indices[flow.flow_id] = index
+            q -= weight
+        rates = {flow.flow_id: flow.ladder.rate(indices[flow.flow_id])
+                 for flow in problem.flows}
+        used_rbs = sum(flow.rbs_per_bps * rates[flow.flow_id]
+                       for flow in problem.flows)
+        r = min(used_rbs / problem.total_rbs, 1.0)
+        return Solution(
+            indices=indices,
+            rates_bps=rates,
+            continuous_rates_bps=dict(rates),
+            r=r,
+            utility=_discrete_objective(problem, indices, r),
+            solve_time_s=time.perf_counter() - started,
+        )
+
+
+class RelaxedSolver(Solver):
+    """Continuous relaxation of (3)-(4) (Proposition 1) + rounding.
+
+    For a fixed budget ``s = r * N`` the inner problem
+
+        max sum_u beta_u (1 - theta_u / R_u)
+        s.t. sum_u w_u R_u <= s,  lo_u <= R_u <= hi_u
+
+    is solved in closed form via its KKT conditions: with multiplier
+    ``lam`` on the capacity constraint, ``R_u(lam) =
+    clip(sqrt(beta_u theta_u / (lam w_u)), lo_u, hi_u)``, and the used
+    capacity is decreasing in ``lam``; a bisection finds the ``lam``
+    that exactly spends ``s`` (or ``lam = 0`` when everyone's cap fits).
+    The outer objective ``h(r) = inner(rN) + n alpha log(1-r)`` is
+    concave in ``r`` (Proposition 1), so a ternary search finds ``r*``.
+    The continuous rates are finally rounded *down* to the ladder —
+    Algorithm 1's discretisation step.
+
+    Attributes:
+        tolerance: relative bisection/ternary-search tolerance.
+        max_iterations: per-search iteration cap.
+    """
+
+    name = "relaxed"
+
+    def __init__(self, tolerance: float = 1e-6, max_iterations: int = 80) -> None:
+        require_positive("tolerance", tolerance)
+        if max_iterations < 8:
+            raise ValueError("max_iterations must be >= 8")
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+
+    # -- inner problem -------------------------------------------------
+    @staticmethod
+    def _bounds(flow: FlowSpec) -> Tuple[float, float]:
+        lo = flow.ladder.min_rate
+        hi = flow.ladder.rate(flow.allowed_max_index())
+        return lo, hi
+
+    @staticmethod
+    def _arrays(problem: ProblemSpec):
+        """Vectorised per-flow parameters (w, lo, hi, beta*theta)."""
+        w = np.array([flow.rbs_per_bps for flow in problem.flows])
+        lo = np.array([flow.ladder.min_rate for flow in problem.flows])
+        hi = np.array([flow.ladder.rate(flow.allowed_max_index())
+                       for flow in problem.flows])
+        beta_theta = np.array([flow.beta * flow.theta_bps
+                               for flow in problem.flows])
+        beta = np.array([flow.beta for flow in problem.flows])
+        return w, lo, hi, beta_theta, beta
+
+    def _inner_arrays(self, w, lo, hi, beta_theta, beta,
+                      budget_rbs: float):
+        """Optimal continuous rates and video utility for a budget.
+
+        KKT water-filling: ``R(lam) = clip(sqrt(beta*theta/(lam*w)),
+        lo, hi)``; used capacity decreases in ``lam``, so a bisection
+        finds the multiplier that spends exactly the budget (or
+        ``lam = 0`` when every cap fits).
+        """
+
+        def rates_for(lam: float):
+            if lam <= 0:
+                return hi
+            return np.clip(np.sqrt(beta_theta / (lam * w)), lo, hi)
+
+        def used(rates) -> float:
+            return float(np.dot(w, rates))
+
+        def value_of(rates) -> float:
+            # sum beta_u (1 - theta_u/R_u) = sum beta - sum beta*theta/R
+            return float(np.sum(beta) - np.sum(beta_theta / rates))
+
+        rates_hi = rates_for(0.0)
+        if used(rates_hi) <= budget_rbs:
+            return rates_hi, value_of(rates_hi)
+        lam_lo, lam_hi = 0.0, 1.0
+        while used(rates_for(lam_hi)) > budget_rbs and lam_hi < 1e30:
+            lam_hi *= 8.0
+        for _ in range(self.max_iterations):
+            lam_mid = 0.5 * (lam_lo + lam_hi)
+            if used(rates_for(lam_mid)) > budget_rbs:
+                lam_lo = lam_mid
+            else:
+                lam_hi = lam_mid
+            if lam_hi - lam_lo <= self.tolerance * max(lam_hi, 1.0):
+                break
+        rates = rates_for(lam_hi)
+        return rates, value_of(rates)
+
+    # -- outer problem -------------------------------------------------
+    def solve(self, problem: ProblemSpec) -> Solution:
+        started = time.perf_counter()
+        if not problem.flows:
+            return Solution(indices={}, rates_bps={}, r=0.0,
+                            utility=_discrete_objective(problem, {}, 0.0),
+                            solve_time_s=time.perf_counter() - started)
+        w, lo_arr, hi_arr, beta_theta, beta = self._arrays(problem)
+        min_rbs = float(np.dot(w, lo_arr))
+        max_rbs = float(np.dot(w, hi_arr))
+        r_floor = min_rbs / problem.total_rbs
+        if r_floor >= 1.0:
+            return _all_minimum_solution(problem, started)
+        r_ceiling = min(max_rbs / problem.total_rbs, 1.0)
+        if problem.num_data_flows > 0:
+            r_ceiling = min(r_ceiling, 1.0 - 1e-9)
+
+        def objective(r: float):
+            rates, video_value = self._inner_arrays(
+                w, lo_arr, hi_arr, beta_theta, beta,
+                r * problem.total_rbs)
+            total = video_value
+            if problem.num_data_flows > 0:
+                total += data_utility(min(r, 1.0 - 1e-9),
+                                      problem.num_data_flows, problem.alpha)
+            return total, rates
+
+        if problem.num_data_flows == 0:
+            best_r = r_ceiling
+            _, best_rates = objective(best_r)
+        else:
+            lo, hi = r_floor, r_ceiling
+            for _ in range(self.max_iterations):
+                m1 = lo + (hi - lo) / 3.0
+                m2 = hi - (hi - lo) / 3.0
+                if objective(m1)[0] < objective(m2)[0]:
+                    lo = m1
+                else:
+                    hi = m2
+                if hi - lo <= self.tolerance:
+                    break
+            best_r = 0.5 * (lo + hi)
+            _, best_rates = objective(best_r)
+
+        continuous = {flow.flow_id: rate
+                      for flow, rate in zip(problem.flows, best_rates)}
+        indices: Dict[int, int] = {}
+        rates: Dict[int, float] = {}
+        for flow, rate in zip(problem.flows, best_rates):
+            index = min(flow.ladder.highest_at_most(rate),
+                        flow.allowed_max_index())
+            indices[flow.flow_id] = index
+            rates[flow.flow_id] = flow.ladder.rate(index)
+        used = sum(flow.rbs_per_bps * rates[flow.flow_id]
+                   for flow in problem.flows)
+        r_discrete = min(used / problem.total_rbs, 1.0)
+        return Solution(
+            indices=indices,
+            rates_bps=rates,
+            continuous_rates_bps=continuous,
+            r=r_discrete,
+            utility=_discrete_objective(problem, indices, r_discrete),
+            solve_time_s=time.perf_counter() - started,
+        )

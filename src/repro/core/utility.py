@@ -1,0 +1,80 @@
+"""FLARE's utility model (paper equations (1) and (2)).
+
+Each *video* flow ``u`` contributes ``beta_u * (1 - theta_u / R_u)``:
+a saturating utility in its bitrate ``R_u``, where ``theta_u`` encodes
+the screen size (a larger screen needs a higher bitrate for the same
+perceived quality — utility crosses zero at ``R_u = theta_u``) and
+``beta_u`` the importance of video to that client.  Utility is capped
+at ``beta_u`` as the bitrate grows: beyond the device's resolution,
+users barely notice improvements.
+
+Each *data* flow contributes ``alpha * log(T_u / theta_u)``.  Lemma 1
+shows that, when the aggregate data throughput is proportional to the
+RB share ``1 - r`` left to data flows and each data flow keeps a fixed
+fraction of it, the data-side sum reduces to ``n * alpha * log(1 - r)``
+plus constants — equation (2), which is what the optimizer maximizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.util import require_non_negative, require_positive
+
+
+def video_utility(rate_bps: float, beta: float, theta_bps: float) -> float:
+    """Utility of a video flow at ``rate_bps``: ``beta (1 - theta/R)``.
+
+    Raises:
+        ValueError: if ``rate_bps`` is not strictly positive (the
+            utility has a pole at zero; ladders never contain 0).
+    """
+    require_positive("rate_bps", rate_bps)
+    require_non_negative("beta", beta)
+    require_non_negative("theta_bps", theta_bps)
+    return beta * (1.0 - theta_bps / rate_bps)
+
+
+def video_utility_derivative(rate_bps: float, beta: float,
+                             theta_bps: float) -> float:
+    """d/dR of :func:`video_utility`: ``beta * theta / R^2``.
+
+    Strictly positive and decreasing — the marginal-utility property
+    the water-filling solver exploits.
+    """
+    require_positive("rate_bps", rate_bps)
+    return beta * theta_bps / (rate_bps * rate_bps)
+
+
+def data_utility(r: float, num_data_flows: int, alpha: float) -> float:
+    """Aggregate data-flow utility term ``n * alpha * log(1 - r)``.
+
+    ``r`` is the fraction of resource blocks given to video flows.
+    With no data flows the term vanishes for every ``r``.
+
+    Raises:
+        ValueError: if ``r`` is outside ``[0, 1)`` while data flows
+            exist (the log pole at ``r = 1``).
+    """
+    require_non_negative("alpha", alpha)
+    if num_data_flows < 0:
+        raise ValueError(f"num_data_flows must be >= 0, got {num_data_flows}")
+    if num_data_flows == 0:
+        return 0.0
+    if not 0.0 <= r < 1.0:
+        raise ValueError(f"r must be in [0, 1) with data flows, got {r}")
+    return num_data_flows * alpha * math.log(1.0 - r)
+
+
+def total_utility(rates_bps: Sequence[float], betas: Sequence[float],
+                  thetas_bps: Sequence[float], r: float,
+                  num_data_flows: int, alpha: float) -> float:
+    """Equation (2): total cell utility for a candidate solution."""
+    if not len(rates_bps) == len(betas) == len(thetas_bps):
+        raise ValueError("rates, betas and thetas must align")
+    video_total = sum(
+        video_utility(rate, beta, theta)
+        for rate, beta, theta in zip(rates_bps, betas, thetas_bps)
+    )
+    return video_total + data_utility(r, num_data_flows, alpha)

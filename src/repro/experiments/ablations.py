@@ -1,0 +1,74 @@
+"""Ablations of FLARE's design choices (DESIGN.md Section 5).
+
+Each ablation switches one mechanism off and reruns the static-cell
+comparison, quantifying what that mechanism buys:
+
+* ``no_hysteresis`` — delta = 0: solver recommendations apply
+  immediately (stability mechanism of Algorithm 1 off).
+* ``no_step_limit`` — the hard one-step-up constraint
+  ``R_u <= r_u(L_prev + 1)`` removed from the solver input.
+* ``no_gbr`` — decisions reach the plugins but are never enforced at
+  the MAC (AVIS-style indirect enforcement of FLARE's own decisions).
+* ``relaxed_solver`` — continuous relaxation instead of the exact
+  MCKP solve (Figure 8 doubles as this ablation on the fine ladder).
+* ``raw_costs`` — no EWMA smoothing of the ``b_u/n_u`` capacity
+  estimates (the paper's literal formulation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    SchemeResult,
+    default_scale,
+    run_comparison,
+)
+from repro.workload.scenarios import FlareParams, build_cell_scenario
+
+#: Ablation name -> FlareParams override.
+ABLATIONS: Dict[str, FlareParams] = {
+    "flare": FlareParams(),
+    "no_hysteresis": FlareParams(delta=0),
+    "no_step_limit": FlareParams(enforce_step_limit=False),
+    "no_gbr": FlareParams(enforce_gbr=False),
+    "relaxed_solver": FlareParams(solver="relaxed"),
+    "raw_costs": FlareParams(cost_smoothing=1.0),
+}
+
+
+def run_ablations(scale: Optional[ExperimentScale] = None,
+                  mobile: bool = False,
+                  names: Optional[list] = None) -> Dict[str, SchemeResult]:
+    """Run each ablation variant on the cell scenario."""
+    scale = scale if scale is not None else default_scale()
+    selected = names if names is not None else list(ABLATIONS)
+    results: Dict[str, SchemeResult] = {}
+    for name in selected:
+        params = ABLATIONS[name]
+        pooled = run_comparison(
+            build_cell_scenario, ("flare",), scale=scale, mobile=mobile,
+            flare_params=params)
+        results[name] = SchemeResult(
+            scheme=name,
+            clients=pooled["flare"].clients,
+            reports=pooled["flare"].reports,
+        )
+    return results
+
+
+def ablation_text(scale: Optional[ExperimentScale] = None,
+                  mobile: bool = False) -> str:
+    """Rendered ablation table."""
+    results = run_ablations(scale, mobile)
+    lines = ["FLARE design ablations "
+             + ("(mobile cell)" if mobile else "(static cell)"),
+             f"{'variant':<16s} {'avg kbps':>10s} {'changes':>9s} "
+             f"{'rebuf s':>9s}"]
+    for name, result in results.items():
+        lines.append(
+            f"{name:<16s} {result.mean_bitrate_kbps():10.0f} "
+            f"{result.mean_changes():9.1f} {result.mean_rebuffer_s():9.1f}"
+        )
+    return "\n".join(lines)

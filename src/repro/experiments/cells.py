@@ -1,0 +1,147 @@
+"""Simulation-study experiments: Figures 6, 7, 8 and 10.
+
+* Figure 6 — static cell: CDFs of per-client average bitrate and
+  bitrate-change counts for FLARE vs AVIS vs FESTIVE.
+* Figure 7 — the same under vehicular mobility.
+* Figure 8 — FLARE with the continuous-relaxation solver vs the exact
+  solver, static and mobile, on the fine 100..1200 kbps ladder.
+* Figure 10 — 8 video + 8 data flows: throughput CDFs of both flow
+  classes and the video change-count CDF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    SchemeResult,
+    default_scale,
+    run_comparison,
+)
+from repro.experiments.tables import (
+    render_cdf_comparison,
+    render_improvement,
+)
+from repro.has.mpd import FINE_LADDER
+from repro.metrics.cdf import EmpiricalCdf, compare_cdfs
+from repro.workload.scenarios import (
+    FlareParams,
+    build_cell_scenario,
+    build_mixed_scenario,
+)
+
+CELL_SCHEMES = ("flare", "avis", "festive")
+
+
+def run_static_cell(scale: Optional[ExperimentScale] = None,
+                    schemes: Sequence[str] = CELL_SCHEMES,
+                    ) -> Dict[str, SchemeResult]:
+    """Figure 6's population: static cell, pooled clients."""
+    return run_comparison(build_cell_scenario, schemes, scale=scale,
+                          mobile=False)
+
+
+def run_mobile_cell(scale: Optional[ExperimentScale] = None,
+                    schemes: Sequence[str] = CELL_SCHEMES,
+                    ) -> Dict[str, SchemeResult]:
+    """Figure 7's population: vehicular mobility."""
+    return run_comparison(build_cell_scenario, schemes, scale=scale,
+                          mobile=True)
+
+
+def figure6_text(scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Figure 6 (+ the paper's improvement one-liners)."""
+    results = run_static_cell(scale)
+    body = render_cdf_comparison(
+        results, "Figure 6: performance CDFs in static scenarios")
+    return body + "\n\n" + render_improvement(results, "flare",
+                                              ("avis", "festive"))
+
+
+def figure7_text(scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Figure 7."""
+    results = run_mobile_cell(scale)
+    body = render_cdf_comparison(
+        results, "Figure 7: performance CDFs in mobile scenarios")
+    return body + "\n\n" + render_improvement(results, "flare",
+                                              ("avis", "festive"))
+
+
+# ----------------------------------------------------------------------
+# Figure 8: continuous relaxation vs exact solve
+# ----------------------------------------------------------------------
+def run_solver_comparison(mobile: bool,
+                          scale: Optional[ExperimentScale] = None,
+                          ) -> Dict[str, SchemeResult]:
+    """FLARE with the exact vs relaxed solver on the fine ladder."""
+    scale = scale if scale is not None else default_scale()
+    results: Dict[str, SchemeResult] = {}
+    for label, solver in (("exact", "exact"), ("relaxed", "relaxed")):
+        params = FlareParams(solver=solver)
+        pooled = run_comparison(
+            build_cell_scenario, ("flare",), scale=scale, mobile=mobile,
+            ladder=FINE_LADDER, flare_params=params)
+        results[label] = SchemeResult(
+            scheme=label,
+            clients=pooled["flare"].clients,
+            reports=pooled["flare"].reports,
+        )
+    return results
+
+
+def figure8_text(scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Figure 8 for both static and mobile scenarios."""
+    sections = []
+    for mobile in (False, True):
+        results = run_solver_comparison(mobile, scale)
+        label = "mobile" if mobile else "static"
+        sections.append(render_cdf_comparison(
+            results,
+            f"Figure 8 ({label}): FLARE exact vs continuous relaxation"))
+        exact = results["exact"].mean_bitrate_kbps()
+        relaxed = results["relaxed"].mean_bitrate_kbps()
+        if exact > 0:
+            sections.append(
+                f"relaxation bitrate delta: {(relaxed / exact - 1) * 100:+.1f}%"
+            )
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Figure 10: coexisting video and data flows
+# ----------------------------------------------------------------------
+def run_mixed(scale: Optional[ExperimentScale] = None,
+              scheme: str = "flare") -> Dict[str, object]:
+    """Figure 10's workload: per-class throughput CDFs under FLARE."""
+    scale = scale if scale is not None else default_scale()
+    video_tput: list = []
+    data_tput: list = []
+    changes: list = []
+    for seed in scale.seeds():
+        scenario = build_mixed_scenario(scheme=scheme, seed=seed,
+                                        duration_s=scale.duration_s)
+        report = scenario.run()
+        video_tput.extend(c.video_throughput_bps / 1e3
+                          for c in report.clients)
+        changes.extend(float(c.num_bitrate_changes)
+                       for c in report.clients)
+        data_tput.extend(v / 1e3 for v in report.data_throughput_bps.values())
+    return {
+        "video_throughput_kbps": EmpiricalCdf(video_tput),
+        "data_throughput_kbps": EmpiricalCdf(data_tput),
+        "video_changes": EmpiricalCdf(changes),
+    }
+
+
+def figure10_text(scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Figure 10."""
+    cdfs = run_mixed(scale)
+    part_a = compare_cdfs({
+        "video": cdfs["video_throughput_kbps"],
+        "data": cdfs["data_throughput_kbps"],
+    })
+    part_b = cdfs["video_changes"].render("video bitrate changes")
+    return ("Figure 10 (a): throughput of video and data flows (kbps)\n"
+            + part_a
+            + "\n\nFigure 10 (b): numbers of bitrate changes\n" + part_b)

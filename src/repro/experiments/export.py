@@ -1,0 +1,122 @@
+"""CSV export of experiment results.
+
+The benchmark harness renders tables as text; for downstream plotting
+(matplotlib, R, gnuplot) these helpers dump the same data as CSV:
+
+* per-client populations (the CDF raw data of Figures 6-8),
+* CDF step points,
+* sweep curves (Figures 11 and 12),
+* per-flow time series (Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Iterable, Sequence, Union
+
+from repro.experiments.runner import SchemeResult
+from repro.experiments.sweeps import AlphaPoint, DeltaPoint
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.timeseries import TimeSeries
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _open_writer(path: PathLike):
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def export_clients_csv(results: Dict[str, SchemeResult],
+                       path: PathLike) -> pathlib.Path:
+    """One row per (scheme, client): the CDF populations of Figs 6-8."""
+    path = _open_writer(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "scheme", "flow_id", "average_bitrate_kbps",
+            "num_bitrate_changes", "rebuffer_time_s", "stall_events",
+            "startup_delay_s", "segments_downloaded",
+            "video_throughput_kbps",
+        ])
+        for scheme, result in results.items():
+            for client in result.clients:
+                writer.writerow([
+                    scheme, client.flow_id,
+                    f"{client.average_bitrate_kbps:.3f}",
+                    client.num_bitrate_changes,
+                    f"{client.rebuffer_time_s:.3f}",
+                    client.stall_events,
+                    ("" if client.startup_delay_s is None
+                     else f"{client.startup_delay_s:.3f}"),
+                    client.segments_downloaded,
+                    f"{client.video_throughput_bps / 1e3:.3f}",
+                ])
+    return path
+
+
+def export_cdf_csv(cdfs: Dict[str, EmpiricalCdf],
+                   path: PathLike) -> pathlib.Path:
+    """CDF step points: rows of (series, value, cumulative_probability)."""
+    path = _open_writer(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "value", "probability"])
+        for name, cdf in cdfs.items():
+            for value, probability in cdf.points():
+                writer.writerow([name, f"{value:.6f}",
+                                 f"{probability:.6f}"])
+    return path
+
+
+def export_alpha_sweep_csv(points: Sequence[AlphaPoint],
+                           path: PathLike) -> pathlib.Path:
+    """Figure 11's curve as CSV."""
+    path = _open_writer(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["alpha", "video_mean_kbps", "video_std_kbps",
+                         "data_mean_kbps", "data_std_kbps"])
+        for point in points:
+            writer.writerow([
+                point.alpha, f"{point.video_mean_kbps:.3f}",
+                f"{point.video_std_kbps:.3f}",
+                f"{point.data_mean_kbps:.3f}",
+                f"{point.data_std_kbps:.3f}",
+            ])
+    return path
+
+
+def export_delta_sweep_csv(points: Sequence[DeltaPoint],
+                           path: PathLike) -> pathlib.Path:
+    """Figure 12's curve as CSV."""
+    path = _open_writer(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["delta", "mean_bitrate_kbps", "mean_changes"])
+        for point in points:
+            writer.writerow([point.delta,
+                             f"{point.mean_bitrate_kbps:.3f}",
+                             f"{point.mean_changes:.3f}"])
+    return path
+
+
+def export_timeseries_csv(series_by_name: Dict[str, TimeSeries],
+                          path: PathLike) -> pathlib.Path:
+    """Per-flow time series (Figures 4/5) as long-format CSV."""
+    path = _open_writer(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "time_s", "value"])
+        for name, series in series_by_name.items():
+            for time_s, value in series.items():
+                writer.writerow([name, f"{time_s:.3f}", f"{value:.6f}"])
+    return path
+
+
+def read_csv_rows(path: PathLike) -> Iterable[dict]:
+    """Convenience reader returning dict rows (used by tests/examples)."""
+    with pathlib.Path(path).open(newline="") as handle:
+        yield from csv.DictReader(handle)

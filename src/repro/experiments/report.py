@@ -1,0 +1,134 @@
+"""One-shot reproduction report.
+
+``generate_report(out_dir)`` runs the full experiment set at the
+selected scale and leaves behind a self-contained results directory:
+
+    out_dir/
+      REPORT.md           # index + every rendered table/figure
+      table1.txt .. fig12.txt, ablations.txt
+      csv/                # raw data for re-plotting
+
+This is what ``flare-repro report`` produces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.experiments.ablations import ablation_text
+from repro.experiments.cells import (
+    figure8_text,
+    figure10_text,
+    run_mobile_cell,
+    run_static_cell,
+)
+from repro.experiments.export import (
+    export_clients_csv,
+    export_delta_sweep_csv,
+)
+from repro.experiments.runner import ExperimentScale, default_scale
+from repro.experiments.sweeps import delta_sweep, figure11_text
+from repro.experiments.tables import (
+    render_cdf_comparison,
+    render_improvement,
+)
+from repro.experiments.testbed import table1_text, table2_text
+from repro.experiments.timing import figure9_text
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _cell_figures(scale: ExperimentScale,
+                  csv_dir: pathlib.Path) -> Dict[str, str]:
+    """Figures 6 and 7 with their CSV side-products."""
+    sections: Dict[str, str] = {}
+    for name, runner, title in (
+        ("fig6", run_static_cell,
+         "Figure 6: performance CDFs in static scenarios"),
+        ("fig7", run_mobile_cell,
+         "Figure 7: performance CDFs in mobile scenarios"),
+    ):
+        results = runner(scale)
+        text = render_cdf_comparison(results, title)
+        text += "\n\n" + render_improvement(results, "flare",
+                                            ("avis", "festive"))
+        sections[name] = text
+        export_clients_csv(results, csv_dir / f"{name}_clients.csv")
+    return sections
+
+
+def generate_report(out_dir: PathLike,
+                    scale: Optional[ExperimentScale] = None,
+                    sections: Optional[List[str]] = None) -> pathlib.Path:
+    """Run the experiment set and write the results directory.
+
+    Args:
+        out_dir: target directory (created if missing).
+        scale: cell-experiment scale (default: environment-selected).
+        sections: subset of section names to run (default: all) —
+            useful for quick partial reports.
+
+    Returns:
+        The path of the written ``REPORT.md``.
+    """
+    out = pathlib.Path(out_dir)
+    csv_dir = out / "csv"
+    out.mkdir(parents=True, exist_ok=True)
+    csv_dir.mkdir(exist_ok=True)
+    scale = scale if scale is not None else default_scale()
+
+    def delta_section() -> str:
+        points = delta_sweep(scale=scale)
+        export_delta_sweep_csv(points, csv_dir / "fig12_delta.csv")
+        lines = ["Figure 12: average bitrate and #changes vs delta",
+                 f"{'delta':>6s} {'avg kbps':>10s} {'changes':>9s}"]
+        for p in points:
+            lines.append(f"{p.delta:6d} {p.mean_bitrate_kbps:10.0f} "
+                         f"{p.mean_changes:9.1f}")
+        return "\n".join(lines)
+
+    producers: List[Tuple[str, Callable[[], str]]] = [
+        ("table1", lambda: table1_text()),
+        ("table2", lambda: table2_text()),
+        ("fig8", lambda: figure8_text(scale)),
+        ("fig9", lambda: figure9_text()),
+        ("fig10", lambda: figure10_text(scale)),
+        ("fig11", lambda: figure11_text(scale=scale)),
+        ("fig12", delta_section),
+        ("ablations", lambda: ablation_text(scale, mobile=True)),
+    ]
+
+    chosen = set(sections) if sections is not None else None
+    artifacts: Dict[str, str] = {}
+    started = time.perf_counter()
+    if chosen is None or {"fig6", "fig7"} & chosen:
+        cell_sections = _cell_figures(scale, csv_dir)
+        for name, text in cell_sections.items():
+            if chosen is None or name in chosen:
+                artifacts[name] = text
+    for name, producer in producers:
+        if chosen is not None and name not in chosen:
+            continue
+        artifacts[name] = producer()
+    elapsed = time.perf_counter() - started
+
+    index_lines = [
+        "# FLARE reproduction report",
+        "",
+        f"Scale: {scale.duration_s:.0f} s per run, "
+        f"{scale.num_runs} seed(s). Wall clock: {elapsed:.0f} s.",
+        "",
+    ]
+    for name, text in artifacts.items():
+        (out / f"{name}.txt").write_text(text + "\n")
+        index_lines.append(f"## {name}")
+        index_lines.append("")
+        index_lines.append("```")
+        index_lines.append(text)
+        index_lines.append("```")
+        index_lines.append("")
+    report_path = out / "REPORT.md"
+    report_path.write_text("\n".join(index_lines))
+    return report_path

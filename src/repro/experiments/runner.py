@@ -1,0 +1,152 @@
+"""Multi-run experiment orchestration.
+
+The paper's simulation study aggregates 20 runs of 8 clients per data
+point (160-client CDFs).  :func:`run_comparison` executes a scenario
+builder across schemes and seeds and collects per-client summaries;
+:class:`ExperimentScale` centralises the full-fidelity vs quick-mode
+knobs (benchmarks default to a reduced scale so the suite stays
+runnable; set ``REPRO_FULL=1`` for paper-scale runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.metrics.collector import CellReport
+from repro.metrics.qoe import ClientSummary
+from repro.workload.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run an experiment.
+
+    Attributes:
+        duration_s: simulated seconds per run.
+        num_runs: independent seeds per scheme.
+        num_clients: video clients per run.
+    """
+
+    duration_s: float
+    num_runs: int
+    num_clients: int = 8
+
+    def seeds(self) -> List[int]:
+        """The seed list used for this scale."""
+        return list(range(1, self.num_runs + 1))
+
+
+#: Paper-fidelity scale: Table III (1200 s, 20 runs x 8 clients).
+FULL_SCALE = ExperimentScale(duration_s=1200.0, num_runs=20)
+
+#: Reduced scale for CI/benchmark runs.
+QUICK_SCALE = ExperimentScale(duration_s=240.0, num_runs=2)
+
+#: Scale used by the testbed experiments (10-minute runs in the paper).
+TESTBED_FULL = ExperimentScale(duration_s=600.0, num_runs=3, num_clients=3)
+TESTBED_QUICK = ExperimentScale(duration_s=180.0, num_runs=1, num_clients=3)
+
+
+def is_full_run() -> bool:
+    """True when REPRO_FULL=1 requests paper-scale experiments."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def default_scale() -> ExperimentScale:
+    """The cell-experiment scale selected by the environment."""
+    return FULL_SCALE if is_full_run() else QUICK_SCALE
+
+
+def testbed_scale() -> ExperimentScale:
+    """The testbed-experiment scale selected by the environment."""
+    return TESTBED_FULL if is_full_run() else TESTBED_QUICK
+
+
+@dataclass
+class SchemeResult:
+    """Aggregated outcome of one scheme across runs.
+
+    Attributes:
+        scheme: scheme name.
+        clients: per-client summaries pooled over every run (the
+            paper's 160-client CDF population).
+        reports: one :class:`CellReport` per run.
+    """
+
+    scheme: str
+    clients: List[ClientSummary]
+    reports: List[CellReport]
+
+    def average_bitrates_kbps(self) -> List[float]:
+        """Per-client average bitrates in kbps."""
+        return [c.average_bitrate_kbps for c in self.clients]
+
+    def change_counts(self) -> List[int]:
+        """Per-client bitrate-change counts."""
+        return [c.num_bitrate_changes for c in self.clients]
+
+    def mean_bitrate_kbps(self) -> float:
+        """Population mean of the per-client average bitrates."""
+        rates = self.average_bitrates_kbps()
+        return sum(rates) / len(rates) if rates else 0.0
+
+    def mean_changes(self) -> float:
+        """Population mean of the per-client change counts."""
+        counts = self.change_counts()
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def mean_data_throughput_bps(self) -> float:
+        """Mean data-flow throughput across runs (0 when no data flows)."""
+        values = [r.mean_data_throughput_bps for r in self.reports
+                  if r.data_throughput_bps]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_rebuffer_s(self) -> float:
+        """Mean per-client rebuffering time in seconds."""
+        if not self.clients:
+            return 0.0
+        return (sum(c.rebuffer_time_s for c in self.clients)
+                / len(self.clients))
+
+
+ScenarioBuilder = Callable[..., Scenario]
+
+
+def run_comparison(
+    builder: ScenarioBuilder,
+    schemes: Sequence[str],
+    scale: Optional[ExperimentScale] = None,
+    seeds: Optional[Iterable[int]] = None,
+    **builder_kwargs,
+) -> Dict[str, SchemeResult]:
+    """Run ``builder`` for every scheme x seed and pool the clients.
+
+    Args:
+        builder: a scenario builder (``scheme`` and ``seed`` keywords
+            are supplied by this function; ``duration_s`` from the
+            scale unless overridden in ``builder_kwargs``).
+        schemes: scheme names to compare.
+        scale: experiment scale (default: environment-selected).
+        seeds: explicit seeds (default: the scale's).
+        **builder_kwargs: forwarded to the builder.
+
+    Returns:
+        Mapping of scheme name to its pooled :class:`SchemeResult`.
+    """
+    scale = scale if scale is not None else default_scale()
+    seed_list = list(seeds) if seeds is not None else scale.seeds()
+    builder_kwargs.setdefault("duration_s", scale.duration_s)
+    results: Dict[str, SchemeResult] = {}
+    for scheme in schemes:
+        clients: List[ClientSummary] = []
+        reports: List[CellReport] = []
+        for seed in seed_list:
+            scenario = builder(scheme=scheme, seed=seed, **builder_kwargs)
+            report = scenario.run()
+            clients.extend(report.clients)
+            reports.append(report)
+        results[scheme] = SchemeResult(scheme=scheme, clients=clients,
+                                       reports=reports)
+    return results

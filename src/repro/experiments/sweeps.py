@@ -1,0 +1,141 @@
+"""Parameter sweeps: Figure 11 (alpha) and Figure 12 (delta).
+
+* Figure 11 varies ``alpha`` (the data-vs-video balance of equation
+  (3)) from 0.25 to 4 in a mixed 8-video + 8-data cell and plots the
+  mean (+/- std) throughput of each flow class: data throughput should
+  rise and video throughput fall monotonically with ``alpha``.
+* Figure 12 varies the stability knob ``delta`` from 1 to 12 and plots
+  the mean client bitrate and number of bitrate changes: both should
+  fall as ``delta`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentScale, default_scale
+from repro.util import RunningStat
+from repro.workload.scenarios import (
+    FlareParams,
+    build_cell_scenario,
+    build_mixed_scenario,
+)
+
+#: The paper's Figure 11 sweep values.
+ALPHA_VALUES = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: The paper's Figure 12 sweep values.
+DELTA_VALUES = (1, 2, 4, 6, 8, 10, 12)
+
+
+@dataclass
+class AlphaPoint:
+    """One alpha value's outcome.
+
+    Attributes:
+        alpha: the swept value.
+        video_mean_kbps / video_std_kbps: per-client video throughput.
+        data_mean_kbps / data_std_kbps: per-flow data throughput.
+    """
+
+    alpha: float
+    video_mean_kbps: float
+    video_std_kbps: float
+    data_mean_kbps: float
+    data_std_kbps: float
+
+
+def alpha_sweep(values: Sequence[float] = ALPHA_VALUES,
+                scale: Optional[ExperimentScale] = None,
+                ) -> List[AlphaPoint]:
+    """Figure 11: the video/data balance as ``alpha`` grows."""
+    scale = scale if scale is not None else default_scale()
+    points: List[AlphaPoint] = []
+    for alpha in values:
+        video = RunningStat()
+        data = RunningStat()
+        for seed in scale.seeds():
+            scenario = build_mixed_scenario(
+                scheme="flare", seed=seed, duration_s=scale.duration_s,
+                flare_params=FlareParams(alpha=alpha))
+            report = scenario.run()
+            for client in report.clients:
+                video.update(client.average_bitrate_bps / 1e3)
+            for tput in report.data_throughput_bps.values():
+                data.update(tput / 1e3)
+        points.append(AlphaPoint(
+            alpha=alpha,
+            video_mean_kbps=video.mean, video_std_kbps=video.stddev,
+            data_mean_kbps=data.mean, data_std_kbps=data.stddev,
+        ))
+    return points
+
+
+def figure11_text(values: Sequence[float] = ALPHA_VALUES,
+                  scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Figure 11."""
+    points = alpha_sweep(values, scale)
+    lines = ["Figure 11: average flow throughputs vs alpha",
+             f"{'alpha':>7s} {'video kbps':>12s} {'+/-':>8s} "
+             f"{'data kbps':>12s} {'+/-':>8s}"]
+    for p in points:
+        lines.append(
+            f"{p.alpha:7.2f} {p.video_mean_kbps:12.0f} "
+            f"{p.video_std_kbps:8.0f} {p.data_mean_kbps:12.0f} "
+            f"{p.data_std_kbps:8.0f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class DeltaPoint:
+    """One delta value's outcome.
+
+    Attributes:
+        delta: the swept value.
+        mean_bitrate_kbps: mean per-client average bitrate.
+        mean_changes: mean per-client bitrate-change count.
+    """
+
+    delta: int
+    mean_bitrate_kbps: float
+    mean_changes: float
+
+
+def delta_sweep(values: Sequence[int] = DELTA_VALUES,
+                scale: Optional[ExperimentScale] = None,
+                mobile: bool = False) -> List[DeltaPoint]:
+    """Figure 12: bitrate and stability as ``delta`` grows."""
+    scale = scale if scale is not None else default_scale()
+    points: List[DeltaPoint] = []
+    for delta in values:
+        rates = RunningStat()
+        changes = RunningStat()
+        for seed in scale.seeds():
+            scenario = build_cell_scenario(
+                scheme="flare", seed=seed, mobile=mobile,
+                duration_s=scale.duration_s,
+                flare_params=FlareParams(delta=delta))
+            report = scenario.run()
+            for client in report.clients:
+                rates.update(client.average_bitrate_bps / 1e3)
+                changes.update(float(client.num_bitrate_changes))
+        points.append(DeltaPoint(
+            delta=delta,
+            mean_bitrate_kbps=rates.mean,
+            mean_changes=changes.mean,
+        ))
+    return points
+
+
+def figure12_text(values: Sequence[int] = DELTA_VALUES,
+                  scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Figure 12."""
+    points = delta_sweep(values, scale)
+    lines = ["Figure 12: average bitrate and #changes vs delta",
+             f"{'delta':>6s} {'avg kbps':>10s} {'changes':>9s}"]
+    for p in points:
+        lines.append(f"{p.delta:6d} {p.mean_bitrate_kbps:10.0f} "
+                     f"{p.mean_changes:9.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Text rendering of the paper's tables and CDF figures.
+
+The benchmark harness has no plotting stack, so every table/figure is
+regenerated as fixed-width text: the same rows the paper reports, plus
+quantile summaries standing in for the CDF curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import SchemeResult
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.fairness import jain_index
+
+
+def _fmt_row(label: str, cells: Sequence[str], width: int = 12) -> str:
+    return f"{label:<42s}" + "".join(f"{cell:>{width}s}" for cell in cells)
+
+
+def render_summary_table(results: Dict[str, SchemeResult],
+                         title: str) -> str:
+    """A Table I/II-style summary across schemes.
+
+    Rows: average video rate, rebuffer time, bitrate changes, Jain's
+    fairness of average rates, data-flow throughput.
+    """
+    schemes = list(results)
+    lines = [title, "=" * len(title)]
+    lines.append(_fmt_row("", [s.upper() for s in schemes]))
+    lines.append(_fmt_row(
+        "Average video rate (Kbps)",
+        [f"{results[s].mean_bitrate_kbps():.0f}" for s in schemes]))
+    lines.append(_fmt_row(
+        "Average buffer-underflow time (sec)",
+        [f"{results[s].mean_rebuffer_s():.1f}" for s in schemes]))
+    lines.append(_fmt_row(
+        "Average number of bitrate changes",
+        [f"{results[s].mean_changes():.1f}" for s in schemes]))
+    jains = []
+    for s in schemes:
+        rates = results[s].average_bitrates_kbps()
+        jains.append(f"{jain_index(rates):.3f}" if rates else "n/a")
+    lines.append(_fmt_row("Jain's fairness index of avg video rates",
+                          jains))
+    lines.append(_fmt_row(
+        "Average throughput of data flow (Kbps)",
+        [f"{results[s].mean_data_throughput_bps() / 1e3:.0f}"
+         for s in schemes]))
+    return "\n".join(lines)
+
+
+def render_cdf_comparison(results: Dict[str, SchemeResult],
+                          title: str) -> str:
+    """A Figure 6/7-style pair of CDF summaries (bitrate + changes)."""
+    schemes = list(results)
+    lines = [title, "=" * len(title)]
+    lines.append("(a) CDF of average bitrate values (kbps)")
+    cdfs = {s: EmpiricalCdf(results[s].average_bitrates_kbps())
+            for s in schemes if results[s].clients}
+    lines.append(_render_quantiles(cdfs))
+    lines.append("")
+    lines.append("(b) CDF of the numbers of rate changes")
+    cdfs = {s: EmpiricalCdf([float(c) for c in results[s].change_counts()])
+            for s in schemes if results[s].clients}
+    lines.append(_render_quantiles(cdfs))
+    return "\n".join(lines)
+
+
+def _render_quantiles(cdfs: Dict[str, EmpiricalCdf],
+                      quantiles: Sequence[float] = (0.1, 0.25, 0.5,
+                                                    0.75, 0.9)) -> str:
+    names = list(cdfs)
+    header = "  q     " + "".join(f"{name:>12s}" for name in names)
+    rows = [header]
+    for q in quantiles:
+        cells = "".join(f"{cdfs[name].quantile(q):12.1f}" for name in names)
+        rows.append(f"  p{int(q * 100):02d}  {cells}")
+    means = "".join(f"{cdfs[name].mean():12.1f}" for name in names)
+    rows.append(f"  mean {means}")
+    return "\n".join(rows)
+
+
+def render_improvement(results: Dict[str, SchemeResult], subject: str,
+                       baselines: Sequence[str]) -> str:
+    """The paper's "+X% vs baseline" one-liners for FLARE."""
+    if subject not in results:
+        raise KeyError(f"unknown subject scheme {subject!r}")
+    lines: List[str] = []
+    subject_rate = results[subject].mean_bitrate_kbps()
+    subject_changes = results[subject].mean_changes()
+    for baseline in baselines:
+        if baseline not in results:
+            continue
+        base_rate = results[baseline].mean_bitrate_kbps()
+        base_changes = results[baseline].mean_changes()
+        rate_gain = ((subject_rate / base_rate - 1.0) * 100.0
+                     if base_rate else float("nan"))
+        change_drop = ((1.0 - subject_changes / base_changes) * 100.0
+                       if base_changes else float("nan"))
+        lines.append(
+            f"{subject} vs {baseline}: avg bitrate {rate_gain:+.0f}%, "
+            f"bitrate changes {-change_drop:+.0f}%"
+        )
+    return "\n".join(lines)

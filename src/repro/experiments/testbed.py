@@ -1,0 +1,131 @@
+"""Testbed experiments: Table I / Figure 4 and Table II / Figure 5.
+
+The femtocell testbed compares FESTIVE, GOOGLE and FLARE with three
+video flows and one Iperf data flow.  ``run_static`` and
+``run_dynamic`` regenerate the corresponding tables;
+``figure_time_series`` extracts the per-flow traces that Figures 4 and
+5 plot (selected bitrate, buffered seconds, data-flow throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    SchemeResult,
+    run_comparison,
+    testbed_scale,
+)
+from repro.experiments.tables import render_summary_table
+from repro.metrics.timeseries import TimeSeries
+from repro.workload.scenarios import build_testbed_scenario
+
+TESTBED_SCHEMES = ("festive", "google", "flare")
+
+
+def run_static(scale: Optional[ExperimentScale] = None,
+               schemes: Sequence[str] = TESTBED_SCHEMES,
+               ) -> Dict[str, SchemeResult]:
+    """Table I: the static testbed scenario."""
+    scale = scale if scale is not None else testbed_scale()
+    return run_comparison(build_testbed_scenario, schemes, scale=scale,
+                          dynamic=False)
+
+
+def run_dynamic(scale: Optional[ExperimentScale] = None,
+                schemes: Sequence[str] = TESTBED_SCHEMES,
+                ) -> Dict[str, SchemeResult]:
+    """Table II: the dynamic (cyclic iTbs) testbed scenario."""
+    scale = scale if scale is not None else testbed_scale()
+    return run_comparison(build_testbed_scenario, schemes, scale=scale,
+                          dynamic=True)
+
+
+def table1_text(scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Table I."""
+    return render_summary_table(
+        run_static(scale), "Table I: summary of the static scenario")
+
+
+def table2_text(scale: Optional[ExperimentScale] = None) -> str:
+    """Rendered Table II."""
+    return render_summary_table(
+        run_dynamic(scale), "Table II: summary of the dynamic scenario")
+
+
+@dataclass
+class TestbedTraces:
+    """Per-flow time series of one testbed run (Figures 4 and 5).
+
+    Attributes:
+        scheme: which player ran.
+        video_rates: per video flow, (time, selected bitrate bps).
+        buffers: per video flow, (time, buffered seconds).
+        data_throughput: (time, bits/s) of the data flow.
+    """
+
+    scheme: str
+    video_rates: Dict[int, TimeSeries]
+    buffers: Dict[int, TimeSeries]
+    data_throughput: Optional[TimeSeries]
+
+
+def figure_time_series(scheme: str, dynamic: bool = False,
+                       duration_s: float = 600.0,
+                       seed: int = 0) -> TestbedTraces:
+    """Run one testbed scenario and extract the Figure 4/5 traces."""
+    scenario = build_testbed_scenario(scheme, dynamic=dynamic,
+                                      duration_s=duration_s, seed=seed)
+    scenario.run()
+    sampler = scenario.sampler
+    video_ids = [p.flow.flow_id for p in scenario.players]
+    data_series: Optional[TimeSeries] = None
+    if scenario.data_flows:
+        data_series = sampler.throughput_bps.get(
+            scenario.data_flows[0].flow_id)
+    return TestbedTraces(
+        scheme=scheme,
+        video_rates={fid: sampler.bitrate_bps.get(fid, TimeSeries())
+                     for fid in video_ids},
+        buffers={fid: sampler.buffer_s.get(fid, TimeSeries())
+                 for fid in video_ids},
+        data_throughput=data_series,
+    )
+
+
+def render_time_series(traces: TestbedTraces, bins: int = 12) -> str:
+    """Coarse text rendering of a Figure 4/5 panel set."""
+    lines = [f"Figure panel: {traces.scheme}"]
+    for fid, series in traces.video_rates.items():
+        lines.append(f"  video flow {fid} bitrate (kbps): "
+                     + _sparkline(series, bins, scale=1e3))
+    for fid, series in traces.buffers.items():
+        lines.append(f"  video flow {fid} buffer (s):     "
+                     + _sparkline(series, bins, scale=1.0))
+    if traces.data_throughput is not None:
+        lines.append("  data flow throughput (kbps):  "
+                     + _sparkline(traces.data_throughput, bins, scale=1e3))
+    return "\n".join(lines)
+
+
+def _sparkline(series: TimeSeries, bins: int, scale: float) -> str:
+    """Bin a series into ``bins`` time buckets of mean values."""
+    if len(series) == 0:
+        return "(no samples)"
+    times, values = series.times, series.values
+    t0, t1 = times[0], times[-1]
+    if t1 <= t0:
+        return f"{values[-1] / scale:.0f}"
+    spans: List[List[float]] = [[] for _ in range(bins)]
+    for t, v in zip(times, values):
+        index = min(int((t - t0) / (t1 - t0) * bins), bins - 1)
+        spans[index].append(v)
+    cells = []
+    for bucket in spans:
+        if bucket:
+            cells.append(f"{sum(bucket) / len(bucket) / scale:6.0f}")
+        else:
+            cells.append("     .")
+    return " ".join(cells)

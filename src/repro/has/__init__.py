@@ -1,0 +1,27 @@
+"""HAS substrate: MPD/ladders, playout buffer, segments, player."""
+
+from repro.has.buffer import DrainResult, PlayoutBuffer
+from repro.has.mpd import (
+    FINE_LADDER,
+    SIMULATION_LADDER,
+    TESTBED_LADDER,
+    BitrateLadder,
+    MediaPresentation,
+)
+from repro.has.player import HasPlayer, PlaybackState, PlayerConfig
+from repro.has.segments import SegmentLog, SegmentRecord
+
+__all__ = [
+    "DrainResult",
+    "PlayoutBuffer",
+    "FINE_LADDER",
+    "SIMULATION_LADDER",
+    "TESTBED_LADDER",
+    "BitrateLadder",
+    "MediaPresentation",
+    "HasPlayer",
+    "PlaybackState",
+    "PlayerConfig",
+    "SegmentLog",
+    "SegmentRecord",
+]

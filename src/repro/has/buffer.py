@@ -1,0 +1,118 @@
+"""Client playout buffer.
+
+Tracks buffered video in *seconds of playback*.  Completed segment
+downloads add ``segment_duration`` seconds; playback drains one second
+per second.  The buffer itself is policy-free — stall/resume decisions
+live in the player state machine — but it reports partial drains so
+the player can account underflow time exactly within a step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_non_negative, require_positive
+
+
+@dataclass
+class DrainResult:
+    """Outcome of draining the buffer for one step.
+
+    Attributes:
+        played_s: seconds of video actually played.
+        starved_s: seconds of the step with an empty buffer.
+    """
+
+    played_s: float
+    starved_s: float
+
+
+class PlayoutBuffer:
+    """Seconds-denominated playout buffer with an optional capacity.
+
+    Attributes:
+        capacity_s: maximum buffered seconds (``inf`` when unbounded).
+            HAS players normally stop *requesting* before hitting
+            capacity; the capacity here is a hard backstop that clips
+            overfill and reports it, so a mis-tuned request policy is
+            observable rather than silent.
+    """
+
+    def __init__(self, capacity_s: float = math.inf) -> None:
+        require_positive("capacity_s", capacity_s)
+        self._level_s = 0.0
+        self._capacity_s = capacity_s
+        self._total_played_s = 0.0
+        self._total_starved_s = 0.0
+        self._overfill_clipped_s = 0.0
+        self._total_flushed_s = 0.0
+
+    @property
+    def level_s(self) -> float:
+        """Currently buffered seconds of video."""
+        return self._level_s
+
+    @property
+    def capacity_s(self) -> float:
+        """Maximum buffered seconds."""
+        return self._capacity_s
+
+    @property
+    def total_played_s(self) -> float:
+        """Cumulative seconds of video played out."""
+        return self._total_played_s
+
+    @property
+    def total_starved_s(self) -> float:
+        """Cumulative seconds spent with an empty buffer while playing."""
+        return self._total_starved_s
+
+    @property
+    def overfill_clipped_s(self) -> float:
+        """Seconds of video discarded because the buffer was full."""
+        return self._overfill_clipped_s
+
+    def add(self, seconds: float) -> None:
+        """Add downloaded video (a completed segment) to the buffer."""
+        require_non_negative("seconds", seconds)
+        self._level_s += seconds
+        if self._level_s > self._capacity_s:
+            self._overfill_clipped_s += self._level_s - self._capacity_s
+            self._level_s = self._capacity_s
+
+    def drain(self, step_s: float) -> DrainResult:
+        """Play out up to ``step_s`` seconds of video.
+
+        Returns how much was played and how much of the step starved.
+        Callers decide whether starvation counts as a stall (the player
+        does not drain while in a stalled state).
+        """
+        require_non_negative("step_s", step_s)
+        played = min(self._level_s, step_s)
+        starved = step_s - played
+        self._level_s -= played
+        self._total_played_s += played
+        self._total_starved_s += starved
+        return DrainResult(played_s=played, starved_s=starved)
+
+    def flush(self) -> float:
+        """Discard all buffered video (user seek); returns the amount.
+
+        Flushed seconds are tracked separately from played seconds so
+        conservation accounting (added == level + played + clipped +
+        flushed) stays exact.
+        """
+        flushed = self._level_s
+        self._level_s = 0.0
+        self._total_flushed_s += flushed
+        return flushed
+
+    @property
+    def total_flushed_s(self) -> float:
+        """Cumulative seconds of video discarded by seeks."""
+        return self._total_flushed_s
+
+    def is_empty(self) -> bool:
+        """True when no video is buffered."""
+        return self._level_s <= 1e-12

@@ -1,0 +1,187 @@
+"""Media Presentation Description (MPD) model.
+
+HAS divides a video into fixed-duration segments, each encoded at
+every bitrate of a *ladder*; the MPD advertises the ladder and segment
+layout to the client.  The FLARE plugin forwards the ladder (and
+nothing that identifies the video) to the OneAPI server, which is why
+the ladder type here is shared between the HAS player and the
+network-side optimizer.
+
+Bitrate indices are 0-based throughout the codebase; the paper's
+1-based ``L_u`` maps to ``index + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.util import bits_to_bytes, require_positive
+
+
+@dataclass(frozen=True)
+class BitrateLadder:
+    """An ordered set of available video bitrates (bits/second).
+
+    This is the paper's ``r_u = {r_u(1), ..., r_u(M_u)}`` with
+    ``r_u(k) <= r_u(k+1)``.
+
+    Attributes:
+        rates_bps: strictly increasing bitrates in bits/second.
+    """
+
+    rates_bps: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rates_bps:
+            raise ValueError("ladder must contain at least one bitrate")
+        if any(r <= 0 for r in self.rates_bps):
+            raise ValueError("ladder bitrates must be positive")
+        if any(b <= a for a, b in zip(self.rates_bps, self.rates_bps[1:])):
+            raise ValueError("ladder bitrates must be strictly increasing")
+
+    @staticmethod
+    def from_kbps(rates_kbps: Sequence[float]) -> "BitrateLadder":
+        """Build a ladder from kilobit/second values."""
+        return BitrateLadder(tuple(float(r) * 1e3 for r in rates_kbps))
+
+    def __len__(self) -> int:
+        return len(self.rates_bps)
+
+    def rate(self, index: int) -> float:
+        """Bitrate at ``index`` (0-based).
+
+        Raises:
+            IndexError: for an out-of-range index.
+        """
+        if not 0 <= index < len(self.rates_bps):
+            raise IndexError(f"ladder index {index} out of range "
+                             f"[0, {len(self.rates_bps) - 1}]")
+        return self.rates_bps[index]
+
+    @property
+    def min_rate(self) -> float:
+        """The lowest bitrate, ``r_u(1)``."""
+        return self.rates_bps[0]
+
+    @property
+    def max_rate(self) -> float:
+        """The highest bitrate, ``r_u(M_u)``."""
+        return self.rates_bps[-1]
+
+    def index_of(self, rate_bps: float) -> int:
+        """Index of an exact ladder rate.
+
+        Raises:
+            ValueError: if ``rate_bps`` is not on the ladder.
+        """
+        for index, rate in enumerate(self.rates_bps):
+            if math.isclose(rate, rate_bps, rel_tol=1e-9):
+                return index
+        raise ValueError(f"{rate_bps} bps is not on the ladder")
+
+    def highest_at_most(self, budget_bps: float) -> int:
+        """Largest index whose rate is <= ``budget_bps``.
+
+        This is the paper's rounding-down step
+        ``L* = max{k : r_u(k) <= R*}``.  Budgets below the lowest rung
+        clamp to index 0 (a client must stream *something*).
+        """
+        best = 0
+        for index, rate in enumerate(self.rates_bps):
+            if rate <= budget_bps + 1e-9:
+                best = index
+            else:
+                break
+        return best
+
+    def clamp_index(self, index: int) -> int:
+        """Clamp an arbitrary integer to a valid ladder index."""
+        return max(0, min(index, len(self.rates_bps) - 1))
+
+
+#: The testbed encoding ladder from Section IV-A, in kbps.
+TESTBED_LADDER = BitrateLadder.from_kbps(
+    (200, 310, 450, 790, 1100, 1320, 2280, 2750)
+)
+
+#: The ns-3 simulation ladder from Table III, in kbps.
+SIMULATION_LADDER = BitrateLadder.from_kbps((100, 250, 500, 1000, 2000, 3000))
+
+#: The fine-grained ladder used for Figures 8-10 (100..1200 step 100).
+FINE_LADDER = BitrateLadder.from_kbps(tuple(range(100, 1300, 100)))
+
+
+@dataclass(frozen=True)
+class MediaPresentation:
+    """A video's MPD: ladder, segment duration, and total length.
+
+    Segment sizes follow the constant-bitrate model
+    ``size = bitrate * segment_duration / 8`` that HAS encoders target.
+    Setting ``vbr_variability`` layers deterministic per-segment size
+    variation on top (scene-complexity VBR): segment ``i`` encoded at
+    rate ``R`` has size ``R * d / 8 * f_i`` with ``f_i`` drawn
+    deterministically from ``[1 - v, 1 + v]`` by a hash of ``i``, so
+    all representations of a segment share the same complexity factor
+    (as real encoders produce) and runs stay reproducible.
+
+    Attributes:
+        ladder: available bitrates.
+        segment_duration_s: duration of each segment in seconds.
+        total_duration_s: full video duration; ``None`` means unbounded
+            (live-style, used by the long steady-state experiments).
+        vbr_variability: half-width ``v`` of the per-segment size
+            factor (0.0 = CBR, the paper's model).
+    """
+
+    ladder: BitrateLadder
+    segment_duration_s: float = 10.0
+    total_duration_s: Optional[float] = None
+    vbr_variability: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("segment_duration_s", self.segment_duration_s)
+        if self.total_duration_s is not None:
+            require_positive("total_duration_s", self.total_duration_s)
+        if not 0.0 <= self.vbr_variability < 1.0:
+            raise ValueError(
+                f"vbr_variability must be in [0, 1), got "
+                f"{self.vbr_variability}")
+
+    @property
+    def num_segments(self) -> Optional[int]:
+        """Number of segments, or ``None`` for unbounded videos."""
+        if self.total_duration_s is None:
+            return None
+        return int(math.ceil(self.total_duration_s / self.segment_duration_s))
+
+    def has_segment(self, index: int) -> bool:
+        """True if segment ``index`` (0-based) exists."""
+        if index < 0:
+            return False
+        count = self.num_segments
+        return count is None or index < count
+
+    def complexity_factor(self, segment_index: int) -> float:
+        """Deterministic per-segment VBR size factor in [1-v, 1+v]."""
+        if self.vbr_variability == 0.0:
+            return 1.0
+        # Knuth multiplicative hash of the segment index -> [0, 1).
+        unit = ((segment_index * 2654435761) % (2 ** 32)) / 2.0 ** 32
+        return 1.0 + self.vbr_variability * (2.0 * unit - 1.0)
+
+    def segment_size_bytes(self, bitrate_bps: float,
+                           segment_index: Optional[int] = None) -> float:
+        """Payload bytes of one segment encoded at ``bitrate_bps``.
+
+        Args:
+            bitrate_bps: the representation's nominal bitrate.
+            segment_index: when given and the MPD is VBR, the segment's
+                complexity factor scales the size.
+        """
+        require_positive("bitrate_bps", bitrate_bps)
+        size = bits_to_bytes(bitrate_bps * self.segment_duration_s)
+        if segment_index is not None:
+            size *= self.complexity_factor(segment_index)
+        return size

@@ -1,0 +1,88 @@
+"""Segment download records.
+
+Every completed segment download produces a :class:`SegmentRecord`;
+the per-player list of records is the raw material for all QoE metrics
+(average bitrate, bitrate-change counts, throughput samples) and for
+the time-series plots of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.util import bytes_to_bits
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One completed segment download.
+
+    Attributes:
+        index: segment index within the video (0-based).
+        bitrate_bps: encoding bitrate of the downloaded representation.
+        size_bytes: payload size.
+        request_time_s: when the player issued the request.
+        start_time_s: when the first byte arrived.
+        finish_time_s: when the last byte arrived.
+    """
+
+    index: int
+    bitrate_bps: float
+    size_bytes: float
+    request_time_s: float
+    start_time_s: float
+    finish_time_s: float
+
+    @property
+    def download_duration_s(self) -> float:
+        """Wall-clock duration of the payload transfer."""
+        return max(self.finish_time_s - self.start_time_s, 0.0)
+
+    @property
+    def throughput_bps(self) -> float:
+        """Observed goodput of this download (the ABR input sample).
+
+        A zero-duration transfer (possible when a whole segment fits
+        into one simulation step) is reported at the encoding bitrate
+        times a large factor rather than infinity, mirroring how real
+        players clamp degenerate samples.
+        """
+        duration = self.download_duration_s
+        if duration <= 0:
+            return self.bitrate_bps * 100.0
+        return bytes_to_bits(self.size_bytes) / duration
+
+
+class SegmentLog:
+    """Append-only log of a player's completed segments."""
+
+    def __init__(self) -> None:
+        self._records: List[SegmentRecord] = []
+
+    def append(self, record: SegmentRecord) -> None:
+        """Add a completed segment record."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[SegmentRecord]:
+        """All records, oldest first."""
+        return tuple(self._records)
+
+    def bitrates(self) -> List[float]:
+        """Encoding bitrate of each downloaded segment, in order."""
+        return [record.bitrate_bps for record in self._records]
+
+    def throughputs(self, last: int = 0) -> List[float]:
+        """Observed download throughputs, oldest first.
+
+        Args:
+            last: if positive, only the most recent ``last`` samples.
+        """
+        samples = [record.throughput_bps for record in self._records]
+        if last > 0:
+            return samples[-last:]
+        return samples

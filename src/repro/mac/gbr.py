@@ -1,0 +1,132 @@
+"""GBR/MBR bearer management and the Continuous GBR Updater.
+
+In LTE, a bearer's guaranteed bit rate (GBR) is normally fixed when
+the bearer is set up.  The paper's femtocell adds a **Continuous GBR
+Updater** module so the OneAPI server can retune each video flow's GBR
+every bitrate assignment interval; AVIS similarly drives per-flow
+GBR/MBR settings from its network agent.
+
+:class:`BearerRegistry` is the in-simulator equivalent: a registry of
+per-flow QoS settings that the scheduler consults every step and the
+network-side controllers (FLARE's PCEF path, AVIS's cell agent) update
+at their own cadence.  All rates are in bits/second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util import bits_to_bytes, require_non_negative
+
+
+@dataclass
+class BearerQos:
+    """QoS settings of one bearer (flow).
+
+    Attributes:
+        gbr_bps: guaranteed bit rate; ``0`` means a non-GBR bearer.
+        mbr_bps: maximum bit rate; ``None`` means unlimited.
+        priority: phase-1 service order (lower is served first).
+    """
+
+    gbr_bps: float = 0.0
+    mbr_bps: Optional[float] = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        require_non_negative("gbr_bps", self.gbr_bps)
+        if self.mbr_bps is not None:
+            require_non_negative("mbr_bps", self.mbr_bps)
+            if self.mbr_bps < self.gbr_bps:
+                raise ValueError(
+                    f"mbr_bps ({self.mbr_bps}) must be >= gbr_bps ({self.gbr_bps})"
+                )
+
+    @property
+    def is_gbr(self) -> bool:
+        """True if this bearer carries a guarantee."""
+        return self.gbr_bps > 0
+
+
+@dataclass
+class GbrUpdate:
+    """One recorded GBR change (for audit and tests)."""
+
+    time_s: float
+    flow_id: int
+    gbr_bps: float
+    mbr_bps: Optional[float]
+
+
+class BearerRegistry:
+    """Per-flow QoS registry with an update history.
+
+    The registry is the meeting point of three modules from the
+    paper's Figure 3: the *Continuous GBR Updater* (our
+    :meth:`update_gbr`), the *Communication Module* that receives GBR
+    rates from the OneAPI server (our callers), and the *Scheduler
+    Module* that reads the settings each TTI (our getters).
+    """
+
+    def __init__(self) -> None:
+        self._bearers: Dict[int, BearerQos] = {}
+        self._updates: List[GbrUpdate] = []
+
+    def register(self, flow_id: int, qos: Optional[BearerQos] = None) -> None:
+        """Add a bearer for ``flow_id`` (default: best-effort non-GBR)."""
+        if flow_id in self._bearers:
+            raise ValueError(f"flow {flow_id} already registered")
+        self._bearers[flow_id] = qos if qos is not None else BearerQos()
+
+    def deregister(self, flow_id: int) -> None:
+        """Remove the bearer of a departed flow."""
+        self._bearers.pop(flow_id, None)
+
+    def qos(self, flow_id: int) -> BearerQos:
+        """QoS of ``flow_id`` (best-effort default if never registered)."""
+        return self._bearers.get(flow_id, BearerQos())
+
+    def update_gbr(self, flow_id: int, gbr_bps: float,
+                   mbr_bps: Optional[float] = None,
+                   time_s: float = 0.0) -> None:
+        """Continuously retune a bearer's GBR (and optionally MBR).
+
+        This is the femtocell's Continuous GBR Updater: unlike stock
+        LTE, the guarantee may change at any time.
+
+        Raises:
+            KeyError: if the flow was never registered.
+        """
+        if flow_id not in self._bearers:
+            raise KeyError(f"flow {flow_id} has no bearer")
+        current = self._bearers[flow_id]
+        self._bearers[flow_id] = BearerQos(
+            gbr_bps=gbr_bps,
+            mbr_bps=mbr_bps if mbr_bps is not None else current.mbr_bps,
+            priority=current.priority,
+        )
+        self._updates.append(GbrUpdate(time_s, flow_id, gbr_bps, mbr_bps))
+
+    def gbr_bytes_for_step(self, flow_id: int, step_s: float) -> float:
+        """Bytes needed this step to honour the flow's guarantee."""
+        return bits_to_bytes(self.qos(flow_id).gbr_bps * step_s)
+
+    def mbr_bytes_for_step(self, flow_id: int, step_s: float) -> float:
+        """Byte cap for this step from the flow's MBR (inf if none)."""
+        mbr = self.qos(flow_id).mbr_bps
+        if mbr is None:
+            return math.inf
+        return bits_to_bytes(mbr * step_s)
+
+    def gbr_flows(self) -> List[Tuple[int, BearerQos]]:
+        """All bearers with a guarantee, sorted by priority."""
+        items = [(fid, qos) for fid, qos in self._bearers.items() if qos.is_gbr]
+        items.sort(key=lambda pair: (pair[1].priority, pair[0]))
+        return items
+
+    @property
+    def update_history(self) -> Tuple[GbrUpdate, ...]:
+        """All GBR updates applied so far, oldest first."""
+        return tuple(self._updates)

@@ -1,0 +1,55 @@
+"""Metrics: QoE summaries, fairness, CDFs, time series, samplers."""
+
+from repro.metrics.cdf import EmpiricalCdf, compare_cdfs
+from repro.metrics.collector import (
+    CellReport,
+    MetricsSampler,
+    collect_cell_report,
+)
+from repro.metrics.fairness import jain_index, max_min_ratio
+from repro.metrics.qoe import (
+    ClientSummary,
+    average_bitrate_bps,
+    bitrate_change_magnitude_bps,
+    bitrate_changes,
+    summarize_player,
+)
+from repro.metrics.qoe_score import (
+    QoeWeights,
+    mean_qoe_bps,
+    qoe_score_bps,
+    qoe_table,
+)
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    MannWhitneyResult,
+    bootstrap_ci,
+    compare_with_ci,
+    mann_whitney_u,
+)
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "EmpiricalCdf",
+    "compare_cdfs",
+    "CellReport",
+    "MetricsSampler",
+    "collect_cell_report",
+    "jain_index",
+    "max_min_ratio",
+    "ClientSummary",
+    "average_bitrate_bps",
+    "bitrate_change_magnitude_bps",
+    "bitrate_changes",
+    "summarize_player",
+    "QoeWeights",
+    "mean_qoe_bps",
+    "qoe_score_bps",
+    "qoe_table",
+    "ConfidenceInterval",
+    "MannWhitneyResult",
+    "bootstrap_ci",
+    "compare_with_ci",
+    "mann_whitney_u",
+    "TimeSeries",
+]

@@ -1,0 +1,94 @@
+"""Empirical CDF helpers.
+
+Most of the paper's simulation results are CDFs over 160 clients
+(Figures 6-10).  :class:`EmpiricalCdf` computes the standard empirical
+distribution, quantiles, and a fixed-width text rendering used by the
+benchmark harness to "plot" CDFs on a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+class EmpiricalCdf:
+    """Empirical CDF of a finite sample."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        if not samples:
+            raise ValueError("EmpiricalCdf needs at least one sample")
+        self._sorted = sorted(float(s) for s in samples)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        """Sorted samples."""
+        return tuple(self._sorted)
+
+    def probability_at_most(self, value: float) -> float:
+        """``P(X <= value)`` under the empirical distribution."""
+        count = 0
+        for sample in self._sorted:
+            if sample <= value:
+                count += 1
+            else:
+                break
+        return count / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (nearest-rank, ``0 <= q <= 1``).
+
+        Raises:
+            ValueError: for ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self._sorted[0]
+        rank = max(1, int(round(q * len(self._sorted) + 0.5)) - 1)
+        rank = min(rank, len(self._sorted) - 1)
+        return self._sorted[rank]
+
+    def median(self) -> float:
+        """The empirical median."""
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        """The sample mean."""
+        return sum(self._sorted) / len(self._sorted)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """(value, cumulative probability) step points."""
+        n = len(self._sorted)
+        return [(value, (index + 1) / n)
+                for index, value in enumerate(self._sorted)]
+
+    def render(self, label: str = "", width: int = 50,
+               levels: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9)
+               ) -> str:
+        """Fixed-quantile text summary of the CDF (for bench output)."""
+        rows = [f"CDF {label} (n={len(self._sorted)})"]
+        for level in levels:
+            value = self.quantile(level)
+            bar = "#" * max(1, int(width * level))
+            rows.append(f"  p{int(level * 100):02d} {value:12.1f} {bar}")
+        rows.append(f"  mean {self.mean():11.1f}")
+        return "\n".join(rows)
+
+
+def compare_cdfs(cdfs: dict, quantiles: Sequence[float] = (0.25, 0.5, 0.75)
+                 ) -> str:
+    """Tabular comparison of several named CDFs at common quantiles."""
+    if not cdfs:
+        raise ValueError("compare_cdfs needs at least one CDF")
+    names = list(cdfs)
+    header = "quantile  " + "  ".join(f"{name:>12s}" for name in names)
+    rows = [header]
+    for q in quantiles:
+        cells = "  ".join(f"{cdfs[name].quantile(q):12.1f}" for name in names)
+        rows.append(f"p{int(q * 100):02d}       {cells}")
+    means = "  ".join(f"{cdfs[name].mean():12.1f}" for name in names)
+    rows.append(f"mean      {means}")
+    return "\n".join(rows)

@@ -1,0 +1,126 @@
+"""Cell-level metrics collection.
+
+:class:`MetricsSampler` is an interval controller (like the OneAPI
+server) that snapshots every flow once per sampling interval: delivered
+throughput, playout-buffer level, and the bitrate of the most recent
+segment.  :func:`collect_cell_report` then reduces a finished cell to
+the numbers the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.fairness import jain_index
+from repro.metrics.qoe import ClientSummary, summarize_player
+from repro.metrics.timeseries import TimeSeries
+from repro.util import bytes_to_bits, require_positive
+
+
+class MetricsSampler:
+    """Periodic sampler of flow throughput, buffers, and bitrates.
+
+    Attributes:
+        interval_s: sampling period (1 s default: the granularity of
+            the paper's time-series figures).
+    """
+
+    name = "metrics"
+
+    def __init__(self, interval_s: float = 1.0) -> None:
+        require_positive("interval_s", interval_s)
+        self.interval_s = interval_s
+        self.throughput_bps: Dict[int, TimeSeries] = {}
+        self.buffer_s: Dict[int, TimeSeries] = {}
+        self.bitrate_bps: Dict[int, TimeSeries] = {}
+        self._last_delivered: Dict[int, float] = {}
+        self._last_time_s = 0.0
+
+    def on_interval(self, now_s: float, cell) -> None:
+        """Take one sample of every flow in ``cell``."""
+        elapsed = max(now_s - self._last_time_s, 1e-9)
+        for flow in cell.flows:
+            previous = self._last_delivered.get(flow.flow_id, 0.0)
+            delivered = flow.total_delivered_bytes
+            rate = bytes_to_bits(delivered - previous) / elapsed
+            self._last_delivered[flow.flow_id] = delivered
+            series = self.throughput_bps.setdefault(flow.flow_id,
+                                                    TimeSeries())
+            series.append(now_s, rate)
+        for flow_id, player in cell.players.items():
+            self.buffer_s.setdefault(flow_id, TimeSeries()).append(
+                now_s, player.buffer.level_s)
+            bitrates = player.log.bitrates()
+            if bitrates:
+                self.bitrate_bps.setdefault(flow_id, TimeSeries()).append(
+                    now_s, bitrates[-1])
+        self._last_time_s = now_s
+
+    def mean_throughput_bps(self, flow_id: int) -> float:
+        """Mean sampled throughput of one flow (0.0 if never sampled)."""
+        series = self.throughput_bps.get(flow_id)
+        if series is None or len(series) == 0:
+            return 0.0
+        return series.mean()
+
+
+@dataclass
+class CellReport:
+    """Everything the paper's tables need from one finished run.
+
+    Attributes:
+        clients: per-video-client QoE summaries.
+        data_throughput_bps: mean throughput per data flow.
+        jain_video_rates: Jain's index of clients' average bitrates.
+        average_bitrate_kbps: mean of the clients' average bitrates.
+        mean_changes: mean number of bitrate changes per client.
+        total_rebuffer_s: summed underflow time across clients.
+    """
+
+    clients: List[ClientSummary] = field(default_factory=list)
+    data_throughput_bps: Dict[int, float] = field(default_factory=dict)
+    jain_video_rates: Optional[float] = None
+    average_bitrate_kbps: float = 0.0
+    mean_changes: float = 0.0
+    total_rebuffer_s: float = 0.0
+
+    @property
+    def mean_data_throughput_bps(self) -> float:
+        """Mean data-flow throughput across data flows (0 when none)."""
+        if not self.data_throughput_bps:
+            return 0.0
+        return (sum(self.data_throughput_bps.values())
+                / len(self.data_throughput_bps))
+
+
+def collect_cell_report(cell, sampler: Optional[MetricsSampler] = None,
+                        duration_s: Optional[float] = None) -> CellReport:
+    """Reduce a finished cell (+ optional sampler) to a report.
+
+    Data-flow throughput uses the sampler when available (matching the
+    paper's time-averaged Iperf numbers) and otherwise total delivered
+    bytes over the run duration.
+    """
+    report = CellReport()
+    for flow_id, player in sorted(cell.players.items()):
+        report.clients.append(summarize_player(player))
+    for flow in cell.data_flows():
+        if sampler is not None:
+            rate = sampler.mean_throughput_bps(flow.flow_id)
+        elif duration_s:
+            rate = bytes_to_bits(flow.total_delivered_bytes) / duration_s
+        else:
+            rate = 0.0
+        report.data_throughput_bps[flow.flow_id] = rate
+    averages = [c.average_bitrate_bps for c in report.clients]
+    if averages:
+        report.average_bitrate_kbps = (sum(averages) / len(averages)) / 1e3
+        if all(a >= 0 for a in averages):
+            report.jain_video_rates = jain_index(averages)
+        report.mean_changes = (
+            sum(c.num_bitrate_changes for c in report.clients)
+            / len(report.clients))
+        report.total_rebuffer_s = sum(c.rebuffer_time_s
+                                      for c in report.clients)
+    return report

@@ -1,0 +1,90 @@
+"""Per-client QoE metrics.
+
+Because HAS runs over TCP, the paper measures quality-of-experience
+with bitrate-level metrics rather than PSNR: the average video
+bitrate, the number of bitrate changes, Jain's fairness index, buffer
+underflow time, and the data-flow throughput (Tables I/II, Figures
+6-12).  This module computes the per-client half from a player's
+segment log and state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.has.player import HasPlayer
+from repro.util import to_kbps
+
+
+def average_bitrate_bps(bitrates: Sequence[float]) -> float:
+    """Mean encoding bitrate over downloaded segments.
+
+    Segments have equal durations, so the arithmetic mean over
+    segments equals the time-weighted average bitrate.
+    """
+    if not bitrates:
+        return 0.0
+    return sum(bitrates) / len(bitrates)
+
+
+def bitrate_changes(bitrates: Sequence[float]) -> int:
+    """Number of consecutive-segment bitrate changes."""
+    return sum(1 for a, b in zip(bitrates, bitrates[1:]) if a != b)
+
+
+def bitrate_change_magnitude_bps(bitrates: Sequence[float]) -> float:
+    """Sum of absolute bitrate jumps (an instability magnitude lens)."""
+    return sum(abs(b - a) for a, b in zip(bitrates, bitrates[1:]))
+
+
+@dataclass(frozen=True)
+class ClientSummary:
+    """One video client's QoE summary over a run.
+
+    Attributes:
+        flow_id: the client's video flow.
+        average_bitrate_bps: mean bitrate over downloaded segments.
+        num_bitrate_changes: count of consecutive-segment changes.
+        change_magnitude_bps: total absolute bitrate movement.
+        rebuffer_time_s: seconds stalled after playback start (the
+            paper's "average time that the buffer is underflowed").
+        stall_events: distinct re-buffering events.
+        startup_delay_s: time to first frame (None if never started).
+        segments_downloaded: total segments completed.
+        video_throughput_bps: mean download goodput over segments.
+    """
+
+    flow_id: int
+    average_bitrate_bps: float
+    num_bitrate_changes: int
+    change_magnitude_bps: float
+    rebuffer_time_s: float
+    stall_events: int
+    startup_delay_s: Optional[float]
+    segments_downloaded: int
+    video_throughput_bps: float
+
+    @property
+    def average_bitrate_kbps(self) -> float:
+        """Average bitrate in kbps (the paper's reporting unit)."""
+        return to_kbps(self.average_bitrate_bps)
+
+
+def summarize_player(player: HasPlayer) -> ClientSummary:
+    """Compute a :class:`ClientSummary` from a finished player."""
+    bitrates = player.log.bitrates()
+    throughputs = player.log.throughputs()
+    mean_throughput = (sum(throughputs) / len(throughputs)
+                       if throughputs else 0.0)
+    return ClientSummary(
+        flow_id=player.flow.flow_id,
+        average_bitrate_bps=average_bitrate_bps(bitrates),
+        num_bitrate_changes=bitrate_changes(bitrates),
+        change_magnitude_bps=bitrate_change_magnitude_bps(bitrates),
+        rebuffer_time_s=player.rebuffer_time_s,
+        stall_events=player.stall_events,
+        startup_delay_s=player.startup_delay_s,
+        segments_downloaded=len(player.log),
+        video_throughput_bps=mean_throughput,
+    )

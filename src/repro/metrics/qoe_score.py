@@ -1,0 +1,75 @@
+"""Composite QoE scoring.
+
+The paper reports raw per-metric numbers (average bitrate, changes,
+underflow); downstream users usually want them folded into a single
+score.  This module implements the standard linear QoE model used
+across the ABR literature (MPC, Pensieve, ...):
+
+    QoE = mean_bitrate
+          - lambda_rebuffer * rebuffer_time_per_segment
+          - lambda_switch   * mean_|bitrate change|
+
+normalised per segment, so scores are comparable across run lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.metrics.qoe import ClientSummary
+from repro.util import require_non_negative
+
+
+@dataclass(frozen=True)
+class QoeWeights:
+    """Penalty weights of the linear QoE model.
+
+    Attributes:
+        rebuffer_penalty_bps: bitrate-equivalent penalty per second of
+            stall per segment (the literature's default: the ladder's
+            top bitrate).
+        switch_penalty: weight on the mean absolute bitrate change.
+    """
+
+    rebuffer_penalty_bps: float = 3000e3
+    switch_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("rebuffer_penalty_bps",
+                             self.rebuffer_penalty_bps)
+        require_non_negative("switch_penalty", self.switch_penalty)
+
+
+def qoe_score_bps(client: ClientSummary,
+                  weights: QoeWeights = QoeWeights()) -> float:
+    """Per-segment QoE score of one client, in bitrate units (bps).
+
+    Clients that downloaded nothing score 0.
+    """
+    segments = client.segments_downloaded
+    if segments == 0:
+        return 0.0
+    rebuffer_per_segment = client.rebuffer_time_s / segments
+    switch_per_segment = client.change_magnitude_bps / segments
+    return (client.average_bitrate_bps
+            - weights.rebuffer_penalty_bps * rebuffer_per_segment
+            - weights.switch_penalty * switch_per_segment)
+
+
+def mean_qoe_bps(clients: Iterable[ClientSummary],
+                 weights: QoeWeights = QoeWeights()) -> float:
+    """Mean QoE score across a client population (0 when empty)."""
+    scores = [qoe_score_bps(client, weights) for client in clients]
+    if not scores:
+        return 0.0
+    return sum(scores) / len(scores)
+
+
+def qoe_table(populations: Dict[str, Iterable[ClientSummary]],
+              weights: QoeWeights = QoeWeights()) -> str:
+    """Text table of mean QoE per named population (e.g. per scheme)."""
+    lines = [f"{'scheme':<12s} {'mean QoE (kbps-equivalent)':>28s}"]
+    for name, clients in populations.items():
+        lines.append(f"{name:<12s} {mean_qoe_bps(list(clients), weights) / 1e3:>28.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Time-series container used for throughput/bitrate/buffer traces.
+
+Figures 4 and 5 plot per-flow time series (selected bitrate, buffered
+seconds, data throughput); the sampler in
+:mod:`repro.metrics.collector` stores them as :class:`TimeSeries`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only (time, value) series with time-ordered access."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time_s: float, value: float) -> None:
+        """Append a sample; times must be non-decreasing.
+
+        Raises:
+            ValueError: on an out-of-order timestamp.
+        """
+        if self._times and time_s < self._times[-1]:
+            raise ValueError(
+                f"out-of-order sample: {time_s} < {self._times[-1]}"
+            )
+        self._times.append(float(time_s))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> Sequence[float]:
+        """Sample timestamps, oldest first."""
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        """Sample values, oldest first."""
+        return tuple(self._values)
+
+    def items(self) -> List[Tuple[float, float]]:
+        """(time, value) pairs, oldest first."""
+        return list(zip(self._times, self._values))
+
+    def value_at(self, time_s: float) -> float:
+        """Piecewise-constant (previous-sample) interpolation.
+
+        Raises:
+            ValueError: if the series is empty or ``time_s`` precedes
+                the first sample.
+        """
+        if not self._times:
+            raise ValueError("value_at on empty series")
+        index = bisect.bisect_right(self._times, time_s) - 1
+        if index < 0:
+            raise ValueError(
+                f"time {time_s} precedes first sample {self._times[0]}"
+            )
+        return self._values[index]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def time_weighted_mean(self, until_s: float) -> float:
+        """Mean weighted by how long each value held, up to ``until_s``.
+
+        Raises:
+            ValueError: if the series is empty or ``until_s`` precedes
+                the first sample.
+        """
+        if not self._times:
+            raise ValueError("time_weighted_mean on empty series")
+        if until_s < self._times[0]:
+            raise ValueError("until_s precedes first sample")
+        total = 0.0
+        for i, value in enumerate(self._values):
+            start = self._times[i]
+            end = self._times[i + 1] if i + 1 < len(self._times) else until_s
+            end = min(end, until_s)
+            if end > start:
+                total += value * (end - start)
+        span = until_s - self._times[0]
+        if span <= 0:
+            return self._values[0]
+        return total / span
+
+    def window(self, start_s: float, end_s: float) -> "TimeSeries":
+        """Sub-series with ``start_s <= t <= end_s``."""
+        result = TimeSeries()
+        for t, v in zip(self._times, self._values):
+            if start_s <= t <= end_s:
+                result.append(t, v)
+        return result

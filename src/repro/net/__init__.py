@@ -1,0 +1,20 @@
+"""Transport and core-network substrate: flows, fluid TCP, PCRF/PCEF."""
+
+from repro.net.flows import DataFlow, Flow, FlowKind, UserEquipment, VideoFlow
+from repro.net.pcrf import FlowSession, Pcef, Pcrf, PolicyDecision
+from repro.net.tcp import FluidTcp, INITIAL_CWND_BYTES, MSS_BYTES
+
+__all__ = [
+    "DataFlow",
+    "Flow",
+    "FlowKind",
+    "UserEquipment",
+    "VideoFlow",
+    "FlowSession",
+    "Pcef",
+    "Pcrf",
+    "PolicyDecision",
+    "FluidTcp",
+    "INITIAL_CWND_BYTES",
+    "MSS_BYTES",
+]

@@ -1,0 +1,199 @@
+"""Flow abstractions shared by the MAC scheduler and the HAS layer.
+
+A *flow* is the unit the eNodeB scheduler allocates resource blocks
+to.  The paper distinguishes two kinds:
+
+* **video flows** (set ``U``) — HAS segment downloads, driven by a
+  player state machine that queues bytes when a segment download is in
+  flight and is otherwise idle; and
+* **data flows** (set ``D``) — long-lived TCP transfers (the testbed
+  runs Iperf) with an infinite backlog.
+
+Both kinds run over the fluid TCP model, so a restarted video download
+ramps instead of instantly grabbing its full share.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.net.tcp import FluidTcp
+from repro.phy.channel import ChannelModel
+from repro.util import require_non_negative
+
+
+class FlowKind(enum.Enum):
+    """The two traffic classes the paper's framework unifies."""
+
+    VIDEO = "video"
+    DATA = "data"
+
+
+class UserEquipment:
+    """A UE: identity, channel model, and utility parameters.
+
+    Attributes:
+        ue_id: unique identifier within the cell.
+        channel: the UE's channel model (time -> TBS index).
+        theta_bps: the paper's screen-size parameter ``θ_u`` in bits/s
+            (a larger screen needs a higher bitrate for the same
+            quality).
+        beta: the paper's video-importance weight ``β_u``.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        channel: ChannelModel,
+        theta_bps: float = 0.2e6,
+        beta: float = 10.0,
+        ue_id: Optional[int] = None,
+    ) -> None:
+        require_non_negative("theta_bps", theta_bps)
+        require_non_negative("beta", beta)
+        self.ue_id = next(self._ids) if ue_id is None else ue_id
+        self.channel = channel
+        self.theta_bps = theta_bps
+        self.beta = beta
+
+    def __repr__(self) -> str:
+        return f"UserEquipment(ue_id={self.ue_id})"
+
+
+class Flow:
+    """Base class for schedulable flows.
+
+    Subclasses define :meth:`backlog_bytes`, the bytes the application
+    currently wants delivered.  The scheduler calls
+    :meth:`demand_bytes` (backlog capped by the TCP window), delivers
+    some amount, and reports it back via :meth:`on_scheduled`.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, ue: UserEquipment, kind: FlowKind,
+                 tcp: Optional[FluidTcp] = None,
+                 flow_id: Optional[int] = None) -> None:
+        self.flow_id = next(self._ids) if flow_id is None else flow_id
+        self.ue = ue
+        self.kind = kind
+        self.tcp = tcp if tcp is not None else FluidTcp()
+        self.total_delivered_bytes = 0.0
+        self._last_wanted = 0.0
+
+    def backlog_bytes(self) -> float:
+        """Bytes the application currently has queued for this flow."""
+        raise NotImplementedError
+
+    def demand_bytes(self, step_s: float) -> float:
+        """Bytes this flow can absorb in the next step.
+
+        The application backlog capped by the TCP window limit.
+        """
+        backlog = self.backlog_bytes()
+        self._last_wanted = backlog
+        if backlog <= 0:
+            return 0.0
+        return min(backlog, self.tcp.window_limit_bytes(step_s))
+
+    def on_scheduled(self, delivered_bytes: float, step_s: float) -> None:
+        """Account for bytes the MAC layer delivered this step."""
+        require_non_negative("delivered_bytes", delivered_bytes)
+        self.total_delivered_bytes += delivered_bytes
+        self.tcp.on_delivered(delivered_bytes, self._last_wanted, step_s)
+        if delivered_bytes > 0:
+            self._consume(delivered_bytes)
+
+    def _consume(self, delivered_bytes: float) -> None:
+        """Subclass hook: apply delivered bytes to the application."""
+
+    @property
+    def is_video(self) -> bool:
+        """True for flows in the paper's set ``U``."""
+        return self.kind is FlowKind.VIDEO
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(flow_id={self.flow_id}, "
+                f"ue={self.ue.ue_id})")
+
+
+class DataFlow(Flow):
+    """A long-lived bulk TCP transfer (the paper's Iperf data flows)."""
+
+    def __init__(self, ue: UserEquipment, tcp: Optional[FluidTcp] = None,
+                 flow_id: Optional[int] = None) -> None:
+        super().__init__(ue, FlowKind.DATA, tcp=tcp, flow_id=flow_id)
+
+    def backlog_bytes(self) -> float:
+        return float("inf")
+
+
+class VideoFlow(Flow):
+    """A HAS video flow: backlog driven by the attached player.
+
+    The player enqueues a segment download with
+    :meth:`begin_download`; the flow then demands bytes until the
+    download completes, at which point the registered completion
+    callback fires (the player uses it to record a throughput sample
+    and pick the next bitrate).
+    """
+
+    def __init__(self, ue: UserEquipment, tcp: Optional[FluidTcp] = None,
+                 flow_id: Optional[int] = None) -> None:
+        super().__init__(ue, FlowKind.VIDEO, tcp=tcp, flow_id=flow_id)
+        self._remaining_bytes = 0.0
+        self._download_active = False
+        self._completion_callback = None
+
+    @property
+    def download_active(self) -> bool:
+        """True while a segment download is in flight."""
+        return self._download_active
+
+    @property
+    def remaining_bytes(self) -> float:
+        """Bytes left in the current download (0 when idle)."""
+        return self._remaining_bytes
+
+    def begin_download(self, size_bytes: float, on_complete) -> None:
+        """Start downloading a segment of ``size_bytes`` bytes.
+
+        Args:
+            size_bytes: segment payload size.
+            on_complete: zero-argument callable invoked when the last
+                byte is delivered.
+
+        Raises:
+            RuntimeError: if a download is already in flight.
+        """
+        if self._download_active:
+            raise RuntimeError(f"{self!r}: download already in progress")
+        if size_bytes <= 0:
+            raise ValueError(f"segment size must be > 0, got {size_bytes}")
+        self._remaining_bytes = float(size_bytes)
+        self._download_active = True
+        self._completion_callback = on_complete
+
+    def cancel_download(self) -> None:
+        """Abort the in-flight download (e.g. on a bitrate override)."""
+        self._remaining_bytes = 0.0
+        self._download_active = False
+        self._completion_callback = None
+
+    def backlog_bytes(self) -> float:
+        return self._remaining_bytes if self._download_active else 0.0
+
+    def _consume(self, delivered_bytes: float) -> None:
+        if not self._download_active:
+            return
+        self._remaining_bytes -= delivered_bytes
+        if self._remaining_bytes <= 1e-6:
+            self._remaining_bytes = 0.0
+            self._download_active = False
+            callback = self._completion_callback
+            self._completion_callback = None
+            if callback is not None:
+                callback()

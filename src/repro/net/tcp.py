@@ -1,0 +1,120 @@
+"""Fluid TCP model.
+
+HAS runs over HTTP/TCP; the paper's testbed uses regular TCP stacks
+and the ns-3 study uses TCP Westwood.  For the rate-adaptation
+experiments TCP matters in two ways only:
+
+1. a freshly (re)started transfer does not instantly consume its full
+   link share (slow start), which shapes the throughput samples ABR
+   algorithms observe for short segments, and
+2. a long-lived transfer tracks whatever rate the bottleneck (here the
+   LTE scheduler) grants it.
+
+``FluidTcp`` models exactly those dynamics with a congestion window in
+bytes: the window doubles per RTT while the link keeps up (slow start),
+converges towards the granted rate when the link is the bottleneck
+(congestion avoidance against the scheduler's allocation, which is how
+Westwood's bandwidth-estimation behaves over a scheduled cellular
+link), and collapses back to the initial window after an idle period —
+RFC 5681's restart behaviour, which is what makes per-segment HAS
+downloads ramp.
+"""
+
+from __future__ import annotations
+
+from repro.util import require_positive
+
+#: Conventional Ethernet-sized TCP segment, in bytes.
+MSS_BYTES = 1460.0
+
+#: Initial congestion window (RFC 6928: 10 segments).
+INITIAL_CWND_BYTES = 10 * MSS_BYTES
+
+
+class FluidTcp:
+    """Per-flow fluid congestion-window model.
+
+    The model exposes a single contract to the MAC layer:
+
+    * :meth:`window_limit_bytes` — the most bytes this flow may take in
+      the next ``step_s`` seconds, and
+    * :meth:`on_delivered` — feedback on what was actually delivered,
+      which drives the window evolution.
+
+    Attributes:
+        rtt_s: round-trip time of the end-to-end path.
+        idle_reset_s: idle time after which the window resets to the
+            initial value (slow-start restart).
+    """
+
+    def __init__(
+        self,
+        rtt_s: float = 0.06,
+        idle_reset_s: float = 1.0,
+        initial_cwnd_bytes: float = INITIAL_CWND_BYTES,
+        max_cwnd_bytes: float = 64 * 1024 * 1024,
+    ) -> None:
+        require_positive("rtt_s", rtt_s)
+        require_positive("idle_reset_s", idle_reset_s)
+        require_positive("initial_cwnd_bytes", initial_cwnd_bytes)
+        require_positive("max_cwnd_bytes", max_cwnd_bytes)
+        self.rtt_s = rtt_s
+        self.idle_reset_s = idle_reset_s
+        self._initial_cwnd = initial_cwnd_bytes
+        self._max_cwnd = max_cwnd_bytes
+        self._cwnd = initial_cwnd_bytes
+        self._idle_for_s = 0.0
+
+    @property
+    def cwnd_bytes(self) -> float:
+        """Current congestion window in bytes."""
+        return self._cwnd
+
+    def window_limit_bytes(self, step_s: float) -> float:
+        """Upper bound on bytes deliverable in the next ``step_s``.
+
+        One window per RTT, scaled to the step length.  Steps shorter
+        than an RTT are granted a proportional share; the in-flight
+        bookkeeping that a packet-level model would do is subsumed by
+        the fluid approximation.
+        """
+        require_positive("step_s", step_s)
+        return self._cwnd * (step_s / self.rtt_s)
+
+    def on_delivered(self, delivered_bytes: float, wanted_bytes: float,
+                     step_s: float) -> None:
+        """Advance the window after a scheduling step.
+
+        Args:
+            delivered_bytes: bytes the scheduler actually delivered.
+            wanted_bytes: bytes the application had queued (before the
+                window cap was applied).
+            step_s: step duration in seconds.
+        """
+        require_positive("step_s", step_s)
+        if wanted_bytes <= 0:
+            # Application idle: window decays to the restart value.
+            self._idle_for_s += step_s
+            if self._idle_for_s >= self.idle_reset_s:
+                self._cwnd = self._initial_cwnd
+            return
+        self._idle_for_s = 0.0
+        window_limit = self.window_limit_bytes(step_s)
+        if delivered_bytes >= min(wanted_bytes, window_limit) - 1e-9:
+            # The window (or the application), not the link, was the
+            # bottleneck: slow-start growth, one doubling per RTT.
+            growth = 2.0 ** (step_s / self.rtt_s)
+            self._cwnd = min(self._cwnd * growth, self._max_cwnd)
+        else:
+            # The link limited us: converge the window towards the rate
+            # the scheduler is actually granting (Westwood-style
+            # bandwidth tracking), never below the initial window.
+            granted_per_rtt = delivered_bytes * (self.rtt_s / step_s)
+            target = max(granted_per_rtt * 1.25, self._initial_cwnd)
+            # Move 50% of the way per step to avoid oscillation.
+            self._cwnd += 0.5 * (target - self._cwnd)
+
+    def reset(self) -> None:
+        """Return to the initial window (connection restart)."""
+        self._cwnd = self._initial_cwnd
+        self._idle_for_s = 0.0

@@ -1,0 +1,88 @@
+"""PHY substrate: TBS tables, path loss, CQI mapping, mobility, channels.
+
+This package reproduces the physical-layer machinery the paper's
+femtocell testbed and ns-3 simulations rely on: the 3GPP transport
+block size model (including the testbed's ``iTbs`` override knob),
+path-loss and SINR link budgets, the SINR->CQI->MCS chain, UE mobility
+models, and the per-UE channel models built from them.
+"""
+
+from repro.phy.channel import (
+    ChannelModel,
+    CyclicItbsChannel,
+    FadingChannel,
+    FadingProcess,
+    OutageChannel,
+    StaticItbsChannel,
+    TraceItbsChannel,
+)
+from repro.phy.cqi import (
+    LinkAdaptation,
+    cqi_from_sinr,
+    efficiency_for_cqi,
+    itbs_from_cqi,
+    itbs_from_sinr,
+)
+from repro.phy.mobility import (
+    CircularMobility,
+    Field,
+    MobilityModel,
+    RandomWaypointMobility,
+    StaticMobility,
+    distance,
+)
+from repro.phy.pathloss import (
+    Cost231PathLoss,
+    LinkBudget,
+    LogDistancePathLoss,
+    db_to_linear,
+    linear_to_db,
+)
+from repro.phy.tbs import (
+    MAX_ITBS,
+    MAX_PRB,
+    MIN_ITBS,
+    PRB_PER_TTI_10MHZ,
+    bits_per_prb,
+    bytes_per_prb,
+    itbs_for_spectral_efficiency,
+    peak_rate_bps,
+    transport_block_bits,
+    validate_itbs,
+)
+
+__all__ = [
+    "ChannelModel",
+    "CyclicItbsChannel",
+    "FadingChannel",
+    "FadingProcess",
+    "OutageChannel",
+    "StaticItbsChannel",
+    "TraceItbsChannel",
+    "LinkAdaptation",
+    "cqi_from_sinr",
+    "efficiency_for_cqi",
+    "itbs_from_cqi",
+    "itbs_from_sinr",
+    "CircularMobility",
+    "Field",
+    "MobilityModel",
+    "RandomWaypointMobility",
+    "StaticMobility",
+    "distance",
+    "Cost231PathLoss",
+    "LinkBudget",
+    "LogDistancePathLoss",
+    "db_to_linear",
+    "linear_to_db",
+    "MAX_ITBS",
+    "MAX_PRB",
+    "MIN_ITBS",
+    "PRB_PER_TTI_10MHZ",
+    "bits_per_prb",
+    "bytes_per_prb",
+    "itbs_for_spectral_efficiency",
+    "peak_rate_bps",
+    "transport_block_bits",
+    "validate_itbs",
+]

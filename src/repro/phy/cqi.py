@@ -1,0 +1,106 @@
+"""SINR -> CQI -> MCS/TBS mapping.
+
+LTE UEs report a Channel Quality Indicator (CQI, 0..15) that the
+eNodeB's link adaptation turns into a modulation-and-coding scheme and
+hence a TBS index.  We implement the standard pipeline:
+
+* CQI from SINR via the 3GPP TS 36.213 Table 7.2.3-1 working points
+  (each CQI has a spectral efficiency; we pick the highest CQI whose
+  required SINR, from the classic link-level SINR thresholds used in
+  LTE system simulators, is met).
+* TBS index from CQI via the spectral efficiency of the CQI working
+  point and :func:`repro.phy.tbs.itbs_for_spectral_efficiency`.
+
+CQI 0 means "out of range": the UE cannot be scheduled at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.phy import tbs
+
+#: Minimum SINR (dB) required for each CQI 1..15.  These are the widely
+#: used link-level thresholds for a 10% BLER target (e.g. the ns-3 LTE
+#: module's error model and vendor system simulators agree to ~1 dB).
+CQI_SINR_THRESHOLDS_DB: Sequence[float] = (
+    -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1,
+    10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+)
+
+#: Spectral efficiency (bits/s/Hz) of each CQI 1..15 per 3GPP TS 36.213
+#: Table 7.2.3-1.
+CQI_EFFICIENCY: Sequence[float] = (
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141,
+    2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547,
+)
+
+#: Resource elements usable for data per PRB per TTI (12 subcarriers x
+#: 14 symbols minus typical reference-signal/control overhead).
+DATA_RE_PER_PRB = 120
+
+MIN_CQI = 0
+MAX_CQI = 15
+
+
+def cqi_from_sinr(sinr_db: float) -> int:
+    """Highest CQI whose SINR threshold is met, or 0 when out of range."""
+    cqi = 0
+    for index, threshold in enumerate(CQI_SINR_THRESHOLDS_DB, start=1):
+        if sinr_db >= threshold:
+            cqi = index
+        else:
+            break
+    return cqi
+
+
+def efficiency_for_cqi(cqi: int) -> float:
+    """Spectral efficiency (bits/s/Hz) of ``cqi``; 0.0 for CQI 0.
+
+    Raises:
+        ValueError: if ``cqi`` is outside 0..15.
+    """
+    if not MIN_CQI <= cqi <= MAX_CQI:
+        raise ValueError(f"CQI must be in [0, 15], got {cqi!r}")
+    if cqi == 0:
+        return 0.0
+    return CQI_EFFICIENCY[cqi - 1]
+
+
+def itbs_from_cqi(cqi: int) -> int:
+    """TBS index realising (not exceeding) the CQI's spectral efficiency.
+
+    CQI 0 maps to the lowest TBS index; the scheduler is expected to
+    not schedule a CQI-0 UE at all, but the mapping stays total so the
+    MAC layer never sees an invalid index.
+    """
+    if cqi <= 0:
+        return tbs.MIN_ITBS
+    bits_per_prb_target = efficiency_for_cqi(cqi) * DATA_RE_PER_PRB
+    return tbs.itbs_for_spectral_efficiency(bits_per_prb_target)
+
+
+def itbs_from_sinr(sinr_db: float) -> int:
+    """Full chain: SINR -> CQI -> TBS index."""
+    return itbs_from_cqi(cqi_from_sinr(sinr_db))
+
+
+@dataclass(frozen=True)
+class LinkAdaptation:
+    """Configurable link-adaptation chain.
+
+    Attributes:
+        backoff_db: SINR backoff applied before CQI selection, modelling
+            conservative outer-loop link adaptation.
+    """
+
+    backoff_db: float = 0.0
+
+    def itbs(self, sinr_db: float) -> int:
+        """TBS index selected for a measured ``sinr_db``."""
+        return itbs_from_sinr(sinr_db - self.backoff_db)
+
+    def cqi(self, sinr_db: float) -> int:
+        """CQI reported for a measured ``sinr_db``."""
+        return cqi_from_sinr(sinr_db - self.backoff_db)

@@ -1,0 +1,197 @@
+"""UE mobility models.
+
+The paper's ns-3 simulations place UEs randomly in a 2000 m x 2000 m
+field; the mobile scenarios run them "in vehicles".  We provide the two
+models those experiments need — static placement and random waypoint —
+behind a single :class:`MobilityModel` interface that reports a UE's
+position as a function of simulation time.
+
+All models are deterministic given their ``numpy`` random generator, so
+experiments are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util import require_positive
+
+Position = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Field:
+    """Rectangular simulation field with the eNodeB at its centre.
+
+    Attributes:
+        width_m: field width in metres.
+        height_m: field height in metres.
+    """
+
+    width_m: float = 2000.0
+    height_m: float = 2000.0
+
+    def __post_init__(self) -> None:
+        require_positive("width_m", self.width_m)
+        require_positive("height_m", self.height_m)
+
+    @property
+    def center(self) -> Position:
+        """Coordinates of the field centre (the eNodeB site)."""
+        return (self.width_m / 2.0, self.height_m / 2.0)
+
+    def random_position(self, rng: np.random.Generator) -> Position:
+        """Uniformly random position inside the field."""
+        return (
+            float(rng.uniform(0.0, self.width_m)),
+            float(rng.uniform(0.0, self.height_m)),
+        )
+
+    def contains(self, position: Position) -> bool:
+        """True if ``position`` lies inside the field (inclusive)."""
+        x, y = position
+        return 0.0 <= x <= self.width_m and 0.0 <= y <= self.height_m
+
+
+def distance(a: Position, b: Position) -> float:
+    """Euclidean distance between two positions in metres."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class MobilityModel:
+    """Interface: a UE trajectory ``time -> position``."""
+
+    def position_at(self, time_s: float) -> Position:
+        """Position of the UE at simulation time ``time_s``."""
+        raise NotImplementedError
+
+    def distance_to(self, point: Position, time_s: float) -> float:
+        """Distance from the UE to ``point`` at ``time_s``."""
+        return distance(self.position_at(time_s), point)
+
+
+class StaticMobility(MobilityModel):
+    """A UE that never moves (the paper's static scenarios)."""
+
+    def __init__(self, position: Position) -> None:
+        self._position = (float(position[0]), float(position[1]))
+
+    @property
+    def position(self) -> Position:
+        """The fixed UE position."""
+        return self._position
+
+    def position_at(self, time_s: float) -> Position:
+        return self._position
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random-waypoint mobility inside a rectangular field.
+
+    The UE repeatedly picks a uniform random destination and a uniform
+    random speed in ``[speed_min, speed_max]`` and travels there in a
+    straight line, optionally pausing.  Vehicular defaults (5-15 m/s,
+    i.e. roughly 20-55 km/h) match the paper's "UE operates in
+    vehicles" description.
+
+    Waypoints are generated lazily; querying positions at increasing
+    times is O(1) amortised.  Querying a time earlier than a previous
+    query replays the trajectory from the start (positions remain
+    deterministic because the leg sequence is cached).
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        rng: np.random.Generator,
+        speed_min_mps: float = 5.0,
+        speed_max_mps: float = 15.0,
+        pause_s: float = 0.0,
+        start: Optional[Position] = None,
+    ) -> None:
+        require_positive("speed_min_mps", speed_min_mps)
+        if speed_max_mps < speed_min_mps:
+            raise ValueError(
+                "speed_max_mps must be >= speed_min_mps "
+                f"({speed_max_mps} < {speed_min_mps})"
+            )
+        if pause_s < 0:
+            raise ValueError(f"pause_s must be >= 0, got {pause_s}")
+        self._field = field
+        self._rng = rng
+        self._speed_min = speed_min_mps
+        self._speed_max = speed_max_mps
+        self._pause = pause_s
+        origin = start if start is not None else field.random_position(rng)
+        # Each leg: (start_time, end_time, from_pos, to_pos); a pause is a
+        # leg whose endpoints coincide.
+        self._legs: list[tuple[float, float, Position, Position]] = []
+        self._frontier_time = 0.0
+        self._frontier_pos = origin
+
+    def _extend_until(self, time_s: float) -> None:
+        """Generate legs until the trajectory covers ``time_s``."""
+        while self._frontier_time <= time_s:
+            target = self._field.random_position(self._rng)
+            speed = float(self._rng.uniform(self._speed_min, self._speed_max))
+            travel = distance(self._frontier_pos, target) / speed
+            start_t = self._frontier_time
+            self._legs.append((start_t, start_t + travel, self._frontier_pos, target))
+            self._frontier_time = start_t + travel
+            self._frontier_pos = target
+            if self._pause > 0:
+                self._legs.append(
+                    (self._frontier_time, self._frontier_time + self._pause,
+                     target, target)
+                )
+                self._frontier_time += self._pause
+
+    def position_at(self, time_s: float) -> Position:
+        if time_s < 0:
+            raise ValueError(f"time must be >= 0, got {time_s}")
+        self._extend_until(time_s)
+        for start_t, end_t, src, dst in self._legs:
+            if start_t <= time_s <= end_t:
+                if end_t == start_t:
+                    return dst
+                frac = (time_s - start_t) / (end_t - start_t)
+                return (
+                    src[0] + frac * (dst[0] - src[0]),
+                    src[1] + frac * (dst[1] - src[1]),
+                )
+        # time_s falls beyond the last generated leg only through float
+        # rounding at the frontier; return the frontier position.
+        return self._frontier_pos
+
+
+class CircularMobility(MobilityModel):
+    """A UE orbiting the eNodeB at a fixed radius and angular speed.
+
+    Useful in tests: the distance to the centre is constant, so path
+    loss is constant while the position still changes every step.
+    """
+
+    def __init__(
+        self,
+        center: Position,
+        radius_m: float,
+        speed_mps: float,
+        phase_rad: float = 0.0,
+    ) -> None:
+        require_positive("radius_m", radius_m)
+        require_positive("speed_mps", speed_mps)
+        self._center = center
+        self._radius = radius_m
+        self._omega = speed_mps / radius_m
+        self._phase = phase_rad
+
+    def position_at(self, time_s: float) -> Position:
+        angle = self._phase + self._omega * time_s
+        return (
+            self._center[0] + self._radius * math.cos(angle),
+            self._center[1] + self._radius * math.sin(angle),
+        )

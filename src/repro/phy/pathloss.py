@@ -1,0 +1,150 @@
+"""Path-loss and SINR models for the simulated LTE cell.
+
+The mobile-scenario experiments (paper Figures 7, 8 and 10) run UEs on
+vehicles inside a 2000 m x 2000 m field served by one eNodeB.  ns-3's
+LTE module drives the channel through a pathloss + fading pipeline; we
+reproduce the same structure:
+
+    position --(path loss)--> received power --(noise)--> SINR
+
+The SINR then feeds :mod:`repro.phy.cqi`, which picks a CQI/MCS working
+point, which in turn selects the TBS index used by the MAC layer.
+
+Two standard path-loss models are provided: log-distance (the common
+ns-3 default) and COST231-Hata (urban macro).  Both are deterministic
+given a distance; log-normal shadowing is layered separately so the
+channel models can control its correlation over time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util import require_positive
+
+#: Boltzmann constant times reference temperature, in dBm/Hz
+#: (thermal noise density at 290 K).
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a decibel quantity to linear scale."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(linear: float) -> float:
+    """Convert a linear quantity to decibels.
+
+    Raises:
+        ValueError: if ``linear`` is not strictly positive.
+    """
+    if linear <= 0:
+        raise ValueError(f"cannot convert non-positive value to dB: {linear!r}")
+    return 10.0 * math.log10(linear)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance path-loss model.
+
+    ``PL(d) = pl0_db + 10 * exponent * log10(d / d0)`` for ``d >= d0``;
+    distances below the reference distance saturate at ``pl0_db``.
+
+    Attributes:
+        exponent: path-loss exponent (3.5-4 is typical urban NLOS).
+        pl0_db: loss at the reference distance, in dB.
+        reference_m: reference distance ``d0`` in metres.
+    """
+
+    exponent: float = 3.6
+    pl0_db: float = 46.7
+    reference_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        """Path loss in dB at ``distance_m`` metres."""
+        if distance_m < 0:
+            raise ValueError(f"distance must be >= 0, got {distance_m!r}")
+        d = max(distance_m, self.reference_m)
+        return self.pl0_db + 10.0 * self.exponent * math.log10(d / self.reference_m)
+
+
+@dataclass(frozen=True)
+class Cost231PathLoss:
+    """COST231-Hata urban path-loss model (simplified, medium city).
+
+    Valid for carrier frequencies between 1.5 and 2 GHz, which covers
+    E-UTRA Band 7 (2.6 GHz) only approximately; it remains the standard
+    choice in LTE system simulators for macro links, and relative
+    attenuation with distance — the property the mobility experiments
+    exercise — is preserved.
+
+    Attributes:
+        frequency_mhz: carrier frequency in MHz.
+        bs_height_m: eNodeB antenna height in metres.
+        ue_height_m: UE antenna height in metres.
+    """
+
+    frequency_mhz: float = 2600.0
+    bs_height_m: float = 30.0
+    ue_height_m: float = 1.5
+
+    def loss_db(self, distance_m: float) -> float:
+        """Path loss in dB at ``distance_m`` metres (>= 1 m enforced)."""
+        if distance_m < 0:
+            raise ValueError(f"distance must be >= 0, got {distance_m!r}")
+        d_km = max(distance_m, 1.0) / 1000.0
+        f = self.frequency_mhz
+        hb = self.bs_height_m
+        hm = self.ue_height_m
+        a_hm = (1.1 * math.log10(f) - 0.7) * hm - (1.56 * math.log10(f) - 0.8)
+        return (
+            46.3
+            + 33.9 * math.log10(f)
+            - 13.82 * math.log10(hb)
+            - a_hm
+            + (44.9 - 6.55 * math.log10(hb)) * math.log10(d_km)
+            + 3.0  # metropolitan-centre correction
+        )
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Downlink link budget: transmit power, bandwidth and noise figure.
+
+    Converts a path loss (plus optional shadowing/fading) into an SINR.
+    The paper's femtocell transmits at 20 dBm over 10 MHz; macro
+    scenarios typically use 43-46 dBm.
+
+    Attributes:
+        tx_power_dbm: total eNodeB transmit power in dBm.
+        bandwidth_hz: system bandwidth in Hz.
+        noise_figure_db: UE receiver noise figure in dB.
+        interference_margin_db: constant inter-cell interference margin
+            folded into the noise floor (single-cell simulations model
+            neighbour-cell interference only through this margin).
+    """
+
+    tx_power_dbm: float = 20.0
+    bandwidth_hz: float = 10e6
+    noise_figure_db: float = 9.0
+    interference_margin_db: float = 0.0
+
+    def noise_floor_dbm(self) -> float:
+        """Total noise-plus-interference power in dBm over the carrier."""
+        require_positive("bandwidth_hz", self.bandwidth_hz)
+        return (
+            THERMAL_NOISE_DBM_PER_HZ
+            + 10.0 * math.log10(self.bandwidth_hz)
+            + self.noise_figure_db
+            + self.interference_margin_db
+        )
+
+    def sinr_db(self, loss_db: float, fading_db: float = 0.0) -> float:
+        """SINR in dB given a path loss and an additive fading term.
+
+        ``fading_db`` is *added to the received power*: positive values
+        are constructive fades, negative values are fades into a null.
+        """
+        rx_power_dbm = self.tx_power_dbm - loss_db + fading_db
+        return rx_power_dbm - self.noise_floor_dbm()

@@ -1,0 +1,125 @@
+"""Transport block size (TBS) model following 3GPP TS 36.213.
+
+The paper's femtocell testbed emulates time-varying link bandwidth by
+overriding the *TBS index* (``iTbs``) of each UE: every TBS index maps
+to a modulation-and-coding working point, and together with the number
+of scheduled physical resource blocks (PRBs) it determines how many
+bits a UE receives per TTI (1 ms).
+
+We reproduce that mechanism.  The single-PRB column of 3GPP TS 36.213
+Table 7.1.7.2.1-1 is embedded verbatim below (``_TBS_ONE_PRB``); for
+``n_prb > 1`` we use the standard near-linear scaling of the table,
+``TBS(i, n) ≈ TBS(i, 1) * n``, quantised to the byte-aligned sizes the
+table uses.  The absolute rate of each ``iTbs`` therefore matches the
+standard to within a few percent across the 1..110 PRB range, which is
+the property the paper's experiments rely on (relative capacity as the
+``iTbs`` override sweeps up and down).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Inclusive range of valid TBS indices (3GPP TS 36.213 Table 7.1.7.2.1-1).
+MIN_ITBS = 0
+MAX_ITBS = 26
+
+#: Maximum number of PRBs in a 20 MHz LTE carrier.
+MAX_PRB = 110
+
+#: Number of PRBs per TTI for a 10 MHz carrier (the JL-620 femtocell).
+PRB_PER_TTI_10MHZ = 50
+
+#: TTI duration in milliseconds.
+TTI_MS = 1.0
+
+# TBS in bits for n_prb = 1, indexed by iTbs 0..26
+# (3GPP TS 36.213 Table 7.1.7.2.1-1, column N_PRB = 1).
+_TBS_ONE_PRB: Sequence[int] = (
+    16, 24, 32, 40, 56, 72, 88, 104, 120, 136,
+    144, 176, 208, 224, 256, 280, 328, 336, 376, 408,
+    440, 488, 520, 552, 584, 616, 712,
+)
+
+
+def validate_itbs(itbs: int) -> int:
+    """Check that ``itbs`` is a valid TBS index and return it.
+
+    Raises:
+        ValueError: if ``itbs`` is outside ``[MIN_ITBS, MAX_ITBS]``.
+    """
+    if not MIN_ITBS <= itbs <= MAX_ITBS:
+        raise ValueError(
+            f"iTbs must be in [{MIN_ITBS}, {MAX_ITBS}], got {itbs!r}"
+        )
+    return int(itbs)
+
+
+def transport_block_bits(itbs: int, n_prb: int) -> int:
+    """Transport block size in bits for one TTI.
+
+    Args:
+        itbs: TBS index (0..26).
+        n_prb: number of physical resource blocks scheduled this TTI
+            (1..110).
+
+    Returns:
+        The number of bits carried, byte-aligned as in the 3GPP table.
+
+    Raises:
+        ValueError: on an out-of-range ``itbs`` or ``n_prb``.
+    """
+    validate_itbs(itbs)
+    if not 1 <= n_prb <= MAX_PRB:
+        raise ValueError(f"n_prb must be in [1, {MAX_PRB}], got {n_prb!r}")
+    raw = _TBS_ONE_PRB[itbs] * n_prb
+    # Quantise down to a whole number of bytes, as the table does.
+    return (raw // 8) * 8
+
+
+def bits_per_prb(itbs: int) -> float:
+    """Bits carried by a single PRB in one TTI at TBS index ``itbs``."""
+    validate_itbs(itbs)
+    return float(_TBS_ONE_PRB[itbs])
+
+
+def bytes_per_prb(itbs: int) -> float:
+    """Bytes carried by a single PRB in one TTI at TBS index ``itbs``."""
+    return bits_per_prb(itbs) / 8.0
+
+
+def peak_rate_bps(itbs: int, prb_per_tti: int = PRB_PER_TTI_10MHZ) -> float:
+    """Peak downlink rate at ``itbs`` with all PRBs scheduled every TTI.
+
+    Args:
+        itbs: TBS index.
+        prb_per_tti: carrier width in PRBs (default: 10 MHz / 50 PRB).
+
+    Returns:
+        The sustained rate in bits/second.
+    """
+    bits_per_tti = transport_block_bits(itbs, prb_per_tti)
+    return bits_per_tti * (1000.0 / TTI_MS)
+
+
+def itbs_for_spectral_efficiency(bits_per_prb_target: float) -> int:
+    """Largest TBS index whose per-PRB rate does not exceed the target.
+
+    This is the inverse mapping used by the CQI chain: given an
+    achievable spectral efficiency (bits per PRB per TTI), pick the
+    most aggressive MCS working point the channel supports.
+
+    Args:
+        bits_per_prb_target: achievable bits per PRB per TTI.
+
+    Returns:
+        A TBS index in ``[MIN_ITBS, MAX_ITBS]``.  Efficiencies below the
+        lowest table entry clamp to ``MIN_ITBS``.
+    """
+    best = MIN_ITBS
+    for itbs in range(MIN_ITBS, MAX_ITBS + 1):
+        if _TBS_ONE_PRB[itbs] <= bits_per_prb_target:
+            best = itbs
+        else:
+            break
+    return best

@@ -1,0 +1,6 @@
+"""Simulation engine: event queue and the cell world object."""
+
+from repro.sim.cell import Cell, CellConfig
+from repro.sim.engine import EventHandle, EventQueue
+
+__all__ = ["Cell", "CellConfig", "EventHandle", "EventQueue"]

@@ -1,0 +1,117 @@
+"""Discrete-event core used by the cell driver.
+
+The cell simulation advances the MAC in fixed fluid steps, but
+everything above it — BAI timers for the OneAPI server, AVIS epochs,
+metrics sampling, scripted arrivals and departures — is event-driven.
+:class:`EventQueue` is a small, deterministic priority queue of timed
+callbacks with stable FIFO ordering for simultaneous events, plus a
+recurring-event helper that powers interval controllers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.util import require_non_negative, require_positive
+
+Callback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, insertion sequence)."""
+
+    time_s: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation token returned by :meth:`EventQueue.schedule`."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once cancelled."""
+        return self._event.cancelled
+
+    @property
+    def time_s(self) -> float:
+        """Scheduled fire time."""
+        return self._event.time_s
+
+
+class EventQueue:
+    """Deterministic timed-callback queue.
+
+    Events scheduled for the same instant fire in insertion order,
+    which keeps multi-controller simulations reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, time_s: float, callback: Callback) -> EventHandle:
+        """Schedule ``callback(fire_time)`` at ``time_s``."""
+        require_non_negative("time_s", time_s)
+        event = _ScheduledEvent(time_s, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_recurring(self, first_time_s: float, interval_s: float,
+                           callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at ``first_time_s`` and every
+        ``interval_s`` thereafter.
+
+        Returns the handle of the *first* occurrence; cancelling it
+        stops the whole recurrence.
+        """
+        require_positive("interval_s", interval_s)
+        handle_box: List[EventHandle] = []
+
+        def fire(now_s: float) -> None:
+            callback(now_s)
+            if not handle_box[0].cancelled:
+                next_event = _ScheduledEvent(
+                    now_s + interval_s, next(self._sequence), fire)
+                heapq.heappush(self._heap, next_event)
+                handle_box[0]._event = next_event
+
+        first = _ScheduledEvent(first_time_s, next(self._sequence), fire)
+        heapq.heappush(self._heap, first)
+        handle = EventHandle(first)
+        handle_box.append(handle)
+        return handle
+
+    def next_time(self) -> Optional[float]:
+        """Fire time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_s if self._heap else None
+
+    def run_until(self, time_s: float) -> int:
+        """Fire every event with ``fire time <= time_s``; return count."""
+        fired = 0
+        while True:
+            next_t = self.next_time()
+            if next_t is None or next_t > time_s:
+                return fired
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.callback(event.time_s)
+            fired += 1

@@ -1,0 +1,24 @@
+"""Uplink live streaming: the paper's Section V extension.
+
+Live encoders on UEs upload video segments over the cell's uplink;
+FLARE's (unchanged) OneAPI optimization assigns each encoder's
+bitrate.  Metrics shift from playback stalls to production-to-upload
+latency and segment drops.
+"""
+
+from repro.uplink.encoder import LiveEncoder, ProducedSegment
+from repro.uplink.flare_uplink import FlareUplinkSystem
+from repro.uplink.streamer import (
+    LocalUplinkAdapter,
+    UplinkCellAdapter,
+    UplinkStreamer,
+)
+
+__all__ = [
+    "LiveEncoder",
+    "ProducedSegment",
+    "FlareUplinkSystem",
+    "LocalUplinkAdapter",
+    "UplinkCellAdapter",
+    "UplinkStreamer",
+]

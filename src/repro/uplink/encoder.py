@@ -1,0 +1,138 @@
+"""Live video encoder model for uplink streaming.
+
+Uplink HAS (paper Section V: "FLARE can be easily extended to uplink
+video streaming with minor modifications") inverts the roles: the UE
+*produces* video — a live camera — encodes each segment at a chosen
+bitrate, and uploads it over the cell's uplink.  The encoder is the
+uplink counterpart of the downlink player's ABR hook: the bitrate of
+the *next produced segment* is the decision variable.
+
+The encoder never pauses production (a live source cannot): segments
+are emitted every ``segment_duration_s`` regardless of upload
+progress.  Un-uploaded segments queue in the upload backlog; if the
+backlog exceeds ``max_backlog_segments`` the oldest queued segment is
+dropped (the live-streaming behaviour — stale video is worthless).
+End-to-end freshness is tracked per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.has.mpd import BitrateLadder
+from repro.util import require_positive
+
+
+@dataclass
+class ProducedSegment:
+    """One encoded segment awaiting (or done with) upload.
+
+    Attributes:
+        index: production sequence number.
+        bitrate_bps: encoding bitrate chosen for this segment.
+        size_bytes: payload size.
+        produced_at_s: when encoding finished (upload may start).
+        uploaded_at_s: when the last byte reached the server
+            (``None`` while queued/in flight).
+        dropped: True if evicted from the backlog before upload.
+    """
+
+    index: int
+    bitrate_bps: float
+    size_bytes: float
+    produced_at_s: float
+    uploaded_at_s: Optional[float] = None
+    dropped: bool = False
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Production-to-upload latency (None if dropped/in flight)."""
+        if self.uploaded_at_s is None:
+            return None
+        return self.uploaded_at_s - self.produced_at_s
+
+
+class LiveEncoder:
+    """Segment producer with a bounded upload backlog.
+
+    Attributes:
+        ladder: bitrates the encoder can produce.
+        segment_duration_s: production cadence.
+        max_backlog_segments: queued segments before drops begin.
+    """
+
+    def __init__(self, ladder: BitrateLadder,
+                 segment_duration_s: float = 2.0,
+                 max_backlog_segments: int = 5) -> None:
+        require_positive("segment_duration_s", segment_duration_s)
+        if max_backlog_segments < 1:
+            raise ValueError("max_backlog_segments must be >= 1")
+        self.ladder = ladder
+        self.segment_duration_s = segment_duration_s
+        self.max_backlog_segments = max_backlog_segments
+        self._segments: List[ProducedSegment] = []
+        self._next_production_s = 0.0
+        self._next_index = 0
+        self._current_ladder_index = 0
+
+    # -- control --------------------------------------------------------
+    def set_ladder_index(self, index: int) -> None:
+        """Set the encoding bitrate for subsequently produced segments."""
+        self._current_ladder_index = self.ladder.clamp_index(index)
+
+    @property
+    def current_ladder_index(self) -> int:
+        """The ladder index new segments will be encoded at."""
+        return self._current_ladder_index
+
+    # -- production -----------------------------------------------------
+    def produce_due_segments(self, now_s: float) -> List[ProducedSegment]:
+        """Emit every segment whose production time has arrived."""
+        produced: List[ProducedSegment] = []
+        while self._next_production_s <= now_s + 1e-12:
+            bitrate = self.ladder.rate(self._current_ladder_index)
+            segment = ProducedSegment(
+                index=self._next_index,
+                bitrate_bps=bitrate,
+                size_bytes=bitrate * self.segment_duration_s / 8.0,
+                produced_at_s=self._next_production_s,
+            )
+            self._segments.append(segment)
+            produced.append(segment)
+            self._next_index += 1
+            self._next_production_s += self.segment_duration_s
+        self._enforce_backlog()
+        return produced
+
+    def _enforce_backlog(self) -> None:
+        queued = self.queued_segments()
+        while len(queued) > self.max_backlog_segments:
+            oldest = queued.pop(0)
+            oldest.dropped = True
+
+    # -- accounting ------------------------------------------------------
+    def queued_segments(self) -> List[ProducedSegment]:
+        """Segments produced but neither uploaded nor dropped."""
+        return [s for s in self._segments
+                if s.uploaded_at_s is None and not s.dropped]
+
+    @property
+    def segments(self) -> List[ProducedSegment]:
+        """All produced segments, oldest first."""
+        return list(self._segments)
+
+    def uploaded_segments(self) -> List[ProducedSegment]:
+        """Segments fully delivered to the server."""
+        return [s for s in self._segments if s.uploaded_at_s is not None]
+
+    def dropped_count(self) -> int:
+        """Segments evicted before upload."""
+        return sum(1 for s in self._segments if s.dropped)
+
+    def mean_latency_s(self) -> float:
+        """Mean production-to-upload latency over uploaded segments."""
+        latencies = [s.latency_s for s in self.uploaded_segments()]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)

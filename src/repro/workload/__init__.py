@@ -1,0 +1,57 @@
+"""Workloads: scenario builders, dynamics, multi-cell, traces."""
+
+from repro.workload.dynamics import (
+    ArrivalScenario,
+    ArrivalSchedule,
+    ScheduledArrival,
+    build_arrival_scenario,
+)
+from repro.workload.handover import HandoverManager, HandoverRecord
+from repro.workload.interference import CoupledChannel, InterferenceCoupler
+from repro.workload.multicell import (
+    MultiCellScenario,
+    build_multicell_scenario,
+)
+from repro.workload.scenarios import (
+    ALL_SCHEMES,
+    CLIENT_SCHEMES,
+    COORDINATED_SCHEMES,
+    FlareParams,
+    Scenario,
+    build_cell_scenario,
+    build_coexistence_scenario,
+    build_mixed_scenario,
+    build_testbed_scenario,
+    build_trace_scenario,
+)
+from repro.workload.traces import (
+    markov_fade_itbs_trace,
+    random_walk_itbs_trace,
+    trace_mean_capacity_bps,
+)
+
+__all__ = [
+    "ArrivalScenario",
+    "ArrivalSchedule",
+    "ScheduledArrival",
+    "build_arrival_scenario",
+    "HandoverManager",
+    "HandoverRecord",
+    "CoupledChannel",
+    "InterferenceCoupler",
+    "MultiCellScenario",
+    "build_multicell_scenario",
+    "ALL_SCHEMES",
+    "CLIENT_SCHEMES",
+    "COORDINATED_SCHEMES",
+    "FlareParams",
+    "Scenario",
+    "build_cell_scenario",
+    "build_coexistence_scenario",
+    "build_mixed_scenario",
+    "build_testbed_scenario",
+    "build_trace_scenario",
+    "markov_fade_itbs_trace",
+    "random_walk_itbs_trace",
+    "trace_mean_capacity_bps",
+]

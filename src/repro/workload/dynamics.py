@@ -1,0 +1,150 @@
+"""Dynamic flow populations: arrivals and departures mid-run.
+
+The paper's stability constraint explicitly permits large bitrate
+drops "if necessary to maximize (2), e.g., several new clients enter
+the system".  This module provides the machinery to exercise exactly
+that: an :class:`ArrivalSchedule` that attaches new FLARE clients (or
+data flows) to a running cell at scripted times, and a scenario
+builder around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.controller import FlareSystem
+from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
+from repro.has.player import HasPlayer, PlayerConfig
+from repro.metrics.collector import MetricsSampler
+from repro.net.flows import UserEquipment
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.cell import Cell, CellConfig
+from repro.util import require_non_negative
+from repro.workload.scenarios import FlareParams, Scenario
+
+
+@dataclass
+class ScheduledArrival:
+    """One scripted attach action.
+
+    Attributes:
+        time_s: when the client arrives.
+        attach: zero-argument callable performing the attachment
+            (returns the created player or flow).
+        done: set once executed.
+    """
+
+    time_s: float
+    attach: Callable[[], object]
+    done: bool = False
+    result: object = None
+
+
+class ArrivalSchedule:
+    """Step hook executing scripted arrivals against a running cell."""
+
+    def __init__(self, arrivals: Optional[List[ScheduledArrival]] = None
+                 ) -> None:
+        self._arrivals: List[ScheduledArrival] = list(arrivals or [])
+
+    def add(self, time_s: float, attach: Callable[[], object]) -> None:
+        """Schedule ``attach()`` to run at simulation time ``time_s``."""
+        require_non_negative("time_s", time_s)
+        self._arrivals.append(ScheduledArrival(time_s, attach))
+
+    def install(self, cell: Cell) -> None:
+        """Register this schedule as a step hook on ``cell``."""
+        cell.add_step_hook(self._on_step)
+
+    def _on_step(self, now_s: float) -> None:
+        for arrival in self._arrivals:
+            if not arrival.done and now_s >= arrival.time_s:
+                arrival.result = arrival.attach()
+                arrival.done = True
+
+    @property
+    def executed(self) -> List[ScheduledArrival]:
+        """Arrivals that have fired, in schedule order."""
+        return [a for a in self._arrivals if a.done]
+
+
+@dataclass
+class ArrivalScenario(Scenario):
+    """A scenario whose client population grows mid-run.
+
+    Attributes:
+        schedule: the installed arrival schedule; late players appear
+            in :attr:`Scenario.players` only after they arrive — use
+            :meth:`late_players` after :meth:`run`.
+    """
+
+    schedule: ArrivalSchedule = field(default_factory=ArrivalSchedule)
+
+    def late_players(self) -> List[HasPlayer]:
+        """Players attached by the schedule (valid after run())."""
+        return [a.result for a in self.schedule.executed
+                if isinstance(a.result, HasPlayer)]
+
+
+def build_arrival_scenario(
+    initial_clients: int = 4,
+    late_clients: int = 4,
+    arrival_time_s: float = 200.0,
+    duration_s: float = 400.0,
+    itbs: int = 15,
+    segment_s: float = 10.0,
+    seed: int = 0,
+    flare_params: Optional[FlareParams] = None,
+    step_s: float = 0.02,
+) -> ArrivalScenario:
+    """FLARE cell where ``late_clients`` arrive at ``arrival_time_s``.
+
+    All UEs share a fixed channel so the pre/post-arrival capacity
+    split is exactly predictable: the incumbents' assigned rates must
+    drop (possibly by several rungs at once) when the newcomers join —
+    the paper's large-drop escape hatch from the stability constraint.
+    """
+    rng = np.random.default_rng(seed)
+    params = flare_params or FlareParams()
+    cell = Cell(CellConfig(step_s=step_s))
+    flare = FlareSystem(
+        solver=params.solver, delta=params.delta, alpha=params.alpha,
+        bai_s=params.bai_s, enforce_gbr=params.enforce_gbr,
+        enforce_step_limit=params.enforce_step_limit,
+        cost_smoothing=(params.cost_smoothing
+                        if params.cost_smoothing is not None else 0.5),
+    )
+    flare.install(cell)
+    mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=segment_s)
+
+    players = []
+    for _ in range(initial_clients):
+        config = PlayerConfig(
+            request_threshold_s=3.0 * segment_s,
+            start_time_s=float(rng.uniform(0.0, segment_s)))
+        players.append(flare.attach_client(
+            cell, UserEquipment(StaticItbsChannel(itbs)), mpd, config))
+
+    schedule = ArrivalSchedule()
+
+    def make_attach():
+        def attach():
+            config = PlayerConfig(request_threshold_s=3.0 * segment_s,
+                                  start_time_s=cell.now_s)
+            return flare.attach_client(
+                cell, UserEquipment(StaticItbsChannel(itbs)), mpd, config)
+        return attach
+
+    for _ in range(late_clients):
+        schedule.add(arrival_time_s, make_attach())
+    schedule.install(cell)
+
+    sampler = MetricsSampler(interval_s=1.0)
+    cell.add_controller(sampler)
+    return ArrivalScenario(cell=cell, sampler=sampler,
+                           duration_s=duration_s, scheme="flare-arrivals",
+                           players=players, data_flows=[], flare=flare,
+                           schedule=schedule)

@@ -1,0 +1,79 @@
+"""Inter-cell handover of FLARE clients.
+
+The paper's architecture computes bitrates independently per cell, so
+a UE that hands over between eNodeBs must (1) detach its flow from the
+source cell's MAC/PCRF, (2) attach it to the target cell, and (3) move
+its FLARE plugin registration to the target cell's per-cell optimizer
+state (the source cell's Algorithm 1 forgets it; the target's starts
+it fresh at its current level — the standard conservative choice after
+a handover, since the new cell has no RB history for the flow yet).
+
+The *player* object survives the handover untouched: buffered video,
+playback state and segment history carry over, exactly as a real HAS
+player would keep playing across a handover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.controller import FlareSystem
+from repro.has.player import HasPlayer
+from repro.sim.cell import Cell
+
+
+@dataclass(frozen=True)
+class HandoverRecord:
+    """Audit entry of one executed handover."""
+
+    time_s: float
+    flow_id: int
+    source_cell_id: int
+    target_cell_id: int
+
+
+class HandoverManager:
+    """Executes and audits FLARE-client handovers between cells."""
+
+    def __init__(self) -> None:
+        self._records: List[HandoverRecord] = []
+
+    @property
+    def records(self) -> List[HandoverRecord]:
+        """Executed handovers, oldest first."""
+        return list(self._records)
+
+    def migrate(self, player: HasPlayer, source: Cell, source_system:
+                FlareSystem, target: Cell,
+                target_system: FlareSystem) -> None:
+        """Move ``player`` from ``source`` to ``target`` mid-run.
+
+        Raises:
+            KeyError: if the player's flow is not attached to
+                ``source`` (or has no plugin in ``source_system``).
+        """
+        flow = player.flow
+        if flow.flow_id not in source.players:
+            raise KeyError(f"flow {flow.flow_id} is not in cell "
+                           f"{source.cell_id}")
+        plugin = source_system.plugin_for(flow.flow_id)
+
+        # (1) Detach from the source cell: MAC bearer, PCRF session,
+        # player table, and the per-cell optimizer state.
+        source.remove_flow(flow.flow_id)
+        source_system.server.deregister_plugin(flow.flow_id)
+
+        # (2) Attach the *existing* flow and player to the target cell.
+        target.adopt_video_flow(player)
+
+        # (3) Re-register the plugin with the target's OneAPI state.
+        target_system.server.register_plugin(plugin)
+        target_system._plugins[flow.flow_id] = plugin
+
+        self._records.append(HandoverRecord(
+            time_s=source.now_s,
+            flow_id=flow.flow_id,
+            source_cell_id=source.cell_id,
+            target_cell_id=target.cell_id,
+        ))

@@ -1,0 +1,111 @@
+"""Synthetic link-bandwidth trace generators.
+
+The paper's Table III lists a "trace based model" for fading.  When
+real drive-test traces are unavailable (they are proprietary), these
+generators produce synthetic iTbs traces with the statistical features
+that matter to ABR: temporal correlation, bounded excursions, and
+occasional deep fades.  They feed
+:class:`repro.phy.channel.TraceItbsChannel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy import tbs
+from repro.util import require_positive
+
+
+def random_walk_itbs_trace(
+    rng: np.random.Generator,
+    duration_s: float,
+    step_period_s: float = 1.0,
+    start_itbs: int = 10,
+    max_step: int = 2,
+    lo: int = tbs.MIN_ITBS,
+    hi: int = tbs.MAX_ITBS,
+) -> List[Tuple[float, int]]:
+    """Bounded random-walk iTbs trace.
+
+    Each ``step_period_s`` the index moves by a uniform integer in
+    ``[-max_step, +max_step]``, reflected at the bounds — a simple
+    correlated-channel model.
+
+    Returns:
+        A ``(time, itbs)`` list suitable for ``TraceItbsChannel``.
+    """
+    require_positive("duration_s", duration_s)
+    require_positive("step_period_s", step_period_s)
+    tbs.validate_itbs(lo)
+    tbs.validate_itbs(hi)
+    if hi < lo:
+        raise ValueError(f"hi must be >= lo ({hi} < {lo})")
+    current = min(max(start_itbs, lo), hi)
+    trace: List[Tuple[float, int]] = [(0.0, current)]
+    time_s = step_period_s
+    while time_s < duration_s:
+        step = int(rng.integers(-max_step, max_step + 1))
+        current = current + step
+        if current < lo:
+            current = lo + (lo - current)
+        if current > hi:
+            current = hi - (current - hi)
+        current = min(max(current, lo), hi)
+        trace.append((time_s, current))
+        time_s += step_period_s
+    return trace
+
+
+def markov_fade_itbs_trace(
+    rng: np.random.Generator,
+    duration_s: float,
+    step_period_s: float = 0.5,
+    good_itbs: int = 15,
+    bad_itbs: int = 3,
+    p_enter_fade: float = 0.02,
+    p_exit_fade: float = 0.2,
+) -> List[Tuple[float, int]]:
+    """Two-state Gilbert-Elliott-style fade trace.
+
+    The channel alternates between a good state (around ``good_itbs``)
+    and a deep-fade state (around ``bad_itbs``), with geometric state
+    holding times; small uniform jitter (+/-1 index) is added in both
+    states.  Captures the vehicular pattern of sudden underpass/corner
+    fades that drives the paper's mobile-scenario instability.
+    """
+    require_positive("duration_s", duration_s)
+    require_positive("step_period_s", step_period_s)
+    tbs.validate_itbs(good_itbs)
+    tbs.validate_itbs(bad_itbs)
+    for name, p in (("p_enter_fade", p_enter_fade),
+                    ("p_exit_fade", p_exit_fade)):
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"{name} must be in (0, 1], got {p}")
+    in_fade = False
+    trace: List[Tuple[float, int]] = []
+    time_s = 0.0
+    while time_s < duration_s or not trace:
+        if in_fade:
+            if rng.random() < p_exit_fade:
+                in_fade = False
+        else:
+            if rng.random() < p_enter_fade:
+                in_fade = True
+        base = bad_itbs if in_fade else good_itbs
+        jitter = int(rng.integers(-1, 2))
+        level = min(max(base + jitter, tbs.MIN_ITBS), tbs.MAX_ITBS)
+        trace.append((time_s, level))
+        time_s += step_period_s
+    return trace
+
+
+def trace_mean_capacity_bps(trace: Sequence[Tuple[float, int]],
+                            prb_per_tti: int = tbs.PRB_PER_TTI_10MHZ
+                            ) -> float:
+    """Mean full-cell capacity of a trace (diagnostic helper)."""
+    if not trace:
+        raise ValueError("empty trace")
+    rates = [tbs.peak_rate_bps(itbs, prb_per_tti) for _, itbs in trace]
+    return sum(rates) / len(rates)

@@ -1,0 +1,116 @@
+"""Tests for the AVIS baseline (UE adapter + network agent)."""
+
+import pytest
+
+from repro.abr.avis import AvisNetworkAgent, AvisUeAdapter
+from repro.abr.base import AbrContext
+from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
+from repro.has.player import PlayerConfig
+from repro.metrics.collector import MetricsSampler
+from repro.net.flows import UserEquipment
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.cell import Cell, CellConfig
+
+
+def ctx(last_index=None):
+    return AbrContext(now_s=0.0, ladder=SIMULATION_LADDER,
+                      segment_duration_s=10.0, segment_index=0,
+                      buffer_level_s=20.0, last_index=last_index)
+
+
+class TestAvisUeAdapter:
+    def test_no_samples_lowest(self):
+        assert AvisUeAdapter().select_index(ctx()) == 0
+
+    def test_requests_highest_at_estimate(self):
+        abr = AvisUeAdapter(headroom=0.0)
+        for _ in range(3):
+            abr.on_segment_complete(ctx(), 2.2e6)
+        assert abr.select_index(ctx()) == SIMULATION_LADDER.highest_at_most(
+            2.2e6)
+
+    def test_headroom_rounds_boundary_up(self):
+        abr = AvisUeAdapter(headroom=0.05)
+        for _ in range(3):
+            abr.on_segment_complete(ctx(), 2.95e6)  # just under the rung
+        assert SIMULATION_LADDER.rate(abr.select_index(ctx())) == 3000e3
+
+    def test_mean_window(self):
+        abr = AvisUeAdapter(window=3, headroom=0.0)
+        for sample in (1e6, 2e6, 3e6):
+            abr.on_segment_complete(ctx(), sample)
+        # mean = 2 Mbps -> index 4
+        assert abr.select_index(ctx()) == 4
+
+
+class TestAvisNetworkAgent:
+    def _cell_with_agent(self, num_video=2, num_data=1,
+                         video_share=None):
+        cell = Cell(CellConfig())
+        agent = AvisNetworkAgent(video_share=video_share)
+        cell.add_controller(agent)
+        mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=4.0)
+        players = [
+            cell.add_video_flow(
+                UserEquipment(StaticItbsChannel(15)), mpd, AvisUeAdapter(),
+                PlayerConfig(request_threshold_s=12.0))
+            for _ in range(num_video)
+        ]
+        data = [cell.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+                for _ in range(num_data)]
+        return cell, agent, players, data
+
+    def test_sets_gbr_mbr_on_video_flows(self):
+        cell, _, players, _ = self._cell_with_agent()
+        cell.run(2.0)
+        for player in players:
+            qos = cell.registry.qos(player.flow.flow_id)
+            assert qos.gbr_bps > 0
+            assert qos.mbr_bps == pytest.approx(qos.gbr_bps)
+
+    def test_gbr_snapped_to_ladder(self):
+        cell, _, players, _ = self._cell_with_agent()
+        cell.run(2.0)
+        for player in players:
+            qos = cell.registry.qos(player.flow.flow_id)
+            assert qos.gbr_bps in SIMULATION_LADDER.rates_bps
+
+    def test_data_flows_capped_at_static_share(self):
+        cell, _, _, data = self._cell_with_agent(num_video=2, num_data=2,
+                                                 video_share=0.5)
+        cell.run(2.0)
+        # Data partition = 50% of 50k PRB/s at iTbs 15 (35 B/PRB):
+        # 0.5 * 50000 * 35 * 8 / 2 flows = 3.5 Mbps per flow.
+        for flow in data:
+            qos = cell.registry.qos(flow.flow_id)
+            assert qos.mbr_bps == pytest.approx(3.5e6, rel=0.01)
+
+    def test_video_share_frozen_at_first_epoch(self):
+        cell, agent, _, _ = self._cell_with_agent(num_video=2, num_data=2)
+        cell.run(1.0)
+        assert agent._video_share == pytest.approx(0.5)
+        # Adding a flow later must NOT change the static split.
+        cell.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+        cell.run(2.0)
+        assert agent._video_share == pytest.approx(0.5)
+
+    def test_static_partition_strands_capacity(self):
+        # The paper's AVIS under-utilisation: with video idle, the data
+        # side stays capped at its static share.
+        cell, _, players, data = self._cell_with_agent(
+            num_video=1, num_data=1, video_share=0.5)
+        # Make the single video client finish quickly (bounded video).
+        cell.run(20.0)
+        data_bytes = data[0].total_delivered_bytes
+        # Cell could carry 35 B/PRB * 50000 PRB/s = 14 Mbps; data is
+        # limited to ~half despite video being mostly idle.
+        data_bps = data_bytes * 8 / 20.0
+        assert data_bps < 0.62 * 14e6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AvisNetworkAgent(interval_s=0.0)
+        with pytest.raises(ValueError):
+            AvisNetworkAgent(ewma_weight=2.0)
+        with pytest.raises(ValueError):
+            AvisNetworkAgent(video_share=1.5)

@@ -1,0 +1,164 @@
+"""Tests for the client-side ABR algorithms (FESTIVE, GOOGLE, baselines)."""
+
+import pytest
+
+from repro.abr.base import AbrContext, ConstantAbr
+from repro.abr.bba import BufferBased
+from repro.abr.festive import Festive
+from repro.abr.google import GoogleDemo
+from repro.abr.rate_based import RateBased
+from repro.has.mpd import SIMULATION_LADDER
+
+
+def ctx(buffer_s=20.0, last_index=None, segment_index=0, now_s=0.0):
+    return AbrContext(
+        now_s=now_s,
+        ladder=SIMULATION_LADDER,
+        segment_duration_s=10.0,
+        segment_index=segment_index,
+        buffer_level_s=buffer_s,
+        last_index=last_index,
+    )
+
+
+def feed(abr, samples_bps, last_index=None):
+    """Feed throughput samples, tracking the chosen index like a player."""
+    index = last_index
+    for i, sample in enumerate(samples_bps):
+        abr.on_segment_complete(ctx(last_index=index, segment_index=i),
+                                sample)
+        index = abr.select_index(ctx(last_index=index, segment_index=i + 1))
+    return index
+
+
+class TestConstantAbr:
+    def test_fixed(self):
+        abr = ConstantAbr(2)
+        assert abr.select_index(ctx()) == 2
+
+    def test_clamped(self):
+        assert ConstantAbr(99).select_index(ctx()) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantAbr(-1)
+
+
+class TestFestive:
+    def test_starts_lowest(self):
+        assert Festive().select_index(ctx()) == 0
+
+    def test_gradual_rampup_one_level_at_a_time(self):
+        abr = Festive()
+        index = None
+        previous = -1
+        for i in range(30):
+            abr.on_segment_complete(ctx(last_index=index), 10e6)
+            index = abr.select_index(ctx(last_index=index))
+            assert index - max(previous, 0) <= 1  # never jumps 2+ levels
+            previous = index
+        assert index >= 4  # did climb near the top eventually
+
+    def test_down_is_immediate(self):
+        abr = Festive()
+        index = feed(abr, [10e6] * 30)
+        assert index >= 4
+        # One bad stretch: harmonic mean collapses fast.
+        after = feed(abr, [150e3] * 6, last_index=index)
+        assert after < index
+
+    def test_rampup_slows_with_level(self):
+        abr = Festive()
+        # From level 0 the first upgrade needs 1 recommendation; from
+        # level 3 it needs 4 consecutive ones.
+        abr._up_streak = 0
+        assert abr._reference_index(ctx(), 0, 5) == 1
+        abr._up_streak = 0
+        for _ in range(3):
+            assert abr._reference_index(ctx(), 3, 5) == 3
+        assert abr._reference_index(ctx(), 3, 5) == 4
+
+    def test_up_streak_resets_on_dip(self):
+        abr = Festive()
+        abr._reference_index(ctx(), 3, 5)  # streak 1
+        abr._reference_index(ctx(), 3, 2)  # dip: goes down, resets
+        assert abr._up_streak == 0
+
+    def test_safety_factor_respected(self):
+        abr = Festive(p=0.85)
+        # 1.1 Mbps harmonic estimate -> 0.85 * 1.1 = 935k -> index 2.
+        index = feed(abr, [1.1e6] * 30)
+        assert SIMULATION_LADDER.rate(index) <= 0.85 * 1.1e6
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Festive(p=1.5)
+        with pytest.raises(ValueError):
+            Festive(window=0)
+
+    def test_reset(self):
+        abr = Festive()
+        feed(abr, [10e6] * 10)
+        abr.reset()
+        assert abr.select_index(ctx()) == 0
+
+
+class TestGoogleDemo:
+    def test_starts_lowest(self):
+        assert GoogleDemo().select_index(ctx()) == 0
+
+    def test_jumps_straight_to_target(self):
+        abr = GoogleDemo()
+        for _ in range(3):
+            abr.on_segment_complete(ctx(), 10e6)
+        # 0.85 * 10 Mbps >> top rung: jumps to max immediately.
+        assert abr.select_index(ctx()) == 5
+
+    def test_min_of_long_and_short(self):
+        abr = GoogleDemo(long_window=10, short_window=2)
+        for _ in range(10):
+            abr.on_segment_complete(ctx(), 10e6)
+        # Short-term collapse drags the decision down immediately.
+        abr.on_segment_complete(ctx(), 200e3)
+        abr.on_segment_complete(ctx(), 200e3)
+        index = abr.select_index(ctx())
+        assert SIMULATION_LADDER.rate(index) <= 0.85 * 200e3 or index == 0
+
+    def test_085_rule(self):
+        abr = GoogleDemo()
+        for _ in range(5):
+            abr.on_segment_complete(ctx(), 1.2e6)
+        index = abr.select_index(ctx())
+        assert SIMULATION_LADDER.rate(index) <= 0.85 * 1.2e6
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            GoogleDemo(long_window=2, short_window=3)
+
+
+class TestRateBased:
+    def test_harmonic_discount(self):
+        abr = RateBased(safety=0.9, window=5)
+        for _ in range(5):
+            abr.on_segment_complete(ctx(), 1.2e6)
+        index = abr.select_index(ctx())
+        assert SIMULATION_LADDER.rate(index) <= 0.9 * 1.2e6
+
+    def test_no_samples_lowest(self):
+        assert RateBased().select_index(ctx()) == 0
+
+
+class TestBufferBased:
+    def test_reservoir_floor(self):
+        abr = BufferBased(reservoir_s=5.0, cushion_s=20.0)
+        assert abr.select_index(ctx(buffer_s=3.0)) == 0
+
+    def test_cushion_ceiling(self):
+        abr = BufferBased(reservoir_s=5.0, cushion_s=20.0)
+        assert abr.select_index(ctx(buffer_s=30.0)) == 5
+
+    def test_monotone_in_buffer(self):
+        abr = BufferBased(reservoir_s=5.0, cushion_s=20.0)
+        indices = [abr.select_index(ctx(buffer_s=b))
+                   for b in (0, 6, 10, 15, 20, 26)]
+        assert indices == sorted(indices)

@@ -1,0 +1,31 @@
+"""Tests for the FLARE plugin-driven client ABR."""
+
+from repro.abr.base import AbrContext
+from repro.abr.flare_client import FlareClientAbr
+from repro.core.plugin import FlarePlugin
+from repro.has.mpd import SIMULATION_LADDER
+
+
+def ctx():
+    return AbrContext(now_s=0.0, ladder=SIMULATION_LADDER,
+                      segment_duration_s=10.0, segment_index=0,
+                      buffer_level_s=20.0, last_index=None)
+
+
+class TestFlareClientAbr:
+    def test_lowest_before_first_assignment(self):
+        plugin = FlarePlugin(1, SIMULATION_LADDER)
+        assert FlareClientAbr(plugin).select_index(ctx()) == 0
+
+    def test_follows_assignment(self):
+        plugin = FlarePlugin(1, SIMULATION_LADDER)
+        abr = FlareClientAbr(plugin)
+        plugin.assign(3)
+        assert abr.select_index(ctx()) == 3
+        plugin.assign(1)
+        assert abr.select_index(ctx()) == 1
+
+    def test_assignment_clamped(self):
+        plugin = FlarePlugin(1, SIMULATION_LADDER)
+        plugin.assign(42)
+        assert FlareClientAbr(plugin).select_index(ctx()) == 5

@@ -1,0 +1,83 @@
+"""Tests for the MPC baseline."""
+
+import pytest
+
+from repro.abr.base import AbrContext
+from repro.abr.mpc import ModelPredictive
+from repro.has.mpd import FINE_LADDER, SIMULATION_LADDER
+
+
+def ctx(buffer_s=20.0, last_index=None, ladder=SIMULATION_LADDER):
+    return AbrContext(now_s=0.0, ladder=ladder, segment_duration_s=10.0,
+                      segment_index=0, buffer_level_s=buffer_s,
+                      last_index=last_index)
+
+
+def feed(abr, samples, last_index=None, buffer_s=20.0):
+    index = last_index
+    for sample in samples:
+        abr.on_segment_complete(ctx(buffer_s, index), sample)
+        index = abr.select_index(ctx(buffer_s, index))
+    return index
+
+
+class TestSelection:
+    def test_no_samples_lowest(self):
+        assert ModelPredictive().select_index(ctx()) == 0
+
+    def test_climbs_with_bandwidth(self):
+        index = feed(ModelPredictive(), [10e6] * 10)
+        assert index >= 4
+
+    def test_low_buffer_is_cautious(self):
+        abr = ModelPredictive()
+        for _ in range(5):
+            abr.on_segment_complete(ctx(), 2.2e6)
+        rich = abr.select_index(ctx(buffer_s=30.0, last_index=3))
+        poor = abr.select_index(ctx(buffer_s=1.0, last_index=3))
+        assert poor <= rich
+
+    def test_bounded_step(self):
+        abr = ModelPredictive(max_step=1)
+        for _ in range(5):
+            abr.on_segment_complete(ctx(), 50e6)
+        assert abr.select_index(ctx(last_index=0)) <= 1
+
+    def test_robustness_discount(self):
+        # Volatile history -> larger prediction error -> more caution.
+        steady = ModelPredictive()
+        feed(steady, [2.0e6] * 8)
+        volatile = ModelPredictive()
+        feed(volatile, [4.0e6, 0.8e6] * 4)
+        steady_pick = steady.select_index(ctx(last_index=3))
+        volatile_pick = volatile.select_index(ctx(last_index=3))
+        assert volatile_pick <= steady_pick
+
+    def test_switch_penalty_discourages_oscillation(self):
+        smooth = ModelPredictive(switch_penalty=10.0)
+        for _ in range(5):
+            smooth.on_segment_complete(ctx(), 2.05e6)
+        # With a strong switch penalty it prefers staying at 3 over
+        # darting to 4 on a marginal estimate.
+        assert smooth.select_index(ctx(last_index=3)) == 3
+
+    def test_large_ladder_horizon_stays_tractable(self):
+        abr = ModelPredictive(horizon=8, max_step=3)
+        for _ in range(5):
+            abr.on_segment_complete(ctx(ladder=FINE_LADDER), 1.0e6)
+        index = abr.select_index(ctx(ladder=FINE_LADDER, last_index=5))
+        assert 0 <= index < len(FINE_LADDER)
+
+    def test_reset(self):
+        abr = ModelPredictive()
+        feed(abr, [10e6] * 5)
+        abr.reset()
+        assert abr.select_index(ctx()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelPredictive(horizon=0)
+        with pytest.raises(ValueError):
+            ModelPredictive(max_step=0)
+        with pytest.raises(ValueError):
+            ModelPredictive(rebuffer_penalty=-1.0)

@@ -1,0 +1,67 @@
+"""Tests for the PHY-informed (piStream-style) client ABR."""
+
+import pytest
+
+from repro.abr.base import AbrContext
+from repro.abr.phy_informed import PhyInformed
+from repro.has.mpd import SIMULATION_LADDER
+from repro.net.flows import UserEquipment
+from repro.phy.channel import OutageChannel, StaticItbsChannel, TraceItbsChannel
+
+
+def ctx(now_s=0.0, last_index=None):
+    return AbrContext(now_s=now_s, ladder=SIMULATION_LADDER,
+                      segment_duration_s=10.0, segment_index=0,
+                      buffer_level_s=20.0, last_index=last_index)
+
+
+class TestEstimate:
+    def test_uses_initial_share_before_samples(self):
+        ue = UserEquipment(StaticItbsChannel(15))  # peak = 14 Mbps
+        abr = PhyInformed(ue, safety=1.0, initial_share=0.1)
+        # 14 Mbps * 0.1 = 1.4 Mbps -> index 3 (1000k)
+        assert abr.select_index(ctx()) == 3
+
+    def test_learns_share_from_throughput(self):
+        ue = UserEquipment(StaticItbsChannel(15))
+        abr = PhyInformed(ue, safety=1.0, share_smoothing=1.0)
+        abr.on_segment_complete(ctx(), 7e6)  # share = 0.5 of 14 Mbps
+        assert abr.select_index(ctx()) == SIMULATION_LADDER.highest_at_most(
+            7e6)
+
+    def test_reacts_instantly_to_channel_drop(self):
+        # The cross-layer advantage: the estimate collapses the moment
+        # the CQI does, before any slow segment sample arrives.
+        channel = TraceItbsChannel([(0.0, 20), (100.0, 2)])
+        ue = UserEquipment(channel)
+        abr = PhyInformed(ue, safety=1.0, share_smoothing=1.0)
+        abr.on_segment_complete(ctx(now_s=50.0), 10e6)
+        before = abr.select_index(ctx(now_s=50.0))
+        after = abr.select_index(ctx(now_s=150.0))
+        assert after < before
+
+    def test_outage_selects_minimum_without_crashing(self):
+        channel = OutageChannel(StaticItbsChannel(15), [(0.0, 10.0)])
+        abr = PhyInformed(UserEquipment(channel))
+        assert abr.select_index(ctx(now_s=5.0)) == 0
+        abr.on_segment_complete(ctx(now_s=5.0), 1e6)  # ignored: no peak
+
+    def test_share_capped_at_one(self):
+        ue = UserEquipment(StaticItbsChannel(15))
+        abr = PhyInformed(ue, safety=1.0, share_smoothing=1.0)
+        abr.on_segment_complete(ctx(), 100e6)  # burst above peak
+        assert abr._share.value == pytest.approx(1.0)
+
+    def test_reset(self):
+        ue = UserEquipment(StaticItbsChannel(15))
+        abr = PhyInformed(ue, share_smoothing=1.0, initial_share=0.01)
+        abr.on_segment_complete(ctx(), 14e6)
+        abr.reset()
+        assert abr.select_index(ctx()) == 0  # back to tiny initial share
+
+    def test_validation(self):
+        ue = UserEquipment(StaticItbsChannel(15))
+        with pytest.raises(ValueError):
+            PhyInformed(ue, prbs_per_second=0.0)
+        with pytest.raises(ValueError):
+            PhyInformed(ue, safety=1.5)

@@ -1,0 +1,215 @@
+"""Tests for the exact and relaxed per-BAI solvers.
+
+The key correctness check is a brute-force cross-validation: for small
+instances the exact solver must match an exhaustive enumeration of
+every (ladder-choice, r) combination, and the relaxed solver's rounded
+solution must be feasible and close.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import (
+    ExactSolver,
+    FlowSpec,
+    ProblemSpec,
+    RelaxedSolver,
+)
+from repro.core.utility import data_utility, video_utility
+from repro.has.mpd import BitrateLadder, SIMULATION_LADDER
+
+SMALL_LADDER = BitrateLadder.from_kbps((100, 500, 1000, 2000))
+
+
+def make_flow(flow_id, bytes_per_prb=40.0, max_index=None,
+              ladder=SMALL_LADDER, bai_s=2.0):
+    return FlowSpec(
+        flow_id=flow_id, ladder=ladder, beta=10.0, theta_bps=0.2e6,
+        rbs_per_bps=bai_s / (8.0 * bytes_per_prb), max_index=max_index)
+
+
+def make_problem(flows, num_data=1, alpha=1.0, total_rbs=100_000.0):
+    return ProblemSpec(flows=tuple(flows), num_data_flows=num_data,
+                       alpha=alpha, total_rbs=total_rbs)
+
+
+def brute_force(problem):
+    """Exhaustive optimum over all ladder choices (r = usage/N)."""
+    best_value, best_choice = -math.inf, None
+    ranges = [range(flow.allowed_max_index() + 1) for flow in problem.flows]
+    for combo in itertools.product(*ranges):
+        used = sum(flow.rbs_per_bps * flow.ladder.rate(k)
+                   for flow, k in zip(problem.flows, combo))
+        r = used / problem.total_rbs
+        if r > 1.0:
+            continue
+        if problem.num_data_flows > 0 and r >= 1.0:
+            continue
+        value = sum(video_utility(flow.ladder.rate(k), flow.beta,
+                                  flow.theta_bps)
+                    for flow, k in zip(problem.flows, combo))
+        if problem.num_data_flows > 0:
+            value += data_utility(min(r, 1 - 1e-12),
+                                  problem.num_data_flows, problem.alpha)
+        if value > best_value:
+            best_value, best_choice = value, combo
+    return best_value, best_choice
+
+
+class TestExactSolverAgainstBruteForce:
+    @pytest.mark.parametrize("num_flows,num_data,alpha", [
+        (1, 0, 1.0), (2, 1, 1.0), (3, 2, 0.5), (4, 1, 2.0),
+    ])
+    def test_matches_brute_force(self, num_flows, num_data, alpha):
+        rng = np.random.default_rng(num_flows * 10 + num_data)
+        flows = [make_flow(i, bytes_per_prb=float(rng.uniform(5, 80)))
+                 for i in range(num_flows)]
+        problem = make_problem(flows, num_data=num_data, alpha=alpha,
+                               total_rbs=30_000.0)
+        solution = ExactSolver(quanta=2000).solve(problem)
+        best_value, _ = brute_force(problem)
+        assert solution.utility == pytest.approx(best_value, rel=1e-2,
+                                                 abs=1e-2)
+
+    @given(st.integers(1, 4), st.integers(0, 3), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beats_brute_force_and_is_feasible(self, num_flows,
+                                                     num_data, seed):
+        rng = np.random.default_rng(seed)
+        flows = [make_flow(i, bytes_per_prb=float(rng.uniform(5, 80)),
+                           max_index=int(rng.integers(0, 4)))
+                 for i in range(num_flows)]
+        problem = make_problem(flows, num_data=num_data,
+                               total_rbs=float(rng.uniform(5_000, 80_000)))
+        solution = ExactSolver(quanta=1500).solve(problem)
+        best_value, _ = brute_force(problem)
+        if solution.feasible and best_value > -math.inf:
+            # quantisation may cost a little, never gain
+            assert solution.utility <= best_value + 1e-6
+            assert solution.utility >= best_value - 0.35
+        used = sum(flow.rbs_per_bps * solution.rates_bps[flow.flow_id]
+                   for flow in problem.flows)
+        if solution.feasible:
+            assert used <= problem.total_rbs * (1 + 1e-9)
+
+
+class TestExactSolverBehaviour:
+    def test_respects_max_index(self):
+        flows = [make_flow(0, max_index=1), make_flow(1, max_index=2)]
+        solution = ExactSolver().solve(make_problem(flows, num_data=0))
+        assert solution.indices[0] <= 1
+        assert solution.indices[1] <= 2
+
+    def test_no_data_flows_uses_full_capacity(self):
+        flows = [make_flow(i) for i in range(4)]
+        solution = ExactSolver().solve(make_problem(flows, num_data=0))
+        # Plenty of capacity: everyone at the top.
+        assert all(k == 3 for k in solution.indices.values())
+
+    def test_more_data_flows_lower_video_rates(self):
+        flows = [make_flow(i, bytes_per_prb=10.0) for i in range(4)]
+        few = ExactSolver().solve(make_problem(flows, num_data=1,
+                                               total_rbs=30_000.0))
+        many = ExactSolver().solve(make_problem(flows, num_data=20,
+                                                total_rbs=30_000.0))
+        assert (sum(many.rates_bps.values())
+                <= sum(few.rates_bps.values()))
+
+    def test_overload_falls_back_to_minimum(self):
+        flows = [make_flow(i, bytes_per_prb=1.0) for i in range(8)]
+        solution = ExactSolver().solve(make_problem(flows, total_rbs=100.0))
+        assert not solution.feasible
+        assert all(k == 0 for k in solution.indices.values())
+
+    def test_empty_problem(self):
+        solution = ExactSolver().solve(make_problem([], num_data=2))
+        assert solution.indices == {}
+        assert solution.r == 0.0
+
+    def test_solve_time_recorded(self):
+        flows = [make_flow(i) for i in range(4)]
+        solution = ExactSolver().solve(make_problem(flows))
+        assert solution.solve_time_s > 0.0
+
+    def test_heterogeneous_channels_bias_allocation(self):
+        # Cheap (good-channel) flows should get at least the rate of
+        # expensive flows at the optimum.
+        flows = [make_flow(0, bytes_per_prb=80.0),
+                 make_flow(1, bytes_per_prb=8.0)]
+        solution = ExactSolver().solve(
+            make_problem(flows, num_data=2, total_rbs=12_000.0))
+        assert solution.rates_bps[0] >= solution.rates_bps[1]
+
+
+class TestRelaxedSolver:
+    def test_feasible_and_close_to_exact(self):
+        rng = np.random.default_rng(5)
+        flows = [make_flow(i, bytes_per_prb=float(rng.uniform(10, 80)))
+                 for i in range(6)]
+        problem = make_problem(flows, num_data=2, total_rbs=40_000.0)
+        exact = ExactSolver().solve(problem)
+        relaxed = RelaxedSolver().solve(problem)
+        used = sum(flow.rbs_per_bps * relaxed.rates_bps[flow.flow_id]
+                   for flow in problem.flows)
+        assert used <= problem.total_rbs * (1 + 1e-9)
+        # Rounding down can only lose; paper reports <= ~15% bitrate.
+        assert relaxed.utility <= exact.utility + 1e-6
+
+    def test_continuous_rates_within_bounds(self):
+        flows = [make_flow(i, max_index=2) for i in range(3)]
+        problem = make_problem(flows, num_data=1, total_rbs=20_000.0)
+        solution = RelaxedSolver().solve(problem)
+        for flow in flows:
+            rate = solution.continuous_rates_bps[flow.flow_id]
+            assert flow.ladder.min_rate - 1e-6 <= rate
+            assert rate <= flow.ladder.rate(2) + 1e-6
+
+    def test_rounds_down_to_ladder(self):
+        flows = [make_flow(i) for i in range(3)]
+        problem = make_problem(flows, num_data=1)
+        solution = RelaxedSolver().solve(problem)
+        for flow in flows:
+            assert solution.rates_bps[flow.flow_id] in flow.ladder.rates_bps
+            assert (solution.rates_bps[flow.flow_id]
+                    <= solution.continuous_rates_bps[flow.flow_id] + 1e-6)
+
+    def test_no_data_flows_maxes_rates(self):
+        flows = [make_flow(i) for i in range(2)]
+        solution = RelaxedSolver().solve(make_problem(flows, num_data=0))
+        assert all(rate == SMALL_LADDER.max_rate
+                   for rate in solution.rates_bps.values())
+
+    def test_overload_fallback(self):
+        flows = [make_flow(i, bytes_per_prb=1.0) for i in range(8)]
+        solution = RelaxedSolver().solve(
+            make_problem(flows, total_rbs=100.0))
+        assert not solution.feasible
+
+    def test_alpha_tradeoff_monotone(self):
+        flows = [make_flow(i, bytes_per_prb=20.0) for i in range(4)]
+        low = RelaxedSolver().solve(make_problem(flows, num_data=4,
+                                                 alpha=0.25,
+                                                 total_rbs=25_000.0))
+        high = RelaxedSolver().solve(make_problem(flows, num_data=4,
+                                                  alpha=4.0,
+                                                  total_rbs=25_000.0))
+        # Higher alpha -> more weight on data -> lower video share r.
+        assert high.r <= low.r + 1e-9
+
+
+class TestFlowSpecValidation:
+    def test_rejects_bad_cost(self):
+        with pytest.raises(ValueError):
+            FlowSpec(flow_id=0, ladder=SMALL_LADDER, beta=10.0,
+                     theta_bps=0.2e6, rbs_per_bps=0.0)
+
+    def test_allowed_max_index_clamps(self):
+        spec = make_flow(0, max_index=99)
+        assert spec.allowed_max_index() == len(SMALL_LADDER) - 1
+        spec = make_flow(0, max_index=-5)
+        assert spec.allowed_max_index() == 0

@@ -1,0 +1,117 @@
+"""Property-based invariants of the per-BAI optimizers.
+
+These are the economic sanity laws of problem (3)-(4): more capacity
+can never hurt, more competition for the data side shifts allocations
+the right way, and both solvers respect every stated constraint on
+arbitrary instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import (
+    ExactSolver,
+    FlowSpec,
+    ProblemSpec,
+    RelaxedSolver,
+)
+from repro.has.mpd import BitrateLadder
+
+LADDER = BitrateLadder.from_kbps((100, 250, 500, 1000, 2000, 3000))
+
+
+@st.composite
+def problems(draw):
+    num_flows = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    flows = tuple(
+        FlowSpec(
+            flow_id=i,
+            ladder=LADDER,
+            beta=float(rng.uniform(1.0, 20.0)),
+            theta_bps=float(rng.uniform(0.05e6, 0.5e6)),
+            rbs_per_bps=2.0 / (8.0 * float(rng.uniform(4.0, 89.0))),
+            max_index=int(rng.integers(0, len(LADDER))),
+        )
+        for i in range(num_flows)
+    )
+    num_data = draw(st.integers(0, 4))
+    total_rbs = draw(st.floats(5_000.0, 200_000.0))
+    alpha = draw(st.floats(0.1, 4.0))
+    return ProblemSpec(flows=flows, num_data_flows=num_data,
+                       alpha=alpha, total_rbs=total_rbs)
+
+
+class TestConstraintsAlwaysHold:
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_solution_feasible(self, problem):
+        solution = ExactSolver(quanta=500).solve(problem)
+        used = sum(flow.rbs_per_bps * solution.rates_bps[flow.flow_id]
+                   for flow in problem.flows)
+        if solution.feasible:
+            assert used <= problem.total_rbs * (1 + 1e-9)
+        for flow in problem.flows:
+            assert (solution.indices[flow.flow_id]
+                    <= flow.allowed_max_index())
+            assert 0 <= solution.indices[flow.flow_id]
+
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_relaxed_solution_feasible(self, problem):
+        solution = RelaxedSolver().solve(problem)
+        used = sum(flow.rbs_per_bps * solution.rates_bps[flow.flow_id]
+                   for flow in problem.flows)
+        if solution.feasible:
+            assert used <= problem.total_rbs * (1 + 1e-6)
+        for flow in problem.flows:
+            assert (solution.indices[flow.flow_id]
+                    <= flow.allowed_max_index())
+
+    @given(problems())
+    @settings(max_examples=40, deadline=None)
+    def test_r_in_unit_interval(self, problem):
+        for solver in (ExactSolver(quanta=500), RelaxedSolver()):
+            solution = solver.solve(problem)
+            assert 0.0 <= solution.r <= 1.0 + 1e-9
+
+
+class TestMonotonicity:
+    @given(problems(), st.floats(1.2, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_more_capacity_never_lowers_utility(self, problem, factor):
+        small = ExactSolver(quanta=500).solve(problem)
+        bigger = ProblemSpec(flows=problem.flows,
+                             num_data_flows=problem.num_data_flows,
+                             alpha=problem.alpha,
+                             total_rbs=problem.total_rbs * factor)
+        big = ExactSolver(quanta=500).solve(bigger)
+        if small.feasible:
+            # Small slack for capacity quantisation.
+            assert big.utility >= small.utility - 0.2
+
+    @given(problems())
+    @settings(max_examples=25, deadline=None)
+    def test_more_data_flows_never_raise_video_rates(self, problem):
+        few = RelaxedSolver().solve(problem)
+        crowded = ProblemSpec(flows=problem.flows,
+                              num_data_flows=problem.num_data_flows + 5,
+                              alpha=problem.alpha,
+                              total_rbs=problem.total_rbs)
+        many = RelaxedSolver().solve(crowded)
+        assert (sum(many.continuous_rates_bps.values())
+                <= sum(few.continuous_rates_bps.values()) + 1.0)
+
+    @given(problems())
+    @settings(max_examples=25, deadline=None)
+    def test_relaxed_never_beats_exact(self, problem):
+        exact = ExactSolver(quanta=2000).solve(problem)
+        relaxed = RelaxedSolver().solve(problem)
+        if exact.feasible and relaxed.feasible:
+            # The relaxed+rounded solution is a feasible point of the
+            # discrete problem, so the exact optimum dominates it
+            # (up to DP quantisation slack).
+            assert relaxed.utility <= exact.utility + 0.2

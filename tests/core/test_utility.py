@@ -1,0 +1,83 @@
+"""Tests for FLARE's utility model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.utility import (
+    data_utility,
+    total_utility,
+    video_utility,
+    video_utility_derivative,
+)
+
+
+class TestVideoUtility:
+    def test_crosses_zero_at_theta(self):
+        assert video_utility(0.2e6, beta=10.0, theta_bps=0.2e6) == 0.0
+
+    def test_saturates_at_beta(self):
+        assert video_utility(1e12, beta=10.0, theta_bps=0.2e6) < 10.0
+        assert video_utility(1e12, beta=10.0,
+                             theta_bps=0.2e6) == pytest.approx(10.0, abs=1e-3)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            video_utility(0.0, 10.0, 0.2e6)
+
+    @given(st.floats(1e3, 1e8), st.floats(1e3, 1e8))
+    def test_monotone_increasing(self, r1, r2):
+        lo, hi = min(r1, r2), max(r1, r2)
+        assert (video_utility(lo, 10.0, 0.2e6)
+                <= video_utility(hi, 10.0, 0.2e6) + 1e-12)
+
+    @given(st.floats(1e4, 1e8))
+    def test_derivative_matches_finite_difference(self, rate):
+        h = rate * 1e-6
+        numeric = (video_utility(rate + h, 10.0, 0.2e6)
+                   - video_utility(rate - h, 10.0, 0.2e6)) / (2 * h)
+        analytic = video_utility_derivative(rate, 10.0, 0.2e6)
+        assert numeric == pytest.approx(analytic, rel=1e-3)
+
+    @given(st.floats(1e4, 1e8), st.floats(1e4, 1e8))
+    def test_concave(self, r1, r2):
+        mid = 0.5 * (r1 + r2)
+        lhs = video_utility(mid, 10.0, 0.2e6)
+        rhs = 0.5 * (video_utility(r1, 10.0, 0.2e6)
+                     + video_utility(r2, 10.0, 0.2e6))
+        assert lhs >= rhs - 1e-9
+
+
+class TestDataUtility:
+    def test_zero_flows_vanish(self):
+        assert data_utility(0.999, 0, 1.0) == 0.0
+
+    def test_log_form(self):
+        assert data_utility(0.5, 2, 3.0) == pytest.approx(
+            2 * 3.0 * math.log(0.5))
+
+    def test_r_of_one_rejected_with_data(self):
+        with pytest.raises(ValueError):
+            data_utility(1.0, 1, 1.0)
+
+    @given(st.floats(0.0, 0.98), st.floats(0.0, 0.98))
+    def test_decreasing_in_r(self, r1, r2):
+        lo, hi = min(r1, r2), max(r1, r2)
+        assert data_utility(hi, 3, 1.0) <= data_utility(lo, 3, 1.0) + 1e-12
+
+
+class TestTotalUtility:
+    def test_combines_terms(self):
+        total = total_utility(
+            rates_bps=[1e6, 2e6], betas=[10.0, 10.0],
+            thetas_bps=[0.2e6, 0.2e6], r=0.5, num_data_flows=1, alpha=1.0)
+        expected = (video_utility(1e6, 10.0, 0.2e6)
+                    + video_utility(2e6, 10.0, 0.2e6)
+                    + data_utility(0.5, 1, 1.0))
+        assert total == pytest.approx(expected)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            total_utility([1e6], [10.0, 10.0], [0.2e6], 0.5, 1, 1.0)

@@ -1,0 +1,62 @@
+"""Tests for the JSONL audit exporters."""
+
+import pytest
+
+from repro.experiments.audit import (
+    dump_bai_log,
+    dump_segment_log,
+    read_jsonl,
+)
+from repro.workload.scenarios import build_testbed_scenario
+
+
+@pytest.fixture(scope="module")
+def finished_scenario():
+    scenario = build_testbed_scenario("flare", duration_s=60.0, seed=2)
+    scenario.run()
+    return scenario
+
+
+class TestBaiLog:
+    def test_one_line_per_bai(self, finished_scenario, tmp_path):
+        server = finished_scenario.flare.server
+        path = dump_bai_log(server, tmp_path / "bai.jsonl")
+        events = list(read_jsonl(path))
+        assert len(events) == len(server.records)
+
+    def test_event_schema(self, finished_scenario, tmp_path):
+        server = finished_scenario.flare.server
+        path = dump_bai_log(server, tmp_path / "bai.jsonl")
+        event = next(read_jsonl(path))
+        assert set(event) == {
+            "time_s", "num_video_flows", "num_data_flows", "recommended",
+            "enforced", "rates_bps", "r", "utility", "solve_time_ms",
+            "feasible",
+        }
+        assert event["num_video_flows"] == 3
+        assert 0.0 <= event["r"] <= 1.0
+        assert event["solve_time_ms"] > 0
+
+    def test_enforced_matches_records(self, finished_scenario, tmp_path):
+        server = finished_scenario.flare.server
+        path = dump_bai_log(server, tmp_path / "bai.jsonl")
+        events = list(read_jsonl(path))
+        last_record = server.records[-1]
+        assert events[-1]["enforced"] == {
+            str(k): v for k, v in last_record.decision.indices.items()}
+
+
+class TestSegmentLog:
+    def test_roundtrip(self, finished_scenario, tmp_path):
+        player = finished_scenario.players[0]
+        path = dump_segment_log(player, tmp_path / "segments.jsonl")
+        events = list(read_jsonl(path))
+        assert len(events) == len(player.log)
+        assert [e["segment"] for e in events] == [
+            r.index for r in player.log.records]
+        assert all(e["throughput_bps"] > 0 for e in events)
+
+    def test_creates_parent_dirs(self, finished_scenario, tmp_path):
+        player = finished_scenario.players[0]
+        path = dump_segment_log(player, tmp_path / "deep" / "s.jsonl")
+        assert path.exists()

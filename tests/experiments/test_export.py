@@ -1,0 +1,95 @@
+"""Tests for the CSV export helpers."""
+
+import pytest
+
+from repro.experiments.export import (
+    export_alpha_sweep_csv,
+    export_cdf_csv,
+    export_clients_csv,
+    export_delta_sweep_csv,
+    export_timeseries_csv,
+    read_csv_rows,
+)
+from repro.experiments.runner import SchemeResult
+from repro.experiments.sweeps import AlphaPoint, DeltaPoint
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.collector import CellReport
+from repro.metrics.qoe import ClientSummary
+from repro.metrics.timeseries import TimeSeries
+
+
+def make_client(flow_id=1, rate_bps=1e6):
+    return ClientSummary(
+        flow_id=flow_id, average_bitrate_bps=rate_bps,
+        num_bitrate_changes=3, change_magnitude_bps=2e6,
+        rebuffer_time_s=0.5, stall_events=1, startup_delay_s=2.0,
+        segments_downloaded=12, video_throughput_bps=1.5e6)
+
+
+class TestClientsExport:
+    def test_roundtrip(self, tmp_path):
+        results = {
+            "flare": SchemeResult("flare", [make_client(1), make_client(2)],
+                                  [CellReport()]),
+            "avis": SchemeResult("avis", [make_client(3)], [CellReport()]),
+        }
+        path = export_clients_csv(results, tmp_path / "clients.csv")
+        rows = list(read_csv_rows(path))
+        assert len(rows) == 3
+        assert rows[0]["scheme"] == "flare"
+        assert float(rows[0]["average_bitrate_kbps"]) == pytest.approx(1000.0)
+        assert rows[2]["scheme"] == "avis"
+
+    def test_none_startup_delay_is_empty(self, tmp_path):
+        client = ClientSummary(
+            flow_id=1, average_bitrate_bps=1e6, num_bitrate_changes=0,
+            change_magnitude_bps=0.0, rebuffer_time_s=0.0, stall_events=0,
+            startup_delay_s=None, segments_downloaded=0,
+            video_throughput_bps=0.0)
+        results = {"x": SchemeResult("x", [client], [CellReport()])}
+        path = export_clients_csv(results, tmp_path / "c.csv")
+        rows = list(read_csv_rows(path))
+        assert rows[0]["startup_delay_s"] == ""
+
+
+class TestCdfExport:
+    def test_points(self, tmp_path):
+        path = export_cdf_csv({"a": EmpiricalCdf([1.0, 2.0])},
+                              tmp_path / "cdf.csv")
+        rows = list(read_csv_rows(path))
+        assert len(rows) == 2
+        assert float(rows[0]["probability"]) == pytest.approx(0.5)
+        assert float(rows[1]["probability"]) == pytest.approx(1.0)
+
+
+class TestSweepExports:
+    def test_alpha(self, tmp_path):
+        points = [AlphaPoint(0.25, 1000.0, 10.0, 2000.0, 20.0)]
+        path = export_alpha_sweep_csv(points, tmp_path / "alpha.csv")
+        rows = list(read_csv_rows(path))
+        assert float(rows[0]["alpha"]) == 0.25
+        assert float(rows[0]["data_mean_kbps"]) == pytest.approx(2000.0)
+
+    def test_delta(self, tmp_path):
+        points = [DeltaPoint(4, 1500.0, 6.5)]
+        path = export_delta_sweep_csv(points, tmp_path / "delta.csv")
+        rows = list(read_csv_rows(path))
+        assert rows[0]["delta"] == "4"
+        assert float(rows[0]["mean_changes"]) == pytest.approx(6.5)
+
+
+class TestTimeseriesExport:
+    def test_long_format(self, tmp_path):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        path = export_timeseries_csv({"buffer": series},
+                                     tmp_path / "ts.csv")
+        rows = list(read_csv_rows(path))
+        assert len(rows) == 2
+        assert rows[0]["series"] == "buffer"
+        assert float(rows[1]["value"]) == pytest.approx(2.0)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_timeseries_csv({}, tmp_path / "deep" / "ts.csv")
+        assert path.exists()

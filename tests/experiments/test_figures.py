@@ -1,0 +1,71 @@
+"""Smoke tests for the figure-text entry points at tiny scale."""
+
+import pytest
+
+from repro.experiments.cells import (
+    figure6_text,
+    figure10_text,
+    run_solver_comparison,
+)
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.sweeps import alpha_sweep, delta_sweep
+from repro.experiments.testbed import (
+    figure_time_series,
+    render_time_series,
+)
+from repro.experiments.timing import figure9_text
+
+TINY = ExperimentScale(duration_s=40.0, num_runs=1)
+
+
+class TestCellFigures:
+    def test_figure6_text(self):
+        text = figure6_text(TINY)
+        assert "Figure 6" in text
+        assert "flare vs avis" in text
+
+    def test_figure10_text(self):
+        text = figure10_text(TINY)
+        assert "Figure 10" in text
+        assert "video" in text and "data" in text
+
+    def test_solver_comparison_structure(self):
+        results = run_solver_comparison(mobile=False, scale=TINY)
+        assert set(results) == {"exact", "relaxed"}
+        for result in results.values():
+            assert len(result.clients) == 8
+
+
+class TestSweeps:
+    def test_alpha_sweep_points(self):
+        points = alpha_sweep(values=(1.0,), scale=TINY)
+        assert len(points) == 1
+        assert points[0].alpha == 1.0
+        assert points[0].video_mean_kbps >= 0
+
+    def test_delta_sweep_points(self):
+        points = delta_sweep(values=(2, 8), scale=TINY)
+        assert [p.delta for p in points] == [2, 8]
+
+
+class TestTimeSeries:
+    def test_figure_time_series_extraction(self):
+        traces = figure_time_series("festive", duration_s=40.0)
+        assert len(traces.video_rates) == 3
+        assert traces.data_throughput is not None
+        text = render_time_series(traces)
+        assert "festive" in text
+        assert "bitrate" in text
+
+    def test_render_handles_empty_series(self):
+        traces = figure_time_series("flare", duration_s=10.0)
+        # Even with barely any samples the renderer must not crash.
+        assert isinstance(render_time_series(traces), str)
+
+
+class TestFigure9Text:
+    def test_contains_both_solvers(self):
+        text = figure9_text(instances=2, client_counts=(8,))
+        assert "exact (MCKP DP)" in text
+        assert "continuous relaxation" in text
+        assert "8 clients" in text

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (runner, tables, timing, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import ExactSolver
+from repro.experiments.ablations import ABLATIONS, run_ablations
+from repro.experiments.runner import (
+    ExperimentScale,
+    SchemeResult,
+    run_comparison,
+)
+from repro.experiments.tables import (
+    render_cdf_comparison,
+    render_improvement,
+    render_summary_table,
+)
+from repro.experiments.timing import measure_solver, synthetic_problem
+from repro.workload.scenarios import build_testbed_scenario
+
+TINY = ExperimentScale(duration_s=40.0, num_runs=1, num_clients=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return run_comparison(build_testbed_scenario, ("festive", "flare"),
+                          scale=TINY)
+
+
+class TestRunComparison:
+    def test_pools_clients_across_runs(self):
+        scale = ExperimentScale(duration_s=30.0, num_runs=2)
+        results = run_comparison(build_testbed_scenario, ("festive",),
+                                 scale=scale)
+        assert len(results["festive"].clients) == 2 * 3
+
+    def test_result_accessors(self, tiny_results):
+        result = tiny_results["festive"]
+        assert len(result.average_bitrates_kbps()) == 3
+        assert result.mean_bitrate_kbps() > 0
+        assert result.mean_changes() >= 0
+        assert result.mean_data_throughput_bps() > 0
+
+    def test_explicit_seeds(self):
+        results = run_comparison(build_testbed_scenario, ("festive",),
+                                 scale=TINY, seeds=[5])
+        assert len(results["festive"].reports) == 1
+
+
+class TestRenderers:
+    def test_summary_table(self, tiny_results):
+        text = render_summary_table(tiny_results, "Table X")
+        assert "Table X" in text
+        assert "FESTIVE" in text and "FLARE" in text
+        assert "Average video rate" in text
+        assert "Jain" in text
+
+    def test_cdf_comparison(self, tiny_results):
+        text = render_cdf_comparison(tiny_results, "Figure Y")
+        assert "(a) CDF of average bitrate values" in text
+        assert "p50" in text
+
+    def test_improvement_lines(self, tiny_results):
+        text = render_improvement(tiny_results, "flare", ("festive",))
+        assert "flare vs festive" in text
+        assert "%" in text
+
+    def test_improvement_unknown_subject(self, tiny_results):
+        with pytest.raises(KeyError):
+            render_improvement(tiny_results, "nope", ("festive",))
+
+
+class TestTiming:
+    def test_synthetic_problem_shape(self):
+        problem = synthetic_problem(16, np.random.default_rng(0))
+        assert len(problem.flows) == 16
+        assert problem.total_rbs > 0
+
+    def test_synthetic_problem_feasible(self):
+        problem = synthetic_problem(128, np.random.default_rng(1))
+        solution = ExactSolver().solve(problem)
+        assert solution.feasible
+
+    def test_measure_solver(self):
+        results = measure_solver(ExactSolver(), client_counts=(8, 16),
+                                 instances=3)
+        assert set(results) == {8, 16}
+        assert all(t >= 0 for t in results[8].times_ms)
+        assert len(results[16].times_ms) == 3
+
+
+class TestAblations:
+    def test_registry_contains_paper_knobs(self):
+        assert "no_hysteresis" in ABLATIONS
+        assert "no_gbr" in ABLATIONS
+        assert ABLATIONS["no_hysteresis"].delta == 0
+        assert not ABLATIONS["no_gbr"].enforce_gbr
+
+    def test_run_subset(self):
+        scale = ExperimentScale(duration_s=30.0, num_runs=1)
+        results = run_ablations(scale, names=["flare", "no_hysteresis"])
+        assert set(results) == {"flare", "no_hysteresis"}
+        for result in results.values():
+            assert isinstance(result, SchemeResult)
+            assert len(result.clients) == 8

@@ -1,0 +1,36 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+from repro.experiments.runner import ExperimentScale
+
+TINY = ExperimentScale(duration_s=40.0, num_runs=1)
+
+
+class TestGenerateReport:
+    def test_partial_report(self, tmp_path):
+        path = generate_report(tmp_path / "out", scale=TINY,
+                               sections=["table1"])
+        assert path.name == "REPORT.md"
+        text = path.read_text()
+        assert "table1" in text
+        assert (tmp_path / "out" / "table1.txt").exists()
+
+    def test_cell_figures_write_csvs(self, tmp_path):
+        generate_report(tmp_path / "out", scale=TINY, sections=["fig6"])
+        clients = tmp_path / "out" / "csv" / "fig6_clients.csv"
+        assert clients.exists()
+        header = clients.read_text().splitlines()[0]
+        assert "average_bitrate_kbps" in header
+
+    def test_report_header_mentions_scale(self, tmp_path):
+        path = generate_report(tmp_path / "out", scale=TINY,
+                               sections=["fig9"])
+        assert "40 s per run" in path.read_text()
+
+    def test_unknown_sections_are_ignored(self, tmp_path):
+        path = generate_report(tmp_path / "out", scale=TINY,
+                               sections=["nonexistent"])
+        # Header only: no artifacts, but still a valid report file.
+        assert path.exists()

@@ -1,0 +1,82 @@
+"""Tests for segment abandonment (emergency downswitch)."""
+
+import pytest
+
+from repro.abr.base import ConstantAbr
+from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
+from repro.has.player import HasPlayer, PlayerConfig
+from repro.net.flows import UserEquipment, VideoFlow
+from repro.net.tcp import FluidTcp
+from repro.phy.channel import StaticItbsChannel
+
+
+def make_player(abandonment_factor=1.5, rate_index=5):
+    flow = VideoFlow(UserEquipment(StaticItbsChannel(9)),
+                     tcp=FluidTcp(initial_cwnd_bytes=1e12,
+                                  max_cwnd_bytes=1e13))
+    mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=4.0)
+    return HasPlayer(flow, mpd, ConstantAbr(rate_index),
+                     PlayerConfig(request_latency_s=0.0,
+                                  request_threshold_s=8.0,
+                                  abandonment_factor=abandonment_factor))
+
+
+def drive(player, duration_s, rate_bps, step_s=0.25, start_s=0.0):
+    t = start_s
+    for _ in range(int(duration_s / step_s)):
+        player.issue_requests(t)
+        player.note_time(t + step_s)
+        wanted = player.flow.demand_bytes(step_s)
+        player.flow.on_scheduled(min(wanted, rate_bps * step_s / 8), step_s)
+        t += step_s
+        player.advance_playback(t, step_s)
+    return t
+
+
+class TestAbandonment:
+    def test_doomed_download_is_abandoned(self):
+        # 3 Mbps segments over a 0.4 Mbps link: the download would take
+        # 30 s against a few seconds of buffer.
+        player = make_player()
+        drive(player, 12.0, rate_bps=20e6)   # fill at high rate first
+        drive(player, 40.0, rate_bps=0.4e6, start_s=12.0)
+        assert player.abandonments >= 1
+        # The re-requested segments are at the lowest rung.
+        low = [r for r in player.log.records
+               if r.bitrate_bps == SIMULATION_LADDER.min_rate]
+        assert low
+
+    def test_abandonment_reduces_rebuffering(self):
+        def run(factor):
+            player = make_player(abandonment_factor=factor)
+            drive(player, 12.0, rate_bps=20e6)
+            drive(player, 60.0, rate_bps=0.4e6, start_s=12.0)
+            return player
+
+        with_abandon = run(1.5)
+        without = run(None)
+        assert (with_abandon.rebuffer_time_s
+                < without.rebuffer_time_s)
+
+    def test_no_abandonment_at_lowest_rung(self):
+        player = make_player(rate_index=0)
+        drive(player, 30.0, rate_bps=0.08e6)  # below even the lowest
+        assert player.abandonments == 0
+
+    def test_disabled_by_default(self):
+        flow = VideoFlow(UserEquipment(StaticItbsChannel(9)))
+        mpd = MediaPresentation(SIMULATION_LADDER)
+        player = HasPlayer(flow, mpd, ConstantAbr(0))
+        assert player.config.abandonment_factor is None
+
+    def test_no_duplicate_segments_after_abandonment(self):
+        player = make_player()
+        drive(player, 12.0, rate_bps=20e6)
+        drive(player, 60.0, rate_bps=0.4e6, start_s=12.0)
+        indices = [r.index for r in player.log.records]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices))
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            PlayerConfig(abandonment_factor=0.0)

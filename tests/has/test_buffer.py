@@ -1,0 +1,80 @@
+"""Tests for the playout buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.has.buffer import PlayoutBuffer
+
+
+class TestAddDrain:
+    def test_add_then_drain(self):
+        buffer = PlayoutBuffer()
+        buffer.add(10.0)
+        result = buffer.drain(4.0)
+        assert result.played_s == pytest.approx(4.0)
+        assert result.starved_s == 0.0
+        assert buffer.level_s == pytest.approx(6.0)
+
+    def test_partial_starvation(self):
+        buffer = PlayoutBuffer()
+        buffer.add(1.5)
+        result = buffer.drain(2.0)
+        assert result.played_s == pytest.approx(1.5)
+        assert result.starved_s == pytest.approx(0.5)
+        assert buffer.is_empty()
+
+    def test_totals(self):
+        buffer = PlayoutBuffer()
+        buffer.add(3.0)
+        buffer.drain(2.0)
+        buffer.drain(2.0)
+        assert buffer.total_played_s == pytest.approx(3.0)
+        assert buffer.total_starved_s == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        buffer = PlayoutBuffer()
+        with pytest.raises(ValueError):
+            buffer.add(-1.0)
+        with pytest.raises(ValueError):
+            buffer.drain(-1.0)
+
+
+class TestCapacity:
+    def test_overfill_clipped_and_reported(self):
+        buffer = PlayoutBuffer(capacity_s=10.0)
+        buffer.add(12.0)
+        assert buffer.level_s == pytest.approx(10.0)
+        assert buffer.overfill_clipped_s == pytest.approx(2.0)
+
+    def test_unbounded_default(self):
+        buffer = PlayoutBuffer()
+        buffer.add(1e6)
+        assert buffer.level_s == pytest.approx(1e6)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(capacity_s=0.0)
+
+
+class TestConservation:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["add", "drain"]),
+                  st.floats(0.0, 100.0)),
+        min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_level_accounting_invariant(self, operations):
+        """added == level + played + clipped, and level is never negative."""
+        buffer = PlayoutBuffer(capacity_s=500.0)
+        added = 0.0
+        for op, amount in operations:
+            if op == "add":
+                buffer.add(amount)
+                added += amount
+            else:
+                buffer.drain(amount)
+            assert buffer.level_s >= 0.0
+            assert buffer.level_s <= 500.0 + 1e-9
+        total = (buffer.level_s + buffer.total_played_s
+                 + buffer.overfill_clipped_s)
+        assert total == pytest.approx(added, abs=1e-6)

@@ -1,0 +1,101 @@
+"""Tests for the MPD model and bitrate ladders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.has.mpd import (
+    FINE_LADDER,
+    SIMULATION_LADDER,
+    TESTBED_LADDER,
+    BitrateLadder,
+    MediaPresentation,
+)
+
+
+class TestLadderConstruction:
+    def test_from_kbps(self):
+        ladder = BitrateLadder.from_kbps((100, 200))
+        assert ladder.rates_bps == (100e3, 200e3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BitrateLadder((2e5, 1e5))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            BitrateLadder((1e5, 1e5))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            BitrateLadder((0.0, 1e5))
+
+    def test_paper_ladders(self):
+        assert len(TESTBED_LADDER) == 8
+        assert TESTBED_LADDER.min_rate == 200e3
+        assert TESTBED_LADDER.max_rate == 2750e3
+        assert len(SIMULATION_LADDER) == 6
+        assert len(FINE_LADDER) == 12
+        assert FINE_LADDER.max_rate == 1200e3
+
+
+class TestLadderLookups:
+    def test_rate_and_index(self):
+        assert SIMULATION_LADDER.rate(2) == 500e3
+        assert SIMULATION_LADDER.index_of(500e3) == 2
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(IndexError):
+            SIMULATION_LADDER.rate(6)
+
+    def test_index_of_unknown_rate(self):
+        with pytest.raises(ValueError):
+            SIMULATION_LADDER.index_of(123e3)
+
+    def test_highest_at_most(self):
+        assert SIMULATION_LADDER.highest_at_most(999e3) == 2
+        assert SIMULATION_LADDER.highest_at_most(1000e3) == 3
+        assert SIMULATION_LADDER.highest_at_most(1e9) == 5
+
+    def test_highest_at_most_clamps_to_floor(self):
+        assert SIMULATION_LADDER.highest_at_most(1.0) == 0
+
+    def test_clamp_index(self):
+        assert SIMULATION_LADDER.clamp_index(-3) == 0
+        assert SIMULATION_LADDER.clamp_index(99) == 5
+
+    @given(st.floats(1e3, 1e8))
+    def test_highest_at_most_is_maximal(self, budget):
+        index = SIMULATION_LADDER.highest_at_most(budget)
+        if index < len(SIMULATION_LADDER) - 1:
+            assert SIMULATION_LADDER.rate(index + 1) > budget
+        if SIMULATION_LADDER.rate(index) > budget:
+            assert index == 0  # only the clamp case
+
+
+class TestMediaPresentation:
+    def test_segment_size(self):
+        mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=10.0)
+        # 1 Mbps x 10 s = 1.25 MB
+        assert mpd.segment_size_bytes(1e6) == pytest.approx(1.25e6)
+
+    def test_unbounded_video(self):
+        mpd = MediaPresentation(SIMULATION_LADDER)
+        assert mpd.num_segments is None
+        assert mpd.has_segment(10 ** 9)
+        assert not mpd.has_segment(-1)
+
+    def test_bounded_video(self):
+        mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=10.0,
+                                total_duration_s=95.0)
+        assert mpd.num_segments == 10
+        assert mpd.has_segment(9)
+        assert not mpd.has_segment(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediaPresentation(SIMULATION_LADDER, segment_duration_s=0.0)

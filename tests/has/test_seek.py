@@ -1,0 +1,81 @@
+"""Tests for the player's seek (skimming) behaviour."""
+
+import pytest
+
+from repro.abr.base import ConstantAbr
+from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
+from repro.has.player import HasPlayer, PlaybackState, PlayerConfig
+from repro.net.flows import UserEquipment, VideoFlow
+from repro.net.tcp import FluidTcp
+from repro.phy.channel import StaticItbsChannel
+
+
+def make_player(total_duration_s=None):
+    flow = VideoFlow(UserEquipment(StaticItbsChannel(9)),
+                     tcp=FluidTcp(initial_cwnd_bytes=1e12,
+                                  max_cwnd_bytes=1e13))
+    mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=4.0,
+                            total_duration_s=total_duration_s)
+    return HasPlayer(flow, mpd, ConstantAbr(1),
+                     PlayerConfig(request_latency_s=0.0,
+                                  request_threshold_s=12.0))
+
+
+def drive(player, duration_s, rate_bps=10e6, step_s=0.25, start_s=0.0):
+    t = start_s
+    for _ in range(int(duration_s / step_s)):
+        player.issue_requests(t)
+        player.note_time(t + step_s)
+        wanted = player.flow.demand_bytes(step_s)
+        player.flow.on_scheduled(min(wanted, rate_bps * step_s / 8), step_s)
+        t += step_s
+        player.advance_playback(t, step_s)
+    return t
+
+
+class TestSeek:
+    def test_seek_flushes_and_jumps(self):
+        player = make_player()
+        drive(player, 20.0)
+        assert player.buffer.level_s > 0
+        player.seek(50)
+        assert player.buffer.is_empty()
+        assert player.buffer.total_flushed_s > 0
+        drive(player, 10.0, start_s=20.0)
+        new_segments = [r.index for r in player.log.records
+                        if r.request_time_s >= 20.0]
+        assert new_segments[0] == 50
+        assert new_segments == sorted(new_segments)
+
+    def test_seek_cancels_inflight_download(self):
+        player = make_player()
+        drive(player, 0.5, rate_bps=0.2e6)  # slow: download in flight
+        assert player.flow.download_active
+        player.seek(10)
+        assert not player.flow.download_active
+
+    def test_seek_reenters_startup(self):
+        player = make_player()
+        drive(player, 20.0)
+        assert player.state is PlaybackState.PLAYING
+        player.seek(30)
+        assert player.state is PlaybackState.STARTUP
+        drive(player, 10.0, start_s=20.0)
+        assert player.state is PlaybackState.PLAYING
+
+    def test_seek_beyond_bounded_video_rejected(self):
+        player = make_player(total_duration_s=40.0)  # 10 segments
+        with pytest.raises(ValueError):
+            player.seek(10)
+        with pytest.raises(ValueError):
+            player.seek(-1)
+
+    def test_conservation_includes_flushed(self):
+        player = make_player()
+        drive(player, 20.0)
+        player.seek(40)
+        drive(player, 20.0, start_s=20.0)
+        downloaded_s = len(player.log) * 4.0
+        accounted = (player.buffer.level_s + player.buffer.total_played_s
+                     + player.buffer.total_flushed_s)
+        assert accounted == pytest.approx(downloaded_s, abs=1e-6)

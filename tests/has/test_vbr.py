@@ -1,0 +1,79 @@
+"""Tests for the VBR segment-size model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.abr.base import ConstantAbr
+from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
+from repro.has.player import HasPlayer, PlayerConfig
+from repro.net.flows import UserEquipment, VideoFlow
+from repro.net.tcp import FluidTcp
+from repro.phy.channel import StaticItbsChannel
+
+
+class TestComplexityFactor:
+    def test_cbr_factor_is_one(self):
+        mpd = MediaPresentation(SIMULATION_LADDER)
+        assert mpd.complexity_factor(0) == 1.0
+        assert mpd.complexity_factor(99) == 1.0
+
+    def test_deterministic(self):
+        mpd = MediaPresentation(SIMULATION_LADDER, vbr_variability=0.3)
+        assert mpd.complexity_factor(7) == mpd.complexity_factor(7)
+
+    @given(st.integers(0, 10_000))
+    def test_bounded(self, index):
+        mpd = MediaPresentation(SIMULATION_LADDER, vbr_variability=0.3)
+        factor = mpd.complexity_factor(index)
+        assert 0.7 <= factor <= 1.3
+
+    def test_varies_across_segments(self):
+        mpd = MediaPresentation(SIMULATION_LADDER, vbr_variability=0.3)
+        factors = {mpd.complexity_factor(i) for i in range(50)}
+        assert len(factors) > 20
+
+    def test_mean_near_one(self):
+        mpd = MediaPresentation(SIMULATION_LADDER, vbr_variability=0.3)
+        factors = [mpd.complexity_factor(i) for i in range(2000)]
+        assert sum(factors) / len(factors) == pytest.approx(1.0, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediaPresentation(SIMULATION_LADDER, vbr_variability=1.0)
+
+
+class TestSegmentSizes:
+    def test_same_factor_across_representations(self):
+        # Encoders make segment i complex in every representation.
+        mpd = MediaPresentation(SIMULATION_LADDER, vbr_variability=0.3)
+        low = mpd.segment_size_bytes(100e3, 5) / mpd.segment_size_bytes(100e3)
+        high = mpd.segment_size_bytes(3e6, 5) / mpd.segment_size_bytes(3e6)
+        assert low == pytest.approx(high)
+
+    def test_no_index_means_nominal(self):
+        mpd = MediaPresentation(SIMULATION_LADDER, vbr_variability=0.3)
+        assert mpd.segment_size_bytes(1e6) == pytest.approx(1.25e6)
+
+
+class TestPlayerWithVbr:
+    def test_streams_and_sizes_vary(self):
+        ue = UserEquipment(StaticItbsChannel(15))
+        flow = VideoFlow(ue, tcp=FluidTcp(initial_cwnd_bytes=1e12,
+                                          max_cwnd_bytes=1e13))
+        mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=4.0,
+                                vbr_variability=0.3)
+        player = HasPlayer(flow, mpd, ConstantAbr(2),
+                           PlayerConfig(request_latency_s=0.0,
+                                        request_threshold_s=12.0))
+        t = 0.0
+        for _ in range(600):
+            player.issue_requests(t)
+            player.note_time(t + 0.1)
+            wanted = flow.demand_bytes(0.1)
+            flow.on_scheduled(min(wanted, 5e6 * 0.1 / 8), 0.1)
+            t += 0.1
+            player.advance_playback(t, 0.1)
+        sizes = {record.size_bytes for record in player.log.records}
+        assert len(player.log) > 5
+        assert len(sizes) > len(player.log) / 2  # sizes genuinely vary

@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public surface; they must not rot.  Each is
+executed in-process (so coverage and failures attribute normally) with
+arguments reduced to keep the suite fast.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv):
+    """Execute one example as __main__ with a controlled argv."""
+    path = EXAMPLES_DIR / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + argv
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 5  # the README's example table
+
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "cell mean bitrate" in out
+        assert "BAIs executed" in out
+
+    def test_femtocell_testbed(self, capsys):
+        run_example("femtocell_testbed.py", ["--duration", "60"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "FLARE" in out
+
+    def test_mobile_cell(self, capsys):
+        run_example("mobile_cell.py",
+                    ["--runs", "1", "--duration", "90"])
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "flare vs avis" in out
+
+    def test_client_preferences(self, capsys):
+        run_example("client_preferences.py", [])
+        out = capsys.readouterr().out
+        assert "capped @1Mbps" in out
+        assert "after lifting constraints" in out
+
+    def test_alpha_tradeoff(self, capsys):
+        run_example("alpha_tradeoff.py", ["--duration", "60"])
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Coexistence" in out
+
+    def test_cell_dynamics(self, capsys):
+        run_example("cell_dynamics.py", [])
+        out = capsys.readouterr().out
+        assert "join at t=200s" in out
+        assert "two cells" in out
+
+    def test_uplink_live(self, capsys):
+        run_example("uplink_live.py", [])
+        out = capsys.readouterr().out
+        assert "strong uplink" in out
+        assert "weak uplink" in out
+
+    def test_result_analysis(self, capsys):
+        run_example("result_analysis.py",
+                    ["--duration", "90", "--runs", "1"])
+        out = capsys.readouterr().out
+        assert "BAI log" in out
+        assert "Mann-Whitney" in out

@@ -1,0 +1,68 @@
+"""Validation: the fluid MAC approximation is step-size robust.
+
+The simulator's key modelling shortcut is running the MAC in fluid
+steps instead of per-TTI.  If the approximation is sound, halving or
+quadrupling the step size must not meaningfully change experiment
+outcomes.  These tests pin that property for the core scenarios —
+effectively cross-validating the default 20 ms step against a
+near-TTI 5 ms reference.
+"""
+
+import pytest
+
+from repro.mac.tti_reference import TtiReferenceScheduler
+from repro.workload.scenarios import build_testbed_scenario
+
+
+def run_with_step(scheme, step_s, duration_s=180.0, dynamic=False):
+    scenario = build_testbed_scenario(
+        scheme, dynamic=dynamic, duration_s=duration_s, seed=3,
+        step_s=step_s)
+    return scenario.run()
+
+
+class TestStepSizeRobustness:
+    @pytest.mark.parametrize("scheme", ["festive", "flare"])
+    def test_average_bitrate_stable_across_steps(self, scheme):
+        coarse = run_with_step(scheme, 0.04)
+        fine = run_with_step(scheme, 0.005)
+        assert coarse.average_bitrate_kbps == pytest.approx(
+            fine.average_bitrate_kbps, rel=0.25)
+
+    def test_data_throughput_stable_across_steps(self):
+        coarse = run_with_step("flare", 0.04)
+        fine = run_with_step("flare", 0.005)
+        assert coarse.mean_data_throughput_bps == pytest.approx(
+            fine.mean_data_throughput_bps, rel=0.25)
+
+    def test_no_spurious_rebuffering_at_fine_steps(self):
+        fine = run_with_step("flare", 0.005)
+        assert fine.total_rebuffer_s == pytest.approx(0.0, abs=1.0)
+
+    def test_dynamic_scenario_shape_stable(self):
+        coarse = run_with_step("flare", 0.04, dynamic=True)
+        fine = run_with_step("flare", 0.01, dynamic=True)
+        # Channel tracking (changes) within a small factor.
+        assert coarse.mean_changes == pytest.approx(fine.mean_changes,
+                                                    abs=4.0)
+
+
+class TestPerTtiCrossValidation:
+    """End-to-end: the fluid cell vs a cell on the per-TTI scheduler."""
+
+    def _run(self, scheduler=None):
+        scenario = build_testbed_scenario("festive", duration_s=120.0,
+                                          seed=4, step_s=0.02)
+        if scheduler is not None:
+            scenario.cell.scheduler = scheduler
+        return scenario.run()
+
+    def test_testbed_outcomes_agree(self):
+        fluid = self._run()
+        reference = self._run(TtiReferenceScheduler())
+        assert fluid.average_bitrate_kbps == pytest.approx(
+            reference.average_bitrate_kbps, rel=0.3)
+        assert fluid.mean_data_throughput_bps == pytest.approx(
+            reference.mean_data_throughput_bps, rel=0.3)
+        assert abs(fluid.total_rebuffer_s
+                   - reference.total_rebuffer_s) < 5.0

@@ -1,0 +1,131 @@
+"""Tests for the two-phase Priority Set scheduler."""
+
+import pytest
+
+from repro.mac.gbr import BearerQos, BearerRegistry
+from repro.mac.priority_set import PrioritySetScheduler
+from repro.net.flows import DataFlow, UserEquipment, VideoFlow
+from repro.net.tcp import FluidTcp
+from repro.phy.channel import StaticItbsChannel
+
+
+def make_ue(itbs=9):
+    return UserEquipment(StaticItbsChannel(itbs))
+
+
+def make_data_flow(itbs=9):
+    """A data flow whose TCP window never binds (tests the MAC alone)."""
+    return DataFlow(make_ue(itbs), tcp=FluidTcp(initial_cwnd_bytes=1e12,
+                                                max_cwnd_bytes=1e13))
+
+
+def run_steps(scheduler, registry, flows, steps=50, step_s=0.02,
+              budget=1000.0):
+    totals = {flow.flow_id: 0.0 for flow in flows}
+    for step in range(steps):
+        grants = scheduler.allocate(step * step_s, step_s, flows, budget,
+                                    registry)
+        for flow in flows:
+            delivered = grants.get(flow.flow_id)
+            num_bytes = delivered.bytes_delivered if delivered else 0.0
+            totals[flow.flow_id] += num_bytes
+            flow.on_scheduled(num_bytes, step_s)
+    return totals
+
+
+class TestPhase1Guarantees:
+    def test_gbr_flow_meets_guarantee_under_contention(self):
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        video = VideoFlow(make_ue())
+        video.begin_download(10e6, on_complete=lambda: None)
+        competitors = [make_data_flow() for _ in range(4)]
+        flows = [video] + competitors
+        registry.register(video.flow_id, BearerQos(gbr_bps=4e6))
+        for flow in competitors:
+            registry.register(flow.flow_id)
+        duration = 50 * 0.02
+        totals = run_steps(scheduler, registry, flows)
+        video_bps = totals[video.flow_id] * 8 / duration
+        assert video_bps >= 4e6 * 0.95
+
+    def test_gbr_capped_by_demand(self):
+        # A GBR flow with no queued bytes consumes nothing in phase 1.
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        video = VideoFlow(make_ue())  # idle: no download
+        data = make_data_flow()
+        registry.register(video.flow_id, BearerQos(gbr_bps=4e6))
+        registry.register(data.flow_id)
+        grants = scheduler.allocate(0.0, 0.02, [video, data], 1000.0,
+                                    registry)
+        assert video.flow_id not in grants
+        assert grants[data.flow_id].prbs == pytest.approx(1000.0)
+
+    def test_priority_order_when_budget_short(self):
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        first = VideoFlow(make_ue())
+        second = VideoFlow(make_ue())
+        for flow in (first, second):
+            flow.begin_download(10e6, on_complete=lambda: None)
+        # Massive guarantees, tiny budget: only the higher-priority
+        # bearer is served.
+        registry.register(first.flow_id,
+                          BearerQos(gbr_bps=50e6, priority=0))
+        registry.register(second.flow_id,
+                          BearerQos(gbr_bps=50e6, priority=1))
+        grants = scheduler.allocate(0.0, 0.02, [first, second], 10.0,
+                                    registry)
+        assert grants[first.flow_id].prbs == pytest.approx(10.0)
+        assert second.flow_id not in grants
+
+
+class TestPhase2Opportunism:
+    def test_data_flow_absorbs_video_slack(self):
+        # The paper's key anti-AVIS property: when video queues drain,
+        # data traffic immediately uses the remaining RBs.
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        video = VideoFlow(make_ue())
+        video.begin_download(1000.0, on_complete=lambda: None)  # tiny
+        data = make_data_flow()
+        registry.register(video.flow_id, BearerQos(gbr_bps=1e6))
+        registry.register(data.flow_id)
+        grants = scheduler.allocate(0.0, 0.02, [video, data], 1000.0,
+                                    registry)
+        used = sum(g.prbs for g in grants.values())
+        assert used == pytest.approx(1000.0)
+        assert grants[data.flow_id].prbs > 900.0
+
+    def test_full_budget_used_when_backlogged(self):
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        flows = [make_data_flow() for _ in range(3)]
+        for flow in flows:
+            registry.register(flow.flow_id)
+        grants = scheduler.allocate(0.0, 0.02, flows, 1000.0, registry)
+        assert sum(g.prbs for g in grants.values()) == pytest.approx(1000.0)
+
+    def test_gbr_flow_can_exceed_guarantee_in_phase2(self):
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        video = VideoFlow(make_ue())
+        video.begin_download(50e6, on_complete=lambda: None)
+        registry.register(video.flow_id, BearerQos(gbr_bps=1e6))
+        duration = 50 * 0.02
+        totals = run_steps(scheduler, registry, [video])
+        video_bps = totals[video.flow_id] * 8 / duration
+        assert video_bps > 2e6  # alone in the cell: far above its GBR
+
+
+class TestHeterogeneousChannels:
+    def test_better_channel_carries_more_bytes_per_prb(self):
+        scheduler = PrioritySetScheduler()
+        registry = BearerRegistry()
+        good = make_data_flow(20)
+        bad = make_data_flow(2)
+        for flow in (good, bad):
+            registry.register(flow.flow_id)
+        totals = run_steps(scheduler, registry, [good, bad], steps=200)
+        assert totals[good.flow_id] > totals[bad.flow_id]

@@ -1,0 +1,64 @@
+"""Tests for the RB & Rate Trace module."""
+
+import pytest
+
+from repro.mac.rb_trace import FlowUsage, RbTraceModule
+
+
+class TestFlowUsage:
+    def test_bytes_per_prb(self):
+        usage = FlowUsage(prbs=10.0, bytes_tx=170.0, duration_s=1.0)
+        assert usage.bytes_per_prb == pytest.approx(17.0)
+
+    def test_zero_prbs(self):
+        usage = FlowUsage(prbs=0.0, bytes_tx=0.0, duration_s=1.0)
+        assert usage.bytes_per_prb == 0.0
+
+    def test_throughput(self):
+        usage = FlowUsage(prbs=1.0, bytes_tx=1250.0, duration_s=2.0)
+        assert usage.throughput_bps == pytest.approx(5000.0)
+
+    def test_zero_duration(self):
+        assert FlowUsage(1.0, 100.0, 0.0).throughput_bps == 0.0
+
+
+class TestRbTraceModule:
+    def test_accumulates_within_interval(self):
+        trace = RbTraceModule()
+        trace.record(1, prbs=5.0, num_bytes=85.0, now_s=0.5)
+        trace.record(1, prbs=5.0, num_bytes=85.0, now_s=1.0)
+        report = trace.roll(2.0)
+        assert report[1].prbs == pytest.approx(10.0)
+        assert report[1].bytes_tx == pytest.approx(170.0)
+        assert report[1].duration_s == pytest.approx(2.0)
+
+    def test_roll_resets_interval(self):
+        trace = RbTraceModule()
+        trace.record(1, 5.0, 85.0, 1.0)
+        trace.roll(2.0)
+        report = trace.roll(4.0)
+        assert report == {}
+
+    def test_cumulative_survives_rolls(self):
+        trace = RbTraceModule()
+        trace.record(1, 5.0, 85.0, 1.0)
+        trace.roll(2.0)
+        trace.record(1, 3.0, 51.0, 3.0)
+        assert trace.cumulative(1) == (pytest.approx(8.0),
+                                       pytest.approx(136.0))
+
+    def test_multiple_flows(self):
+        trace = RbTraceModule()
+        trace.record(1, 1.0, 17.0, 1.0)
+        trace.record(2, 2.0, 34.0, 1.0)
+        assert list(trace.tracked_flows()) == [1, 2]
+        report = trace.roll(2.0)
+        assert set(report) == {1, 2}
+
+    def test_negative_rejected(self):
+        trace = RbTraceModule()
+        with pytest.raises(ValueError):
+            trace.record(1, -1.0, 0.0, 1.0)
+
+    def test_unknown_flow_cumulative_zero(self):
+        assert RbTraceModule().cumulative(9) == (0.0, 0.0)

@@ -1,0 +1,100 @@
+"""Cross-validation: the fluid scheduler against the per-TTI reference.
+
+The per-TTI scheduler is the ground truth the fluid approximation
+claims to reproduce at ABR timescales; these tests pin the agreement.
+"""
+
+import pytest
+
+from repro.mac.gbr import BearerQos, BearerRegistry
+from repro.mac.priority_set import PrioritySetScheduler
+from repro.mac.tti_reference import TtiReferenceScheduler
+from repro.net.flows import DataFlow, UserEquipment, VideoFlow
+from repro.net.tcp import FluidTcp
+from repro.phy.channel import StaticItbsChannel
+
+
+def make_data_flow(itbs=15):
+    return DataFlow(UserEquipment(StaticItbsChannel(itbs)),
+                    tcp=FluidTcp(initial_cwnd_bytes=1e12,
+                                 max_cwnd_bytes=1e13))
+
+
+def run(scheduler, flows, registry, duration_s=4.0, step_s=0.02,
+        budget_per_step=1000.0):
+    totals = {f.flow_id: 0.0 for f in flows}
+    steps = int(duration_s / step_s)
+    for step in range(steps):
+        grants = scheduler.allocate(step * step_s, step_s, flows,
+                                    budget_per_step, registry)
+        for flow in flows:
+            got = grants.get(flow.flow_id)
+            delivered = got.bytes_delivered if got else 0.0
+            totals[flow.flow_id] += delivered
+            flow.on_scheduled(delivered, step_s)
+    return totals
+
+
+class TestAgainstFluid:
+    def _fresh_world(self, itbs_list):
+        registry = BearerRegistry()
+        flows = [make_data_flow(itbs) for itbs in itbs_list]
+        for flow in flows:
+            registry.register(flow.flow_id)
+        return flows, registry
+
+    def test_equal_channels_equal_shares(self):
+        flows, registry = self._fresh_world([15, 15, 15])
+        totals = run(TtiReferenceScheduler(), flows, registry)
+        values = sorted(totals.values())
+        assert values[-1] / values[0] < 1.15
+
+    def test_total_throughput_matches_fluid(self):
+        itbs_list = [20, 15, 9]
+        ref_flows, ref_registry = self._fresh_world(itbs_list)
+        ref_totals = run(TtiReferenceScheduler(), ref_flows, ref_registry)
+        fluid_flows, fluid_registry = self._fresh_world(itbs_list)
+        fluid_totals = run(PrioritySetScheduler(), fluid_flows,
+                           fluid_registry)
+        assert sum(ref_totals.values()) == pytest.approx(
+            sum(fluid_totals.values()), rel=0.1)
+
+    def test_per_flow_shares_match_fluid(self):
+        itbs_list = [20, 9]
+        ref_flows, ref_registry = self._fresh_world(itbs_list)
+        ref = run(TtiReferenceScheduler(), ref_flows, ref_registry,
+                  duration_s=6.0)
+        fluid_flows, fluid_registry = self._fresh_world(itbs_list)
+        fluid = run(PrioritySetScheduler(), fluid_flows, fluid_registry,
+                    duration_s=6.0)
+        ref_share = list(ref.values())[0] / sum(ref.values())
+        fluid_share = list(fluid.values())[0] / sum(fluid.values())
+        assert ref_share == pytest.approx(fluid_share, abs=0.1)
+
+
+class TestGbrPhase:
+    def test_gbr_guarantee_met_per_tti(self):
+        registry = BearerRegistry()
+        video = VideoFlow(UserEquipment(StaticItbsChannel(15)),
+                          tcp=FluidTcp(initial_cwnd_bytes=1e12,
+                                       max_cwnd_bytes=1e13))
+        video.begin_download(50e6, on_complete=lambda: None)
+        competitors = [make_data_flow() for _ in range(3)]
+        flows = [video] + competitors
+        registry.register(video.flow_id, BearerQos(gbr_bps=5e6))
+        for flow in competitors:
+            registry.register(flow.flow_id)
+        totals = run(TtiReferenceScheduler(), flows, registry,
+                     duration_s=2.0)
+        video_bps = totals[video.flow_id] * 8 / 2.0
+        assert video_bps >= 5e6 * 0.95
+
+    def test_integer_prbs_granted(self):
+        registry = BearerRegistry()
+        flow = make_data_flow()
+        registry.register(flow.flow_id)
+        grants = TtiReferenceScheduler().allocate(
+            0.0, 0.02, [flow], 1000.0, registry)
+        # 20 TTIs x 50 PRB, all to the single backlogged flow.
+        assert grants[flow.flow_id].prbs == pytest.approx(1000.0)
+        assert grants[flow.flow_id].prbs == int(grants[flow.flow_id].prbs)

@@ -1,0 +1,69 @@
+"""Tests for the empirical CDF helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.cdf import EmpiricalCdf, compare_cdfs
+
+
+class TestEmpiricalCdf:
+    def test_probability_at_most(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at_most(0.5) == 0.0
+        assert cdf.probability_at_most(2.0) == 0.5
+        assert cdf.probability_at_most(10.0) == 1.0
+
+    def test_median(self):
+        assert EmpiricalCdf([1.0, 2.0, 3.0]).median() == 2.0
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf([5.0, 1.0, 3.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 5.0
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_mean(self):
+        assert EmpiricalCdf([1.0, 3.0]).mean() == 2.0
+
+    def test_points_are_a_step_function(self):
+        cdf = EmpiricalCdf([2.0, 1.0])
+        assert cdf.points() == [(1.0, 0.5), (2.0, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+    def test_render_contains_quantiles(self):
+        text = EmpiricalCdf([1.0, 2.0, 3.0]).render("demo")
+        assert "demo" in text
+        assert "p50" in text
+        assert "mean" in text
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60),
+           st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_quantile_monotone(self, samples, q1, q2):
+        cdf = EmpiricalCdf(samples)
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert cdf.quantile(lo) <= cdf.quantile(hi)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_quantiles_are_samples(self, samples):
+        cdf = EmpiricalCdf(samples)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert cdf.quantile(q) in cdf.samples
+
+
+class TestCompareCdfs:
+    def test_table_lists_all_names(self):
+        table = compare_cdfs({
+            "flare": EmpiricalCdf([1.0, 2.0]),
+            "avis": EmpiricalCdf([3.0, 4.0]),
+        })
+        assert "flare" in table and "avis" in table
+        assert "p50" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_cdfs({})

@@ -1,0 +1,84 @@
+"""Tests for the metrics sampler and the cell report."""
+
+import pytest
+
+from repro.abr.base import ConstantAbr
+from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
+from repro.has.player import PlayerConfig
+from repro.metrics.collector import MetricsSampler, collect_cell_report
+from repro.net.flows import UserEquipment
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.cell import Cell, CellConfig
+
+
+def build_cell(num_video=2, num_data=1, itbs=15):
+    cell = Cell(CellConfig(step_s=0.02))
+    sampler = MetricsSampler(interval_s=1.0)
+    cell.add_controller(sampler)
+    mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=4.0)
+    players = [
+        cell.add_video_flow(
+            UserEquipment(StaticItbsChannel(itbs)), mpd, ConstantAbr(2),
+            PlayerConfig(request_threshold_s=12.0))
+        for _ in range(num_video)
+    ]
+    data = [cell.add_data_flow(UserEquipment(StaticItbsChannel(itbs)))
+            for _ in range(num_data)]
+    return cell, sampler, players, data
+
+
+class TestMetricsSampler:
+    def test_throughput_series_collected(self):
+        cell, sampler, players, data = build_cell()
+        cell.run(10.0)
+        for flow in cell.flows:
+            series = sampler.throughput_bps[flow.flow_id]
+            assert len(series) >= 8
+
+    def test_buffer_and_bitrate_series_for_video_only(self):
+        cell, sampler, players, data = build_cell()
+        cell.run(10.0)
+        for player in players:
+            assert player.flow.flow_id in sampler.buffer_s
+        for flow in data:
+            assert flow.flow_id not in sampler.buffer_s
+
+    def test_mean_throughput_positive_for_data(self):
+        cell, sampler, _, data = build_cell()
+        cell.run(10.0)
+        assert sampler.mean_throughput_bps(data[0].flow_id) > 1e6
+
+    def test_unknown_flow_zero(self):
+        assert MetricsSampler().mean_throughput_bps(999) == 0.0
+
+
+class TestCollectCellReport:
+    def test_report_shape(self):
+        cell, sampler, players, data = build_cell()
+        cell.run(30.0)
+        report = collect_cell_report(cell, sampler, 30.0)
+        assert len(report.clients) == 2
+        assert len(report.data_throughput_bps) == 1
+        assert report.average_bitrate_kbps > 0
+        assert 0.0 < report.jain_video_rates <= 1.0
+
+    def test_report_without_sampler_uses_totals(self):
+        cell, _, players, data = build_cell()
+        cell.run(10.0)
+        report = collect_cell_report(cell, sampler=None, duration_s=10.0)
+        expected = data[0].total_delivered_bytes * 8 / 10.0
+        assert report.data_throughput_bps[data[0].flow_id] == pytest.approx(
+            expected)
+
+    def test_mean_data_throughput_no_data_flows(self):
+        cell, sampler, _, _ = build_cell(num_data=0)
+        cell.run(5.0)
+        report = collect_cell_report(cell, sampler, 5.0)
+        assert report.mean_data_throughput_bps == 0.0
+
+    def test_clients_sorted_by_flow_id(self):
+        cell, sampler, players, _ = build_cell(num_video=3)
+        cell.run(10.0)
+        report = collect_cell_report(cell, sampler, 10.0)
+        ids = [c.flow_id for c in report.clients]
+        assert ids == sorted(ids)

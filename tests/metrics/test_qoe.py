@@ -1,0 +1,40 @@
+"""Tests for QoE metrics."""
+
+import pytest
+
+from repro.metrics.qoe import (
+    average_bitrate_bps,
+    bitrate_change_magnitude_bps,
+    bitrate_changes,
+)
+
+
+class TestAverageBitrate:
+    def test_mean(self):
+        assert average_bitrate_bps([1e6, 2e6, 3e6]) == pytest.approx(2e6)
+
+    def test_empty(self):
+        assert average_bitrate_bps([]) == 0.0
+
+
+class TestBitrateChanges:
+    def test_no_changes(self):
+        assert bitrate_changes([1e6, 1e6, 1e6]) == 0
+
+    def test_counts_transitions(self):
+        assert bitrate_changes([1e6, 2e6, 2e6, 1e6]) == 2
+
+    def test_single_segment(self):
+        assert bitrate_changes([1e6]) == 0
+
+    def test_empty(self):
+        assert bitrate_changes([]) == 0
+
+
+class TestChangeMagnitude:
+    def test_sums_absolute_jumps(self):
+        assert bitrate_change_magnitude_bps(
+            [1e6, 3e6, 2e6]) == pytest.approx(3e6)
+
+    def test_stable_is_zero(self):
+        assert bitrate_change_magnitude_bps([2e6, 2e6]) == 0.0

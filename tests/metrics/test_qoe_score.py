@@ -1,0 +1,62 @@
+"""Tests for composite QoE scoring."""
+
+import pytest
+
+from repro.metrics.qoe import ClientSummary
+from repro.metrics.qoe_score import (
+    QoeWeights,
+    mean_qoe_bps,
+    qoe_score_bps,
+    qoe_table,
+)
+
+
+def make_client(rate_bps=2e6, rebuffer_s=0.0, change_bps=0.0, segments=10):
+    return ClientSummary(
+        flow_id=1, average_bitrate_bps=rate_bps,
+        num_bitrate_changes=0, change_magnitude_bps=change_bps,
+        rebuffer_time_s=rebuffer_s, stall_events=0, startup_delay_s=1.0,
+        segments_downloaded=segments, video_throughput_bps=rate_bps)
+
+
+class TestScore:
+    def test_clean_client_scores_its_bitrate(self):
+        assert qoe_score_bps(make_client(rate_bps=2e6)) == pytest.approx(2e6)
+
+    def test_rebuffer_penalised(self):
+        weights = QoeWeights(rebuffer_penalty_bps=3e6, switch_penalty=0.0)
+        client = make_client(rate_bps=2e6, rebuffer_s=5.0, segments=10)
+        # penalty = 3e6 * 0.5 s/segment = 1.5e6
+        assert qoe_score_bps(client, weights) == pytest.approx(0.5e6)
+
+    def test_switch_penalised(self):
+        weights = QoeWeights(rebuffer_penalty_bps=0.0, switch_penalty=1.0)
+        client = make_client(rate_bps=2e6, change_bps=10e6, segments=10)
+        assert qoe_score_bps(client, weights) == pytest.approx(1e6)
+
+    def test_no_segments_scores_zero(self):
+        assert qoe_score_bps(make_client(segments=0)) == 0.0
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            QoeWeights(rebuffer_penalty_bps=-1.0)
+
+
+class TestAggregation:
+    def test_mean(self):
+        clients = [make_client(rate_bps=1e6), make_client(rate_bps=3e6)]
+        assert mean_qoe_bps(clients) == pytest.approx(2e6)
+
+    def test_mean_empty(self):
+        assert mean_qoe_bps([]) == 0.0
+
+    def test_table(self):
+        table = qoe_table({"flare": [make_client(rate_bps=2e6)],
+                           "avis": [make_client(rate_bps=1e6)]})
+        assert "flare" in table and "avis" in table
+        assert "2000" in table
+
+    def test_better_behaviour_scores_higher(self):
+        smooth = make_client(rate_bps=2e6)
+        stally = make_client(rate_bps=2e6, rebuffer_s=20.0)
+        assert qoe_score_bps(smooth) > qoe_score_bps(stally)

@@ -1,0 +1,114 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    compare_with_ci,
+    mann_whitney_u,
+)
+
+
+class TestBootstrapCi:
+    def test_estimate_is_full_sample_statistic(self):
+        interval = bootstrap_ci([1.0, 2.0, 3.0])
+        assert interval.estimate == pytest.approx(2.0)
+
+    def test_contains_estimate(self):
+        interval = bootstrap_ci(list(range(50)))
+        assert interval.contains(interval.estimate)
+        assert interval.lower <= interval.upper
+
+    def test_deterministic_given_seed(self):
+        samples = list(np.random.default_rng(1).normal(10, 2, 40))
+        a = bootstrap_ci(samples, seed=7)
+        b = bootstrap_ci(samples, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_narrows_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_ci(list(rng.normal(10, 2, 10)))
+        big = bootstrap_ci(list(rng.normal(10, 2, 1000)))
+        assert big.width < small.width
+
+    def test_custom_statistic(self):
+        interval = bootstrap_ci([1.0, 2.0, 100.0], statistic=np.median)
+        assert interval.estimate == pytest.approx(2.0)
+
+    def test_coverage_sanity(self):
+        # ~95% of CIs over repeated draws should contain the true mean.
+        rng = np.random.default_rng(3)
+        hits = 0
+        trials = 60
+        for i in range(trials):
+            samples = list(rng.normal(5.0, 1.0, 30))
+            if bootstrap_ci(samples, seed=i).contains(5.0):
+                hits += 1
+        assert hits / trials > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.3)
+
+    def test_str_format(self):
+        interval = ConfidenceInterval(2.0, 1.0, 3.0, 0.95)
+        assert str(interval) == "2.0 [1.0, 3.0]"
+
+
+class TestCompareWithCi:
+    def test_renders_all_names(self):
+        text = compare_with_ci({"flare": [1.0, 2.0, 3.0],
+                                "avis": [2.0, 3.0, 4.0]},
+                               label="avg bitrate")
+        assert "avg bitrate" in text
+        assert "flare" in text and "avis" in text
+        assert "[" in text
+
+    def test_empty_population(self):
+        text = compare_with_ci({"x": []})
+        assert "(no samples)" in text
+
+
+class TestMannWhitney:
+    def test_matches_scipy_asymptotic(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a = list(rng.normal(5, 2, 25))
+            b = list(rng.normal(6, 2, 30))
+            mine = mann_whitney_u(a, b)
+            ref = scipy_stats.mannwhitneyu(
+                a, b, alternative="two-sided", method="asymptotic",
+                use_continuity=False)
+            assert mine.u_statistic == pytest.approx(ref.statistic)
+            assert mine.p_value == pytest.approx(ref.pvalue, abs=1e-6)
+
+    def test_tie_correction_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = [1, 1, 2, 2, 3] * 4
+        b = [2, 3, 3, 4, 4] * 4
+        mine = mann_whitney_u(a, b)
+        ref = scipy_stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic",
+            use_continuity=False)
+        assert mine.p_value == pytest.approx(ref.pvalue, abs=1e-6)
+
+    def test_clear_difference_is_significant(self):
+        result = mann_whitney_u([1.0] * 20, [10.0] * 20)
+        assert result.significant
+        assert result.p_value < 0.001
+
+    def test_identical_samples_not_significant(self):
+        result = mann_whitney_u([5.0] * 10, [5.0] * 10)
+        assert not result.significant
+        assert result.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0], alpha=1.5)

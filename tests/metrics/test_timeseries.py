@@ -1,0 +1,71 @@
+"""Tests for the time-series container."""
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeries
+
+
+class TestAppend:
+    def test_ordered_append(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert series.items() == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_rejects_out_of_order(self):
+        series = TimeSeries()
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(4.0, 1.0)
+
+    def test_equal_timestamps_allowed(self):
+        series = TimeSeries()
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+
+class TestValueAt:
+    def test_previous_sample_interpolation(self):
+        series = TimeSeries()
+        series.append(0.0, 10.0)
+        series.append(5.0, 20.0)
+        assert series.value_at(0.0) == 10.0
+        assert series.value_at(4.9) == 10.0
+        assert series.value_at(5.0) == 20.0
+        assert series.value_at(100.0) == 20.0
+
+    def test_before_first_rejected(self):
+        series = TimeSeries()
+        series.append(1.0, 10.0)
+        with pytest.raises(ValueError):
+            series.value_at(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().value_at(0.0)
+
+
+class TestAggregates:
+    def test_mean(self):
+        series = TimeSeries()
+        for t, v in ((0.0, 1.0), (1.0, 3.0)):
+            series.append(t, v)
+        assert series.mean() == pytest.approx(2.0)
+
+    def test_mean_empty(self):
+        assert TimeSeries().mean() == 0.0
+
+    def test_time_weighted_mean(self):
+        series = TimeSeries()
+        series.append(0.0, 10.0)   # holds for 1 s
+        series.append(1.0, 20.0)   # holds for 3 s
+        assert series.time_weighted_mean(4.0) == pytest.approx(
+            (10.0 * 1 + 20.0 * 3) / 4.0)
+
+    def test_window(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.append(float(t), float(t))
+        sub = series.window(3.0, 6.0)
+        assert list(sub.times) == [3.0, 4.0, 5.0, 6.0]

@@ -1,0 +1,99 @@
+"""Tests for flow abstractions."""
+
+import math
+
+import pytest
+
+from repro.net.flows import DataFlow, FlowKind, UserEquipment, VideoFlow
+from repro.phy.channel import StaticItbsChannel
+
+
+def make_ue():
+    return UserEquipment(StaticItbsChannel(9))
+
+
+class TestUserEquipment:
+    def test_unique_ids(self):
+        a, b = make_ue(), make_ue()
+        assert a.ue_id != b.ue_id
+
+    def test_defaults_match_table4(self):
+        ue = make_ue()
+        assert ue.theta_bps == pytest.approx(0.2e6)
+        assert ue.beta == pytest.approx(10.0)
+
+    def test_explicit_id(self):
+        assert UserEquipment(StaticItbsChannel(9), ue_id=77).ue_id == 77
+
+
+class TestDataFlow:
+    def test_infinite_backlog(self):
+        flow = DataFlow(make_ue())
+        assert math.isinf(flow.backlog_bytes())
+        assert flow.kind is FlowKind.DATA
+        assert not flow.is_video
+
+    def test_demand_capped_by_tcp_window(self):
+        flow = DataFlow(make_ue())
+        demand = flow.demand_bytes(0.02)
+        assert demand == pytest.approx(
+            flow.tcp.window_limit_bytes(0.02))
+
+    def test_accounting(self):
+        flow = DataFlow(make_ue())
+        flow.demand_bytes(0.02)
+        flow.on_scheduled(1000.0, 0.02)
+        assert flow.total_delivered_bytes == 1000.0
+
+
+class TestVideoFlow:
+    def test_idle_has_no_demand(self):
+        flow = VideoFlow(make_ue())
+        assert flow.backlog_bytes() == 0.0
+        assert flow.demand_bytes(0.02) == 0.0
+        assert flow.is_video
+
+    def test_download_lifecycle(self):
+        flow = VideoFlow(make_ue())
+        completed = []
+        flow.begin_download(1000.0, on_complete=lambda: completed.append(1))
+        assert flow.download_active
+        flow.demand_bytes(0.02)
+        flow.on_scheduled(400.0, 0.02)
+        assert flow.remaining_bytes == pytest.approx(600.0)
+        assert not completed
+        flow.demand_bytes(0.02)
+        flow.on_scheduled(600.0, 0.02)
+        assert completed == [1]
+        assert not flow.download_active
+
+    def test_double_download_rejected(self):
+        flow = VideoFlow(make_ue())
+        flow.begin_download(1000.0, on_complete=lambda: None)
+        with pytest.raises(RuntimeError):
+            flow.begin_download(1000.0, on_complete=lambda: None)
+
+    def test_zero_size_rejected(self):
+        flow = VideoFlow(make_ue())
+        with pytest.raises(ValueError):
+            flow.begin_download(0.0, on_complete=lambda: None)
+
+    def test_cancel(self):
+        flow = VideoFlow(make_ue())
+        completed = []
+        flow.begin_download(1000.0, on_complete=lambda: completed.append(1))
+        flow.cancel_download()
+        assert not flow.download_active
+        flow.demand_bytes(0.02)
+        flow.on_scheduled(1000.0, 0.02)
+        assert completed == []  # cancelled callback never fires
+
+    def test_completion_exactly_once(self):
+        flow = VideoFlow(make_ue())
+        completed = []
+        flow.begin_download(500.0, on_complete=lambda: completed.append(1))
+        flow.demand_bytes(0.02)
+        flow.on_scheduled(500.0, 0.02)
+        flow.demand_bytes(0.02)
+        flow.on_scheduled(0.0, 0.02)
+        assert completed == [1]

@@ -1,0 +1,83 @@
+"""Tests for the PCRF / PCEF models."""
+
+import pytest
+
+from repro.mac.gbr import BearerQos, BearerRegistry
+from repro.net.flows import DataFlow, FlowKind, UserEquipment, VideoFlow
+from repro.net.pcrf import Pcef, Pcrf
+from repro.phy.channel import StaticItbsChannel
+
+
+def make_ue():
+    return UserEquipment(StaticItbsChannel(9))
+
+
+class TestPcrf:
+    def test_flow_counts_per_cell(self):
+        pcrf = Pcrf()
+        video = VideoFlow(make_ue())
+        data1, data2 = DataFlow(make_ue()), DataFlow(make_ue())
+        pcrf.register_flow(video, cell_id=0)
+        pcrf.register_flow(data1, cell_id=0)
+        pcrf.register_flow(data2, cell_id=1)
+        assert pcrf.num_video_flows(0) == 1
+        assert pcrf.num_data_flows(0) == 1
+        assert pcrf.num_data_flows(1) == 1
+        assert pcrf.num_data_flows(2) == 0
+
+    def test_session_metadata(self):
+        pcrf = Pcrf()
+        flow = VideoFlow(make_ue())
+        session = pcrf.register_flow(flow, cell_id=3)
+        assert session.kind is FlowKind.VIDEO
+        assert session.cell_id == 3
+        assert session.ue_id == flow.ue.ue_id
+
+    def test_duplicate_rejected(self):
+        pcrf = Pcrf()
+        flow = DataFlow(make_ue())
+        pcrf.register_flow(flow, 0)
+        with pytest.raises(ValueError):
+            pcrf.register_flow(flow, 0)
+
+    def test_deregister(self):
+        pcrf = Pcrf()
+        flow = DataFlow(make_ue())
+        pcrf.register_flow(flow, 0)
+        pcrf.deregister_flow(flow.flow_id)
+        assert pcrf.num_data_flows(0) == 0
+        pcrf.deregister_flow(flow.flow_id)  # idempotent
+
+    def test_kind_filter(self):
+        pcrf = Pcrf()
+        video = VideoFlow(make_ue())
+        data = DataFlow(make_ue())
+        pcrf.register_flow(video, 0)
+        pcrf.register_flow(data, 0)
+        sessions = pcrf.sessions_in_cell(0, FlowKind.VIDEO)
+        assert [s.flow_id for s in sessions] == [video.flow_id]
+
+
+class TestPcef:
+    def test_enforcement_updates_bearer(self):
+        registry = BearerRegistry()
+        registry.register(5, BearerQos())
+        pcef = Pcef(registry)
+        pcef.enforce(5, gbr_bps=2e6, time_s=10.0)
+        assert registry.qos(5).gbr_bps == 2e6
+
+    def test_decision_audit_trail(self):
+        registry = BearerRegistry()
+        registry.register(5)
+        pcef = Pcef(registry)
+        pcef.enforce(5, gbr_bps=1e6, time_s=1.0)
+        pcef.enforce(5, gbr_bps=2e6, mbr_bps=3e6, time_s=2.0)
+        decisions = pcef.decisions
+        assert len(decisions) == 2
+        assert decisions[1].mbr_bps == 3e6
+        assert decisions[1].time_s == 2.0
+
+    def test_enforce_unknown_flow_raises(self):
+        pcef = Pcef(BearerRegistry())
+        with pytest.raises(KeyError):
+            pcef.enforce(99, gbr_bps=1e6)

@@ -1,0 +1,87 @@
+"""Tests for the fluid TCP model."""
+
+import pytest
+
+from repro.net.tcp import INITIAL_CWND_BYTES, FluidTcp
+
+
+class TestWindowLimit:
+    def test_initial_limit_scales_with_step(self):
+        tcp = FluidTcp(rtt_s=0.1)
+        assert tcp.window_limit_bytes(0.1) == pytest.approx(
+            INITIAL_CWND_BYTES)
+        assert tcp.window_limit_bytes(0.05) == pytest.approx(
+            INITIAL_CWND_BYTES / 2)
+
+    def test_rejects_non_positive_step(self):
+        with pytest.raises(ValueError):
+            FluidTcp().window_limit_bytes(0.0)
+
+
+class TestSlowStart:
+    def test_window_doubles_per_rtt_when_unconstrained(self):
+        tcp = FluidTcp(rtt_s=0.1)
+        w0 = tcp.cwnd_bytes
+        # Deliver everything wanted for one full RTT.
+        tcp.on_delivered(delivered_bytes=w0, wanted_bytes=1e9, step_s=0.1)
+        assert tcp.cwnd_bytes == pytest.approx(2 * w0)
+
+    def test_growth_capped(self):
+        tcp = FluidTcp(rtt_s=0.01, max_cwnd_bytes=1e6)
+        for _ in range(100):
+            tcp.on_delivered(tcp.window_limit_bytes(0.01), 1e12, 0.01)
+        assert tcp.cwnd_bytes <= 1e6
+
+
+class TestLinkLimited:
+    def test_window_tracks_granted_rate(self):
+        tcp = FluidTcp(rtt_s=0.1)
+        # Grow first, then get persistently throttled to 10 KB/step.
+        for _ in range(20):
+            tcp.on_delivered(tcp.window_limit_bytes(0.1), 1e12, 0.1)
+        big = tcp.cwnd_bytes
+        for _ in range(50):
+            tcp.on_delivered(20_000.0, 1e12, 0.1)
+        assert tcp.cwnd_bytes < big
+        # Converged near 1.25x the granted per-RTT volume.
+        assert tcp.cwnd_bytes == pytest.approx(25_000.0, rel=0.1)
+
+    def test_never_below_initial(self):
+        tcp = FluidTcp(rtt_s=0.1)
+        for _ in range(100):
+            tcp.on_delivered(1.0, 1e12, 0.1)
+        assert tcp.cwnd_bytes >= INITIAL_CWND_BYTES * 0.99
+
+
+class TestIdleRestart:
+    def test_idle_resets_window(self):
+        tcp = FluidTcp(rtt_s=0.05, idle_reset_s=1.0)
+        for _ in range(40):
+            tcp.on_delivered(tcp.window_limit_bytes(0.05), 1e12, 0.05)
+        assert tcp.cwnd_bytes > INITIAL_CWND_BYTES
+        # 1.2 s of application idleness.
+        for _ in range(24):
+            tcp.on_delivered(0.0, 0.0, 0.05)
+        assert tcp.cwnd_bytes == pytest.approx(INITIAL_CWND_BYTES)
+
+    def test_short_idle_does_not_reset(self):
+        tcp = FluidTcp(rtt_s=0.05, idle_reset_s=1.0)
+        for _ in range(40):
+            tcp.on_delivered(tcp.window_limit_bytes(0.05), 1e12, 0.05)
+        grown = tcp.cwnd_bytes
+        tcp.on_delivered(0.0, 0.0, 0.5)
+        assert tcp.cwnd_bytes == pytest.approx(grown)
+
+    def test_explicit_reset(self):
+        tcp = FluidTcp()
+        tcp.on_delivered(tcp.window_limit_bytes(0.06), 1e12, 0.06)
+        tcp.reset()
+        assert tcp.cwnd_bytes == pytest.approx(INITIAL_CWND_BYTES)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            FluidTcp(rtt_s=0.0)
+        with pytest.raises(ValueError):
+            FluidTcp(idle_reset_s=-1.0)

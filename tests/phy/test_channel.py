@@ -1,0 +1,137 @@
+"""Tests for channel models."""
+
+import numpy as np
+import pytest
+
+from repro.phy import tbs
+from repro.phy.channel import (
+    CyclicItbsChannel,
+    FadingChannel,
+    FadingProcess,
+    StaticItbsChannel,
+    TraceItbsChannel,
+)
+from repro.phy.mobility import StaticMobility
+from repro.phy.pathloss import LinkBudget, LogDistancePathLoss
+
+
+class TestStaticChannel:
+    def test_constant(self):
+        channel = StaticItbsChannel(7)
+        assert channel.itbs_at(0.0) == 7
+        assert channel.itbs_at(1e5) == 7
+
+    def test_bytes_per_prb(self):
+        channel = StaticItbsChannel(9)
+        assert channel.bytes_per_prb_at(0.0) == tbs.bytes_per_prb(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticItbsChannel(27)
+
+
+class TestCyclicChannel:
+    def test_paper_sweep_endpoints(self):
+        channel = CyclicItbsChannel(lo=1, hi=12, cycle_s=240.0)
+        assert channel.itbs_at(0.0) == 1
+        assert channel.itbs_at(120.0) == 12
+        assert channel.itbs_at(240.0) == 1
+
+    def test_midpoints(self):
+        channel = CyclicItbsChannel(lo=1, hi=12, cycle_s=240.0)
+        assert channel.itbs_at(60.0) == pytest.approx(6.5, abs=0.51)
+
+    def test_offset_shifts_phase(self):
+        base = CyclicItbsChannel(lo=1, hi=12, cycle_s=240.0)
+        shifted = CyclicItbsChannel(lo=1, hi=12, cycle_s=240.0,
+                                    offset_s=120.0)
+        assert shifted.itbs_at(0.0) == base.itbs_at(120.0)
+
+    def test_range_bounded(self):
+        channel = CyclicItbsChannel(lo=1, hi=12, cycle_s=240.0)
+        for t in np.linspace(0, 960, 400):
+            assert 1 <= channel.itbs_at(float(t)) <= 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicItbsChannel(lo=12, hi=1)
+
+
+class TestTraceChannel:
+    def test_replay(self):
+        channel = TraceItbsChannel([(0.0, 5), (10.0, 8), (20.0, 3)])
+        assert channel.itbs_at(0.0) == 5
+        assert channel.itbs_at(9.99) == 5
+        assert channel.itbs_at(10.0) == 8
+        assert channel.itbs_at(25.0) == 3
+        assert channel.itbs_at(1e6) == 3  # last value holds
+
+    def test_loop(self):
+        channel = TraceItbsChannel([(0.0, 5), (10.0, 8)], loop_s=20.0)
+        assert channel.itbs_at(20.0) == 5
+        assert channel.itbs_at(30.0) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceItbsChannel([])
+        with pytest.raises(ValueError):
+            TraceItbsChannel([(1.0, 5)])  # must start at 0
+        with pytest.raises(ValueError):
+            TraceItbsChannel([(0.0, 5), (10.0, 8)], loop_s=5.0)
+
+
+class TestFadingProcess:
+    def test_deterministic(self):
+        f1 = FadingProcess(np.random.default_rng(3))
+        f2 = FadingProcess(np.random.default_rng(3))
+        for t in (0.0, 5.0, 99.5):
+            assert f1.fading_db(t) == f2.fading_db(t)
+
+    def test_piecewise_constant(self):
+        process = FadingProcess(np.random.default_rng(0),
+                                sample_period_s=1.0)
+        assert process.fading_db(5.1) == process.fading_db(5.9)
+
+    def test_std_roughly_matches(self):
+        process = FadingProcess(np.random.default_rng(1),
+                                sample_period_s=0.5,
+                                shadowing_std_db=4.0,
+                                shadowing_corr=0.9,
+                                fast_fading_std_db=2.0,
+                                fast_fading_corr=0.5)
+        samples = [process.fading_db(t * 0.5) for t in range(8000)]
+        observed = float(np.std(samples))
+        expected = np.sqrt(4.0 ** 2 + 2.0 ** 2)
+        assert observed == pytest.approx(expected, rel=0.35)
+
+    def test_negative_time_rejected(self):
+        process = FadingProcess(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            process.fading_db(-1.0)
+
+
+class TestFadingChannel:
+    def _channel(self, distance_m=300.0):
+        return FadingChannel(
+            mobility=StaticMobility((distance_m, 0.0)),
+            enb_position=(0.0, 0.0),
+            fading=FadingProcess(np.random.default_rng(5)),
+            pathloss=LogDistancePathLoss(exponent=3.0, pl0_db=40.0),
+            link_budget=LinkBudget(tx_power_dbm=46.0),
+        )
+
+    def test_valid_itbs(self):
+        channel = self._channel()
+        for t in np.linspace(0, 60, 100):
+            assert tbs.MIN_ITBS <= channel.itbs_at(float(t)) <= tbs.MAX_ITBS
+
+    def test_nearer_is_better_on_average(self):
+        near = self._channel(100.0)
+        far = self._channel(1900.0)
+        near_mean = np.mean([near.itbs_at(t) for t in range(0, 300, 2)])
+        far_mean = np.mean([far.itbs_at(t) for t in range(0, 300, 2)])
+        assert near_mean > far_mean
+
+    def test_sinr_chain(self):
+        channel = self._channel(100.0)
+        assert channel.sinr_db_at(0.0) > 0.0

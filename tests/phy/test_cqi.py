@@ -1,0 +1,67 @@
+"""Tests for the SINR -> CQI -> iTbs chain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import cqi
+
+
+class TestCqiFromSinr:
+    def test_out_of_range(self):
+        assert cqi.cqi_from_sinr(-20.0) == 0
+
+    def test_lowest_working_point(self):
+        assert cqi.cqi_from_sinr(-6.7) == 1
+
+    def test_top(self):
+        assert cqi.cqi_from_sinr(40.0) == 15
+
+    @given(st.floats(-30, 50), st.floats(0, 20))
+    def test_monotone(self, sinr, delta):
+        assert cqi.cqi_from_sinr(sinr + delta) >= cqi.cqi_from_sinr(sinr)
+
+
+class TestEfficiency:
+    def test_cqi0_is_zero(self):
+        assert cqi.efficiency_for_cqi(0) == 0.0
+
+    def test_table_values(self):
+        assert cqi.efficiency_for_cqi(1) == pytest.approx(0.1523)
+        assert cqi.efficiency_for_cqi(15) == pytest.approx(5.5547)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cqi.efficiency_for_cqi(16)
+
+    def test_strictly_increasing(self):
+        values = [cqi.efficiency_for_cqi(c) for c in range(1, 16)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestItbsMapping:
+    def test_cqi0_maps_to_minimum(self):
+        assert cqi.itbs_from_cqi(0) == 0
+
+    def test_never_exceeds_cqi_efficiency(self):
+        from repro.phy import tbs
+        for c in range(1, 16):
+            itbs = cqi.itbs_from_cqi(c)
+            target = cqi.efficiency_for_cqi(c) * cqi.DATA_RE_PER_PRB
+            assert tbs.bits_per_prb(itbs) <= target
+
+    @given(st.integers(1, 14))
+    def test_monotone_in_cqi(self, c):
+        assert cqi.itbs_from_cqi(c + 1) >= cqi.itbs_from_cqi(c)
+
+    def test_full_chain(self):
+        assert cqi.itbs_from_sinr(-30.0) == 0
+        assert cqi.itbs_from_sinr(40.0) > 20
+
+
+class TestLinkAdaptation:
+    def test_backoff_conservative(self):
+        aggressive = cqi.LinkAdaptation(backoff_db=0.0)
+        conservative = cqi.LinkAdaptation(backoff_db=5.0)
+        assert conservative.itbs(10.0) <= aggressive.itbs(10.0)
+        assert conservative.cqi(10.0) == cqi.cqi_from_sinr(5.0)

@@ -1,0 +1,122 @@
+"""Tests for mobility models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.mobility import (
+    CircularMobility,
+    Field,
+    RandomWaypointMobility,
+    StaticMobility,
+    distance,
+)
+
+
+class TestField:
+    def test_center(self):
+        assert Field(2000.0, 1000.0).center == (1000.0, 500.0)
+
+    def test_contains(self):
+        field = Field(100.0, 100.0)
+        assert field.contains((0.0, 0.0))
+        assert field.contains((100.0, 100.0))
+        assert not field.contains((100.1, 50.0))
+
+    def test_random_position_inside(self):
+        field = Field(50.0, 80.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert field.contains(field.random_position(rng))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Field(0.0, 10.0)
+
+
+class TestDistance:
+    def test_pythagoras(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+
+class TestStaticMobility:
+    def test_never_moves(self):
+        model = StaticMobility((10.0, 20.0))
+        assert model.position_at(0.0) == (10.0, 20.0)
+        assert model.position_at(1e6) == (10.0, 20.0)
+
+    def test_distance_to(self):
+        model = StaticMobility((0.0, 0.0))
+        assert model.distance_to((3.0, 4.0), 5.0) == pytest.approx(5.0)
+
+
+class TestRandomWaypoint:
+    def _model(self, seed=1, **kwargs):
+        field = Field(1000.0, 1000.0)
+        rng = np.random.default_rng(seed)
+        return RandomWaypointMobility(field, rng, **kwargs), field
+
+    def test_stays_in_field(self):
+        model, field = self._model()
+        for t in np.linspace(0, 600, 200):
+            assert field.contains(model.position_at(float(t)))
+
+    def test_moves(self):
+        model, _ = self._model()
+        p0 = model.position_at(0.0)
+        p1 = model.position_at(60.0)
+        assert distance(p0, p1) > 0.0
+
+    def test_speed_bounded(self):
+        model, _ = self._model(speed_min_mps=5.0, speed_max_mps=15.0)
+        dt = 0.5
+        for t in np.arange(0, 120, dt):
+            a = model.position_at(float(t))
+            b = model.position_at(float(t + dt))
+            assert distance(a, b) <= 15.0 * dt + 1e-6
+
+    def test_deterministic_given_seed(self):
+        m1, _ = self._model(seed=7)
+        m2, _ = self._model(seed=7)
+        for t in (0.0, 13.7, 99.2):
+            assert m1.position_at(t) == m2.position_at(t)
+
+    def test_replay_earlier_time(self):
+        model, _ = self._model()
+        late = model.position_at(100.0)
+        early = model.position_at(10.0)
+        assert model.position_at(100.0) == late
+        assert model.position_at(10.0) == early
+
+    def test_pause(self):
+        model, _ = self._model(pause_s=5.0)
+        # Trajectory still well defined everywhere.
+        model.position_at(300.0)
+
+    def test_negative_time_rejected(self):
+        model, _ = self._model()
+        with pytest.raises(ValueError):
+            model.position_at(-1.0)
+
+    def test_speed_validation(self):
+        field = Field(100.0, 100.0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(field, rng, speed_min_mps=10.0,
+                                   speed_max_mps=5.0)
+
+
+class TestCircularMobility:
+    def test_constant_radius(self):
+        model = CircularMobility((0.0, 0.0), radius_m=100.0, speed_mps=10.0)
+        for t in (0.0, 3.3, 47.0):
+            assert distance((0.0, 0.0),
+                            model.position_at(t)) == pytest.approx(100.0)
+
+    @given(st.floats(0, 1000))
+    @settings(max_examples=25)
+    def test_radius_invariant_property(self, t):
+        model = CircularMobility((50.0, 50.0), radius_m=30.0, speed_mps=5.0)
+        assert distance((50.0, 50.0),
+                        model.position_at(t)) == pytest.approx(30.0)

@@ -1,0 +1,86 @@
+"""Tests for path-loss models and the link budget."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.pathloss import (
+    Cost231PathLoss,
+    LinkBudget,
+    LogDistancePathLoss,
+    db_to_linear,
+    linear_to_db,
+)
+
+
+class TestDbConversions:
+    def test_known(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    @given(st.floats(-100, 100))
+    def test_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestLogDistance:
+    def test_reference_distance_floor(self):
+        model = LogDistancePathLoss(exponent=3.6, pl0_db=46.7,
+                                    reference_m=1.0)
+        assert model.loss_db(0.5) == pytest.approx(46.7)
+        assert model.loss_db(1.0) == pytest.approx(46.7)
+
+    def test_decade_slope(self):
+        model = LogDistancePathLoss(exponent=3.6, pl0_db=46.7)
+        assert (model.loss_db(100.0) - model.loss_db(10.0)
+                == pytest.approx(36.0))
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().loss_db(-1.0)
+
+    @given(st.floats(1.0, 1e4), st.floats(1.0, 1e4))
+    def test_monotone(self, d1, d2):
+        model = LogDistancePathLoss()
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert model.loss_db(lo) <= model.loss_db(hi) + 1e-9
+
+
+class TestCost231:
+    def test_plausible_urban_loss(self):
+        model = Cost231PathLoss()
+        loss = model.loss_db(1000.0)
+        assert 120.0 < loss < 160.0
+
+    def test_monotone_in_distance(self):
+        model = Cost231PathLoss()
+        assert model.loss_db(2000.0) > model.loss_db(500.0)
+
+
+class TestLinkBudget:
+    def test_noise_floor_10mhz(self):
+        budget = LinkBudget(bandwidth_hz=10e6, noise_figure_db=9.0)
+        # -174 + 70 + 9 = -95 dBm
+        assert budget.noise_floor_dbm() == pytest.approx(-95.0, abs=0.1)
+
+    def test_sinr(self):
+        budget = LinkBudget(tx_power_dbm=20.0, bandwidth_hz=10e6,
+                            noise_figure_db=9.0)
+        assert budget.sinr_db(100.0) == pytest.approx(
+            20.0 - 100.0 - (-95.0), abs=0.1)
+
+    def test_fading_is_additive(self):
+        budget = LinkBudget()
+        assert (budget.sinr_db(100.0, fading_db=3.0)
+                == pytest.approx(budget.sinr_db(100.0) + 3.0))
+
+    def test_interference_margin_lowers_sinr(self):
+        quiet = LinkBudget(interference_margin_db=0.0)
+        noisy = LinkBudget(interference_margin_db=3.0)
+        assert noisy.sinr_db(100.0) == pytest.approx(
+            quiet.sinr_db(100.0) - 3.0)

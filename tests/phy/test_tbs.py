@@ -1,0 +1,79 @@
+"""Tests for the 3GPP TBS model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import tbs
+
+
+class TestValidation:
+    def test_valid_range(self):
+        assert tbs.validate_itbs(0) == 0
+        assert tbs.validate_itbs(26) == 26
+
+    @pytest.mark.parametrize("bad", [-1, 27, 100])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            tbs.validate_itbs(bad)
+
+
+class TestTransportBlockBits:
+    def test_single_prb_column_is_3gpp(self):
+        # Spot-check against TS 36.213 Table 7.1.7.2.1-1, N_PRB = 1.
+        assert tbs.transport_block_bits(0, 1) == 16
+        assert tbs.transport_block_bits(9, 1) == 136
+        assert tbs.transport_block_bits(26, 1) == 712
+
+    def test_scaling_is_near_linear(self):
+        one = tbs.transport_block_bits(10, 1)
+        fifty = tbs.transport_block_bits(10, 50)
+        assert fifty == pytest.approx(one * 50, rel=0.01)
+
+    def test_byte_aligned(self):
+        for itbs in range(27):
+            assert tbs.transport_block_bits(itbs, 50) % 8 == 0
+
+    @pytest.mark.parametrize("bad_prb", [0, 111])
+    def test_prb_range(self, bad_prb):
+        with pytest.raises(ValueError):
+            tbs.transport_block_bits(5, bad_prb)
+
+    @given(st.integers(0, 26), st.integers(1, 109))
+    def test_monotone_in_prbs(self, itbs, n_prb):
+        assert (tbs.transport_block_bits(itbs, n_prb + 1)
+                >= tbs.transport_block_bits(itbs, n_prb))
+
+    @given(st.integers(0, 25), st.integers(1, 110))
+    def test_monotone_in_itbs(self, itbs, n_prb):
+        assert (tbs.transport_block_bits(itbs + 1, n_prb)
+                >= tbs.transport_block_bits(itbs, n_prb))
+
+
+class TestRates:
+    def test_peak_rate_10mhz(self):
+        # iTbs 26 at 50 PRB: 712 * 50 = 35600 bits/ms ~ 35.6 Mbps.
+        assert tbs.peak_rate_bps(26) == pytest.approx(35.6e6, rel=0.02)
+
+    def test_bits_bytes_per_prb(self):
+        assert tbs.bits_per_prb(9) == 136.0
+        assert tbs.bytes_per_prb(9) == 17.0
+
+
+class TestInverseMapping:
+    def test_exact_match(self):
+        assert tbs.itbs_for_spectral_efficiency(136.0) == 9
+
+    def test_rounds_down(self):
+        assert tbs.itbs_for_spectral_efficiency(140.0) == 9
+
+    def test_clamps_low(self):
+        assert tbs.itbs_for_spectral_efficiency(1.0) == tbs.MIN_ITBS
+
+    def test_clamps_high(self):
+        assert tbs.itbs_for_spectral_efficiency(1e9) == tbs.MAX_ITBS
+
+    @given(st.integers(0, 26))
+    def test_inverse_of_bits_per_prb(self, itbs):
+        assert tbs.itbs_for_spectral_efficiency(
+            tbs.bits_per_prb(itbs)) == itbs

@@ -1,0 +1,91 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda t: fired.append(("c", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        queue.schedule(2.0, lambda t: fired.append(("b", t)))
+        queue.run_until(10.0)
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.schedule(5.0, lambda t, n=name: fired.append(n))
+        queue.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_is_inclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda t: fired.append(t))
+        assert queue.run_until(5.0) == 1
+        assert fired == [5.0]
+
+    def test_future_events_stay_pending(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        assert queue.run_until(4.9) == 0
+        assert queue.next_time() == 5.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda t: None)
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda t: fired.append(t))
+        handle.cancel()
+        queue.run_until(10.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+
+class TestRecurring:
+    def test_recurring_cadence(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_recurring(2.0, 2.0, lambda t: fired.append(t))
+        queue.run_until(9.0)
+        assert fired == [2.0, 4.0, 6.0, 8.0]
+
+    def test_recurring_cancel_stops(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule_recurring(1.0, 1.0,
+                                          lambda t: fired.append(t))
+        queue.run_until(2.5)
+        handle.cancel()
+        queue.run_until(10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_recurring(0.0, 0.0, lambda t: None)
+
+    def test_interleaves_with_one_shot(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_recurring(2.0, 2.0, lambda t: fired.append("r"))
+        queue.schedule(3.0, lambda t: fired.append("s"))
+        queue.run_until(5.0)
+        assert fired == ["r", "s", "r"]

@@ -1,0 +1,40 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "fig6", "fig12", "ablations", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scheme_option(self):
+        args = build_parser().parse_args(["fig4", "--scheme", "flare"])
+        assert args.scheme == "flare"
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--scheme", "bogus"])
+
+
+class TestMain:
+    def test_fig9_runs(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "128 clients" in out
+
+    def test_fig4_single_scheme(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert main(["fig4", "--scheme", "flare"]) == 0
+        out = capsys.readouterr().out
+        assert "flare" in out
+        assert "bitrate" in out

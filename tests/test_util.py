@@ -1,0 +1,209 @@
+"""Tests for repro.util."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    Ewma,
+    IntervalAccumulator,
+    RunningStat,
+    SlidingWindow,
+    bits_to_bytes,
+    bytes_to_bits,
+    clamp,
+    harmonic_mean,
+    kbps,
+    mbps,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    to_kbps,
+    to_mbps,
+)
+
+
+class TestUnits:
+    def test_kbps_mbps(self):
+        assert kbps(500) == 500e3
+        assert mbps(2.5) == 2.5e6
+
+    def test_roundtrip(self):
+        assert to_kbps(kbps(123.0)) == pytest.approx(123.0)
+        assert to_mbps(mbps(4.2)) == pytest.approx(4.2)
+
+    def test_bits_bytes(self):
+        assert bytes_to_bits(10) == 80
+        assert bits_to_bytes(80) == 10
+
+    @given(st.floats(min_value=0, max_value=1e12))
+    def test_bits_bytes_inverse(self, value):
+        assert bits_to_bytes(bytes_to_bits(value)) == pytest.approx(value)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below_above(self):
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 4)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(-100, 100), st.floats(-100, 100))
+    def test_result_in_interval(self, x, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert lo <= clamp(x, lo, hi) <= hi
+
+
+class TestValidators:
+    def test_require_positive(self):
+        assert require_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            require_positive("x", 0.0)
+
+    def test_require_non_negative(self):
+        assert require_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            require_non_negative("x", -0.1)
+
+    def test_require_in_range(self):
+        assert require_in_range("x", 0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            require_in_range("x", 1.5, 0, 1)
+
+
+class TestEwma:
+    def test_first_sample_seeds(self):
+        ewma = Ewma(0.1)
+        assert ewma.value is None
+        assert ewma.update(10.0) == 10.0
+
+    def test_smoothing(self):
+        ewma = Ewma(0.5)
+        ewma.update(0.0)
+        assert ewma.update(10.0) == pytest.approx(5.0)
+
+    def test_value_or(self):
+        ewma = Ewma(0.5)
+        assert ewma.value_or(7.0) == 7.0
+        ewma.update(3.0)
+        assert ewma.value_or(7.0) == 3.0
+
+    def test_reset(self):
+        ewma = Ewma(0.5)
+        ewma.update(3.0)
+        ewma.reset()
+        assert ewma.value is None
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            Ewma(1.5)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50),
+           st.floats(0.01, 1.0))
+    def test_stays_in_sample_hull(self, samples, weight):
+        ewma = Ewma(weight)
+        for s in samples:
+            ewma.update(s)
+        assert min(samples) - 1e-6 <= ewma.value <= max(samples) + 1e-6
+
+
+class TestRunningStat:
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.count == 0
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    def test_known_values(self):
+        stat = RunningStat()
+        stat.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.stddev == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_direct_computation(self, samples):
+        stat = RunningStat()
+        stat.extend(samples)
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert stat.mean == pytest.approx(mean, abs=1e-6)
+        assert stat.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+class TestSlidingWindow:
+    def test_eviction(self):
+        window = SlidingWindow(3)
+        for v in (1, 2, 3, 4):
+            window.push(v)
+        assert window.samples == (2.0, 3.0, 4.0)
+
+    def test_is_full(self):
+        window = SlidingWindow(2)
+        assert not window.is_full()
+        window.push(1)
+        window.push(2)
+        assert window.is_full()
+
+    def test_means(self):
+        window = SlidingWindow(5)
+        assert window.mean() is None
+        assert window.harmonic_mean() is None
+        window.push(2.0)
+        window.push(4.0)
+        assert window.mean() == pytest.approx(3.0)
+        assert window.harmonic_mean() == pytest.approx(8.0 / 3.0)
+
+    def test_harmonic_ignores_non_positive(self):
+        window = SlidingWindow(5)
+        window.push(0.0)
+        window.push(4.0)
+        assert window.harmonic_mean() == pytest.approx(4.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=30))
+    def test_harmonic_le_arithmetic(self, samples):
+        window = SlidingWindow(len(samples))
+        for s in samples:
+            window.push(s)
+        assert window.harmonic_mean() <= window.mean() + 1e-9
+
+
+class TestHarmonicMean:
+    def test_known(self):
+        assert harmonic_mean([1.0, 4.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+
+class TestIntervalAccumulator:
+    def test_throughput(self):
+        acc = IntervalAccumulator()
+        acc.add(1000, 1.0)
+        assert acc.throughput_bps() == pytest.approx(8000.0)
+
+    def test_roll_resets(self):
+        acc = IntervalAccumulator()
+        acc.add(1000, 1.0)
+        first = acc.roll()
+        assert first == pytest.approx(8000.0)
+        assert acc.throughput_bps() == 0.0
+        assert acc.history == (first,)
+
+    def test_zero_duration(self):
+        acc = IntervalAccumulator()
+        assert acc.throughput_bps() == 0.0

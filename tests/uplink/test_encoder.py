@@ -1,0 +1,74 @@
+"""Tests for the live encoder."""
+
+import pytest
+
+from repro.has.mpd import SIMULATION_LADDER
+from repro.uplink.encoder import LiveEncoder
+
+
+class TestProduction:
+    def test_produces_on_cadence(self):
+        encoder = LiveEncoder(SIMULATION_LADDER, segment_duration_s=2.0)
+        produced = encoder.produce_due_segments(0.0)
+        assert len(produced) == 1
+        produced = encoder.produce_due_segments(5.9)
+        assert [s.index for s in produced] == [1, 2]
+        assert encoder.produce_due_segments(5.95) == []
+
+    def test_segment_sizes_match_bitrate(self):
+        encoder = LiveEncoder(SIMULATION_LADDER, segment_duration_s=2.0)
+        encoder.set_ladder_index(3)  # 1 Mbps
+        (segment,) = encoder.produce_due_segments(0.0)
+        assert segment.size_bytes == pytest.approx(1e6 * 2.0 / 8.0)
+
+    def test_bitrate_change_applies_to_next_segment(self):
+        encoder = LiveEncoder(SIMULATION_LADDER, segment_duration_s=2.0)
+        first = encoder.produce_due_segments(0.0)[0]
+        encoder.set_ladder_index(5)
+        second = encoder.produce_due_segments(2.0)[0]
+        assert first.bitrate_bps == SIMULATION_LADDER.rate(0)
+        assert second.bitrate_bps == SIMULATION_LADDER.rate(5)
+
+    def test_index_clamped(self):
+        encoder = LiveEncoder(SIMULATION_LADDER)
+        encoder.set_ladder_index(99)
+        assert encoder.current_ladder_index == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiveEncoder(SIMULATION_LADDER, segment_duration_s=0.0)
+        with pytest.raises(ValueError):
+            LiveEncoder(SIMULATION_LADDER, max_backlog_segments=0)
+
+
+class TestBacklog:
+    def test_oldest_dropped_beyond_backlog(self):
+        encoder = LiveEncoder(SIMULATION_LADDER, segment_duration_s=1.0,
+                              max_backlog_segments=3)
+        encoder.produce_due_segments(9.0)  # 10 segments, none uploaded
+        queued = encoder.queued_segments()
+        assert len(queued) == 3
+        assert encoder.dropped_count() == 7
+        # The survivors are the freshest ones.
+        assert [s.index for s in queued] == [7, 8, 9]
+
+    def test_uploaded_segments_leave_the_queue(self):
+        encoder = LiveEncoder(SIMULATION_LADDER, segment_duration_s=1.0)
+        encoder.produce_due_segments(2.0)
+        segment = encoder.queued_segments()[0]
+        segment.uploaded_at_s = 2.5
+        assert segment not in encoder.queued_segments()
+        assert segment in encoder.uploaded_segments()
+
+
+class TestLatency:
+    def test_latency_computed(self):
+        encoder = LiveEncoder(SIMULATION_LADDER, segment_duration_s=1.0)
+        encoder.produce_due_segments(0.0)
+        segment = encoder.segments[0]
+        segment.uploaded_at_s = 0.7
+        assert segment.latency_s == pytest.approx(0.7)
+        assert encoder.mean_latency_s() == pytest.approx(0.7)
+
+    def test_mean_latency_empty(self):
+        assert LiveEncoder(SIMULATION_LADDER).mean_latency_s() == 0.0

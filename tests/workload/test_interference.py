@@ -1,0 +1,103 @@
+"""Tests for inter-cell interference coupling."""
+
+import pytest
+
+from repro.net.flows import UserEquipment
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.cell import Cell, CellConfig
+from repro.workload.interference import (
+    CoupledChannel,
+    InterferenceCoupler,
+)
+
+
+def run_lockstep(cells, duration_s):
+    done = False
+    while not done:
+        done = True
+        for cell in cells:
+            if cell.now_s < duration_s - 1e-9:
+                cell.step()
+                done = False
+
+
+class TestCoupler:
+    def test_utilisation_tracks_load(self):
+        coupler = InterferenceCoupler(smoothing=1.0)
+        busy = Cell(CellConfig(cell_id=0, step_s=0.02))
+        idle = Cell(CellConfig(cell_id=1, step_s=0.02))
+        coupler.install(busy)
+        coupler.install(idle)
+        busy.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+        run_lockstep([busy, idle], 5.0)
+        assert coupler.utilisation(0) > 0.9
+        assert coupler.utilisation(1) == pytest.approx(0.0, abs=0.05)
+
+    def test_interference_excludes_self(self):
+        coupler = InterferenceCoupler(coupling_db=6.0, smoothing=1.0)
+        busy = Cell(CellConfig(cell_id=0, step_s=0.02))
+        victim = Cell(CellConfig(cell_id=1, step_s=0.02))
+        coupler.install(busy)
+        coupler.install(victim)
+        busy.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+        run_lockstep([busy, victim], 5.0)
+        # The busy cell injures the victim, not itself.
+        assert coupler.interference_db(1) > 5.0
+        assert coupler.interference_db(0) == pytest.approx(0.0, abs=0.5)
+
+    def test_double_install_rejected(self):
+        coupler = InterferenceCoupler()
+        cell = Cell(CellConfig(cell_id=0))
+        coupler.install(cell)
+        with pytest.raises(ValueError):
+            coupler.install(cell)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceCoupler(coupling_db=-1.0)
+
+
+class TestCoupledChannel:
+    def test_penalty_in_itbs_steps(self):
+        coupler = InterferenceCoupler(coupling_db=5.4, smoothing=1.0)
+        cell_a = Cell(CellConfig(cell_id=0, step_s=0.02))
+        cell_b = Cell(CellConfig(cell_id=1, step_s=0.02))
+        coupler.install(cell_a)
+        coupler.install(cell_b)
+        channel = coupler.couple(StaticItbsChannel(15), cell_id=1)
+        assert channel.itbs_at(0.0) == 15  # no load yet
+        cell_a.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+        run_lockstep([cell_a, cell_b], 3.0)
+        # 5.4 dB at full neighbour load = 3 iTbs steps.
+        assert channel.itbs_at(3.0) == 12
+
+    def test_penalty_clamps_at_minimum(self):
+        coupler = InterferenceCoupler(coupling_db=100.0, smoothing=1.0)
+        cell_a = Cell(CellConfig(cell_id=0, step_s=0.02))
+        cell_b = Cell(CellConfig(cell_id=1, step_s=0.02))
+        coupler.install(cell_a)
+        coupler.install(cell_b)
+        channel = coupler.couple(StaticItbsChannel(5), cell_id=1)
+        cell_a.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+        run_lockstep([cell_a, cell_b], 3.0)
+        assert channel.itbs_at(3.0) == 0
+
+
+class TestEndToEndCoupling:
+    def test_neighbour_load_reduces_victim_throughput(self):
+        def run(with_neighbour_load):
+            coupler = InterferenceCoupler(coupling_db=8.0)
+            cell_a = Cell(CellConfig(cell_id=0, step_s=0.02))
+            cell_b = Cell(CellConfig(cell_id=1, step_s=0.02))
+            coupler.install(cell_a)
+            coupler.install(cell_b)
+            if with_neighbour_load:
+                cell_a.add_data_flow(UserEquipment(StaticItbsChannel(15)))
+            victim_channel = coupler.couple(StaticItbsChannel(15), 1)
+            victim = cell_b.add_data_flow(UserEquipment(victim_channel))
+            run_lockstep([cell_a, cell_b], 10.0)
+            return victim.total_delivered_bytes
+
+        quiet = run(with_neighbour_load=False)
+        loaded = run(with_neighbour_load=True)
+        assert loaded < 0.7 * quiet

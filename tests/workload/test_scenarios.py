@@ -1,0 +1,118 @@
+"""Tests for the scenario builders."""
+
+import pytest
+
+from repro.has.mpd import FINE_LADDER, SIMULATION_LADDER, TESTBED_LADDER
+from repro.workload.scenarios import (
+    ALL_SCHEMES,
+    FlareParams,
+    build_cell_scenario,
+    build_coexistence_scenario,
+    build_mixed_scenario,
+    build_testbed_scenario,
+)
+
+
+class TestTestbedBuilder:
+    def test_topology(self):
+        scenario = build_testbed_scenario("festive")
+        assert len(scenario.players) == 3
+        assert len(scenario.data_flows) == 1
+        assert scenario.players[0].mpd.ladder is TESTBED_LADDER
+
+    def test_flare_system_attached(self):
+        scenario = build_testbed_scenario("flare")
+        assert scenario.flare is not None
+        assert len(scenario.flare.server._plugins) == 3
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_testbed_scenario("nonsense")
+
+    def test_static_channel_constant(self):
+        scenario = build_testbed_scenario("festive", static_itbs=7)
+        channel = scenario.players[0].flow.ue.channel
+        assert channel.itbs_at(0.0) == 7
+        assert channel.itbs_at(500.0) == 7
+
+    def test_dynamic_channel_sweeps(self):
+        scenario = build_testbed_scenario("festive", dynamic=True)
+        channel = scenario.players[0].flow.ue.channel
+        values = {channel.itbs_at(t) for t in range(0, 240, 5)}
+        assert min(values) <= 2
+        assert max(values) >= 11
+
+    def test_google_player_thresholds(self):
+        static = build_testbed_scenario("google")
+        dynamic = build_testbed_scenario("google", dynamic=True)
+        assert static.players[0].config.request_threshold_s == 15.0
+        assert dynamic.players[0].config.request_threshold_s == 40.0
+
+    def test_smoke_run(self):
+        report = build_testbed_scenario("festive", duration_s=30.0).run()
+        assert len(report.clients) == 3
+
+
+class TestCellBuilder:
+    def test_topology_defaults(self):
+        scenario = build_cell_scenario("festive")
+        assert len(scenario.players) == 8
+        assert scenario.players[0].mpd.ladder is SIMULATION_LADDER
+        assert scenario.players[0].mpd.segment_duration_s == 10.0
+
+    def test_all_schemes_construct(self):
+        for scheme in ALL_SCHEMES:
+            scenario = build_cell_scenario(scheme, num_video=2)
+            assert len(scenario.players) == 2
+
+    def test_seed_determinism(self):
+        r1 = build_cell_scenario("festive", num_video=2, seed=9,
+                                 duration_s=60.0).run()
+        r2 = build_cell_scenario("festive", num_video=2, seed=9,
+                                 duration_s=60.0).run()
+        assert ([c.average_bitrate_bps for c in r1.clients]
+                == [c.average_bitrate_bps for c in r2.clients])
+
+    def test_different_seeds_differ(self):
+        r1 = build_cell_scenario("festive", num_video=4, seed=1,
+                                 duration_s=60.0).run()
+        r2 = build_cell_scenario("festive", num_video=4, seed=2,
+                                 duration_s=60.0).run()
+        assert ([c.average_bitrate_bps for c in r1.clients]
+                != [c.average_bitrate_bps for c in r2.clients])
+
+    def test_flare_params_forwarded(self):
+        params = FlareParams(alpha=2.5, delta=7, bai_s=3.0)
+        scenario = build_cell_scenario("flare", num_video=2,
+                                       flare_params=params)
+        assert scenario.flare.server.alpha == 2.5
+        assert scenario.flare.server.interval_s == 3.0
+        assert scenario.flare.algorithm.delta == 7
+
+    def test_mobile_flag_changes_channel(self):
+        static = build_cell_scenario("festive", num_video=1, seed=3)
+        mobile = build_cell_scenario("festive", num_video=1, seed=3,
+                                     mobile=True)
+        static_channel = static.players[0].flow.ue.channel
+        mobile_channel = mobile.players[0].flow.ue.channel
+        s0 = static_channel._mobility.position_at(0.0)
+        s1 = static_channel._mobility.position_at(300.0)
+        m0 = mobile_channel._mobility.position_at(0.0)
+        m1 = mobile_channel._mobility.position_at(300.0)
+        assert s0 == s1
+        assert m0 != m1
+
+
+class TestMixedAndCoexistence:
+    def test_mixed_topology(self):
+        scenario = build_mixed_scenario(num_video=4, num_data=4)
+        assert len(scenario.players) == 4
+        assert len(scenario.data_flows) == 4
+        assert scenario.players[0].mpd.ladder is FINE_LADDER
+
+    def test_coexistence_topology(self):
+        scenario = build_coexistence_scenario(num_flare=2, num_legacy=3)
+        assert len(scenario.players) == 5
+        assert scenario.flare is not None
+        # Only the FLARE clients have plugins.
+        assert len(scenario.flare.server._plugins) == 2

@@ -1,0 +1,38 @@
+"""Tests for the trace-driven scenario builder."""
+
+import pytest
+
+from repro.phy.channel import TraceItbsChannel
+from repro.workload.scenarios import build_trace_scenario
+
+
+class TestTraceScenario:
+    def test_channels_are_trace_driven(self):
+        scenario = build_trace_scenario("festive", duration_s=100.0)
+        for player in scenario.players:
+            assert isinstance(player.flow.ue.channel, TraceItbsChannel)
+
+    def test_both_trace_kinds_run(self):
+        for kind in ("random-walk", "markov-fade"):
+            report = build_trace_scenario(
+                "festive", trace_kind=kind, num_video=2,
+                duration_s=120.0).run()
+            assert all(c.segments_downloaded > 2 for c in report.clients)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_trace_scenario("festive", trace_kind="bogus")
+
+    def test_deterministic_per_seed(self):
+        r1 = build_trace_scenario("festive", num_video=2, seed=5,
+                                  duration_s=120.0).run()
+        r2 = build_trace_scenario("festive", num_video=2, seed=5,
+                                  duration_s=120.0).run()
+        assert ([c.average_bitrate_bps for c in r1.clients]
+                == [c.average_bitrate_bps for c in r2.clients])
+
+    def test_flare_runs_on_traces(self):
+        report = build_trace_scenario("flare", num_video=2,
+                                      duration_s=150.0).run()
+        assert report.average_bitrate_kbps > 100.0
+        assert report.total_rebuffer_s < 5.0

@@ -1,0 +1,84 @@
+"""Tests for synthetic channel trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.phy import tbs
+from repro.phy.channel import TraceItbsChannel
+from repro.workload.traces import (
+    markov_fade_itbs_trace,
+    random_walk_itbs_trace,
+    trace_mean_capacity_bps,
+)
+
+
+class TestRandomWalk:
+    def test_covers_duration(self):
+        rng = np.random.default_rng(0)
+        trace = random_walk_itbs_trace(rng, duration_s=100.0,
+                                       step_period_s=1.0)
+        assert trace[0][0] == 0.0
+        assert trace[-1][0] >= 99.0
+
+    def test_values_bounded(self):
+        rng = np.random.default_rng(1)
+        trace = random_walk_itbs_trace(rng, duration_s=500.0, lo=3, hi=20)
+        assert all(3 <= itbs <= 20 for _, itbs in trace)
+
+    def test_steps_bounded(self):
+        rng = np.random.default_rng(2)
+        trace = random_walk_itbs_trace(rng, duration_s=200.0, max_step=2)
+        for (_, a), (_, b) in zip(trace, trace[1:]):
+            assert abs(b - a) <= 4  # reflection can double a step
+
+    def test_feeds_trace_channel(self):
+        rng = np.random.default_rng(3)
+        trace = random_walk_itbs_trace(rng, duration_s=60.0)
+        channel = TraceItbsChannel(trace)
+        assert tbs.MIN_ITBS <= channel.itbs_at(30.0) <= tbs.MAX_ITBS
+
+    def test_deterministic(self):
+        t1 = random_walk_itbs_trace(np.random.default_rng(7), 50.0)
+        t2 = random_walk_itbs_trace(np.random.default_rng(7), 50.0)
+        assert t1 == t2
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_walk_itbs_trace(rng, duration_s=0.0)
+        with pytest.raises(ValueError):
+            random_walk_itbs_trace(rng, duration_s=10.0, lo=5, hi=2)
+
+
+class TestMarkovFade:
+    def test_visits_both_states(self):
+        rng = np.random.default_rng(4)
+        trace = markov_fade_itbs_trace(rng, duration_s=2000.0,
+                                       good_itbs=15, bad_itbs=3,
+                                       p_enter_fade=0.05, p_exit_fade=0.2)
+        values = {itbs for _, itbs in trace}
+        assert any(v <= 5 for v in values)
+        assert any(v >= 13 for v in values)
+
+    def test_mostly_good_with_rare_fades(self):
+        rng = np.random.default_rng(5)
+        trace = markov_fade_itbs_trace(rng, duration_s=5000.0,
+                                       p_enter_fade=0.01, p_exit_fade=0.5)
+        good = sum(1 for _, itbs in trace if itbs >= 12)
+        assert good / len(trace) > 0.8
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            markov_fade_itbs_trace(rng, duration_s=10.0, p_enter_fade=0.0)
+
+
+class TestTraceCapacity:
+    def test_matches_peak_rate(self):
+        trace = [(0.0, 9), (1.0, 9)]
+        expected = tbs.peak_rate_bps(9)
+        assert trace_mean_capacity_bps(trace) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_mean_capacity_bps([])
