@@ -3,20 +3,25 @@
 Every benchmark regenerates one of the paper's tables or figures and
 writes its rendered text to ``benchmarks/output/<name>.txt`` so a full
 ``pytest benchmarks/ --benchmark-only`` run leaves a complete set of
-reproduction artifacts behind.
+reproduction artifacts behind.  Alongside each rendered artifact, an
+autouse fixture emits a machine-readable ``BENCH_<test>.json`` (wall
+time, cells executed vs served from cache, worker count, aggregate
+QoE metrics) that CI uploads to track the perf trajectory PR over PR.
 
 Scale: benchmarks default to the reduced quick scale (so the suite
 finishes in minutes); set ``REPRO_FULL=1`` for paper-fidelity runs
-(1200 s, 20 seeds — expect hours).
+(1200 s, 20 seeds — expect hours).  ``REPRO_JOBS=N`` fans the
+experiment matrix over N worker processes and ``REPRO_CACHE_DIR``
+enables the on-disk result cache.
 """
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
 
+from repro.experiments.bench import measure, write_bench_json
 from repro.experiments.runner import (
     ExperimentScale,
     is_full_run,
@@ -30,6 +35,19 @@ def output_dir() -> pathlib.Path:
     """Directory collecting rendered tables/figures."""
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
+
+
+@pytest.fixture(autouse=True)
+def bench_artifact(request: pytest.FixtureRequest):
+    """Emit ``BENCH_<test>.json`` next to the rendered artifacts."""
+    name = request.node.name
+    if name.startswith("test_"):
+        name = name[len("test_"):]
+    with measure(name, test=request.node.nodeid,
+                 full_scale=is_full_run()) as record:
+        yield
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    write_bench_json(record, OUTPUT_DIR)
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.abr.base import AbrAlgorithm, AbrContext
-from repro.util import SlidingWindow, require_non_negative, require_positive
+from repro.util import SlidingWindow, require_non_negative
 
 
 class ModelPredictive(AbrAlgorithm):

@@ -13,13 +13,21 @@ Usage::
 Scale control: ``--full`` (or ``REPRO_FULL=1``) runs paper-fidelity
 experiments (1200 s, 20 seeds); the default is a quick mode suitable
 for smoke runs.
+
+Execution control: ``--jobs N`` fans the scheme x seed matrix over N
+worker processes; completed cells are cached on disk (see
+``REPRO_CACHE_DIR``) and reused on re-runs unless ``--no-cache`` is
+given.  Every command writes a machine-readable
+``BENCH_<command>.json`` artifact (wall time, cells executed vs
+cached, worker count, aggregate QoE metrics) to ``REPRO_BENCH_DIR``
+(default: the current directory).
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
@@ -33,14 +41,18 @@ from repro.experiments import (
     figure11_text,
     figure12_text,
     figure_time_series,
+    is_full_run,
     render_time_series,
     table1_text,
     table2_text,
 )
+from repro.experiments.bench import measure, write_bench_json
+from repro.experiments.parallel import execution_defaults
+from repro.experiments.runner import full_mode
 
 
 def _fig4(scheme: str, dynamic: bool) -> str:
-    duration = 600.0 if os.environ.get("REPRO_FULL") == "1" else 240.0
+    duration = 600.0 if is_full_run() else 240.0
     traces = figure_time_series(scheme, dynamic=dynamic,
                                 duration_s=duration)
     return render_time_series(traces)
@@ -85,16 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--full", action="store_true",
                         help="paper-fidelity scale (slow); equivalent to "
                              "REPRO_FULL=1")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the experiment matrix "
+                             "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every cell instead of reusing the "
+                             "on-disk result cache")
     parser.add_argument("--out", default="results",
                         help="output directory for the report command")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
-    args = build_parser().parse_args(argv)
-    if args.full:
-        os.environ["REPRO_FULL"] = "1"
+def _dispatch(args: argparse.Namespace) -> int:
     table = _command_table()
     if args.command == "report":
         path = generate_report(args.out)
@@ -107,6 +121,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     print(table[args.command](args))
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    scale_context = full_mode(True) if args.full else nullcontext()
+    with scale_context, execution_defaults(
+            jobs=args.jobs, use_cache=not args.no_cache):
+        with measure(args.command, command=args.command,
+                     full_scale=is_full_run()) as record:
+            status = _dispatch(args)
+        bench_path = write_bench_json(record)
+    print(f"[bench] {bench_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

@@ -21,8 +21,8 @@ disabled entirely (``delta = 0``) for the ablation benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.core.optimizer import (
     FlowSpec,

@@ -1,0 +1,193 @@
+"""Content-addressed on-disk cache of experiment cells.
+
+One *cell* is the smallest unit of the paper's evaluation matrix: a
+scenario builder run with one scheme and one seed.  Every cell is
+deterministic given its inputs, so its :class:`CellReport` can be
+cached under a content hash of everything that could change the
+outcome:
+
+* the builder's qualified name,
+* the builder kwargs (canonicalised recursively; dataclasses such as
+  ``FlareParams`` and ``BitrateLadder`` are flattened to field dicts),
+* the scheme and the seed,
+* a hash of the installed ``repro`` package sources (so any code
+  change invalidates every entry), and
+* the serialization schema version.
+
+Controls:
+
+* ``REPRO_CACHE_DIR`` — cache root (default
+  ``~/.cache/flare-repro``).
+* ``REPRO_NO_CACHE=1`` — disable caching entirely.
+* :meth:`ResultCache.clear` — explicit invalidation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, Dict, Optional
+
+import repro
+from repro.metrics.collector import CellReport
+from repro.metrics.serialize import (
+    SCHEMA_VERSION,
+    dump_cell_report,
+    load_cell_report,
+)
+
+#: Environment variable redirecting the cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the cache (set to ``1``).
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache root selected by the environment."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "flare-repro"
+
+
+def cache_enabled_by_env() -> bool:
+    """False when ``REPRO_NO_CACHE=1`` opts out of caching."""
+    return os.environ.get(NO_CACHE_ENV, "0") != "1"
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-encodable primitives, deterministically.
+
+    Dataclass instances become ``{"__type__": name, **fields}`` so two
+    parameter objects with equal fields hash equally while different
+    parameter *types* with coincidentally equal fields do not.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        encoded = {"__type__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            encoded[field.name] = canonicalize(getattr(value, field.name))
+        return encoded
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if callable(value):
+        return f"{getattr(value, '__module__', '?')}." \
+               f"{getattr(value, '__qualname__', repr(value))}"
+    return repr(value)
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Content hash of the installed ``repro`` package sources.
+
+    Any source change — a new scheduler heuristic, a recalibrated
+    channel — yields a new version, invalidating every cached cell
+    without explicit bookkeeping.
+    """
+    digest = hashlib.sha256()
+    root = pathlib.Path(repro.__file__).parent
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def cell_key(builder: Callable[..., Any], scheme: str, seed: int,
+             builder_kwargs: Dict[str, Any]) -> str:
+    """The content-addressed key of one experiment cell."""
+    payload = {
+        "builder": f"{builder.__module__}.{builder.__qualname__}",
+        "scheme": scheme,
+        "seed": seed,
+        "kwargs": canonicalize(builder_kwargs),
+        "code": code_version(),
+        "schema": SCHEMA_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ResultCache:
+    """Filesystem-backed store of serialized :class:`CellReport`\\ s.
+
+    Entries are sharded two hex characters deep (like git's object
+    store) so paper-scale sweeps don't pile thousands of files into
+    one directory.  Writes are atomic (temp file + rename), making the
+    cache safe to share between concurrent workers.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of one cache entry."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CellReport]:
+        """The cached report for ``key``, or ``None`` on a miss.
+
+        Unreadable or stale-schema entries are dropped and count as
+        misses rather than raising.
+        """
+        path = self.path_for(key)
+        try:
+            report = load_cell_report(path.read_text())
+        except (OSError, ValueError, KeyError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return report
+
+    def put(self, key: str, report: CellReport) -> None:
+        """Persist ``report`` under ``key`` (atomic, last-writer-wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temp.write_text(dump_cell_report(report))
+        temp.replace(path)
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("??/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.experiments.parallel import ExperimentTask, run_tasks
 from repro.experiments.runner import (
     ExperimentScale,
     SchemeResult,
@@ -118,10 +119,11 @@ def run_mixed(scale: Optional[ExperimentScale] = None,
     video_tput: list = []
     data_tput: list = []
     changes: list = []
-    for seed in scale.seeds():
-        scenario = build_mixed_scenario(scheme=scheme, seed=seed,
-                                        duration_s=scale.duration_s)
-        report = scenario.run()
+    tasks = [ExperimentTask(builder=build_mixed_scenario, scheme=scheme,
+                            seed=seed,
+                            kwargs={"duration_s": scale.duration_s})
+             for seed in scale.seeds()]
+    for report in run_tasks(tasks):
         video_tput.extend(c.video_throughput_bps / 1e3
                           for c in report.clients)
         changes.extend(float(c.num_bitrate_changes)

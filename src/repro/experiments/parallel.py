@@ -1,0 +1,276 @@
+"""Parallel, cached execution of the experiment matrix.
+
+Every figure of the paper aggregates an embarrassingly parallel grid —
+20 seeds x 8 clients per scheme (Table III) — that the serial loop in
+:func:`repro.experiments.runner.run_comparison` used to grind through
+one cell at a time.  This module is the execution substrate underneath
+it:
+
+* :class:`ExperimentTask` names one cell (builder + scheme + seed +
+  kwargs); each cell is deterministic, so cells can run anywhere in
+  any order.
+* :func:`run_tasks` executes a task list with an optional
+  ``concurrent.futures`` process pool and an optional
+  :class:`~repro.experiments.cache.ResultCache`, returning reports in
+  task order — callers pooling client populations get *byte-identical*
+  results to a serial loop regardless of worker count.
+* :func:`run_matrix` fans out the scheme x seed grid and regroups the
+  reports per scheme.
+* :data:`LEDGER` tallies runs executed vs served from cache plus
+  aggregate QoE metrics, feeding the ``BENCH_*.json`` artifacts.
+
+Worker count resolution order: explicit argument, the active
+:func:`execution_defaults` context (set by the CLI's ``--jobs``), the
+``REPRO_JOBS`` environment variable, then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.experiments.cache import (
+    ResultCache,
+    cache_enabled_by_env,
+    cell_key,
+)
+from repro.metrics.collector import CellReport
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass
+class ExperimentTask:
+    """One deterministic cell of the experiment matrix.
+
+    Attributes:
+        builder: a module-level scenario builder (must be picklable by
+            reference for process-pool dispatch).
+        scheme: scheme name passed to the builder.
+        seed: RNG seed passed to the builder.
+        kwargs: remaining builder keywords.
+    """
+
+    builder: Callable[..., Any]
+    scheme: str
+    seed: int
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> str:
+        """The task's content-addressed cache key."""
+        return cell_key(self.builder, self.scheme, self.seed, self.kwargs)
+
+
+def _execute(task: ExperimentTask) -> CellReport:
+    """Run one cell to completion (also the process-pool entry point)."""
+    scenario = task.builder(scheme=task.scheme, seed=task.seed,
+                            **task.kwargs)
+    return scenario.run()
+
+
+# ----------------------------------------------------------------------
+# Run ledger: feeds BENCH_*.json artifacts
+# ----------------------------------------------------------------------
+@dataclass
+class RunLedger:
+    """Monotonic counters over every cell executed in this process.
+
+    Consumers (:mod:`repro.experiments.bench`) snapshot before and
+    after a measured region and report the difference, so the ledger
+    itself never resets.
+    """
+
+    runs_executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    clients: int = 0
+    sum_bitrate_kbps: float = 0.0
+    sum_changes: float = 0.0
+    sum_rebuffer_s: float = 0.0
+    max_jobs: int = 0
+
+    def record(self, report: CellReport, cached: bool) -> None:
+        """Tally one finished cell."""
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.runs_executed += 1
+        for client in report.clients:
+            self.clients += 1
+            self.sum_bitrate_kbps += client.average_bitrate_kbps
+            self.sum_changes += client.num_bitrate_changes
+            self.sum_rebuffer_s += client.rebuffer_time_s
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copyable view of the counters."""
+        return dataclasses.asdict(self)
+
+
+#: Process-wide ledger of executed/cached cells.
+LEDGER = RunLedger()
+
+
+# ----------------------------------------------------------------------
+# Execution defaults (set by the CLI, consulted by library calls)
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionDefaults:
+    """Ambient jobs/cache policy for code that can't thread kwargs."""
+
+    jobs: Optional[int] = None
+    use_cache: Optional[bool] = None
+    cache_dir: Optional[os.PathLike] = None
+
+
+_DEFAULTS = ExecutionDefaults()
+
+
+@contextmanager
+def execution_defaults(jobs: Optional[int] = None,
+                       use_cache: Optional[bool] = None,
+                       cache_dir: Optional[os.PathLike] = None,
+                       ) -> Iterator[ExecutionDefaults]:
+    """Scoped override of the ambient execution policy.
+
+    The CLI wraps command dispatch in this so ``--jobs``/``--no-cache``
+    reach every ``run_comparison`` call without threading arguments
+    through each figure function.
+    """
+    global _DEFAULTS
+    previous = _DEFAULTS
+    _DEFAULTS = ExecutionDefaults(jobs=jobs, use_cache=use_cache,
+                                  cache_dir=cache_dir)
+    try:
+        yield _DEFAULTS
+    finally:
+        _DEFAULTS = previous
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count (>= 1)."""
+    if jobs is None:
+        jobs = _DEFAULTS.jobs
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        jobs = 1
+    return max(1, jobs)
+
+
+def resolve_use_cache(use_cache: Optional[bool] = None) -> bool:
+    """Effective cache policy.
+
+    Explicit argument wins, then the ambient defaults, then the
+    environment: ``REPRO_NO_CACHE=1`` disables, an explicit
+    ``REPRO_CACHE_DIR`` enables, and otherwise library calls run
+    uncached (the CLI opts in for its commands).
+    """
+    if use_cache is not None:
+        return use_cache and cache_enabled_by_env()
+    if _DEFAULTS.use_cache is not None:
+        return _DEFAULTS.use_cache and cache_enabled_by_env()
+    if not cache_enabled_by_env():
+        return False
+    return os.environ.get("REPRO_CACHE_DIR") is not None
+
+
+def _resolve_cache(use_cache: Optional[bool],
+                   cache: Optional[ResultCache]) -> Optional[ResultCache]:
+    if cache is not None:
+        return cache
+    if not resolve_use_cache(use_cache):
+        return None
+    return ResultCache(_DEFAULTS.cache_dir)
+
+
+# ----------------------------------------------------------------------
+# Task execution
+# ----------------------------------------------------------------------
+def run_tasks(tasks: Sequence[ExperimentTask],
+              jobs: Optional[int] = None,
+              use_cache: Optional[bool] = None,
+              cache: Optional[ResultCache] = None) -> List[CellReport]:
+    """Execute ``tasks`` and return their reports in task order.
+
+    Cached cells are served without touching the pool; misses fan out
+    over up to ``jobs`` worker processes.  Because every cell is
+    deterministic and results are reassembled in submission order, the
+    returned list is identical whether ``jobs`` is 1 or 100 and
+    whether the cache is cold, warm, or disabled.
+
+    Args:
+        tasks: cells to run.
+        jobs: worker processes (default: ambient/env/1).
+        use_cache: cache policy override (default: ambient/env).
+        cache: explicit cache instance (overrides ``use_cache``).
+
+    Returns:
+        One :class:`CellReport` per task, in order.
+    """
+    jobs = resolve_jobs(jobs)
+    LEDGER.max_jobs = max(LEDGER.max_jobs, jobs)
+    store = _resolve_cache(use_cache, cache)
+    results: List[Optional[CellReport]] = [None] * len(tasks)
+    pending: List[int] = []
+    keys: Dict[int, str] = {}
+    for index, task in enumerate(tasks):
+        if store is None:
+            pending.append(index)
+            continue
+        key = task.key()
+        keys[index] = key
+        hit = store.get(key)
+        if hit is None:
+            pending.append(index)
+        else:
+            results[index] = hit
+            LEDGER.record(hit, cached=True)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_execute,
+                                      [tasks[i] for i in pending]))
+        else:
+            fresh = [_execute(tasks[i]) for i in pending]
+        for index, report in zip(pending, fresh):
+            results[index] = report
+            LEDGER.record(report, cached=False)
+            if store is not None:
+                store.put(keys[index], report)
+                LEDGER.cache_stores += 1
+    return [report for report in results if report is not None]
+
+
+def run_matrix(builder: Callable[..., Any],
+               schemes: Sequence[str],
+               seeds: Sequence[int],
+               jobs: Optional[int] = None,
+               use_cache: Optional[bool] = None,
+               cache: Optional[ResultCache] = None,
+               **builder_kwargs: Any) -> Dict[str, List[CellReport]]:
+    """Fan the scheme x seed grid out and regroup reports per scheme.
+
+    The task order is scheme-major, seed-minor — exactly the order the
+    historical serial loop used — so pooled client populations match
+    it byte for byte.
+    """
+    tasks = [ExperimentTask(builder=builder, scheme=scheme, seed=seed,
+                            kwargs=dict(builder_kwargs))
+             for scheme in schemes for seed in seeds]
+    reports = run_tasks(tasks, jobs=jobs, use_cache=use_cache, cache=cache)
+    grouped: Dict[str, List[CellReport]] = {}
+    for task, report in zip(tasks, reports):
+        grouped.setdefault(task.scheme, []).append(report)
+    return grouped

@@ -28,6 +28,7 @@ from repro.experiments.export import (
     export_clients_csv,
     export_delta_sweep_csv,
 )
+from repro.experiments.parallel import execution_defaults, resolve_jobs
 from repro.experiments.runner import ExperimentScale, default_scale
 from repro.experiments.sweeps import delta_sweep, figure11_text
 from repro.experiments.tables import (
@@ -61,7 +62,9 @@ def _cell_figures(scale: ExperimentScale,
 
 def generate_report(out_dir: PathLike,
                     scale: Optional[ExperimentScale] = None,
-                    sections: Optional[List[str]] = None) -> pathlib.Path:
+                    sections: Optional[List[str]] = None,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None) -> pathlib.Path:
     """Run the experiment set and write the results directory.
 
     Args:
@@ -69,10 +72,18 @@ def generate_report(out_dir: PathLike,
         scale: cell-experiment scale (default: environment-selected).
         sections: subset of section names to run (default: all) —
             useful for quick partial reports.
+        jobs: worker processes for the experiment matrix (default:
+            ambient ``--jobs`` / ``REPRO_JOBS`` / serial).
+        use_cache: result-cache policy (default: ambient/env).
 
     Returns:
         The path of the written ``REPORT.md``.
     """
+    if jobs is not None or use_cache is not None:
+        with execution_defaults(jobs=resolve_jobs(jobs),
+                                use_cache=use_cache):
+            return generate_report(out_dir, scale=scale,
+                                   sections=sections)
     out = pathlib.Path(out_dir)
     csv_dir = out / "csv"
     out.mkdir(parents=True, exist_ok=True)

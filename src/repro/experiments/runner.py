@@ -6,14 +6,31 @@ builder across schemes and seeds and collects per-client summaries;
 :class:`ExperimentScale` centralises the full-fidelity vs quick-mode
 knobs (benchmarks default to a reduced scale so the suite stays
 runnable; set ``REPRO_FULL=1`` for paper-scale runs).
+
+Execution goes through :mod:`repro.experiments.parallel`: pass
+``jobs=N`` (or run under the CLI's ``--jobs``) to fan the scheme x
+seed matrix over a process pool, and enable the result cache to skip
+cells that already ran — pooled populations are byte-identical to a
+serial, uncached run either way.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import run_matrix
 from repro.metrics.collector import CellReport
 from repro.metrics.qoe import ClientSummary
 from repro.workload.scenarios import Scenario
@@ -49,8 +66,38 @@ TESTBED_FULL = ExperimentScale(duration_s=600.0, num_runs=3, num_clients=3)
 TESTBED_QUICK = ExperimentScale(duration_s=180.0, num_runs=1, num_clients=3)
 
 
+#: In-process override of the REPRO_FULL environment selection; used
+#: by the CLI's --full flag so scale selection never leaks through
+#: process-global environment mutation.
+_FORCED_FULL: Optional[bool] = None
+
+
+@contextmanager
+def full_mode(enabled: bool) -> Iterator[None]:
+    """Scoped override of the full-scale selection.
+
+    Inside the context, :func:`is_full_run` reports ``enabled``
+    regardless of ``REPRO_FULL``; on exit the previous selection is
+    restored, so in-process callers (CLI tests, notebooks) can't leak
+    paper-scale mode into later work.
+    """
+    global _FORCED_FULL
+    previous = _FORCED_FULL
+    _FORCED_FULL = enabled
+    try:
+        yield
+    finally:
+        _FORCED_FULL = previous
+
+
 def is_full_run() -> bool:
-    """True when REPRO_FULL=1 requests paper-scale experiments."""
+    """True when paper-scale experiments are requested.
+
+    An active :func:`full_mode` context wins; otherwise the
+    ``REPRO_FULL=1`` environment convention applies.
+    """
+    if _FORCED_FULL is not None:
+        return _FORCED_FULL
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
@@ -119,9 +166,19 @@ def run_comparison(
     schemes: Sequence[str],
     scale: Optional[ExperimentScale] = None,
     seeds: Optional[Iterable[int]] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache: Optional[ResultCache] = None,
     **builder_kwargs,
 ) -> Dict[str, SchemeResult]:
     """Run ``builder`` for every scheme x seed and pool the clients.
+
+    The matrix executes through
+    :func:`repro.experiments.parallel.run_matrix`: cells fan out over
+    ``jobs`` worker processes and, when caching is enabled, completed
+    cells are served from the on-disk result cache.  Reports are
+    pooled in scheme-major, seed-minor order, so the returned
+    populations are identical no matter how the cells executed.
 
     Args:
         builder: a scenario builder (``scheme`` and ``seed`` keywords
@@ -130,6 +187,10 @@ def run_comparison(
         schemes: scheme names to compare.
         scale: experiment scale (default: environment-selected).
         seeds: explicit seeds (default: the scale's).
+        jobs: worker processes (default: ambient ``--jobs`` /
+            ``REPRO_JOBS`` / serial).
+        use_cache: result-cache policy (default: ambient/env).
+        cache: explicit cache instance.
         **builder_kwargs: forwarded to the builder.
 
     Returns:
@@ -138,13 +199,14 @@ def run_comparison(
     scale = scale if scale is not None else default_scale()
     seed_list = list(seeds) if seeds is not None else scale.seeds()
     builder_kwargs.setdefault("duration_s", scale.duration_s)
+    grouped = run_matrix(builder, schemes, seed_list, jobs=jobs,
+                         use_cache=use_cache, cache=cache,
+                         **builder_kwargs)
     results: Dict[str, SchemeResult] = {}
     for scheme in schemes:
         clients: List[ClientSummary] = []
         reports: List[CellReport] = []
-        for seed in seed_list:
-            scenario = builder(scheme=scheme, seed=seed, **builder_kwargs)
-            report = scenario.run()
+        for report in grouped.get(scheme, []):
             clients.extend(report.clients)
             reports.append(report)
         results[scheme] = SchemeResult(scheme=scheme, clients=clients,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.experiments.parallel import ExperimentTask, run_tasks
 from repro.experiments.runner import ExperimentScale, default_scale
 from repro.util import RunningStat
 from repro.workload.scenarios import (
@@ -51,15 +52,18 @@ def alpha_sweep(values: Sequence[float] = ALPHA_VALUES,
                 ) -> List[AlphaPoint]:
     """Figure 11: the video/data balance as ``alpha`` grows."""
     scale = scale if scale is not None else default_scale()
+    seeds = scale.seeds()
+    tasks = [ExperimentTask(
+        builder=build_mixed_scenario, scheme="flare", seed=seed,
+        kwargs={"duration_s": scale.duration_s,
+                "flare_params": FlareParams(alpha=alpha)})
+        for alpha in values for seed in seeds]
+    reports = run_tasks(tasks)
     points: List[AlphaPoint] = []
-    for alpha in values:
+    for index, alpha in enumerate(values):
         video = RunningStat()
         data = RunningStat()
-        for seed in scale.seeds():
-            scenario = build_mixed_scenario(
-                scheme="flare", seed=seed, duration_s=scale.duration_s,
-                flare_params=FlareParams(alpha=alpha))
-            report = scenario.run()
+        for report in reports[index * len(seeds):(index + 1) * len(seeds)]:
             for client in report.clients:
                 video.update(client.average_bitrate_bps / 1e3)
             for tput in report.data_throughput_bps.values():
@@ -108,16 +112,18 @@ def delta_sweep(values: Sequence[int] = DELTA_VALUES,
                 mobile: bool = False) -> List[DeltaPoint]:
     """Figure 12: bitrate and stability as ``delta`` grows."""
     scale = scale if scale is not None else default_scale()
+    seeds = scale.seeds()
+    tasks = [ExperimentTask(
+        builder=build_cell_scenario, scheme="flare", seed=seed,
+        kwargs={"mobile": mobile, "duration_s": scale.duration_s,
+                "flare_params": FlareParams(delta=delta)})
+        for delta in values for seed in seeds]
+    reports = run_tasks(tasks)
     points: List[DeltaPoint] = []
-    for delta in values:
+    for index, delta in enumerate(values):
         rates = RunningStat()
         changes = RunningStat()
-        for seed in scale.seeds():
-            scenario = build_cell_scenario(
-                scheme="flare", seed=seed, mobile=mobile,
-                duration_s=scale.duration_s,
-                flare_params=FlareParams(delta=delta))
-            report = scenario.run()
+        for report in reports[index * len(seeds):(index + 1) * len(seeds)]:
             for client in report.clients:
                 rates.update(client.average_bitrate_bps / 1e3)
                 changes.update(float(client.num_bitrate_changes))

@@ -10,7 +10,7 @@ video flows and one Iperf data flow.  ``run_static`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import (
     ExperimentScale,

@@ -15,7 +15,7 @@ at their own cadence.  All rates are in bits/second.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.util import bits_to_bytes, require_non_negative

@@ -18,7 +18,7 @@ the timescales ABR decisions live on (hundreds of milliseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.mac.gbr import BearerRegistry
 from repro.net.flows import Flow

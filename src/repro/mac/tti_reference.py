@@ -20,7 +20,7 @@ the 1200-second sweeps.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.mac.gbr import BearerRegistry
 from repro.mac.scheduler import Allocation, Scheduler, _Claim

@@ -20,6 +20,14 @@ from repro.metrics.qoe_score import (
     qoe_score_bps,
     qoe_table,
 )
+from repro.metrics.serialize import (
+    cell_report_from_dict,
+    cell_report_to_dict,
+    client_summary_from_dict,
+    client_summary_to_dict,
+    dump_cell_report,
+    load_cell_report,
+)
 from repro.metrics.stats import (
     ConfidenceInterval,
     MannWhitneyResult,
@@ -42,6 +50,12 @@ __all__ = [
     "bitrate_change_magnitude_bps",
     "bitrate_changes",
     "summarize_player",
+    "cell_report_from_dict",
+    "cell_report_to_dict",
+    "client_summary_from_dict",
+    "client_summary_to_dict",
+    "dump_cell_report",
+    "load_cell_report",
     "QoeWeights",
     "mean_qoe_bps",
     "qoe_score_bps",

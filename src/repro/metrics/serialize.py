@@ -1,0 +1,86 @@
+"""Exact JSON serialization of run results.
+
+The result cache persists one :class:`~repro.metrics.collector.CellReport`
+per (scenario, scheme, seed) cell.  Round-trips must be *exact* — the
+parallel runner's pooled populations are required to be byte-identical
+to the serial path, and a cached report must be indistinguishable from
+a freshly computed one.  Python's ``json`` encodes floats with
+``repr``, which round-trips every finite IEEE-754 double exactly, so a
+plain dict encoding suffices; these helpers pin the schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+from repro.metrics.collector import CellReport
+from repro.metrics.qoe import ClientSummary
+
+#: Bumped whenever the on-disk encoding changes shape; stale cache
+#: entries with a different version are treated as misses.
+SCHEMA_VERSION = 1
+
+
+def client_summary_to_dict(summary: ClientSummary) -> Dict[str, Any]:
+    """Encode one :class:`ClientSummary` as a plain dict."""
+    return dataclasses.asdict(summary)
+
+
+def client_summary_from_dict(data: Dict[str, Any]) -> ClientSummary:
+    """Rebuild a :class:`ClientSummary` from its dict encoding."""
+    fields = {f.name for f in dataclasses.fields(ClientSummary)}
+    return ClientSummary(**{k: v for k, v in data.items() if k in fields})
+
+
+def cell_report_to_dict(report: CellReport) -> Dict[str, Any]:
+    """Encode one :class:`CellReport` as a plain dict.
+
+    ``data_throughput_bps`` keys become strings (JSON objects only
+    allow string keys) and are restored to ints on load.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "clients": [client_summary_to_dict(c) for c in report.clients],
+        "data_throughput_bps": {
+            str(flow_id): rate
+            for flow_id, rate in report.data_throughput_bps.items()
+        },
+        "jain_video_rates": report.jain_video_rates,
+        "average_bitrate_kbps": report.average_bitrate_kbps,
+        "mean_changes": report.mean_changes,
+        "total_rebuffer_s": report.total_rebuffer_s,
+    }
+
+
+def cell_report_from_dict(data: Dict[str, Any]) -> CellReport:
+    """Rebuild a :class:`CellReport` from its dict encoding.
+
+    Raises:
+        ValueError: if the encoding's schema version is unknown.
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported report schema version {version!r}")
+    return CellReport(
+        clients=[client_summary_from_dict(c) for c in data["clients"]],
+        data_throughput_bps={int(flow_id): rate
+                             for flow_id, rate
+                             in data["data_throughput_bps"].items()},
+        jain_video_rates=data["jain_video_rates"],
+        average_bitrate_kbps=data["average_bitrate_kbps"],
+        mean_changes=data["mean_changes"],
+        total_rebuffer_s=data["total_rebuffer_s"],
+    )
+
+
+def dump_cell_report(report: CellReport) -> str:
+    """Serialize a report to a compact JSON string."""
+    return json.dumps(cell_report_to_dict(report), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def load_cell_report(text: str) -> CellReport:
+    """Inverse of :func:`dump_cell_report`."""
+    return cell_report_from_dict(json.loads(text))

@@ -31,6 +31,18 @@ class FlowKind(enum.Enum):
     DATA = "data"
 
 
+def reset_entity_ids() -> None:
+    """Restart the automatic UE and flow id sequences from zero.
+
+    Scenario builders call this first so a built cell's ids depend
+    only on the builder's inputs, never on how many scenarios the
+    process built before — a prerequisite for result caching and for
+    parallel runs matching serial ones byte for byte.
+    """
+    UserEquipment._ids = itertools.count()
+    Flow._ids = itertools.count()
+
+
 class UserEquipment:
     """A UE: identity, channel model, and utility parameters.
 

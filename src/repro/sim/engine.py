@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.util import require_non_negative, require_positive
 
@@ -28,17 +28,24 @@ class _ScheduledEvent:
     sequence: int
     callback: Callback = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Cancellation token returned by :meth:`EventQueue.schedule`."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, queue: "EventQueue") -> None:
         self._event = event
+        self._queue = queue
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.fired:
+            self._queue._live -= 1
 
     @property
     def cancelled(self) -> bool:
@@ -61,16 +68,23 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[_ScheduledEvent] = []
         self._sequence = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        # O(1): a live-event counter maintained on schedule/cancel/fire
+        # (cells poll the queue length every fluid step).
+        return self._live
+
+    def _push(self, event: _ScheduledEvent) -> None:
+        heapq.heappush(self._heap, event)
+        self._live += 1
 
     def schedule(self, time_s: float, callback: Callback) -> EventHandle:
         """Schedule ``callback(fire_time)`` at ``time_s``."""
         require_non_negative("time_s", time_s)
         event = _ScheduledEvent(time_s, next(self._sequence), callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._push(event)
+        return EventHandle(event, self)
 
     def schedule_recurring(self, first_time_s: float, interval_s: float,
                            callback: Callback) -> EventHandle:
@@ -88,12 +102,12 @@ class EventQueue:
             if not handle_box[0].cancelled:
                 next_event = _ScheduledEvent(
                     now_s + interval_s, next(self._sequence), fire)
-                heapq.heappush(self._heap, next_event)
+                self._push(next_event)
                 handle_box[0]._event = next_event
 
         first = _ScheduledEvent(first_time_s, next(self._sequence), fire)
-        heapq.heappush(self._heap, first)
-        handle = EventHandle(first)
+        self._push(first)
+        handle = EventHandle(first, self)
         handle_box.append(handle)
         return handle
 
@@ -113,5 +127,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._live -= 1
             event.callback(event.time_s)
             fired += 1

@@ -13,7 +13,7 @@ concrete.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Union
 
 from repro.core.algorithm1 import Algorithm1
 from repro.core.controller import make_solver

@@ -19,7 +19,7 @@ from repro.core.controller import FlareSystem
 from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
 from repro.has.player import HasPlayer, PlayerConfig
 from repro.metrics.collector import MetricsSampler
-from repro.net.flows import UserEquipment
+from repro.net.flows import UserEquipment, reset_entity_ids
 from repro.phy.channel import StaticItbsChannel
 from repro.sim.cell import Cell, CellConfig
 from repro.util import require_non_negative
@@ -107,6 +107,7 @@ def build_arrival_scenario(
     drop (possibly by several rungs at once) when the newcomers join —
     the paper's large-drop escape hatch from the stability constraint.
     """
+    reset_entity_ids()
     rng = np.random.default_rng(seed)
     params = flare_params or FlareParams()
     cell = Cell(CellConfig(step_s=step_s))

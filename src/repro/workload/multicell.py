@@ -14,7 +14,7 @@ optional load-proportional interference coupling via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -28,7 +28,7 @@ from repro.metrics.collector import (
     MetricsSampler,
     collect_cell_report,
 )
-from repro.net.flows import UserEquipment
+from repro.net.flows import UserEquipment, reset_entity_ids
 from repro.phy.channel import StaticItbsChannel
 from repro.sim.cell import Cell, CellConfig
 from repro.util import require_positive
@@ -101,6 +101,7 @@ def build_multicell_scenario(
     """
     if num_cells < 1:
         raise ValueError(f"num_cells must be >= 1, got {num_cells}")
+    reset_entity_ids()
     rng = np.random.default_rng(seed)
     if itbs_per_cell is None:
         spread = (20, 9, 15, 12, 24, 6)

@@ -47,7 +47,7 @@ from repro.metrics.collector import (
     MetricsSampler,
     collect_cell_report,
 )
-from repro.net.flows import DataFlow, UserEquipment
+from repro.net.flows import DataFlow, UserEquipment, reset_entity_ids
 from repro.phy.channel import (
     ChannelModel,
     CyclicItbsChannel,
@@ -239,6 +239,7 @@ def build_testbed_scenario(
             1 -> 12 -> 1 sweep (4-minute cycle, per-UE offsets).
         static_itbs: calibrated TBS index of the static scenario.
     """
+    reset_entity_ids()
     rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     ladder = ladder or TESTBED_LADDER
@@ -323,6 +324,7 @@ def build_cell_scenario(
     Table III defaults: 8 clients, random placement, trace-based
     fading, 10 s segments, the 100-3000 kbps ladder, 1200 s runs.
     """
+    reset_entity_ids()
     rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     ladder = ladder or SIMULATION_LADDER
@@ -394,6 +396,7 @@ def build_coexistence_scenario(
     returned scenario's first ``num_flare`` players are the FLARE
     clients.
     """
+    reset_entity_ids()
     rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     field_area = Field(2000.0, 2000.0)
@@ -451,6 +454,7 @@ def build_trace_scenario(
         random_walk_itbs_trace,
     )
 
+    reset_entity_ids()
     rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     ladder = ladder or SIMULATION_LADDER

@@ -6,7 +6,6 @@ from repro.abr.avis import AvisNetworkAgent, AvisUeAdapter
 from repro.abr.base import AbrContext
 from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
 from repro.has.player import PlayerConfig
-from repro.metrics.collector import MetricsSampler
 from repro.net.flows import UserEquipment
 from repro.phy.channel import StaticItbsChannel
 from repro.sim.cell import Cell, CellConfig

@@ -21,7 +21,7 @@ from repro.core.optimizer import (
     RelaxedSolver,
 )
 from repro.core.utility import data_utility, video_utility
-from repro.has.mpd import BitrateLadder, SIMULATION_LADDER
+from repro.has.mpd import BitrateLadder
 
 SMALL_LADDER = BitrateLadder.from_kbps((100, 500, 1000, 2000))
 

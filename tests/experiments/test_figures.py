@@ -1,6 +1,5 @@
 """Smoke tests for the figure-text entry points at tiny scale."""
 
-import pytest
 
 from repro.experiments.cells import (
     figure6_text,

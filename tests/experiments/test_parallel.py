@@ -1,0 +1,188 @@
+"""Tests for the parallel, cached experiment-execution layer."""
+
+import dataclasses
+
+from repro.experiments.cache import (
+    ResultCache,
+    canonicalize,
+    cell_key,
+    code_version,
+)
+from repro.experiments.parallel import (
+    LEDGER,
+    ExperimentTask,
+    execution_defaults,
+    resolve_jobs,
+    resolve_use_cache,
+    run_tasks,
+)
+from repro.experiments.runner import ExperimentScale, run_comparison
+from repro.metrics.serialize import dump_cell_report
+from repro.workload.scenarios import FlareParams, build_cell_scenario
+
+# Small enough to keep the suite quick, big enough to exercise real
+# player/scheduler dynamics.
+TINY = dict(num_video=2, duration_s=30.0)
+TINY_SCALE = ExperimentScale(duration_s=30.0, num_runs=2, num_clients=2)
+
+
+def tiny_tasks(seeds=(1, 2), scheme="flare"):
+    return [ExperimentTask(builder=build_cell_scenario, scheme=scheme,
+                           seed=seed, kwargs=dict(TINY))
+            for seed in seeds]
+
+
+class TestSerialParallelEquivalence:
+    def test_run_comparison_byte_identical(self):
+        serial = run_comparison(build_cell_scenario, ["flare"],
+                                scale=TINY_SCALE, jobs=1, use_cache=False,
+                                num_video=2)
+        fanned = run_comparison(build_cell_scenario, ["flare"],
+                                scale=TINY_SCALE, jobs=2, use_cache=False,
+                                num_video=2)
+        assert serial["flare"].clients == fanned["flare"].clients
+        for left, right in zip(serial["flare"].reports,
+                               fanned["flare"].reports):
+            assert dump_cell_report(left) == dump_cell_report(right)
+
+    def test_run_tasks_preserves_task_order(self):
+        tasks = tiny_tasks(seeds=(2, 1))
+        reports = run_tasks(tasks, jobs=1, use_cache=False)
+        expected = [run_tasks([task], jobs=1, use_cache=False)[0]
+                    for task in tasks]
+        assert [dump_cell_report(r) for r in reports] == \
+            [dump_cell_report(r) for r in expected]
+
+    def test_repeated_runs_deterministic(self):
+        # Entity-ID counters reset per scenario build, so a cell's
+        # report can't depend on what ran earlier in the process.
+        first = run_tasks(tiny_tasks(seeds=(1,)), jobs=1, use_cache=False)
+        second = run_tasks(tiny_tasks(seeds=(1,)), jobs=1, use_cache=False)
+        assert dump_cell_report(first[0]) == dump_cell_report(second[0])
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [report] = run_tasks(tiny_tasks(seeds=(1,)), jobs=1, use_cache=False)
+        key = tiny_tasks(seeds=(1,))[0].key()
+        assert cache.get(key) is None
+        cache.put(key, report)
+        cached = cache.get(key)
+        assert dump_cell_report(cached) == dump_cell_report(report)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("not json at all {")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"schema_version": 999}')
+        assert cache.get(key) is None
+
+    def test_clear_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        [report] = run_tasks(tiny_tasks(seeds=(1,)), jobs=1, use_cache=False)
+        key = tiny_tasks(seeds=(1,))[0].key()
+        cache.put(key, report)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get(key) is None
+
+    def test_run_tasks_second_pass_fully_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = tiny_tasks(seeds=(1, 2))
+
+        before = LEDGER.snapshot()
+        cold = run_tasks(tasks, jobs=1, cache=cache)
+        mid = LEDGER.snapshot()
+        warm = run_tasks(tasks, jobs=1, cache=cache)
+        after = LEDGER.snapshot()
+
+        assert mid["runs_executed"] - before["runs_executed"] == 2
+        assert mid["cache_stores"] - before["cache_stores"] == 2
+        # Second pass: everything served from cache, nothing executed.
+        assert after["runs_executed"] == mid["runs_executed"]
+        assert after["cache_hits"] - mid["cache_hits"] == 2
+        assert [dump_cell_report(r) for r in warm] == \
+            [dump_cell_report(r) for r in cold]
+
+
+class TestCellKey:
+    def test_stable_for_equal_inputs(self):
+        assert tiny_tasks(seeds=(1,))[0].key() == \
+            tiny_tasks(seeds=(1,))[0].key()
+
+    def test_sensitive_to_scheme_seed_and_kwargs(self):
+        base = cell_key(build_cell_scenario, "flare", 1, dict(TINY))
+        assert cell_key(build_cell_scenario, "festive", 1,
+                        dict(TINY)) != base
+        assert cell_key(build_cell_scenario, "flare", 2, dict(TINY)) != base
+        other = dict(TINY, duration_s=31.0)
+        assert cell_key(build_cell_scenario, "flare", 1, other) != base
+
+    def test_dataclass_kwargs_hash_by_fields(self):
+        left = cell_key(build_cell_scenario, "flare", 1,
+                        {"flare_params": FlareParams()})
+        right = cell_key(build_cell_scenario, "flare", 1,
+                         {"flare_params": FlareParams()})
+        assert left == right
+        changed = dataclasses.replace(FlareParams(),
+                                      alpha=FlareParams().alpha + 0.1)
+        assert cell_key(build_cell_scenario, "flare", 1,
+                        {"flare_params": changed}) != left
+
+    def test_code_version_in_key(self):
+        assert len(code_version()) == 16
+        int(code_version(), 16)  # hex digest
+
+    def test_canonicalize_sorts_dicts(self):
+        assert canonicalize({"b": 2, "a": 1}) == {"a": 1, "b": 2}
+        encoded = canonicalize(FlareParams())
+        assert encoded["__type__"] == "FlareParams"
+
+
+class TestExecutionDefaults:
+    def test_explicit_jobs_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        with execution_defaults(jobs=3):
+            assert resolve_jobs(5) == 5
+            assert resolve_jobs() == 3
+
+    def test_env_jobs_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert resolve_jobs() == 1
+
+    def test_defaults_restored_on_exit(self):
+        with execution_defaults(jobs=9):
+            assert resolve_jobs() == 9
+        assert resolve_jobs() == 1
+
+    def test_no_cache_env_beats_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert resolve_use_cache(True) is False
+        with execution_defaults(use_cache=True):
+            assert resolve_use_cache() is False
+
+    def test_cache_dir_env_enables_library_caching(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_use_cache() is False
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_use_cache() is True

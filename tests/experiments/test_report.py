@@ -1,6 +1,5 @@
 """Tests for the one-shot report generator."""
 
-import pytest
 
 from repro.experiments.report import generate_report
 from repro.experiments.runner import ExperimentScale

@@ -5,7 +5,6 @@ deliver MAC bytes into the flow, advance playback — with a controllable
 delivery rate so startup, stalls, resume and completion can be forced.
 """
 
-import pytest
 
 from repro.abr.base import ConstantAbr
 from repro.has.mpd import SIMULATION_LADDER, MediaPresentation

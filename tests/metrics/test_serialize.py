@@ -1,0 +1,88 @@
+"""Tests for exact CellReport JSON round-trips."""
+
+import pytest
+
+from repro.metrics.collector import CellReport
+from repro.metrics.qoe import ClientSummary
+from repro.metrics.serialize import (
+    SCHEMA_VERSION,
+    cell_report_from_dict,
+    cell_report_to_dict,
+    client_summary_from_dict,
+    client_summary_to_dict,
+    dump_cell_report,
+    load_cell_report,
+)
+
+
+def make_summary(flow_id=3):
+    # Deliberately awkward doubles: repr-based JSON must restore each
+    # of these bit for bit.
+    return ClientSummary(
+        flow_id=flow_id,
+        average_bitrate_bps=0.1 + 0.2,
+        num_bitrate_changes=7,
+        change_magnitude_bps=1e-17,
+        rebuffer_time_s=2.0 / 3.0,
+        stall_events=1,
+        startup_delay_s=None,
+        segments_downloaded=42,
+        video_throughput_bps=123456.789012345,
+    )
+
+
+def make_report():
+    return CellReport(
+        clients=[make_summary(1), make_summary(2)],
+        data_throughput_bps={9: 3.3e6, 10: 1.0 / 7.0},
+        jain_video_rates=0.987654321,
+        average_bitrate_kbps=1500.0000000001,
+        mean_changes=3.5,
+        total_rebuffer_s=4.0 / 3.0,
+    )
+
+
+class TestClientSummary:
+    def test_round_trip_exact(self):
+        summary = make_summary()
+        assert client_summary_from_dict(
+            client_summary_to_dict(summary)) == summary
+
+    def test_extra_keys_ignored(self):
+        data = client_summary_to_dict(make_summary())
+        data["future_field"] = "whatever"
+        assert client_summary_from_dict(data) == make_summary()
+
+
+class TestCellReport:
+    def test_round_trip_exact(self):
+        report = make_report()
+        assert cell_report_from_dict(cell_report_to_dict(report)) == report
+
+    def test_dump_load_exact(self):
+        report = make_report()
+        assert load_cell_report(dump_cell_report(report)) == report
+
+    def test_dump_is_stable(self):
+        # Byte-identical encodings on repeated dumps (sorted keys,
+        # fixed separators) — the cache relies on this.
+        report = make_report()
+        assert dump_cell_report(report) == dump_cell_report(report)
+        round_tripped = load_cell_report(dump_cell_report(report))
+        assert dump_cell_report(round_tripped) == dump_cell_report(report)
+
+    def test_flow_ids_restored_as_ints(self):
+        report = load_cell_report(dump_cell_report(make_report()))
+        assert set(report.data_throughput_bps) == {9, 10}
+
+    def test_unknown_schema_version_rejected(self):
+        data = cell_report_to_dict(make_report())
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            cell_report_from_dict(data)
+
+    def test_missing_schema_version_rejected(self):
+        data = cell_report_to_dict(make_report())
+        del data["schema_version"]
+        with pytest.raises(ValueError):
+            cell_report_from_dict(data)

@@ -60,6 +60,45 @@ class TestCancellation:
         assert len(queue) == 1
 
 
+class TestLength:
+    def test_len_decrements_as_events_fire(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule(t, lambda now: None)
+        assert len(queue) == 3
+        queue.run_until(1.5)
+        assert len(queue) == 2
+        queue.run_until(10.0)
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_keeps_len_consistent(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda now: None)
+        queue.run_until(2.0)
+        assert len(queue) == 0
+        handle.cancel()
+        assert len(queue) == 0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda now: None)
+        queue.schedule(2.0, lambda now: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(queue) == 1
+
+    def test_recurring_event_counts_as_one(self):
+        queue = EventQueue()
+        handle = queue.schedule_recurring(1.0, 1.0, lambda now: None)
+        assert len(queue) == 1
+        queue.run_until(3.5)
+        # The recurrence reschedules itself: still exactly one live
+        # event pending.
+        assert len(queue) == 1
+        handle.cancel()
+        assert len(queue) == 0
+
+
 class TestRecurring:
     def test_recurring_cadence(self):
         queue = EventQueue()

@@ -1,8 +1,20 @@
 """Tests for the CLI."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.runner import is_full_run
+
+
+@pytest.fixture(autouse=True)
+def isolated_artifacts(tmp_path, monkeypatch):
+    """Keep CLI runs from writing into the repo or the user cache."""
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "bench"))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield tmp_path
 
 
 class TestParser:
@@ -24,6 +36,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig4", "--scheme", "bogus"])
 
+    def test_jobs_option(self):
+        args = build_parser().parse_args(["fig6", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["fig6"]).jobs is None
+
+    def test_jobs_requires_integer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--jobs", "many"])
+
+    def test_no_cache_flag(self):
+        assert build_parser().parse_args(["fig6", "--no-cache"]).no_cache
+        assert not build_parser().parse_args(["fig6"]).no_cache
+
 
 class TestMain:
     def test_fig9_runs(self, capsys):
@@ -38,3 +63,37 @@ class TestMain:
         out = capsys.readouterr().out
         assert "flare" in out
         assert "bitrate" in out
+
+    def test_writes_bench_artifact(self, isolated_artifacts):
+        assert main(["fig9"]) == 0
+        path = isolated_artifacts / "bench" / "BENCH_fig9.json"
+        record = json.loads(path.read_text())
+        assert record["name"] == "fig9"
+        assert record["command"] == "fig9"
+        assert record["wall_time_s"] > 0
+        assert record["jobs"] >= 1
+        for key in ("runs_executed", "cache_hits", "cache_hit_rate",
+                    "total_cells", "metrics"):
+            assert key in record
+
+    def test_full_flag_does_not_leak(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        # fig9's cost does not depend on the experiment scale, so it
+        # is a cheap way to exercise the --full path end to end.
+        assert main(["fig9", "--full"]) == 0
+        assert "REPRO_FULL" not in os.environ
+        assert not is_full_run()
+
+    def test_full_flag_recorded_in_bench(self, isolated_artifacts,
+                                         monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert main(["fig9", "--full"]) == 0
+        record = json.loads(
+            (isolated_artifacts / "bench" / "BENCH_fig9.json").read_text())
+        assert record["full_scale"] is True
+
+    def test_jobs_recorded_in_bench(self, isolated_artifacts):
+        assert main(["fig9", "--jobs", "3"]) == 0
+        record = json.loads(
+            (isolated_artifacts / "bench" / "BENCH_fig9.json").read_text())
+        assert record["jobs"] == 3

@@ -1,6 +1,5 @@
 """Tests for repro.util."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -5,10 +5,7 @@ import pytest
 from repro.net.flows import UserEquipment
 from repro.phy.channel import StaticItbsChannel
 from repro.sim.cell import Cell, CellConfig
-from repro.workload.interference import (
-    CoupledChannel,
-    InterferenceCoupler,
-)
+from repro.workload.interference import InterferenceCoupler
 
 
 def run_lockstep(cells, duration_s):
