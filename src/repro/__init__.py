@@ -47,7 +47,7 @@ from repro.workload import (
     build_testbed_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Algorithm1",

@@ -19,8 +19,14 @@ worker processes; completed cells are cached on disk (see
 ``REPRO_CACHE_DIR``) and reused on re-runs unless ``--no-cache`` is
 given.  Every command writes a machine-readable
 ``BENCH_<command>.json`` artifact (wall time, cells executed vs
-cached, worker count, aggregate QoE metrics) to ``REPRO_BENCH_DIR``
-(default: the current directory).
+cached, worker count, aggregate QoE metrics, metrics-registry delta)
+to ``REPRO_BENCH_DIR`` (default: the current directory).
+
+Observability: ``flare-repro trace <scenario> --out trace.jsonl``
+runs one scenario with event tracing on and writes a JSONL trace
+(schema: ``docs/observability.md``); ``--trace PATH`` does the same
+for any other command, merging parallel workers' shards in
+deterministic task order.
 """
 
 from __future__ import annotations
@@ -49,6 +55,13 @@ from repro.experiments import (
 from repro.experiments.bench import measure, write_bench_json
 from repro.experiments.parallel import execution_defaults
 from repro.experiments.runner import full_mode
+from repro.obs import EVENT_FAMILIES, MetricsRegistry, tracing
+from repro.workload.scenarios import (
+    build_cell_scenario,
+    build_mixed_scenario,
+    build_testbed_scenario,
+    build_trace_scenario,
+)
 
 
 def _fig4(scheme: str, dynamic: bool) -> str:
@@ -61,6 +74,38 @@ def _fig4(scheme: str, dynamic: bool) -> str:
 def _all_schemes_fig(dynamic: bool) -> str:
     return "\n\n".join(_fig4(scheme, dynamic)
                        for scheme in ("festive", "google", "flare"))
+
+
+#: Scenario name -> (builder, fixed kwargs) for the ``trace`` command.
+TRACE_SCENARIOS = {
+    "testbed": (build_testbed_scenario, {}),
+    "testbed-dynamic": (build_testbed_scenario, {"dynamic": True}),
+    "cell": (build_cell_scenario, {}),
+    "cell-mobile": (build_cell_scenario, {"mobile": True}),
+    "mixed": (build_mixed_scenario, {}),
+    "trace-driven": (build_trace_scenario, {}),
+}
+
+
+def _trace_command(args: argparse.Namespace) -> str:
+    """Run one scenario with tracing on; report per-family counts."""
+    builder, fixed = TRACE_SCENARIOS[args.scenario]
+    out = args.out if args.out != "results" else "trace.jsonl"
+    duration = args.duration
+    if duration is None:
+        duration = 600.0 if is_full_run() else 120.0
+    scheme = args.scheme if args.scheme else "flare"
+    counts = MetricsRegistry()
+    with tracing(jsonl=out, registry=counts) as tracer:
+        builder(scheme=scheme, seed=args.seed, duration_s=duration,
+                **fixed).run()
+        emitted = tracer.events_emitted
+    lines = [f"trace written to {out} ({emitted} events)"]
+    for family, types in EVENT_FAMILIES.items():
+        total = sum(counts.counter(f"events.{name}").value
+                    for name in types)
+        lines.append(f"  {family:<12} {total:>8}")
+    return "\n".join(lines)
 
 
 def _command_table() -> Dict[str, Callable[[argparse.Namespace], str]]:
@@ -88,12 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="flare-repro",
         description="Reproduce FLARE (ICDCS 2017) tables and figures.",
     )
-    commands = list(_command_table()) + ["all", "report"]
+    commands = list(_command_table()) + ["all", "report", "trace"]
     parser.add_argument("command", choices=commands,
                         help="which table/figure to regenerate")
+    parser.add_argument("scenario", nargs="?", default="testbed",
+                        choices=sorted(TRACE_SCENARIOS),
+                        help="scenario for the trace command")
     parser.add_argument("--scheme", default=None,
                         choices=("festive", "google", "flare"),
-                        help="single scheme for fig4/fig5 panels")
+                        help="single scheme for fig4/fig5 panels and "
+                             "the trace command (default there: flare)")
     parser.add_argument("--full", action="store_true",
                         help="paper-fidelity scale (slow); equivalent to "
                              "REPRO_FULL=1")
@@ -104,12 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recompute every cell instead of reusing the "
                              "on-disk result cache")
     parser.add_argument("--out", default="results",
-                        help="output directory for the report command")
+                        help="output directory for the report command, "
+                             "or JSONL path for the trace command "
+                             "(default there: trace.jsonl)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL event trace of the whole "
+                             "command to PATH (any command)")
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="simulated duration for the trace command "
+                             "(default: 120, or 600 with --full)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the trace command")
     return parser
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     table = _command_table()
+    if args.command == "trace":
+        print(_trace_command(args))
+        return 0
     if args.command == "report":
         path = generate_report(args.out)
         print(f"report written to {path}")
@@ -127,7 +190,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     scale_context = full_mode(True) if args.full else nullcontext()
-    with scale_context, execution_defaults(
+    # The trace command installs its own tracer; --trace covers the rest.
+    trace_context = (tracing(jsonl=args.trace)
+                     if args.trace and args.command != "trace"
+                     else nullcontext())
+    with scale_context, trace_context, execution_defaults(
             jobs=args.jobs, use_cache=not args.no_cache):
         with measure(args.command, command=args.command,
                      full_scale=is_full_run()) as record:

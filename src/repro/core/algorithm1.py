@@ -21,7 +21,7 @@ disabled entirely (``delta = 0``) for the ablation benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.optimizer import (
@@ -47,6 +47,31 @@ class FlowState:
     up_streak: int = 0
 
 
+@dataclass(frozen=True)
+class HysteresisVerdict:
+    """How Algorithm 1's stability post-processing treated one flow.
+
+    Attributes:
+        flow_id: the flow.
+        recommended: the solver's raw index ``L*_u``.
+        enforced: the index actually applied after hysteresis.
+        up_streak: consecutive up-recommendations after this BAI.
+        required_streak: streak needed before an upgrade applies
+            (``delta * (L_prev + 2)``, 0-based levels).
+        action: ``'upgrade'`` (streak satisfied, level raised),
+            ``'hold'`` (upgrade recommended but streak unsatisfied),
+            ``'downgrade'`` (decrease applied immediately), or
+            ``'keep'`` (solver recommended the current level).
+    """
+
+    flow_id: int
+    recommended: int
+    enforced: int
+    up_streak: int
+    required_streak: int
+    action: str
+
+
 @dataclass
 class BaiDecision:
     """Outcome of one BAI for the whole cell.
@@ -55,11 +80,14 @@ class BaiDecision:
         indices: enforced ladder index per flow (after hysteresis).
         rates_bps: corresponding bitrate per flow.
         solution: the raw solver output (pre-hysteresis).
+        verdicts: per-flow hysteresis outcome (what the ``bai.solve``
+            trace event reports).
     """
 
     indices: Dict[int, int]
     rates_bps: Dict[int, float]
     solution: Solution
+    verdicts: Dict[int, HysteresisVerdict] = field(default_factory=dict)
 
 
 class Algorithm1:
@@ -133,27 +161,41 @@ class Algorithm1:
         solution = self.solver.solve(constrained)
         indices: Dict[int, int] = {}
         rates: Dict[int, float] = {}
+        verdicts: Dict[int, HysteresisVerdict] = {}
         for spec in problem.flows:
             state = self.state_of(spec.flow_id)
             recommended = solution.indices[spec.flow_id]
+            required = self._required_streak(state.level)
             if recommended > state.level:
                 # With the step limit on, the solver can only ever
                 # recommend level + 1 (the paper's "L* = L_prev + 1"
                 # test); without it (ablation) any upgrade counts.
                 state.up_streak += 1
-                if state.up_streak >= self._required_streak(state.level):
+                if state.up_streak >= required:
                     if self.enforce_step_limit:
                         state.level += 1
                     else:
                         state.level = recommended
                     state.up_streak = 0
-                # else: hold at the previous level this BAI.
+                    action = "upgrade"
+                else:
+                    # Hold at the previous level this BAI.
+                    action = "hold"
             else:
                 state.up_streak = 0
+                action = "downgrade" if recommended < state.level else "keep"
                 state.level = min(state.level, recommended)
             level = spec.ladder.clamp_index(state.level)
             state.level = level
             indices[spec.flow_id] = level
             rates[spec.flow_id] = spec.ladder.rate(level)
+            verdicts[spec.flow_id] = HysteresisVerdict(
+                flow_id=spec.flow_id,
+                recommended=recommended,
+                enforced=level,
+                up_streak=state.up_streak,
+                required_streak=required,
+                action=action,
+            )
         return BaiDecision(indices=indices, rates_bps=rates,
-                           solution=solution)
+                           solution=solution, verdicts=verdicts)

@@ -20,6 +20,8 @@ from repro.core.plugin import FlarePlugin
 from repro.has.mpd import MediaPresentation
 from repro.has.player import HasPlayer, PlayerConfig
 from repro.net.flows import UserEquipment
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.sim.cell import Cell
 
 
@@ -90,6 +92,15 @@ class FlareSystem:
         player.abr = FlareClientAbr(plugin)
         self._plugins[player.flow.flow_id] = plugin
         self.server.register_plugin(plugin)
+        if obs.TRACER is not None:
+            obs.TRACER.emit(
+                obs_events.CLIENT_ATTACH, cell.now_s,
+                flow=player.flow.flow_id,
+                ue=ue.ue_id,
+                ladder_kbps=[r / 1e3 for r in mpd.ladder.rates_bps],
+                max_bitrate_bps=max_bitrate_bps,
+                skimming=skimming,
+            )
         return player
 
     def plugin_for(self, flow_id: int) -> FlarePlugin:

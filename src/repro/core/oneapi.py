@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.algorithm1 import Algorithm1, BaiDecision
 from repro.core.optimizer import FlowSpec, ProblemSpec
 from repro.core.plugin import FlarePlugin
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.util import Ewma, require_positive
 
 
@@ -164,3 +166,28 @@ class OneApiServer:
             num_video_flows=len(problem.flows),
             num_data_flows=problem.num_data_flows,
         ))
+        if obs.TRACER is not None:
+            solution = decision.solution
+            obs.TRACER.emit(
+                obs_events.BAI_SOLVE, now_s,
+                cell=cell.cell_id,
+                num_video=len(problem.flows),
+                num_data=problem.num_data_flows,
+                total_rbs=problem.total_rbs,
+                r=solution.r,
+                utility=solution.utility,
+                solve_s=solution.solve_time_s,
+                feasible=solution.feasible,
+                flows=[
+                    {
+                        "flow": verdict.flow_id,
+                        "recommended": verdict.recommended,
+                        "enforced": verdict.enforced,
+                        "rate_bps": decision.rates_bps[verdict.flow_id],
+                        "up_streak": verdict.up_streak,
+                        "required_streak": verdict.required_streak,
+                        "action": verdict.action,
+                    }
+                    for verdict in decision.verdicts.values()
+                ],
+            )

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.utility import data_utility, video_utility
 from repro.has.mpd import BitrateLadder
+from repro.obs.registry import REGISTRY
 from repro.util import require_non_negative, require_positive
 
 
@@ -164,9 +165,22 @@ def _all_minimum_solution(problem: ProblemSpec, started: float) -> Solution:
 class Solver:
     """Interface shared by the exact and relaxed solvers."""
 
+    name = "solver"
+
     def solve(self, problem: ProblemSpec) -> Solution:
         """Return the recommended per-flow ladder indices and ``r``."""
         raise NotImplementedError
+
+    def _observe(self, solution: Solution) -> Solution:
+        """Record the solve time into the default metrics registry.
+
+        The ``solver.<name>.solve_s`` histogram lands in every
+        ``BENCH_*.json`` artifact (paper Figure 9's metric); one
+        histogram insert per BAI is negligible next to the solve.
+        """
+        REGISTRY.histogram(f"solver.{self.name}.solve_s").observe(
+            solution.solve_time_s)
+        return solution
 
 
 class ExactSolver(Solver):
@@ -197,6 +211,9 @@ class ExactSolver(Solver):
         self.quanta = quanta
 
     def solve(self, problem: ProblemSpec) -> Solution:
+        return self._observe(self._solve(problem))
+
+    def _solve(self, problem: ProblemSpec) -> Solution:
         started = time.perf_counter()
         if not problem.flows:
             r = 0.0
@@ -385,6 +402,9 @@ class RelaxedSolver(Solver):
 
     # -- outer problem -------------------------------------------------
     def solve(self, problem: ProblemSpec) -> Solution:
+        return self._observe(self._solve(problem))
+
+    def _solve(self, problem: ProblemSpec) -> Solution:
         started = time.perf_counter()
         if not problem.flows:
             return Solution(indices={}, rates_bps={}, r=0.0,

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.experiments.parallel import LEDGER, resolve_jobs
+from repro.obs.registry import REGISTRY, registry_delta
 
 #: Environment variable selecting where artifacts are written.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
@@ -53,6 +54,9 @@ class BenchRecord:
         cache_hits: cells served from the result cache.
         cache_stores: cells persisted to the cache.
         metrics: aggregate QoE metrics over every finished cell.
+        obs: the :data:`repro.obs.REGISTRY` delta accrued inside the
+            measured region — solver-time histogram summaries, cache
+            hit counters (see :func:`repro.obs.registry_delta`).
         extra: caller-supplied context (scale, command line, ...).
     """
 
@@ -63,6 +67,7 @@ class BenchRecord:
     cache_hits: int = 0
     cache_stores: int = 0
     metrics: Dict[str, float] = field(default_factory=dict)
+    obs: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -90,6 +95,7 @@ class BenchRecord:
             "total_cells": self.total_cells,
             "cache_hit_rate": self.cache_hit_rate,
             "metrics": self.metrics,
+            "obs": self.obs,
             "python": platform.python_version(),
             **self.extra,
         }
@@ -124,6 +130,7 @@ def measure(name: str, jobs: Optional[int] = None,
     """
     record = BenchRecord(name=name, jobs=resolve_jobs(jobs), extra=extra)
     before = LEDGER.snapshot()
+    obs_before = REGISTRY.snapshot()
     started = time.perf_counter()
     try:
         yield record
@@ -136,6 +143,7 @@ def measure(name: str, jobs: Optional[int] = None,
         record.cache_stores = int(after["cache_stores"]
                                   - before["cache_stores"])
         record.metrics = _metrics_from_delta(before, after)
+        record.obs = registry_delta(obs_before, REGISTRY.snapshot())
 
 
 def write_bench_json(record: BenchRecord,

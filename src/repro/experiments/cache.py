@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, Optional
 
 import repro
 from repro.metrics.collector import CellReport
+from repro.obs.registry import REGISTRY
 from repro.metrics.serialize import (
     SCHEMA_VERSION,
     dump_cell_report,
@@ -164,8 +165,10 @@ class ResultCache:
             report = load_cell_report(path.read_text())
         except (OSError, ValueError, KeyError):
             self.stats.misses += 1
+            REGISTRY.counter("cache.miss").inc()
             return None
         self.stats.hits += 1
+        REGISTRY.counter("cache.hit").inc()
         return report
 
     def put(self, key: str, report: CellReport) -> None:
@@ -176,6 +179,7 @@ class ResultCache:
         temp.write_text(dump_cell_report(report))
         temp.replace(path)
         self.stats.stores += 1
+        REGISTRY.counter("cache.store").inc()
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

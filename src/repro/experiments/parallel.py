@@ -31,7 +31,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.cache import (
     ResultCache,
@@ -39,6 +39,10 @@ from repro.experiments.cache import (
     cell_key,
 )
 from repro.metrics.collector import CellReport
+from repro.obs import tracer as obs
+from repro.obs.registry import REGISTRY, snapshot_delta
+from repro.obs.sinks import JsonlSink
+from repro.obs.tracer import Tracer, merge_shards
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_JOBS"
@@ -71,6 +75,35 @@ def _execute(task: ExperimentTask) -> CellReport:
     scenario = task.builder(scheme=task.scheme, seed=task.seed,
                             **task.kwargs)
     return scenario.run()
+
+
+def _execute_observed(payload: Tuple[ExperimentTask, Optional[str], int]
+                      ) -> Tuple[CellReport, Dict[str, Any]]:
+    """Pool entry point that also ships observability back to the parent.
+
+    The worker runs the cell with a private JSONL tracer writing to
+    ``shard_path`` (when tracing is on; every event carries the task's
+    submission index as ``task``) and returns, alongside the report,
+    what the cell contributed to the worker's metrics registry — pool
+    processes are reused across tasks, so the cumulative registry is
+    differenced per task rather than cleared.
+    """
+    task, shard_path, index = payload
+    before = REGISTRY.snapshot()
+    # Forked workers inherit the parent's ambient tracer (and its open
+    # file handle); discard it — the worker's events go to its shard.
+    obs.uninstall()
+    tracer: Optional[Tracer] = None
+    if shard_path is not None:
+        tracer = obs.install(Tracer([JsonlSink(shard_path)],
+                                    static={"task": index}))
+    try:
+        report = _execute(task)
+    finally:
+        if tracer is not None:
+            obs.uninstall()
+            tracer.close()
+    return report, snapshot_delta(before, REGISTRY.snapshot())
 
 
 # ----------------------------------------------------------------------
@@ -239,9 +272,23 @@ def run_tasks(tasks: Sequence[ExperimentTask],
     if pending:
         if jobs > 1 and len(pending) > 1:
             workers = min(jobs, len(pending))
+            tracer = obs.TRACER
+            # Worker shards only make sense when the parent traces to
+            # a file; serial runs emit into the parent tracer inline.
+            shard_base = tracer.jsonl_path if tracer is not None else None
+            payloads: List[Tuple[ExperimentTask, Optional[str], int]] = []
+            for rank, index in enumerate(pending):
+                shard = (f"{shard_base}.shard{rank:04d}"
+                         if shard_base is not None else None)
+                payloads.append((tasks[index], shard, index))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(_execute,
-                                      [tasks[i] for i in pending]))
+                outcomes = list(pool.map(_execute_observed, payloads))
+            fresh = []
+            for report, obs_delta in outcomes:
+                fresh.append(report)
+                REGISTRY.merge(obs_delta)
+            if shard_base is not None and tracer is not None:
+                merge_shards([p[1] for p in payloads], tracer)
         else:
             fresh = [_execute(tasks[i]) for i in pending]
         for index, report in zip(pending, fresh):

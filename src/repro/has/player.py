@@ -31,6 +31,8 @@ from repro.has.buffer import PlayoutBuffer
 from repro.has.mpd import MediaPresentation
 from repro.has.segments import SegmentLog, SegmentRecord
 from repro.net.flows import VideoFlow
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.util import require_non_negative, require_positive
 
 
@@ -269,6 +271,14 @@ class HasPlayer:
         remaining_time = self.flow.remaining_bytes / rate
         if remaining_time > factor * max(self.buffer.level_s, 0.25):
             segment_index = self._active.segment_index
+            if obs.TRACER is not None:
+                obs.TRACER.emit(
+                    obs_events.SEG_ABANDON, now_s,
+                    flow=self.flow.flow_id,
+                    segment=segment_index,
+                    index=self._active.ladder_index,
+                    buffer_s=self.buffer.level_s,
+                )
             self.flow.cancel_download()
             self._active = None
             self._abandonments += 1
@@ -300,6 +310,17 @@ class HasPlayer:
             request_time_s=now_s,
             payload_starts_at_s=now_s + self.config.request_latency_s,
         )
+        if obs.TRACER is not None:
+            obs.TRACER.emit(
+                obs_events.SEG_REQUEST, now_s,
+                flow=self.flow.flow_id,
+                segment=self._pending.segment_index,
+                index=ladder_index,
+                bitrate_bps=bitrate,
+                size_bytes=self._pending.size_bytes,
+                buffer_s=self.buffer.level_s,
+                state=self.state.value,
+            )
         self._next_segment_index += 1
 
     def _select_index(self, now_s: float) -> int:
@@ -343,6 +364,17 @@ class HasPlayer:
         )
         self.log.append(record)
         self.buffer.add(self.mpd.segment_duration_s)
+        if obs.TRACER is not None:
+            obs.TRACER.emit(
+                obs_events.SEG_DONE, self._step_end_s,
+                flow=self.flow.flow_id,
+                segment=record.index,
+                bitrate_bps=record.bitrate_bps,
+                throughput_bps=record.throughput_bps,
+                buffer_s=self.buffer.level_s,
+                stalls=self._stall_events,
+                state=self.state.value,
+            )
         self.abr.on_segment_complete(
             self._build_context(self._step_end_s), record.throughput_bps)
 

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.util import bits_to_bytes, require_non_negative
 
 
@@ -108,6 +110,9 @@ class BearerRegistry:
             priority=current.priority,
         )
         self._updates.append(GbrUpdate(time_s, flow_id, gbr_bps, mbr_bps))
+        if obs.TRACER is not None:
+            obs.TRACER.emit(obs_events.GBR_UPDATE, time_s, flow=flow_id,
+                            gbr_bps=gbr_bps, mbr_bps=mbr_bps)
 
     def gbr_bytes_for_step(self, flow_id: int, step_s: float) -> float:
         """Bytes needed this step to honour the flow's guarantee."""

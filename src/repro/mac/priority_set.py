@@ -31,6 +31,8 @@ from repro.mac.scheduler import (
     waterfill_prbs,
 )
 from repro.net.flows import Flow
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.util import require_positive
 
 
@@ -72,7 +74,9 @@ class PrioritySetScheduler(Scheduler):
             delivered = prbs * claim.bytes_per_prb
             remaining_budget -= prbs
             claim.remaining_demand_bytes -= delivered
-            result.setdefault(flow_id, Allocation()).merge(prbs, delivered)
+            allocation = result.setdefault(flow_id, Allocation())
+            allocation.merge(prbs, delivered)
+            allocation.gbr_prbs += prbs
 
         # --- Phase 2: proportional fair over the remaining demand. ---
         if remaining_budget > 1e-12:
@@ -93,4 +97,14 @@ class PrioritySetScheduler(Scheduler):
         # PF averages must reflect total service (phase 1 + phase 2) so
         # GBR-favoured flows do not also dominate phase 2.
         self.pf._update_averages(step_s, flows, result, active)
+        if obs.TRACER is not None:
+            gbr_prbs = sum(a.gbr_prbs for a in result.values())
+            total_prbs = sum(a.prbs for a in result.values())
+            obs.TRACER.emit(
+                obs_events.MAC_SCHED, now_s,
+                budget_prbs=prb_budget,
+                gbr_prbs=gbr_prbs,
+                pf_prbs=total_prbs - gbr_prbs,
+                backlogged=len(active),
+            )
         return result

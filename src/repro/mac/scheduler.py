@@ -32,10 +32,14 @@ class Allocation:
     Attributes:
         prbs: resource blocks granted (fractional, PRB x TTI units).
         bytes_delivered: bytes the grant carries.
+        gbr_prbs: the share of ``prbs`` granted while honouring the
+            flow's GBR guarantee (phase 1 of the Priority Set
+            discipline; 0 for single-phase schedulers).
     """
 
     prbs: float = 0.0
     bytes_delivered: float = 0.0
+    gbr_prbs: float = 0.0
 
     def merge(self, prbs: float, bytes_delivered: float) -> None:
         """Fold an additional grant into this allocation."""

@@ -1,0 +1,64 @@
+"""Structured observability: tracing, metrics registry, trace sinks.
+
+The layer has two halves:
+
+* **Event tracing** — a process-ambient :class:`Tracer`
+  (:func:`tracing` / :func:`install_tracer`) to which the hot layers
+  emit typed events: per-step MAC allocations (``tti.alloc``),
+  per-BAI solver decisions with Algorithm 1 hysteresis verdicts
+  (``bai.solve``), player segment lifecycle (``seg.request`` /
+  ``seg.done``), and the simulation heartbeat (``sim.step``).  The
+  full schema lives in :mod:`repro.obs.events`.  When no tracer is
+  installed every site costs one ``is None`` check — results are
+  byte-identical to an uninstrumented run.
+* **Metrics registry** — always-on counters and histograms
+  (:data:`REGISTRY`) fed by coarse-grained sites (solver wall time,
+  result-cache hits) and embedded in ``BENCH_<name>.json`` artifacts
+  by :func:`repro.experiments.bench.measure`.
+
+See ``docs/observability.md`` for the event schema reference and a
+worked example.
+"""
+
+from repro.obs.events import EVENT_FAMILIES, EVENT_SCHEMA
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    registry_delta,
+    snapshot_delta,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    RingBufferSink,
+    TraceSink,
+    encode_event,
+    read_jsonl,
+)
+from repro.obs.tracer import Tracer, merge_shards, tracing
+from repro.obs.tracer import current as current_tracer
+from repro.obs.tracer import install as install_tracer
+from repro.obs.tracer import uninstall as uninstall_tracer
+
+__all__ = [
+    "EVENT_FAMILIES",
+    "EVENT_SCHEMA",
+    "Counter",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RingBufferSink",
+    "TraceSink",
+    "Tracer",
+    "current_tracer",
+    "encode_event",
+    "install_tracer",
+    "merge_shards",
+    "read_jsonl",
+    "registry_delta",
+    "snapshot_delta",
+    "tracing",
+    "uninstall_tracer",
+]

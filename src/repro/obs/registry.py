@@ -1,0 +1,263 @@
+"""Counters, histograms and timers for run-level observability.
+
+:class:`MetricsRegistry` is the aggregate companion to event tracing:
+where a :class:`~repro.obs.tracer.Tracer` records *what happened*, the
+registry records *how much and how fast* — solver-time histograms,
+cache hit counters, timed code blocks — cheaply enough to stay on even
+when no tracer is installed.  The process-global :data:`REGISTRY` is
+what the library's always-on sites (solver timing, result cache) feed;
+:func:`repro.experiments.bench.measure` snapshots it around every
+measured region and writes the delta into ``BENCH_<name>.json``.
+
+The registry also implements the sink protocol (``on_event`` counts
+``events.<type>``), so it can be attached to a tracer directly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Raw samples kept per histogram for quantile estimation; aggregates
+#: (count/total/min/max) stay exact beyond this.
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Histogram:
+    """Streaming histogram: exact aggregates + capped raw samples."""
+
+    __slots__ = ("count", "total", "min", "max", "values")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.values) < HISTOGRAM_SAMPLE_CAP:
+            self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile from the retained samples."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view: count, mean, min/max, p50/p90."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with snapshot/merge support."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    @contextmanager
+    def time_block(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into histogram ``name`` (seconds)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - started)
+
+    # -- sink protocol -------------------------------------------------
+    def on_event(self, event: Dict[str, Any]) -> None:
+        """Count events per type (``events.<type>`` counters)."""
+        self.counter(f"events.{event.get('type', '?')}").inc()
+
+    def close(self) -> None:
+        """Sinks are closeable; the registry has nothing to release."""
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy of the full registry state (mergeable)."""
+        return {
+            "counters": {name: c.value
+                         for name, c in self._counters.items()},
+            "histograms": {
+                name: {"count": h.count, "total": h.total,
+                       "min": h.min, "max": h.max,
+                       "values": list(h.values)}
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used to aggregate worker-process registries into the parent:
+        counters add, histogram aggregates combine exactly, and raw
+        samples append up to the cap.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, state in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += int(state["count"])
+            histogram.total += float(state["total"])
+            for bound in ("min", "max"):
+                other = state.get(bound)
+                if other is None:
+                    continue
+                current = getattr(histogram, bound)
+                if current is None:
+                    setattr(histogram, bound, other)
+                elif bound == "min":
+                    histogram.min = min(current, other)
+                else:
+                    histogram.max = max(current, other)
+            room = HISTOGRAM_SAMPLE_CAP - len(histogram.values)
+            if room > 0:
+                histogram.values.extend(state.get("values", [])[:room])
+
+    def summary(self) -> Dict[str, Any]:
+        """Human-oriented aggregate view of the whole registry."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def clear(self) -> None:
+        """Drop every counter and histogram."""
+        self._counters.clear()
+        self._histograms.clear()
+
+
+def snapshot_delta(before: Dict[str, Any],
+                   after: Dict[str, Any]) -> Dict[str, Any]:
+    """Snapshot-shaped difference between two registry snapshots.
+
+    Unlike :func:`registry_delta` (summary-shaped, for human-facing
+    artifacts), the result here is itself a valid
+    :meth:`MetricsRegistry.merge` input — the parallel runner uses it
+    to ship only what one task contributed out of a reused worker
+    process whose registry accumulates across tasks.
+    """
+    counters: Dict[str, int] = {}
+    for name, value in after.get("counters", {}).items():
+        moved = int(value) - int(before.get("counters", {}).get(name, 0))
+        if moved:
+            counters[name] = moved
+    histograms: Dict[str, Any] = {}
+    for name, state in after.get("histograms", {}).items():
+        previous = before.get("histograms", {}).get(
+            name, {"count": 0, "total": 0.0, "values": []})
+        moved = int(state["count"]) - int(previous["count"])
+        if moved <= 0:
+            continue
+        new_values = state.get("values", [])[len(previous.get("values", [])):]
+        if new_values:
+            low: Optional[float] = min(new_values)
+            high: Optional[float] = max(new_values)
+        else:  # samples beyond the cap: fall back to lifetime bounds
+            low, high = state.get("min"), state.get("max")
+        histograms[name] = {
+            "count": moved,
+            "total": float(state["total"]) - float(previous["total"]),
+            "min": low,
+            "max": high,
+            "values": list(new_values),
+        }
+    return {"counters": counters, "histograms": histograms}
+
+
+def registry_delta(before: Dict[str, Any],
+                   after: Dict[str, Any]) -> Dict[str, Any]:
+    """What changed between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Returns a summary-shaped dict (counters as deltas, histograms as
+    count/mean/min/max/p50/p90 over the new samples) containing only
+    the names that actually moved — the payload
+    :func:`repro.experiments.bench.measure` embeds in BENCH artifacts.
+    """
+    counters: Dict[str, int] = {}
+    for name, value in after.get("counters", {}).items():
+        delta = int(value) - int(before.get("counters", {}).get(name, 0))
+        if delta:
+            counters[name] = delta
+    histograms: Dict[str, Any] = {}
+    for name, state in after.get("histograms", {}).items():
+        previous = before.get("histograms", {}).get(
+            name, {"count": 0, "total": 0.0, "values": []})
+        count = int(state["count"]) - int(previous["count"])
+        if count <= 0:
+            continue
+        fresh = Histogram()
+        fresh.count = count
+        fresh.total = float(state["total"]) - float(previous["total"])
+        new_values = state.get("values", [])[len(previous.get("values", [])):]
+        for value in new_values:
+            if fresh.min is None or value < fresh.min:
+                fresh.min = value
+            if fresh.max is None or value > fresh.max:
+                fresh.max = value
+        fresh.values = list(new_values)
+        if fresh.min is None:  # samples beyond the cap: aggregates only
+            fresh.min = state.get("min")
+            fresh.max = state.get("max")
+        histograms[name] = fresh.summary()
+    return {"counters": counters, "histograms": histograms}
+
+
+#: Process-global default registry: always-on, cheap, coarse-grained
+#: (per-solve / per-cache-lookup, never per-TTI).
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,105 @@
+"""Pluggable trace sinks.
+
+A sink is anything with ``on_event(event: dict)`` and ``close()``.
+Three implementations cover the layer's use cases:
+
+* :class:`JsonlSink` — one JSON object per line, append-only; the
+  format the CLI's ``trace`` command and the parallel workers' shards
+  use.  Also accepts pre-encoded lines (:meth:`JsonlSink.write_line`)
+  so shard merging never re-encodes — merged output is byte-identical
+  to what the worker wrote.
+* :class:`RingBufferSink` — the last ``capacity`` events in memory,
+  for interactive digging and tests.
+* :class:`~repro.obs.registry.MetricsRegistry` — counters/histograms
+  (it implements the sink protocol too; see its module).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Union
+
+
+def encode_event(event: Dict[str, Any]) -> str:
+    """Canonical one-line JSON encoding of an event (no newline)."""
+    return json.dumps(event, separators=(",", ":"))
+
+
+class TraceSink:
+    """Interface every sink implements."""
+
+    def on_event(self, event: Dict[str, Any]) -> None:
+        """Consume one event dict (must not mutate it)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class JsonlSink(TraceSink):
+    """Append events to a JSON-lines file.
+
+    Attributes:
+        path: destination file (parent directories are created).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file: Optional[io.TextIOWrapper] = self.path.open(
+            "w", encoding="utf-8")
+        self.events_written = 0
+
+    def on_event(self, event: Dict[str, Any]) -> None:
+        self.write_line(encode_event(event))
+
+    def write_line(self, line: str) -> None:
+        """Append one pre-encoded JSON line (no trailing newline)."""
+        if self._file is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._file.write(line)
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class RingBufferSink(TraceSink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def on_event(self, event: Dict[str, Any]) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """All buffered events, oldest first."""
+        return list(self._events)
+
+    def of_type(self, *event_types: str) -> List[Dict[str, Any]]:
+        """Buffered events whose ``type`` is one of ``event_types``."""
+        wanted = set(event_types)
+        return [e for e in self._events if e.get("type") in wanted]
+
+
+def read_jsonl(path: Union[str, os.PathLike]) -> Iterator[Dict[str, Any]]:
+    """Parse a JSONL trace file back into event dicts."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,189 @@
+"""The tracer: typed event emission to pluggable sinks.
+
+One ambient :data:`TRACER` serves the whole process.  Instrumented
+hot paths (`Cell.step`, the scheduler, the player, the OneAPI server)
+guard every emission with a single ``is None`` check against this
+module attribute::
+
+    from repro.obs import tracer as obs
+    ...
+    if obs.TRACER is not None:
+        obs.TRACER.emit(events.TTI_ALLOC, now_s, flow=fid, prbs=prbs)
+
+so an untraced run pays one attribute load per site and nothing else —
+tier-1 timings and results are unchanged (tested byte-for-byte in
+``tests/obs/test_fastpath.py``).
+
+Install a tracer for a region with :func:`tracing` (the common path:
+a JSONL file plus an optional ring buffer and metrics registry), or
+manage it manually with :func:`install` / :func:`uninstall`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Sequence, Union
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sinks import JsonlSink, RingBufferSink, TraceSink
+
+#: The ambient tracer consulted by every instrumentation site.
+#: ``None`` (the default) disables tracing entirely.
+TRACER: Optional["Tracer"] = None
+
+
+class Tracer:
+    """Emit typed events to a set of sinks.
+
+    Attributes:
+        sinks: the attached sinks, in attachment order.
+        static: fields merged into every event (e.g. the worker's
+            ``task`` index in parallel runs).
+    """
+
+    def __init__(self, sinks: Sequence[TraceSink],
+                 static: Optional[Dict[str, Any]] = None) -> None:
+        self.sinks = list(sinks)
+        self.static = dict(static) if static else {}
+        self.events_emitted = 0
+
+    def emit(self, event_type: str, time_s: float, **fields: Any) -> None:
+        """Emit one event at simulation time ``time_s``."""
+        event: Dict[str, Any] = {"type": event_type, "t": time_s}
+        if self.static:
+            event.update(self.static)
+        event.update(fields)
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.on_event(event)
+
+    def ingest_line(self, line: str) -> None:
+        """Feed one pre-encoded JSONL event line to every sink.
+
+        JSONL sinks receive the raw line verbatim (shard merging stays
+        byte-identical); other sinks get the parsed dict.
+        """
+        parsed: Optional[Dict[str, Any]] = None
+        self.events_emitted += 1
+        for sink in self.sinks:
+            if isinstance(sink, JsonlSink):
+                sink.write_line(line)
+            else:
+                if parsed is None:
+                    parsed = json.loads(line)
+                sink.on_event(parsed)
+
+    # -- conveniences --------------------------------------------------
+    @property
+    def jsonl_path(self) -> Optional[pathlib.Path]:
+        """Path of the first attached JSONL sink (None without one)."""
+        for sink in self.sinks:
+            if isinstance(sink, JsonlSink):
+                return sink.path
+        return None
+
+    def ring(self) -> Optional[RingBufferSink]:
+        """The first attached ring buffer (None without one)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+    def close(self) -> None:
+        """Close every sink (idempotent)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the ambient tracer (returns it).
+
+    Raises:
+        RuntimeError: if another tracer is already installed.
+    """
+    global TRACER
+    if TRACER is not None:
+        raise RuntimeError("a tracer is already installed")
+    TRACER = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Remove the ambient tracer (idempotent; does not close sinks)."""
+    global TRACER
+    TRACER = None
+
+
+def current() -> Optional[Tracer]:
+    """The ambient tracer, or ``None``."""
+    return TRACER
+
+
+@contextmanager
+def tracing(jsonl: Optional[Union[str, os.PathLike]] = None,
+            ring: Optional[int] = None,
+            registry: Optional[MetricsRegistry] = None,
+            static: Optional[Dict[str, Any]] = None,
+            ) -> Iterator[Tracer]:
+    """Install an ambient tracer for the enclosed region.
+
+    Args:
+        jsonl: when given, events append to this JSONL file.
+        ring: when given, keep the last ``ring`` events in memory
+            (reachable via ``tracer.ring()``); ``True`` uses the
+            default ring capacity.
+        registry: when given, attach it as a sink (per-type counters).
+        static: fields merged into every event.
+
+    Yields:
+        The installed :class:`Tracer`; sinks are closed and the tracer
+        uninstalled on exit.
+    """
+    sinks: list = []
+    if jsonl is not None:
+        sinks.append(JsonlSink(jsonl))
+    if ring is not None:
+        sinks.append(RingBufferSink() if ring is True
+                     else RingBufferSink(ring))
+    if registry is not None:
+        sinks.append(registry)
+    tracer = install(Tracer(sinks, static=static))
+    try:
+        yield tracer
+    finally:
+        uninstall()
+        tracer.close()
+
+
+def merge_shards(shard_paths: Sequence[Union[str, os.PathLike]],
+                 tracer: Tracer, remove: bool = True) -> int:
+    """Fold worker shard files into ``tracer``, in the given order.
+
+    The parallel runner calls this with shards ordered by task
+    submission index, making the merged stream deterministic for a
+    fixed task list regardless of worker count.  Returns the number of
+    events merged; missing shards (cached cells) are skipped.
+    """
+    merged = 0
+    for shard in shard_paths:
+        path = pathlib.Path(shard)
+        if not path.exists():
+            continue
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if line:
+                    tracer.ingest_line(line)
+                    merged += 1
+        if remove:
+            path.unlink()
+    return merged

@@ -31,6 +31,8 @@ from repro.mac.rb_trace import FlowUsage, RbTraceModule
 from repro.mac.scheduler import Scheduler
 from repro.net.flows import DataFlow, Flow, UserEquipment, VideoFlow
 from repro.net.pcrf import Pcef, Pcrf
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.phy.tbs import PRB_PER_TTI_10MHZ, TTI_MS
 from repro.util import require_positive
 
@@ -279,6 +281,9 @@ class Cell:
             now, step_s, self._flows, self.config.prbs_per_step,
             self.registry)
 
+        tracer = obs.TRACER
+        step_prbs = 0.0
+        step_bytes = 0.0
         for flow in self._flows:
             allocation = allocations.get(flow.flow_id)
             delivered = allocation.bytes_delivered if allocation else 0.0
@@ -286,9 +291,27 @@ class Cell:
             flow.on_scheduled(delivered, step_s)
             if prbs > 0 or delivered > 0:
                 self.trace.record(flow.flow_id, prbs, delivered, end)
+                if tracer is not None:
+                    step_prbs += prbs
+                    step_bytes += delivered
+                    tracer.emit(
+                        obs_events.TTI_ALLOC, now,
+                        flow=flow.flow_id,
+                        ue=flow.ue.ue_id,
+                        kind=flow.kind.value,
+                        prbs=prbs,
+                        gbr_prbs=allocation.gbr_prbs if allocation else 0.0,
+                        tbs_bytes=delivered,
+                        itbs=flow.ue.channel.itbs_at(now),
+                    )
 
         for player in self._players.values():
             player.advance_playback(end, step_s)
+
+        if tracer is not None:
+            tracer.emit(obs_events.SIM_STEP, now, cell=self.cell_id,
+                        flows=len(self._flows), prbs=step_prbs,
+                        bytes=step_bytes)
 
         self._now_s = end
         for hook in self._step_hooks:

@@ -15,6 +15,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs import events as obs_events
+from repro.obs import tracer as obs
 from repro.util import require_non_negative, require_positive
 
 Callback = Callable[[float], None]
@@ -123,6 +125,9 @@ class EventQueue:
         while True:
             next_t = self.next_time()
             if next_t is None or next_t > time_s:
+                if fired and obs.TRACER is not None:
+                    obs.TRACER.emit(obs_events.SIM_EVENTS, time_s,
+                                    fired=fired)
                 return fired
             event = heapq.heappop(self._heap)
             if event.cancelled:

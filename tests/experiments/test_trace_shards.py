@@ -1,0 +1,93 @@
+"""Parallel workers' trace shards merge deterministically."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import ExperimentTask, run_tasks
+from repro.metrics.serialize import dump_cell_report
+from repro.obs import REGISTRY, tracing, uninstall_tracer
+from repro.workload.scenarios import build_cell_scenario
+
+TINY = dict(num_video=2, duration_s=30.0)
+
+#: Fields whose values are wall-clock measurements, not simulation
+#: state — the only ones allowed to differ between equivalent runs.
+VOLATILE_FIELDS = ("solve_s",)
+
+
+def tiny_tasks(seeds=(1, 2, 3)):
+    return [ExperimentTask(builder=build_cell_scenario, scheme="flare",
+                           seed=seed, kwargs=dict(TINY))
+            for seed in seeds]
+
+
+def normalized_events(path, drop_task=True):
+    events = []
+    for line in path.read_text().splitlines():
+        event = json.loads(line)
+        if drop_task:
+            event.pop("task", None)
+        for field in VOLATILE_FIELDS:
+            event.pop(field, None)
+        events.append(json.dumps(event, sort_keys=True))
+    return events
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+class TestShardMergeDeterminism:
+    def test_jobs2_trace_matches_serial(self, tmp_path):
+        serial_path = tmp_path / "serial.jsonl"
+        with tracing(jsonl=serial_path):
+            serial = run_tasks(tiny_tasks(), jobs=1, use_cache=False)
+
+        fanned_path = tmp_path / "fanned.jsonl"
+        with tracing(jsonl=fanned_path):
+            fanned = run_tasks(tiny_tasks(), jobs=2, use_cache=False)
+
+        # Reports are unchanged by tracing or worker count...
+        assert [dump_cell_report(r) for r in serial] == \
+            [dump_cell_report(r) for r in fanned]
+        # ...and the merged event stream matches the serial one once
+        # worker-only (task) and wall-clock fields are stripped.
+        assert normalized_events(serial_path) == \
+            normalized_events(fanned_path)
+
+    def test_shards_cleaned_up(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(jsonl=path):
+            run_tasks(tiny_tasks(seeds=(1, 2)), jobs=2, use_cache=False)
+        assert list(tmp_path.glob("*.shard*")) == []
+        assert path.exists()
+
+    def test_worker_events_carry_task_index(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(jsonl=path):
+            run_tasks(tiny_tasks(seeds=(1, 2)), jobs=2, use_cache=False)
+        tasks_seen = {json.loads(line)["task"]
+                      for line in path.read_text().splitlines()}
+        assert tasks_seen == {0, 1}
+
+    def test_untraced_parallel_run_writes_no_shards(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_tasks(tiny_tasks(seeds=(1, 2)), jobs=2, use_cache=False)
+        assert list(tmp_path.glob("*shard*")) == []
+
+
+class TestWorkerRegistryPropagation:
+    def test_solver_histogram_reaches_parent(self):
+        before = REGISTRY.snapshot()
+        run_tasks(tiny_tasks(seeds=(1, 2)), jobs=2, use_cache=False)
+        after = REGISTRY.snapshot()
+        name = "solver.exact.solve_s"
+        moved = (after["histograms"].get(name, {"count": 0})["count"]
+                 - before["histograms"].get(name, {"count": 0})["count"])
+        # 2 cells x 30 s / 2 s BAI: one solve per BAI per cell.
+        assert moved > 0

@@ -1,0 +1,35 @@
+"""The no-tracer fast path must not change simulation results."""
+
+import pytest
+
+from repro.metrics.serialize import dump_cell_report
+from repro.obs import current_tracer, tracing, uninstall_tracer
+from repro.workload.scenarios import build_cell_scenario, \
+    build_testbed_scenario
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+class TestByteIdenticalReports:
+    def test_testbed_report_identical_with_and_without_tracer(self,
+                                                              tmp_path):
+        assert current_tracer() is None
+        bare = build_testbed_scenario("flare", seed=3,
+                                      duration_s=30.0).run()
+        with tracing(jsonl=tmp_path / "t.jsonl"):
+            traced = build_testbed_scenario("flare", seed=3,
+                                            duration_s=30.0).run()
+        assert dump_cell_report(bare) == dump_cell_report(traced)
+
+    def test_cell_report_identical_with_and_without_tracer(self, tmp_path):
+        kwargs = dict(scheme="festive", seed=1, num_video=2,
+                      duration_s=30.0)
+        bare = build_cell_scenario(**kwargs).run()
+        with tracing(jsonl=tmp_path / "t.jsonl"):
+            traced = build_cell_scenario(**kwargs).run()
+        assert dump_cell_report(bare) == dump_cell_report(traced)

@@ -1,0 +1,121 @@
+"""Tests for the metrics registry."""
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import (
+    HISTOGRAM_SAMPLE_CAP,
+    registry_delta,
+    snapshot_delta,
+)
+
+
+class TestCountersAndHistograms:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(3)
+        assert reg.counter("hits").value == 4
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.mean == 2.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.quantile(0.5) == 2.0
+
+    def test_histogram_sample_cap_keeps_aggregates_exact(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("big")
+        for i in range(HISTOGRAM_SAMPLE_CAP + 10):
+            hist.observe(float(i))
+        assert hist.count == HISTOGRAM_SAMPLE_CAP + 10
+        assert len(hist.values) == HISTOGRAM_SAMPLE_CAP
+        assert hist.max == float(HISTOGRAM_SAMPLE_CAP + 9)
+
+    def test_time_block_observes_seconds(self):
+        reg = MetricsRegistry()
+        with reg.time_block("op"):
+            pass
+        hist = reg.histogram("op")
+        assert hist.count == 1
+        assert 0.0 <= hist.min < 1.0
+
+    def test_sink_protocol_counts_event_types(self):
+        reg = MetricsRegistry()
+        reg.on_event({"type": "tti.alloc", "t": 0.0})
+        reg.on_event({"type": "tti.alloc", "t": 0.02})
+        reg.on_event({"type": "sim.step", "t": 0.0})
+        assert reg.counter("events.tti.alloc").value == 2
+        assert reg.counter("events.sim.step").value == 1
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.histogram("y").observe(1.0)
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "histograms": {}}
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_combines_histograms(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("c").inc(2)
+        left.histogram("h").observe(1.0)
+        right.counter("c").inc(3)
+        right.histogram("h").observe(5.0)
+        left.merge(right.snapshot())
+        assert left.counter("c").value == 5
+        hist = left.histogram("h")
+        assert hist.count == 2
+        assert (hist.min, hist.max) == (1.0, 5.0)
+        assert sorted(hist.values) == [1.0, 5.0]
+
+    def test_summary_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(2.0)
+        summary = reg.summary()
+        assert summary["counters"] == {"c": 1}
+        assert summary["histograms"]["h"]["count"] == 1
+        assert summary["histograms"]["h"]["p50"] == 2.0
+
+
+class TestDeltas:
+    def test_registry_delta_reports_only_moved_names(self):
+        reg = MetricsRegistry()
+        reg.counter("old").inc()
+        reg.histogram("h").observe(1.0)
+        before = reg.snapshot()
+        reg.counter("new").inc(2)
+        reg.histogram("h").observe(3.0)
+        delta = registry_delta(before, reg.snapshot())
+        assert delta["counters"] == {"new": 2}
+        assert set(delta["histograms"]) == {"h"}
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["mean"] == 3.0
+
+    def test_snapshot_delta_is_mergeable(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)
+        worker.histogram("h").observe(1.0)
+        before = worker.snapshot()
+        worker.counter("c").inc(2)
+        worker.histogram("h").observe(9.0)
+        delta = snapshot_delta(before, worker.snapshot())
+
+        parent = MetricsRegistry()
+        parent.merge(delta)
+        assert parent.counter("c").value == 2  # only what moved
+        hist = parent.histogram("h")
+        assert hist.count == 1
+        assert (hist.min, hist.max) == (9.0, 9.0)
+
+    def test_snapshot_delta_empty_when_nothing_moved(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        assert snapshot_delta(snap, snap) == {"counters": {},
+                                              "histograms": {}}

@@ -1,0 +1,73 @@
+"""Tests for the trace sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    RingBufferSink,
+    encode_event,
+    read_jsonl,
+)
+
+
+class TestEncodeEvent:
+    def test_compact_single_line(self):
+        line = encode_event({"type": "x", "t": 1.5, "flow": 3})
+        assert "\n" not in line
+        assert " " not in line
+        assert json.loads(line) == {"type": "x", "t": 1.5, "flow": 3}
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.on_event({"type": "a", "t": 0.0})
+        sink.on_event({"type": "b", "t": 1.0, "flow": 2})
+        sink.close()
+        events = list(read_jsonl(path))
+        assert [e["type"] for e in events] == ["a", "b"]
+        assert sink.events_written == 2
+
+    def test_write_line_verbatim(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        raw = '{"type":"raw","t":3.0}'
+        sink.write_line(raw)
+        sink.close()
+        assert path.read_text() == raw + "\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+    def test_closed_sink_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError):
+            sink.on_event({"type": "x", "t": 0.0})
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.on_event({"type": "x", "t": float(i)})
+        assert len(ring) == 3
+        assert [e["t"] for e in ring.events()] == [2.0, 3.0, 4.0]
+
+    def test_of_type_filters(self):
+        ring = RingBufferSink()
+        ring.on_event({"type": "a", "t": 0.0})
+        ring.on_event({"type": "b", "t": 1.0})
+        ring.on_event({"type": "a", "t": 2.0})
+        assert [e["t"] for e in ring.of_type("a")] == [0.0, 2.0]
+        assert ring.of_type("a", "b") == ring.events()
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)

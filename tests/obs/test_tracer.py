@@ -1,0 +1,140 @@
+"""Tests for the ambient tracer and shard merging."""
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    Tracer,
+    current_tracer,
+    encode_event,
+    install_tracer,
+    merge_shards,
+    read_jsonl,
+    tracing,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tracer():
+    """Every test starts and ends without an installed tracer."""
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+class TestTracer:
+    def test_emit_merges_static_fields(self):
+        ring = RingBufferSink()
+        tracer = Tracer([ring], static={"task": 7})
+        tracer.emit("x", 1.0, flow=3)
+        assert ring.events() == [{"type": "x", "t": 1.0, "task": 7,
+                                  "flow": 3}]
+        assert tracer.events_emitted == 1
+
+    def test_emit_fans_out_to_all_sinks(self, tmp_path):
+        ring = RingBufferSink()
+        registry = MetricsRegistry()
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer([JsonlSink(path), ring, registry])
+        tracer.emit("x", 0.0)
+        tracer.close()
+        assert len(ring) == 1
+        assert registry.counter("events.x").value == 1
+        assert len(list(read_jsonl(path))) == 1
+
+    def test_ingest_line_raw_to_jsonl_parsed_to_others(self, tmp_path):
+        ring = RingBufferSink()
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer([JsonlSink(path), ring])
+        raw = encode_event({"type": "y", "t": 2.0})
+        tracer.ingest_line(raw)
+        tracer.close()
+        assert path.read_text() == raw + "\n"
+        assert ring.events() == [{"type": "y", "t": 2.0}]
+
+    def test_jsonl_path_and_ring_accessors(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        ring = RingBufferSink()
+        tracer = Tracer([JsonlSink(path), ring])
+        assert tracer.jsonl_path == path
+        assert tracer.ring() is ring
+        tracer.close()
+        assert Tracer([]).jsonl_path is None
+        assert Tracer([]).ring() is None
+
+
+class TestInstall:
+    def test_install_makes_tracer_ambient(self):
+        tracer = Tracer([])
+        assert install_tracer(tracer) is tracer
+        assert current_tracer() is tracer
+        uninstall_tracer()
+        assert current_tracer() is None
+
+    def test_double_install_raises(self):
+        install_tracer(Tracer([]))
+        with pytest.raises(RuntimeError):
+            install_tracer(Tracer([]))
+
+    def test_uninstall_idempotent(self):
+        uninstall_tracer()
+        uninstall_tracer()
+
+
+class TestTracingContext:
+    def test_builds_requested_sinks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(jsonl=path, ring=16) as tracer:
+            assert current_tracer() is tracer
+            assert tracer.jsonl_path == path
+            assert tracer.ring().capacity == 16
+            tracer.emit("x", 0.0)
+        assert current_tracer() is None
+        assert len(list(read_jsonl(path))) == 1
+
+    def test_ring_true_uses_default_capacity(self):
+        with tracing(ring=True) as tracer:
+            assert tracer.ring().capacity == RingBufferSink().capacity
+
+    def test_uninstalls_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing(ring=8):
+                raise RuntimeError("boom")
+        assert current_tracer() is None
+
+
+class TestMergeShards:
+    def test_merges_in_order_and_removes(self, tmp_path):
+        shards = []
+        for rank in range(3):
+            shard = tmp_path / f"t.jsonl.shard{rank:04d}"
+            shard.write_text(
+                encode_event({"type": "x", "t": float(rank)}) + "\n")
+            shards.append(shard)
+        target = tmp_path / "t.jsonl"
+        tracer = Tracer([JsonlSink(target)])
+        merged = merge_shards(shards, tracer)
+        tracer.close()
+        assert merged == 3
+        assert [e["t"] for e in read_jsonl(target)] == [0.0, 1.0, 2.0]
+        assert not any(shard.exists() for shard in shards)
+
+    def test_missing_shards_skipped(self, tmp_path):
+        present = tmp_path / "t.jsonl.shard0001"
+        present.write_text(encode_event({"type": "x", "t": 0.0}) + "\n")
+        tracer = Tracer([JsonlSink(tmp_path / "t.jsonl")])
+        merged = merge_shards([tmp_path / "t.jsonl.shard0000", present],
+                              tracer)
+        tracer.close()
+        assert merged == 1
+
+    def test_keep_shards_when_remove_false(self, tmp_path):
+        shard = tmp_path / "t.jsonl.shard0000"
+        shard.write_text(encode_event({"type": "x", "t": 0.0}) + "\n")
+        tracer = Tracer([JsonlSink(tmp_path / "t.jsonl")])
+        merge_shards([shard], tracer, remove=False)
+        tracer.close()
+        assert shard.exists()

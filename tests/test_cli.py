@@ -97,3 +97,44 @@ class TestMain:
         record = json.loads(
             (isolated_artifacts / "bench" / "BENCH_fig9.json").read_text())
         assert record["jobs"] == 3
+
+
+class TestTraceCommand:
+    def test_trace_writes_all_event_families(self, isolated_artifacts,
+                                             capsys):
+        from repro.obs import EVENT_FAMILIES
+
+        out = isolated_artifacts / "trace.jsonl"
+        assert main(["trace", "testbed", "--out", str(out),
+                     "--duration", "20"]) == 0
+        emitted = {json.loads(line)["type"]
+                   for line in out.read_text().splitlines()}
+        for family, members in EVENT_FAMILIES.items():
+            assert emitted & set(members), f"{family} missing"
+        stdout = capsys.readouterr().out
+        assert "trace written to" in stdout
+        for family in EVENT_FAMILIES:
+            assert family in stdout
+
+    def test_trace_scenario_choices(self):
+        args = build_parser().parse_args(["trace", "cell"])
+        assert args.scenario == "cell"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "bogus"])
+
+    def test_trace_flag_traces_other_commands(self, isolated_artifacts):
+        out = isolated_artifacts / "fig4.jsonl"
+        assert main(["fig4", "--scheme", "festive",
+                     "--trace", str(out)]) == 0
+        assert out.exists()
+        types = {json.loads(line)["type"]
+                 for line in out.read_text().splitlines()}
+        assert "tti.alloc" in types
+
+    def test_trace_records_obs_in_bench(self, isolated_artifacts):
+        out = isolated_artifacts / "trace.jsonl"
+        assert main(["trace", "testbed", "--out", str(out),
+                     "--duration", "20"]) == 0
+        record = json.loads(
+            (isolated_artifacts / "bench" / "BENCH_trace.json").read_text())
+        assert "solver.exact.solve_s" in record["obs"]["histograms"]

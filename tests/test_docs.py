@@ -1,0 +1,74 @@
+"""Documentation consistency: fences run, schemas and links hold."""
+
+import importlib.util
+import pathlib
+import pkgutil
+import re
+
+import pytest
+
+import repro.experiments
+import repro.obs
+from repro.obs import EVENT_SCHEMA
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+
+def load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = load_check_docs()
+
+
+class TestDocFences:
+    @pytest.mark.parametrize("path", check_docs.default_files(),
+                             ids=lambda p: p.name)
+    def test_fences_execute(self, path):
+        count, errors = check_docs.run_file(path)
+        assert errors == []
+
+    def test_fence_extraction_sees_readme_examples(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        fences = list(check_docs.extract_fences(text))
+        assert len(fences) >= 2
+        assert any("build_cell_scenario" in src for _, src in fences)
+
+
+class TestObservabilityDoc:
+    def test_every_event_type_documented(self):
+        text = (DOCS / "observability.md").read_text()
+        for event_type in EVENT_SCHEMA:
+            assert f"`{event_type}`" in text, f"{event_type} undocumented"
+
+    def test_every_field_documented(self):
+        text = (DOCS / "observability.md").read_text()
+        for event_type, fields in EVENT_SCHEMA.items():
+            for name in fields:
+                assert f"`{name}`" in text, (
+                    f"field {event_type}.{name} undocumented")
+
+
+class TestApiDoc:
+    @pytest.mark.parametrize("package", [repro.experiments, repro.obs])
+    def test_covers_every_module(self, package):
+        text = (DOCS / "api.md").read_text()
+        for info in pkgutil.iter_modules(package.__path__):
+            name = f"{package.__name__}.{info.name}"
+            short = info.name
+            assert name in text or f"`{short}`" in text \
+                or f"/{short}.py" in text, f"{name} missing from api.md"
+
+
+class TestDocLinks:
+    def test_relative_links_resolve(self):
+        link = re.compile(r"\]\((?!https?://|#)([^)#]+)")
+        for doc in sorted(DOCS.glob("*.md")):
+            for target in link.findall(doc.read_text()):
+                resolved = (doc.parent / target).resolve()
+                assert resolved.exists(), f"{doc.name}: dead link {target}"

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Execute every ```python fence in the repo's Markdown docs.
+
+Keeps documentation honest: each file's fences run top to bottom in
+one shared namespace (so a later example can build on an earlier one),
+and any exception fails the run with the offending file, fence number
+and source line. CI runs this as the `docs` job; the tier-1 suite
+drives it through ``tests/test_docs.py``.
+
+Usage::
+
+    python tools/check_docs.py [FILE.md ...]   # default: docs/*.md,
+                                               # README.md, EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import time
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files scanned when no arguments are given.
+DEFAULT_TARGETS = ("README.md", "EXPERIMENTS.md", "docs")
+
+_FENCE = re.compile(r"^```python[ \t]*$(?P<body>.*?)^```[ \t]*$",
+                    re.MULTILINE | re.DOTALL)
+
+
+def default_files() -> List[pathlib.Path]:
+    """The Markdown files checked by default, in a stable order."""
+    files: List[pathlib.Path] = []
+    for target in DEFAULT_TARGETS:
+        path = REPO_ROOT / target
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def extract_fences(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, source)`` for every python fence."""
+    for match in _FENCE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 2  # body starts
+        yield line, match.group("body")
+
+
+def run_file(path: pathlib.Path) -> Tuple[int, List[str]]:
+    """Run one file's fences; returns (fences_run, error_messages)."""
+    namespace: dict = {"__name__": f"docfence:{path.name}"}
+    errors: List[str] = []
+    count = 0
+    for line, source in extract_fences(path.read_text(encoding="utf-8")):
+        count += 1
+        # Compile with a filename that points back into the Markdown
+        # so tracebacks carry doc-relative line numbers.
+        padded = "\n" * (line - 1) + source
+        try:
+            code = compile(padded, str(path), "exec")
+            exec(code, namespace)  # noqa: S102 - the point of the tool
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}: fence #{count} "
+                f"(line {line}): {type(error).__name__}: {error}")
+    return count, errors
+
+
+def main(argv: List[str]) -> int:
+    files = ([pathlib.Path(arg) for arg in argv]
+             if argv else default_files())
+    total = 0
+    failures: List[str] = []
+    for path in files:
+        if not path.exists():
+            failures.append(f"{path}: no such file")
+            continue
+        started = time.perf_counter()
+        count, errors = run_file(path)
+        total += count
+        status = "FAIL" if errors else "ok"
+        print(f"{status:>4}  {path}  ({count} fences, "
+              f"{time.perf_counter() - started:.1f}s)")
+        failures.extend(errors)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    print(f"{total} fences executed, {len(failures)} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
