@@ -25,10 +25,15 @@ allocation epoch.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING
 
 from repro.abr.base import AbrAlgorithm, AbrContext
 from repro.util import Ewma, SlidingWindow, require_in_range, require_positive
+
+if TYPE_CHECKING:
+    from repro.mac.rb_trace import FlowUsage
+    from repro.net.flows import VideoFlow
+    from repro.sim.cell import Cell
 
 
 class AvisUeAdapter(AbrAlgorithm):
@@ -103,7 +108,7 @@ class AvisNetworkAgent:
     name = "avis"
 
     def __init__(self, interval_s: float = 0.15, ewma_weight: float = 0.01,
-                 video_share: Optional[float] = None) -> None:
+                 video_share: float | None = None) -> None:
         require_positive("interval_s", interval_s)
         require_in_range("ewma_weight", ewma_weight, 0.0, 1.0)
         if video_share is not None:
@@ -111,9 +116,10 @@ class AvisNetworkAgent:
         self.interval_s = interval_s
         self.ewma_weight = ewma_weight
         self._video_share = video_share
-        self._efficiency: Dict[int, Ewma] = {}
+        self._efficiency: dict[int, Ewma] = {}
 
-    def _estimate_efficiency(self, cell, flow, usage) -> float:
+    def _estimate_efficiency(self, cell: Cell, flow: VideoFlow,
+                             usage: FlowUsage | None) -> float:
         """EWMA'd bytes-per-RB estimate for one video flow."""
         estimator = self._efficiency.setdefault(
             flow.flow_id, Ewma(self.ewma_weight))
@@ -128,7 +134,7 @@ class AvisNetworkAgent:
         return estimator.value_or(
             flow.ue.channel.bytes_per_prb_at(cell.now_s))
 
-    def on_interval(self, now_s: float, cell) -> None:
+    def on_interval(self, now_s: float, cell: Cell) -> None:
         """Run one provisioning epoch against ``cell``."""
         video_flows = cell.video_flows()
         data_flows = cell.data_flows()

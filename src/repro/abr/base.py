@@ -11,7 +11,8 @@ pure functions of that snapshot plus their own internal state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # avoid a circular import with repro.has.player
     from repro.has.mpd import BitrateLadder
@@ -36,11 +37,11 @@ class AbrContext:
     """
 
     now_s: float
-    ladder: "BitrateLadder"
+    ladder: BitrateLadder
     segment_duration_s: float
     segment_index: int
     buffer_level_s: float
-    last_index: Optional[int]
+    last_index: int | None
     throughput_samples_bps: Sequence[float] = field(default_factory=tuple)
     flow_id: int = -1
 

@@ -25,8 +25,6 @@ here), ``p = 0.85``, ``alpha = 12``.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 from repro.abr.base import AbrAlgorithm, AbrContext
 from repro.util import SlidingWindow, require_in_range, require_positive
 
@@ -56,7 +54,7 @@ class Festive(AbrAlgorithm):
         self.switch_history = switch_history
         self._samples = SlidingWindow(window)
         self._up_streak = 0
-        self._recent_indices: List[int] = []
+        self._recent_indices: list[int] = []
 
     def reset(self) -> None:
         self._samples.clear()
@@ -68,7 +66,7 @@ class Festive(AbrAlgorithm):
         self._samples.push(throughput_bps)
 
     # ------------------------------------------------------------------
-    def _bandwidth_estimate(self) -> Optional[float]:
+    def _bandwidth_estimate(self) -> float | None:
         """Harmonic mean of retained samples (None before any sample)."""
         return self._samples.harmonic_mean()
 
@@ -87,11 +85,11 @@ class Festive(AbrAlgorithm):
             return cur - 1
         return cur
 
-    def _count_recent_switches(self, extra_index: Optional[int]) -> int:
+    def _count_recent_switches(self, extra_index: int | None) -> int:
         """Switches among the recent selections (plus a hypothetical)."""
         indices = self._recent_indices[-self.switch_history:]
         if extra_index is not None:
-            indices = indices + [extra_index]
+            indices = [*indices, extra_index]
         return sum(1 for a, b in zip(indices, indices[1:]) if a != b)
 
     def _stability_score(self, candidate: int) -> float:

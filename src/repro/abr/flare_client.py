@@ -23,7 +23,7 @@ class FlareClientAbr(AbrAlgorithm):
 
     name = "flare"
 
-    def __init__(self, plugin: "FlarePlugin") -> None:
+    def __init__(self, plugin: FlarePlugin) -> None:
         self.plugin = plugin
 
     def select_index(self, ctx: AbrContext) -> int:

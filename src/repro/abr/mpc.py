@@ -19,7 +19,7 @@ simulate the buffer under a conservative throughput prediction
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.abr.base import AbrAlgorithm, AbrContext
 from repro.util import SlidingWindow, require_non_negative
@@ -55,7 +55,7 @@ class ModelPredictive(AbrAlgorithm):
         self.switch_penalty = switch_penalty
         self._samples = SlidingWindow(window)
         self._prediction_errors = SlidingWindow(window)
-        self._last_prediction: Optional[float] = None
+        self._last_prediction: float | None = None
 
     def reset(self) -> None:
         self._samples.clear()
@@ -70,7 +70,7 @@ class ModelPredictive(AbrAlgorithm):
         self._samples.push(throughput_bps)
 
     # ------------------------------------------------------------------
-    def _predict_throughput(self) -> Optional[float]:
+    def _predict_throughput(self) -> float | None:
         """Harmonic mean discounted by the max recent relative error."""
         estimate = self._samples.harmonic_mean()
         if estimate is None:
@@ -81,7 +81,7 @@ class ModelPredictive(AbrAlgorithm):
         self._last_prediction = prediction
         return prediction
 
-    def _candidate_moves(self, ladder_size: int, index: int) -> List[int]:
+    def _candidate_moves(self, ladder_size: int, index: int) -> list[int]:
         lo = max(0, index - self.max_step)
         hi = min(ladder_size - 1, index + self.max_step)
         return list(range(lo, hi + 1))
@@ -124,7 +124,7 @@ class ModelPredictive(AbrAlgorithm):
 
         # Enumerate plans where each step moves at most max_step from
         # the previous index (depth-first over the candidate tree).
-        def search(prefix: Tuple[int, ...]) -> None:
+        def search(prefix: tuple[int, ...]) -> None:
             nonlocal best_value, best_first
             if len(prefix) == horizon:
                 value = self._plan_value(ctx, prefix, start, throughput)

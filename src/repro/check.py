@@ -1,0 +1,285 @@
+"""Runtime invariant sanitizer: physical-consistency checks for the hot loop.
+
+The simulator's headline guarantees — RB conservation per scheduling
+step, 3GPP TBS table bounds, GBR sums that fit the cell, Algorithm 1's
+one-step-up rule, non-negative playout buffers, solver solutions that
+respect the capacity constraint — are normally *assumed*.  This module
+makes them *enforced*, on demand, with the same zero-cost-when-off
+pattern as the tracer (:mod:`repro.obs.tracer`)::
+
+    from repro import check as chk
+    ...
+    if chk.CHECKER is not None:
+        chk.CHECKER.check_rb_conservation(now_s, allocated, budget)
+
+A run with checks disabled (the default) pays one module-attribute
+load per instrumented site and nothing else, so CellReports stay
+byte-identical with checks on or off (the checks only *read* simulator
+state; a violation raises, it never repairs).
+
+Enable checking with the ``REPRO_CHECK=1`` environment variable (the
+module auto-installs a checker on import, so parallel workers inherit
+the setting), the CLI's ``--check`` flag, or the :func:`checking`
+context manager::
+
+    from repro import check as chk
+
+    with chk.checking():
+        cell.run(10.0)
+
+Each violated invariant raises :class:`InvariantViolation` carrying a
+stable ``invariant`` name (e.g. ``"rb_conservation"``) so tests and
+triage tooling can match on it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+#: Environment variable that enables the sanitizer process-wide.
+ENV_FLAG = "REPRO_CHECK"
+
+#: Relative slop applied to float comparisons (fluid-scheduler grants
+#: and EWMA costs accumulate rounding at the 1e-12 scale; 1e-6 keeps a
+#: six-order-of-magnitude margin between noise and a real violation).
+DEFAULT_TOLERANCE = 1e-6
+
+
+class InvariantViolation(ValueError):
+    """A simulator invariant failed.
+
+    Subclasses :class:`ValueError` so call sites whose contract is
+    already "raises ValueError on an out-of-range input" (the TBS
+    table) keep that contract with the sanitizer on — the sanitizer
+    merely front-runs them with a named, machine-matchable error.
+
+    Attributes:
+        invariant: stable machine-readable name of the failed
+            invariant (``"rb_conservation"``, ``"tbs_index_range"``,
+            ``"tbs_prb_range"``, ``"gbr_capacity"``, ``"one_step_up"``,
+            ``"buffer_level"``, ``"optimizer_residual"``).
+    """
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+
+
+class InvariantChecker:
+    """Asserts the simulator's physical invariants at hot-path sites.
+
+    Attributes:
+        tolerance: relative float slop for conservation comparisons.
+        counts: number of checks performed per invariant name — lets
+            tests assert the sanitizer actually ran, and makes a
+            passing ``--check`` run auditable.
+    """
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = tolerance
+        self.counts: dict[str, int] = {}
+
+    def _count(self, invariant: str) -> None:
+        self.counts[invariant] = self.counts.get(invariant, 0) + 1
+
+    def _fail(self, invariant: str, message: str) -> None:
+        raise InvariantViolation(invariant, message)
+
+    # -- MAC ------------------------------------------------------------
+    def check_rb_conservation(self, now_s: float, allocated_prbs: float,
+                              budget_prbs: float) -> None:
+        """Scheduler grants must never exceed the step's PRB budget."""
+        self._count("rb_conservation")
+        slack = self.tolerance * max(budget_prbs, 1.0)
+        if allocated_prbs > budget_prbs + slack:
+            self._fail(
+                "rb_conservation",
+                f"t={now_s:.6f}s: allocated {allocated_prbs!r} PRBs "
+                f"exceeds the step budget {budget_prbs!r}",
+            )
+
+    def check_gbr_capacity(self, now_s: float, gbr_rbs: float,
+                           total_rbs: float) -> None:
+        """The enforced GBR set must fit the cell's RB capacity."""
+        self._count("gbr_capacity")
+        slack = self.tolerance * max(total_rbs, 1.0)
+        if gbr_rbs > total_rbs + slack:
+            self._fail(
+                "gbr_capacity",
+                f"t={now_s:.6f}s: enforced guarantees need {gbr_rbs!r} "
+                f"RBs per BAI but the cell only has {total_rbs!r}",
+            )
+
+    # -- PHY ------------------------------------------------------------
+    def check_tbs_lookup(self, itbs: int, n_prb: int,
+                         min_itbs: int, max_itbs: int,
+                         max_prb: int) -> None:
+        """Every TBS table lookup must stay inside the 3GPP ranges."""
+        self._count("tbs_lookup")
+        if not min_itbs <= itbs <= max_itbs:
+            self._fail(
+                "tbs_index_range",
+                f"iTbs {itbs!r} outside [{min_itbs}, {max_itbs}]",
+            )
+        if not 1 <= n_prb <= max_prb:
+            self._fail(
+                "tbs_prb_range",
+                f"n_prb {n_prb!r} outside [1, {max_prb}]",
+            )
+
+    def check_tbs_index(self, itbs: int, min_itbs: int,
+                        max_itbs: int) -> None:
+        """A channel model must report an in-range TBS index."""
+        self._count("tbs_index")
+        if not min_itbs <= itbs <= max_itbs:
+            self._fail(
+                "tbs_index_range",
+                f"channel reported iTbs {itbs!r} outside "
+                f"[{min_itbs}, {max_itbs}]",
+            )
+
+    # -- core -----------------------------------------------------------
+    def check_ladder_step(self, flow_id: int, previous_level: int,
+                          new_level: int) -> None:
+        """Algorithm 1 may raise a flow by at most one ladder step."""
+        self._count("one_step_up")
+        if new_level > previous_level + 1:
+            self._fail(
+                "one_step_up",
+                f"flow {flow_id}: level jumped {previous_level} -> "
+                f"{new_level} in one BAI (limit is one step up)",
+            )
+
+    def check_solver_residual(self, used_rbs: float, r: float,
+                              total_rbs: float) -> None:
+        """A solution's RB usage must respect the capacity constraint.
+
+        Solutions that do not report an RB share (``r == 0``; e.g.
+        hand-built stubs) are held to the hard capacity ``total_rbs``
+        only.
+        """
+        self._count("optimizer_residual")
+        budget = r * total_rbs if r > 0 else total_rbs
+        slack = self.tolerance * max(total_rbs, 1.0)
+        if used_rbs > budget + slack:
+            self._fail(
+                "optimizer_residual",
+                f"solution uses {used_rbs!r} RBs but r={r!r} grants "
+                f"only {budget!r} of {total_rbs!r}",
+            )
+
+    # -- HAS ------------------------------------------------------------
+    def check_buffer_level(self, level_s: float, capacity_s: float) -> None:
+        """The playout buffer level must stay within [0, capacity]."""
+        self._count("buffer_level")
+        if level_s < -self.tolerance:
+            self._fail(
+                "buffer_level",
+                f"playout buffer went negative: {level_s!r} s",
+            )
+        if level_s > capacity_s + self.tolerance:
+            self._fail(
+                "buffer_level",
+                f"playout buffer {level_s!r} s exceeds capacity "
+                f"{capacity_s!r} s",
+            )
+
+
+#: The ambient checker consulted by every instrumented site.
+#: ``None`` (the default) disables all invariant checking.
+CHECKER: InvariantChecker | None = None
+
+
+def install(checker: InvariantChecker | None = None) -> InvariantChecker:
+    """Make ``checker`` (default: a fresh one) the ambient checker.
+
+    Raises:
+        RuntimeError: if a checker is already installed.
+    """
+    global CHECKER
+    if CHECKER is not None:
+        raise RuntimeError("an invariant checker is already installed")
+    CHECKER = checker if checker is not None else InvariantChecker()
+    return CHECKER
+
+
+def uninstall() -> None:
+    """Remove the ambient checker (idempotent)."""
+    global CHECKER
+    CHECKER = None
+
+
+def current() -> InvariantChecker | None:
+    """The ambient checker, or ``None``."""
+    return CHECKER
+
+
+def enabled_in_env(environ: dict[str, str] | None = None) -> bool:
+    """True when ``REPRO_CHECK`` requests checking (``1``/``true``/``on``)."""
+    env = os.environ if environ is None else environ
+    return env.get(ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def enable() -> InvariantChecker:
+    """Install a checker and export ``REPRO_CHECK=1`` to child processes.
+
+    Setting the environment variable means parallel experiment workers
+    (fresh interpreters) auto-install their own checker on import.
+    Returns the installed checker; no-op if one is already installed.
+    """
+    os.environ[ENV_FLAG] = "1"
+    if CHECKER is not None:
+        return CHECKER
+    return install()
+
+
+def disable() -> None:
+    """Uninstall the checker and clear ``REPRO_CHECK``."""
+    os.environ.pop(ENV_FLAG, None)
+    uninstall()
+
+
+@contextmanager
+def checking(checker: InvariantChecker | None = None
+             ) -> Iterator[InvariantChecker]:
+    """Install an ambient checker for the enclosed region.
+
+    Unlike :func:`enable` this does not touch the environment, so it
+    scopes to the current process only (the unit-test path).
+    """
+    installed = install(checker)
+    try:
+        yield installed
+    finally:
+        uninstall()
+
+
+@contextmanager
+def checked_run(checker: InvariantChecker | None = None
+                ) -> Iterator[InvariantChecker]:
+    """Enable checking — ambient checker *and* environment — for a region.
+
+    This is the CLI's ``--check`` path: exporting ``REPRO_CHECK=1``
+    means parallel experiment workers spawned inside the region check
+    too.  Prefer :func:`checking` in tests (no environment mutation).
+    """
+    if checker is not None:
+        installed = install(checker)
+        os.environ[ENV_FLAG] = "1"
+    else:
+        installed = enable()
+    try:
+        yield installed
+    finally:
+        disable()
+
+
+# Auto-install on import when the environment asks for it: parallel
+# workers and subprocess smoke runs then get checking without any
+# plumbing beyond the inherited environment.
+if enabled_in_env():  # pragma: no cover - exercised via subprocess tests
+    install()

@@ -34,8 +34,9 @@ from __future__ import annotations
 import argparse
 import sys
 from contextlib import nullcontext
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
+from repro import check as chk
 from repro.experiments import (
     ablation_text,
     generate_report,
@@ -108,7 +109,7 @@ def _trace_command(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _command_table() -> Dict[str, Callable[[argparse.Namespace], str]]:
+def _command_table() -> dict[str, Callable[[argparse.Namespace], str]]:
     return {
         "table1": lambda args: table1_text(),
         "table2": lambda args: table2_text(),
@@ -133,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="flare-repro",
         description="Reproduce FLARE (ICDCS 2017) tables and figures.",
     )
-    commands = list(_command_table()) + ["all", "report", "trace"]
+    commands = [*_command_table(), "all", "report", "trace"]
     parser.add_argument("command", choices=commands,
                         help="which table/figure to regenerate")
     parser.add_argument("scenario", nargs="?", default="testbed",
@@ -156,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output directory for the report command, "
                              "or JSONL path for the trace command "
                              "(default there: trace.jsonl)")
+    parser.add_argument("--check", action="store_true",
+                        help="enable the runtime invariant sanitizer "
+                             "(equivalent to REPRO_CHECK=1; workers "
+                             "inherit it)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL event trace of the whole "
                              "command to PATH (any command)")
@@ -186,15 +191,16 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     scale_context = full_mode(True) if args.full else nullcontext()
+    check_context = chk.checked_run() if args.check else nullcontext()
     # The trace command installs its own tracer; --trace covers the rest.
     trace_context = (tracing(jsonl=args.trace)
                      if args.trace and args.command != "trace"
                      else nullcontext())
-    with scale_context, trace_context, execution_defaults(
+    with scale_context, check_context, trace_context, execution_defaults(
             jobs=args.jobs, use_cache=not args.no_cache):
         with measure(args.command, command=args.command,
                      full_scale=is_full_run()) as record:

@@ -22,8 +22,8 @@ disabled entirely (``delta = 0``) for the ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
+from repro import check as chk
 from repro.core.optimizer import (
     FlowSpec,
     ProblemSpec,
@@ -84,10 +84,10 @@ class BaiDecision:
             trace event reports).
     """
 
-    indices: Dict[int, int]
-    rates_bps: Dict[int, float]
+    indices: dict[int, int]
+    rates_bps: dict[int, float]
     solution: Solution
-    verdicts: Dict[int, HysteresisVerdict] = field(default_factory=dict)
+    verdicts: dict[int, HysteresisVerdict] = field(default_factory=dict)
 
 
 class Algorithm1:
@@ -110,7 +110,7 @@ class Algorithm1:
         self.solver = solver
         self.delta = int(delta)
         self.enforce_step_limit = enforce_step_limit
-        self._states: Dict[int, FlowState] = {}
+        self._states: dict[int, FlowState] = {}
 
     # ------------------------------------------------------------------
     def state_of(self, flow_id: int) -> FlowState:
@@ -159,11 +159,18 @@ class Algorithm1:
             total_rbs=problem.total_rbs,
         )
         solution = self.solver.solve(constrained)
-        indices: Dict[int, int] = {}
-        rates: Dict[int, float] = {}
-        verdicts: Dict[int, HysteresisVerdict] = {}
+        checker = chk.CHECKER
+        if checker is not None and solution.feasible:
+            used_rbs = sum(spec.rbs_per_bps * solution.rates_bps[spec.flow_id]
+                           for spec in constrained.flows)
+            checker.check_solver_residual(used_rbs, solution.r,
+                                          constrained.total_rbs)
+        indices: dict[int, int] = {}
+        rates: dict[int, float] = {}
+        verdicts: dict[int, HysteresisVerdict] = {}
         for spec in problem.flows:
             state = self.state_of(spec.flow_id)
+            previous_level = state.level
             recommended = solution.indices[spec.flow_id]
             required = self._required_streak(state.level)
             if recommended > state.level:
@@ -187,6 +194,8 @@ class Algorithm1:
                 state.level = min(state.level, recommended)
             level = spec.ladder.clamp_index(state.level)
             state.level = level
+            if checker is not None and self.enforce_step_limit:
+                checker.check_ladder_step(spec.flow_id, previous_level, level)
             indices[spec.flow_id] = level
             rates[spec.flow_id] = spec.ladder.rate(level)
             verdicts[spec.flow_id] = HysteresisVerdict(

@@ -10,7 +10,7 @@ are calculated independently for each network cell."
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Any
 
 from repro.abr.flare_client import FlareClientAbr
 from repro.core.algorithm1 import Algorithm1
@@ -25,7 +25,7 @@ from repro.obs import tracer as obs
 from repro.sim.cell import Cell
 
 
-def make_solver(kind: Union[str, Solver]) -> Solver:
+def make_solver(kind: str | Solver) -> Solver:
     """Build a solver from a name ('exact' / 'relaxed') or pass through."""
     if isinstance(kind, Solver):
         return kind
@@ -47,7 +47,7 @@ class FlareSystem:
 
     def __init__(
         self,
-        solver: Union[str, Solver] = "exact",
+        solver: str | Solver = "exact",
         delta: int = 4,
         alpha: float = 1.0,
         bai_s: float = 2.0,
@@ -61,7 +61,7 @@ class FlareSystem:
         self.server = OneApiServer(
             self.algorithm, interval_s=bai_s, alpha=alpha,
             enforce_gbr=enforce_gbr, cost_smoothing=cost_smoothing)
-        self._plugins: Dict[int, FlarePlugin] = {}
+        self._plugins: dict[int, FlarePlugin] = {}
 
     def install(self, cell: Cell) -> None:
         """Register the OneAPI server as the cell's BAI controller."""
@@ -72,8 +72,8 @@ class FlareSystem:
         cell: Cell,
         ue: UserEquipment,
         mpd: MediaPresentation,
-        player_config: Optional[PlayerConfig] = None,
-        max_bitrate_bps: Optional[float] = None,
+        player_config: PlayerConfig | None = None,
+        max_bitrate_bps: float | None = None,
         skimming: bool = False,
     ) -> HasPlayer:
         """Add a FLARE-enabled HAS client to ``cell``.
@@ -120,9 +120,9 @@ class MultiCellOneApi:
     sharing configuration.
     """
 
-    def __init__(self, **flare_kwargs) -> None:
-        self._kwargs = flare_kwargs
-        self._systems: Dict[int, FlareSystem] = {}
+    def __init__(self, **flare_kwargs: Any) -> None:
+        self._kwargs: dict[str, Any] = flare_kwargs
+        self._systems: dict[int, FlareSystem] = {}
 
     def system_for(self, cell: Cell) -> FlareSystem:
         """The (lazily created and installed) FLARE system for a cell."""
@@ -133,6 +133,6 @@ class MultiCellOneApi:
         return self._systems[cell.cell_id]
 
     @property
-    def cells(self) -> List[int]:
+    def cells(self) -> list[int]:
         """Cell ids currently managed."""
         return sorted(self._systems)

@@ -21,14 +21,20 @@ every ``interval_s`` (= BAI) seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING
 
+from repro import check as chk
 from repro.core.algorithm1 import Algorithm1, BaiDecision
 from repro.core.optimizer import FlowSpec, ProblemSpec
 from repro.core.plugin import FlarePlugin
 from repro.obs import events as obs_events
 from repro.obs import tracer as obs
 from repro.util import Ewma, require_positive
+
+if TYPE_CHECKING:
+    from repro.mac.rb_trace import FlowUsage
+    from repro.net.flows import VideoFlow
+    from repro.sim.cell import Cell
 
 
 @dataclass(frozen=True)
@@ -78,9 +84,9 @@ class OneApiServer:
         self.alpha = alpha
         self.enforce_gbr = enforce_gbr
         self.cost_smoothing = cost_smoothing
-        self._plugins: Dict[int, FlarePlugin] = {}
-        self._records: List[BaiRecord] = []
-        self._bpp_estimates: Dict[int, Ewma] = {}
+        self._plugins: dict[int, FlarePlugin] = {}
+        self._records: list[BaiRecord] = []
+        self._bpp_estimates: dict[int, Ewma] = {}
 
     # ------------------------------------------------------------------
     def register_plugin(self, plugin: FlarePlugin) -> None:
@@ -93,12 +99,13 @@ class OneApiServer:
         self.algorithm.forget(flow_id)
 
     @property
-    def records(self) -> Tuple[BaiRecord, ...]:
+    def records(self) -> tuple[BaiRecord, ...]:
         """All BAI decisions taken, oldest first."""
         return tuple(self._records)
 
     # ------------------------------------------------------------------
-    def _cost_for_flow(self, cell, flow, usage) -> float:
+    def _cost_for_flow(self, cell: Cell, flow: VideoFlow,
+                       usage: FlowUsage | None) -> float:
         """Capacity cost ``w_u`` (RBs per bit/s) from the last BAI.
 
         Uses the traced ``B * n_u / (8 * b_u)`` when the flow
@@ -107,7 +114,7 @@ class OneApiServer:
         the flow was idle).  Estimates are EWMA-smoothed across BAIs
         per ``cost_smoothing``.
         """
-        bytes_per_prb: Optional[float] = None
+        bytes_per_prb: float | None = None
         if usage is not None and usage.bytes_tx > 0 and usage.prbs > 0:
             bytes_per_prb = usage.bytes_per_prb
         if bytes_per_prb is None or bytes_per_prb <= 0:
@@ -119,10 +126,10 @@ class OneApiServer:
         smoothed = estimator.update(bytes_per_prb)
         return self.interval_s / (8.0 * smoothed)
 
-    def build_problem(self, now_s: float, cell) -> ProblemSpec:
+    def build_problem(self, now_s: float, cell: Cell) -> ProblemSpec:
         """Assemble this BAI's optimization instance from cell state."""
         usage_report = cell.consume_usage_report(self)
-        specs: List[FlowSpec] = []
+        specs: list[FlowSpec] = []
         for flow in cell.video_flows():
             plugin = self._plugins.get(flow.flow_id)
             if plugin is None:
@@ -145,12 +152,16 @@ class OneApiServer:
             total_rbs=total_rbs,
         )
 
-    def on_interval(self, now_s: float, cell) -> None:
+    def on_interval(self, now_s: float, cell: Cell) -> None:
         """Run one BAI against ``cell`` (invoked by the cell driver)."""
         problem = self.build_problem(now_s, cell)
         if not problem.flows:
             return
         decision = self.algorithm.run_bai(problem)
+        if chk.CHECKER is not None and decision.solution.feasible:
+            gbr_rbs = sum(spec.rbs_per_bps * decision.rates_bps[spec.flow_id]
+                          for spec in problem.flows)
+            chk.CHECKER.check_gbr_capacity(now_s, gbr_rbs, problem.total_rbs)
         for flow_id, index in decision.indices.items():
             plugin = self._plugins[flow_id]
             plugin.assign(index, time_s=now_s)

@@ -33,8 +33,6 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
 import numpy as np
 
 from repro.core.utility import data_utility, video_utility
@@ -65,7 +63,7 @@ class FlowSpec:
     beta: float
     theta_bps: float
     rbs_per_bps: float
-    max_index: Optional[int] = None
+    max_index: int | None = None
 
     def __post_init__(self) -> None:
         require_non_negative("beta", self.beta)
@@ -95,7 +93,7 @@ class ProblemSpec:
         total_rbs: ``N``, the RBs available over the whole BAI.
     """
 
-    flows: Tuple[FlowSpec, ...]
+    flows: tuple[FlowSpec, ...]
     num_data_flows: int
     alpha: float
     total_rbs: float
@@ -123,16 +121,16 @@ class Solution:
             capacity (the solver then returns all-minimum).
     """
 
-    indices: Dict[int, int]
-    rates_bps: Dict[int, float]
-    continuous_rates_bps: Dict[int, float] = field(default_factory=dict)
+    indices: dict[int, int]
+    rates_bps: dict[int, float]
+    continuous_rates_bps: dict[int, float] = field(default_factory=dict)
     r: float = 0.0
     utility: float = 0.0
     solve_time_s: float = 0.0
     feasible: bool = True
 
 
-def _discrete_objective(problem: ProblemSpec, indices: Dict[int, int],
+def _discrete_objective(problem: ProblemSpec, indices: dict[int, int],
                         r: float) -> float:
     """Objective (2) at a discrete assignment."""
     total = 0.0
@@ -223,9 +221,9 @@ class ExactSolver(Solver):
         quantum = problem.total_rbs / self.quanta
 
         # Per-flow choice lists: (weight_in_quanta, value, index).
-        choices: List[List[Tuple[int, float, int]]] = []
+        choices: list[list[tuple[int, float, int]]] = []
         for flow in problem.flows:
-            options: List[Tuple[int, float, int]] = []
+            options: list[tuple[int, float, int]] = []
             for index in range(flow.allowed_max_index() + 1):
                 rate = flow.ladder.rate(index)
                 weight = int(math.ceil(flow.rbs_per_bps * rate / quantum))
@@ -241,7 +239,7 @@ class ExactSolver(Solver):
         # tracked per exact usage; unreachable states stay neg_inf).
         dp = np.full(self.quanta + 1, neg_inf)
         dp[0] = 0.0
-        parents: List[np.ndarray] = []
+        parents: list[np.ndarray] = []
         for options in choices:
             ndp = np.full(self.quanta + 1, neg_inf)
             parent = np.full(self.quanta + 1, -1, dtype=np.int64)
@@ -285,7 +283,7 @@ class ExactSolver(Solver):
             return _all_minimum_solution(problem, started)
 
         # Backtrack the DP to recover per-flow choices.
-        indices: Dict[int, int] = {}
+        indices: dict[int, int] = {}
         q = best_q
         for flow, options, parent in zip(
                 reversed(problem.flows), reversed(choices), reversed(parents)):
@@ -344,13 +342,13 @@ class RelaxedSolver(Solver):
 
     # -- inner problem -------------------------------------------------
     @staticmethod
-    def _bounds(flow: FlowSpec) -> Tuple[float, float]:
+    def _bounds(flow: FlowSpec) -> tuple[float, float]:
         lo = flow.ladder.min_rate
         hi = flow.ladder.rate(flow.allowed_max_index())
         return lo, hi
 
     @staticmethod
-    def _arrays(problem: ProblemSpec):
+    def _arrays(problem: ProblemSpec) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Vectorised per-flow parameters (w, lo, hi, beta*theta)."""
         w = np.array([flow.rbs_per_bps for flow in problem.flows])
         lo = np.array([flow.ladder.min_rate for flow in problem.flows])
@@ -361,8 +359,9 @@ class RelaxedSolver(Solver):
         beta = np.array([flow.beta for flow in problem.flows])
         return w, lo, hi, beta_theta, beta
 
-    def _inner_arrays(self, w, lo, hi, beta_theta, beta,
-                      budget_rbs: float):
+    def _inner_arrays(self, w: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+                      beta_theta: np.ndarray, beta: np.ndarray,
+                      budget_rbs: float) -> tuple[np.ndarray, float]:
         """Optimal continuous rates and video utility for a budget.
 
         KKT water-filling: ``R(lam) = clip(sqrt(beta*theta/(lam*w)),
@@ -371,15 +370,15 @@ class RelaxedSolver(Solver):
         ``lam = 0`` when every cap fits).
         """
 
-        def rates_for(lam: float):
+        def rates_for(lam: float) -> np.ndarray:
             if lam <= 0:
                 return hi
             return np.clip(np.sqrt(beta_theta / (lam * w)), lo, hi)
 
-        def used(rates) -> float:
+        def used(rates: np.ndarray) -> float:
             return float(np.dot(w, rates))
 
-        def value_of(rates) -> float:
+        def value_of(rates: np.ndarray) -> float:
             # sum beta_u (1 - theta_u/R_u) = sum beta - sum beta*theta/R
             return float(np.sum(beta) - np.sum(beta_theta / rates))
 
@@ -420,7 +419,7 @@ class RelaxedSolver(Solver):
         if problem.num_data_flows > 0:
             r_ceiling = min(r_ceiling, 1.0 - 1e-9)
 
-        def objective(r: float):
+        def objective(r: float) -> tuple[float, np.ndarray]:
             rates, video_value = self._inner_arrays(
                 w, lo_arr, hi_arr, beta_theta, beta,
                 r * problem.total_rbs)
@@ -449,8 +448,8 @@ class RelaxedSolver(Solver):
 
         continuous = {flow.flow_id: rate
                       for flow, rate in zip(problem.flows, best_rates)}
-        indices: Dict[int, int] = {}
-        rates: Dict[int, float] = {}
+        indices: dict[int, int] = {}
+        rates: dict[int, float] = {}
         for flow, rate in zip(problem.flows, best_rates):
             index = min(flow.ladder.highest_at_most(rate),
                         flow.allowed_max_index())

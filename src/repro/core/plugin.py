@@ -18,8 +18,6 @@ responsibilities, reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
-
 from repro.has.mpd import BitrateLadder
 from repro.util import require_positive
 
@@ -42,8 +40,8 @@ class ClientInfo:
     """
 
     flow_id: int
-    ladder_rates_bps: Tuple[float, ...]
-    max_bitrate_bps: Optional[float] = None
+    ladder_rates_bps: tuple[float, ...]
+    max_bitrate_bps: float | None = None
     skimming: bool = False
 
     def max_index(self, ladder: BitrateLadder) -> int:
@@ -59,7 +57,7 @@ class FlarePlugin:
     """Per-UE plugin state: disclosed info plus the current assignment."""
 
     def __init__(self, flow_id: int, ladder: BitrateLadder,
-                 max_bitrate_bps: Optional[float] = None,
+                 max_bitrate_bps: float | None = None,
                  skimming: bool = False) -> None:
         if max_bitrate_bps is not None:
             require_positive("max_bitrate_bps", max_bitrate_bps)
@@ -67,7 +65,7 @@ class FlarePlugin:
         self.ladder = ladder
         self._max_bitrate_bps = max_bitrate_bps
         self._skimming = skimming
-        self._assigned_index: Optional[int] = None
+        self._assigned_index: int | None = None
         self._assignment_history: list = []
 
     # -- uplink: client -> OneAPI server --------------------------------
@@ -80,7 +78,7 @@ class FlarePlugin:
             skimming=self._skimming,
         )
 
-    def set_max_bitrate(self, max_bitrate_bps: Optional[float]) -> None:
+    def set_max_bitrate(self, max_bitrate_bps: float | None) -> None:
         """Update the client-side bitrate cap at the user's discretion."""
         if max_bitrate_bps is not None:
             require_positive("max_bitrate_bps", max_bitrate_bps)
@@ -98,7 +96,7 @@ class FlarePlugin:
         self._assignment_history.append((time_s, index))
 
     @property
-    def assigned_index(self) -> Optional[int]:
+    def assigned_index(self) -> int | None:
         """The currently assigned ladder index (None before first BAI)."""
         return self._assigned_index
 

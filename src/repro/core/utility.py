@@ -18,7 +18,7 @@ plus constants — equation (2), which is what the optimizer maximizes.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.util import require_non_negative, require_positive
 

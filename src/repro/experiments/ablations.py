@@ -17,8 +17,6 @@ comparison, quantifying what that mechanism buys:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
 from repro.experiments.runner import (
     ExperimentScale,
     SchemeResult,
@@ -28,7 +26,7 @@ from repro.experiments.runner import (
 from repro.workload.scenarios import FlareParams, build_cell_scenario
 
 #: Ablation name -> FlareParams override.
-ABLATIONS: Dict[str, FlareParams] = {
+ABLATIONS: dict[str, FlareParams] = {
     "flare": FlareParams(),
     "no_hysteresis": FlareParams(delta=0),
     "no_step_limit": FlareParams(enforce_step_limit=False),
@@ -38,13 +36,13 @@ ABLATIONS: Dict[str, FlareParams] = {
 }
 
 
-def run_ablations(scale: Optional[ExperimentScale] = None,
+def run_ablations(scale: ExperimentScale | None = None,
                   mobile: bool = False,
-                  names: Optional[list] = None) -> Dict[str, SchemeResult]:
+                  names: list | None = None) -> dict[str, SchemeResult]:
     """Run each ablation variant on the cell scenario."""
     scale = scale if scale is not None else default_scale()
     selected = names if names is not None else list(ABLATIONS)
-    results: Dict[str, SchemeResult] = {}
+    results: dict[str, SchemeResult] = {}
     for name in selected:
         params = ABLATIONS[name]
         pooled = run_comparison(
@@ -58,7 +56,7 @@ def run_ablations(scale: Optional[ExperimentScale] = None,
     return results
 
 
-def ablation_text(scale: Optional[ExperimentScale] = None,
+def ablation_text(scale: ExperimentScale | None = None,
                   mobile: bool = False) -> str:
     """Rendered ablation table."""
     results = run_ablations(scale, mobile)

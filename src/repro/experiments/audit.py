@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Union
+from collections.abc import Iterator
+from typing import Any, Union
 
 from repro.core.oneapi import OneApiServer
 from repro.has.player import HasPlayer
@@ -67,7 +68,7 @@ def dump_segment_log(player: HasPlayer, path: PathLike) -> pathlib.Path:
     return path
 
 
-def read_jsonl(path: PathLike):
+def read_jsonl(path: PathLike) -> Iterator[dict[str, Any]]:
     """Yield parsed events from a JSONL file (for tests/analysis)."""
     with pathlib.Path(path).open() as handle:
         for line in handle:

@@ -23,7 +23,8 @@ import platform
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Union
+from collections.abc import Iterator
+from typing import Any, Union
 
 from repro.experiments.parallel import LEDGER, resolve_jobs
 from repro.obs.registry import REGISTRY, registry_delta
@@ -66,9 +67,9 @@ class BenchRecord:
     runs_executed: int = 0
     cache_hits: int = 0
     cache_stores: int = 0
-    metrics: Dict[str, float] = field(default_factory=dict)
-    obs: Dict[str, Any] = field(default_factory=dict)
-    extra: Dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    obs: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_cells(self) -> int:
@@ -81,7 +82,7 @@ class BenchRecord:
         total = self.total_cells
         return self.cache_hits / total if total else 0.0
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """The serialized artifact payload."""
         return {
             "schema_version": BENCH_SCHEMA_VERSION,
@@ -101,8 +102,8 @@ class BenchRecord:
         }
 
 
-def _metrics_from_delta(before: Dict[str, float],
-                        after: Dict[str, float]) -> Dict[str, float]:
+def _metrics_from_delta(before: dict[str, float],
+                        after: dict[str, float]) -> dict[str, float]:
     """Aggregate QoE means over the cells finished between snapshots."""
     clients = after["clients"] - before["clients"]
     if clients <= 0:
@@ -119,7 +120,7 @@ def _metrics_from_delta(before: Dict[str, float],
 
 
 @contextmanager
-def measure(name: str, jobs: Optional[int] = None,
+def measure(name: str, jobs: int | None = None,
             **extra: Any) -> Iterator[BenchRecord]:
     """Measure a region and fill a :class:`BenchRecord` for it.
 
@@ -147,7 +148,7 @@ def measure(name: str, jobs: Optional[int] = None,
 
 
 def write_bench_json(record: BenchRecord,
-                     directory: Optional[PathLike] = None) -> pathlib.Path:
+                     directory: PathLike | None = None) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` and return its path."""
     target = pathlib.Path(directory) if directory is not None else bench_dir()
     target.mkdir(parents=True, exist_ok=True)

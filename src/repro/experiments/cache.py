@@ -31,7 +31,8 @@ import os
 import pathlib
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Any
 
 import repro
 from repro.metrics.collector import CellReport
@@ -103,7 +104,7 @@ def code_version() -> str:
 
 
 def cell_key(builder: Callable[..., Any], scheme: str, seed: int,
-             builder_kwargs: Dict[str, Any]) -> str:
+             builder_kwargs: dict[str, Any]) -> str:
     """The content-addressed key of one experiment cell."""
     payload = {
         "builder": f"{builder.__module__}.{builder.__qualname__}",
@@ -145,7 +146,7 @@ class ResultCache:
     cache safe to share between concurrent workers.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(self, root: os.PathLike | None = None) -> None:
         self.root = pathlib.Path(root) if root is not None \
             else default_cache_dir()
         self.stats = CacheStats()
@@ -154,7 +155,7 @@ class ResultCache:
         """On-disk location of one cache entry."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[CellReport]:
+    def get(self, key: str) -> CellReport | None:
         """The cached report for ``key``, or ``None`` on a miss.
 
         Unreadable or stale-schema entries are dropped and count as

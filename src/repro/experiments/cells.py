@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.parallel import ExperimentTask, run_tasks
 from repro.experiments.runner import (
@@ -35,23 +35,23 @@ from repro.workload.scenarios import (
 CELL_SCHEMES = ("flare", "avis", "festive")
 
 
-def run_static_cell(scale: Optional[ExperimentScale] = None,
+def run_static_cell(scale: ExperimentScale | None = None,
                     schemes: Sequence[str] = CELL_SCHEMES,
-                    ) -> Dict[str, SchemeResult]:
+                    ) -> dict[str, SchemeResult]:
     """Figure 6's population: static cell, pooled clients."""
     return run_comparison(build_cell_scenario, schemes, scale=scale,
                           mobile=False)
 
 
-def run_mobile_cell(scale: Optional[ExperimentScale] = None,
+def run_mobile_cell(scale: ExperimentScale | None = None,
                     schemes: Sequence[str] = CELL_SCHEMES,
-                    ) -> Dict[str, SchemeResult]:
+                    ) -> dict[str, SchemeResult]:
     """Figure 7's population: vehicular mobility."""
     return run_comparison(build_cell_scenario, schemes, scale=scale,
                           mobile=True)
 
 
-def figure6_text(scale: Optional[ExperimentScale] = None) -> str:
+def figure6_text(scale: ExperimentScale | None = None) -> str:
     """Rendered Figure 6 (+ the paper's improvement one-liners)."""
     results = run_static_cell(scale)
     body = render_cdf_comparison(
@@ -60,7 +60,7 @@ def figure6_text(scale: Optional[ExperimentScale] = None) -> str:
                                               ("avis", "festive"))
 
 
-def figure7_text(scale: Optional[ExperimentScale] = None) -> str:
+def figure7_text(scale: ExperimentScale | None = None) -> str:
     """Rendered Figure 7."""
     results = run_mobile_cell(scale)
     body = render_cdf_comparison(
@@ -73,11 +73,11 @@ def figure7_text(scale: Optional[ExperimentScale] = None) -> str:
 # Figure 8: continuous relaxation vs exact solve
 # ----------------------------------------------------------------------
 def run_solver_comparison(mobile: bool,
-                          scale: Optional[ExperimentScale] = None,
-                          ) -> Dict[str, SchemeResult]:
+                          scale: ExperimentScale | None = None,
+                          ) -> dict[str, SchemeResult]:
     """FLARE with the exact vs relaxed solver on the fine ladder."""
     scale = scale if scale is not None else default_scale()
-    results: Dict[str, SchemeResult] = {}
+    results: dict[str, SchemeResult] = {}
     for label, solver in (("exact", "exact"), ("relaxed", "relaxed")):
         params = FlareParams(solver=solver)
         pooled = run_comparison(
@@ -91,7 +91,7 @@ def run_solver_comparison(mobile: bool,
     return results
 
 
-def figure8_text(scale: Optional[ExperimentScale] = None) -> str:
+def figure8_text(scale: ExperimentScale | None = None) -> str:
     """Rendered Figure 8 for both static and mobile scenarios."""
     sections = []
     for mobile in (False, True):
@@ -112,8 +112,8 @@ def figure8_text(scale: Optional[ExperimentScale] = None) -> str:
 # ----------------------------------------------------------------------
 # Figure 10: coexisting video and data flows
 # ----------------------------------------------------------------------
-def run_mixed(scale: Optional[ExperimentScale] = None,
-              scheme: str = "flare") -> Dict[str, object]:
+def run_mixed(scale: ExperimentScale | None = None,
+              scheme: str = "flare") -> dict[str, object]:
     """Figure 10's workload: per-class throughput CDFs under FLARE."""
     scale = scale if scale is not None else default_scale()
     video_tput: list = []
@@ -136,7 +136,7 @@ def run_mixed(scale: Optional[ExperimentScale] = None,
     }
 
 
-def figure10_text(scale: Optional[ExperimentScale] = None) -> str:
+def figure10_text(scale: ExperimentScale | None = None) -> str:
     """Rendered Figure 10."""
     cdfs = run_mixed(scale)
     part_a = compare_cdfs({

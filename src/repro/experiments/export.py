@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import csv
 import pathlib
-from typing import Dict, Iterable, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Union
 
 from repro.experiments.runner import SchemeResult
 from repro.experiments.sweeps import AlphaPoint, DeltaPoint
@@ -23,13 +24,13 @@ from repro.metrics.timeseries import TimeSeries
 PathLike = Union[str, pathlib.Path]
 
 
-def _open_writer(path: PathLike):
+def _open_writer(path: PathLike) -> pathlib.Path:
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     return path
 
 
-def export_clients_csv(results: Dict[str, SchemeResult],
+def export_clients_csv(results: dict[str, SchemeResult],
                        path: PathLike) -> pathlib.Path:
     """One row per (scheme, client): the CDF populations of Figs 6-8."""
     path = _open_writer(path)
@@ -57,7 +58,7 @@ def export_clients_csv(results: Dict[str, SchemeResult],
     return path
 
 
-def export_cdf_csv(cdfs: Dict[str, EmpiricalCdf],
+def export_cdf_csv(cdfs: dict[str, EmpiricalCdf],
                    path: PathLike) -> pathlib.Path:
     """CDF step points: rows of (series, value, cumulative_probability)."""
     path = _open_writer(path)
@@ -103,7 +104,7 @@ def export_delta_sweep_csv(points: Sequence[DeltaPoint],
     return path
 
 
-def export_timeseries_csv(series_by_name: Dict[str, TimeSeries],
+def export_timeseries_csv(series_by_name: dict[str, TimeSeries],
                           path: PathLike) -> pathlib.Path:
     """Per-flow time series (Figures 4/5) as long-format CSV."""
     path = _open_writer(path)

@@ -31,7 +31,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
 
 from repro.experiments.cache import (
     ResultCache,
@@ -63,7 +64,7 @@ class ExperimentTask:
     builder: Callable[..., Any]
     scheme: str
     seed: int
-    kwargs: Dict[str, Any] = field(default_factory=dict)
+    kwargs: dict[str, Any] = field(default_factory=dict)
 
     def key(self) -> str:
         """The task's content-addressed cache key."""
@@ -77,8 +78,8 @@ def _execute(task: ExperimentTask) -> CellReport:
     return scenario.run()
 
 
-def _execute_observed(payload: Tuple[ExperimentTask, Optional[str], int]
-                      ) -> Tuple[CellReport, Dict[str, Any]]:
+def _execute_observed(payload: tuple[ExperimentTask, str | None, int]
+                      ) -> tuple[CellReport, dict[str, Any]]:
     """Pool entry point that also ships observability back to the parent.
 
     The worker runs the cell with a private JSONL tracer writing to
@@ -93,7 +94,7 @@ def _execute_observed(payload: Tuple[ExperimentTask, Optional[str], int]
     # Forked workers inherit the parent's ambient tracer (and its open
     # file handle); discard it — the worker's events go to its shard.
     obs.uninstall()
-    tracer: Optional[Tracer] = None
+    tracer: Tracer | None = None
     if shard_path is not None:
         tracer = obs.install(Tracer([JsonlSink(shard_path)],
                                     static={"task": index}))
@@ -139,7 +140,7 @@ class RunLedger:
             self.sum_changes += client.num_bitrate_changes
             self.sum_rebuffer_s += client.rebuffer_time_s
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> dict[str, float]:
         """A copyable view of the counters."""
         return dataclasses.asdict(self)
 
@@ -155,18 +156,18 @@ LEDGER = RunLedger()
 class ExecutionDefaults:
     """Ambient jobs/cache policy for code that can't thread kwargs."""
 
-    jobs: Optional[int] = None
-    use_cache: Optional[bool] = None
-    cache_dir: Optional[os.PathLike] = None
+    jobs: int | None = None
+    use_cache: bool | None = None
+    cache_dir: os.PathLike | None = None
 
 
 _DEFAULTS = ExecutionDefaults()
 
 
 @contextmanager
-def execution_defaults(jobs: Optional[int] = None,
-                       use_cache: Optional[bool] = None,
-                       cache_dir: Optional[os.PathLike] = None,
+def execution_defaults(jobs: int | None = None,
+                       use_cache: bool | None = None,
+                       cache_dir: os.PathLike | None = None,
                        ) -> Iterator[ExecutionDefaults]:
     """Scoped override of the ambient execution policy.
 
@@ -184,7 +185,7 @@ def execution_defaults(jobs: Optional[int] = None,
         _DEFAULTS = previous
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
+def resolve_jobs(jobs: int | None = None) -> int:
     """Effective worker count (>= 1)."""
     if jobs is None:
         jobs = _DEFAULTS.jobs
@@ -200,7 +201,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def resolve_use_cache(use_cache: Optional[bool] = None) -> bool:
+def resolve_use_cache(use_cache: bool | None = None) -> bool:
     """Effective cache policy.
 
     Explicit argument wins, then the ambient defaults, then the
@@ -217,8 +218,8 @@ def resolve_use_cache(use_cache: Optional[bool] = None) -> bool:
     return os.environ.get("REPRO_CACHE_DIR") is not None
 
 
-def _resolve_cache(use_cache: Optional[bool],
-                   cache: Optional[ResultCache]) -> Optional[ResultCache]:
+def _resolve_cache(use_cache: bool | None,
+                   cache: ResultCache | None) -> ResultCache | None:
     if cache is not None:
         return cache
     if not resolve_use_cache(use_cache):
@@ -230,9 +231,9 @@ def _resolve_cache(use_cache: Optional[bool],
 # Task execution
 # ----------------------------------------------------------------------
 def run_tasks(tasks: Sequence[ExperimentTask],
-              jobs: Optional[int] = None,
-              use_cache: Optional[bool] = None,
-              cache: Optional[ResultCache] = None) -> List[CellReport]:
+              jobs: int | None = None,
+              use_cache: bool | None = None,
+              cache: ResultCache | None = None) -> list[CellReport]:
     """Execute ``tasks`` and return their reports in task order.
 
     Cached cells are served without touching the pool; misses fan out
@@ -253,9 +254,9 @@ def run_tasks(tasks: Sequence[ExperimentTask],
     jobs = resolve_jobs(jobs)
     LEDGER.max_jobs = max(LEDGER.max_jobs, jobs)
     store = _resolve_cache(use_cache, cache)
-    results: List[Optional[CellReport]] = [None] * len(tasks)
-    pending: List[int] = []
-    keys: Dict[int, str] = {}
+    results: list[CellReport | None] = [None] * len(tasks)
+    pending: list[int] = []
+    keys: dict[int, str] = {}
     for index, task in enumerate(tasks):
         if store is None:
             pending.append(index)
@@ -276,7 +277,7 @@ def run_tasks(tasks: Sequence[ExperimentTask],
             # Worker shards only make sense when the parent traces to
             # a file; serial runs emit into the parent tracer inline.
             shard_base = tracer.jsonl_path if tracer is not None else None
-            payloads: List[Tuple[ExperimentTask, Optional[str], int]] = []
+            payloads: list[tuple[ExperimentTask, str | None, int]] = []
             for rank, index in enumerate(pending):
                 shard = (f"{shard_base}.shard{rank:04d}"
                          if shard_base is not None else None)
@@ -303,10 +304,10 @@ def run_tasks(tasks: Sequence[ExperimentTask],
 def run_matrix(builder: Callable[..., Any],
                schemes: Sequence[str],
                seeds: Sequence[int],
-               jobs: Optional[int] = None,
-               use_cache: Optional[bool] = None,
-               cache: Optional[ResultCache] = None,
-               **builder_kwargs: Any) -> Dict[str, List[CellReport]]:
+               jobs: int | None = None,
+               use_cache: bool | None = None,
+               cache: ResultCache | None = None,
+               **builder_kwargs: Any) -> dict[str, list[CellReport]]:
     """Fan the scheme x seed grid out and regroup reports per scheme.
 
     The task order is scheme-major, seed-minor — exactly the order the
@@ -317,7 +318,7 @@ def run_matrix(builder: Callable[..., Any],
                             kwargs=dict(builder_kwargs))
              for scheme in schemes for seed in seeds]
     reports = run_tasks(tasks, jobs=jobs, use_cache=use_cache, cache=cache)
-    grouped: Dict[str, List[CellReport]] = {}
+    grouped: dict[str, list[CellReport]] = {}
     for task, report in zip(tasks, reports):
         grouped.setdefault(task.scheme, []).append(report)
     return grouped

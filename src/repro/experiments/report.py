@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import pathlib
 import time
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from collections.abc import Callable
+from typing import Union
 
 from repro.experiments.ablations import ablation_text
 from repro.experiments.cells import (
@@ -42,9 +43,9 @@ PathLike = Union[str, pathlib.Path]
 
 
 def _cell_figures(scale: ExperimentScale,
-                  csv_dir: pathlib.Path) -> Dict[str, str]:
+                  csv_dir: pathlib.Path) -> dict[str, str]:
     """Figures 6 and 7 with their CSV side-products."""
-    sections: Dict[str, str] = {}
+    sections: dict[str, str] = {}
     for name, runner, title in (
         ("fig6", run_static_cell,
          "Figure 6: performance CDFs in static scenarios"),
@@ -61,10 +62,10 @@ def _cell_figures(scale: ExperimentScale,
 
 
 def generate_report(out_dir: PathLike,
-                    scale: Optional[ExperimentScale] = None,
-                    sections: Optional[List[str]] = None,
-                    jobs: Optional[int] = None,
-                    use_cache: Optional[bool] = None) -> pathlib.Path:
+                    scale: ExperimentScale | None = None,
+                    sections: list[str] | None = None,
+                    jobs: int | None = None,
+                    use_cache: bool | None = None) -> pathlib.Path:
     """Run the experiment set and write the results directory.
 
     Args:
@@ -100,7 +101,7 @@ def generate_report(out_dir: PathLike,
                          f"{p.mean_changes:9.1f}")
         return "\n".join(lines)
 
-    producers: List[Tuple[str, Callable[[], str]]] = [
+    producers: list[tuple[str, Callable[[], str]]] = [
         ("table1", lambda: table1_text()),
         ("table2", lambda: table2_text()),
         ("fig8", lambda: figure8_text(scale)),
@@ -112,7 +113,7 @@ def generate_report(out_dir: PathLike,
     ]
 
     chosen = set(sections) if sections is not None else None
-    artifacts: Dict[str, str] = {}
+    artifacts: dict[str, str] = {}
     started = time.perf_counter()
     if chosen is None or {"fig6", "fig7"} & chosen:
         cell_sections = _cell_figures(scale, csv_dir)

@@ -19,15 +19,8 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-)
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import run_matrix
@@ -50,7 +43,7 @@ class ExperimentScale:
     num_runs: int
     num_clients: int = 8
 
-    def seeds(self) -> List[int]:
+    def seeds(self) -> list[int]:
         """The seed list used for this scale."""
         return list(range(1, self.num_runs + 1))
 
@@ -69,7 +62,7 @@ TESTBED_QUICK = ExperimentScale(duration_s=180.0, num_runs=1, num_clients=3)
 #: In-process override of the REPRO_FULL environment selection; used
 #: by the CLI's --full flag so scale selection never leaks through
 #: process-global environment mutation.
-_FORCED_FULL: Optional[bool] = None
+_FORCED_FULL: bool | None = None
 
 
 @contextmanager
@@ -123,14 +116,14 @@ class SchemeResult:
     """
 
     scheme: str
-    clients: List[ClientSummary]
-    reports: List[CellReport]
+    clients: list[ClientSummary]
+    reports: list[CellReport]
 
-    def average_bitrates_kbps(self) -> List[float]:
+    def average_bitrates_kbps(self) -> list[float]:
         """Per-client average bitrates in kbps."""
         return [c.average_bitrate_kbps for c in self.clients]
 
-    def change_counts(self) -> List[int]:
+    def change_counts(self) -> list[int]:
         """Per-client bitrate-change counts."""
         return [c.num_bitrate_changes for c in self.clients]
 
@@ -164,13 +157,13 @@ ScenarioBuilder = Callable[..., Scenario]
 def run_comparison(
     builder: ScenarioBuilder,
     schemes: Sequence[str],
-    scale: Optional[ExperimentScale] = None,
-    seeds: Optional[Iterable[int]] = None,
-    jobs: Optional[int] = None,
-    use_cache: Optional[bool] = None,
-    cache: Optional[ResultCache] = None,
-    **builder_kwargs,
-) -> Dict[str, SchemeResult]:
+    scale: ExperimentScale | None = None,
+    seeds: Iterable[int] | None = None,
+    jobs: int | None = None,
+    use_cache: bool | None = None,
+    cache: ResultCache | None = None,
+    **builder_kwargs: Any,
+) -> dict[str, SchemeResult]:
     """Run ``builder`` for every scheme x seed and pool the clients.
 
     The matrix executes through
@@ -202,10 +195,10 @@ def run_comparison(
     grouped = run_matrix(builder, schemes, seed_list, jobs=jobs,
                          use_cache=use_cache, cache=cache,
                          **builder_kwargs)
-    results: Dict[str, SchemeResult] = {}
+    results: dict[str, SchemeResult] = {}
     for scheme in schemes:
-        clients: List[ClientSummary] = []
-        reports: List[CellReport] = []
+        clients: list[ClientSummary] = []
+        reports: list[CellReport] = []
         for report in grouped.get(scheme, []):
             clients.extend(report.clients)
             reports.append(report)

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.parallel import ExperimentTask, run_tasks
 from repro.experiments.runner import ExperimentScale, default_scale
@@ -48,8 +48,8 @@ class AlphaPoint:
 
 
 def alpha_sweep(values: Sequence[float] = ALPHA_VALUES,
-                scale: Optional[ExperimentScale] = None,
-                ) -> List[AlphaPoint]:
+                scale: ExperimentScale | None = None,
+                ) -> list[AlphaPoint]:
     """Figure 11: the video/data balance as ``alpha`` grows."""
     scale = scale if scale is not None else default_scale()
     seeds = scale.seeds()
@@ -59,7 +59,7 @@ def alpha_sweep(values: Sequence[float] = ALPHA_VALUES,
                 "flare_params": FlareParams(alpha=alpha)})
         for alpha in values for seed in seeds]
     reports = run_tasks(tasks)
-    points: List[AlphaPoint] = []
+    points: list[AlphaPoint] = []
     for index, alpha in enumerate(values):
         video = RunningStat()
         data = RunningStat()
@@ -77,7 +77,7 @@ def alpha_sweep(values: Sequence[float] = ALPHA_VALUES,
 
 
 def figure11_text(values: Sequence[float] = ALPHA_VALUES,
-                  scale: Optional[ExperimentScale] = None) -> str:
+                  scale: ExperimentScale | None = None) -> str:
     """Rendered Figure 11."""
     points = alpha_sweep(values, scale)
     lines = ["Figure 11: average flow throughputs vs alpha",
@@ -108,8 +108,8 @@ class DeltaPoint:
 
 
 def delta_sweep(values: Sequence[int] = DELTA_VALUES,
-                scale: Optional[ExperimentScale] = None,
-                mobile: bool = False) -> List[DeltaPoint]:
+                scale: ExperimentScale | None = None,
+                mobile: bool = False) -> list[DeltaPoint]:
     """Figure 12: bitrate and stability as ``delta`` grows."""
     scale = scale if scale is not None else default_scale()
     seeds = scale.seeds()
@@ -119,7 +119,7 @@ def delta_sweep(values: Sequence[int] = DELTA_VALUES,
                 "flare_params": FlareParams(delta=delta)})
         for delta in values for seed in seeds]
     reports = run_tasks(tasks)
-    points: List[DeltaPoint] = []
+    points: list[DeltaPoint] = []
     for index, delta in enumerate(values):
         rates = RunningStat()
         changes = RunningStat()
@@ -136,7 +136,7 @@ def delta_sweep(values: Sequence[int] = DELTA_VALUES,
 
 
 def figure12_text(values: Sequence[int] = DELTA_VALUES,
-                  scale: Optional[ExperimentScale] = None) -> str:
+                  scale: ExperimentScale | None = None) -> str:
     """Rendered Figure 12."""
     points = delta_sweep(values, scale)
     lines = ["Figure 12: average bitrate and #changes vs delta",

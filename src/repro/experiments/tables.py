@@ -7,7 +7,7 @@ quantile summaries standing in for the CDF curves.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.runner import SchemeResult
 from repro.metrics.cdf import EmpiricalCdf
@@ -18,7 +18,7 @@ def _fmt_row(label: str, cells: Sequence[str], width: int = 12) -> str:
     return f"{label:<42s}" + "".join(f"{cell:>{width}s}" for cell in cells)
 
 
-def render_summary_table(results: Dict[str, SchemeResult],
+def render_summary_table(results: dict[str, SchemeResult],
                          title: str) -> str:
     """A Table I/II-style summary across schemes.
 
@@ -50,7 +50,7 @@ def render_summary_table(results: Dict[str, SchemeResult],
     return "\n".join(lines)
 
 
-def render_cdf_comparison(results: Dict[str, SchemeResult],
+def render_cdf_comparison(results: dict[str, SchemeResult],
                           title: str) -> str:
     """A Figure 6/7-style pair of CDF summaries (bitrate + changes)."""
     schemes = list(results)
@@ -67,7 +67,7 @@ def render_cdf_comparison(results: Dict[str, SchemeResult],
     return "\n".join(lines)
 
 
-def _render_quantiles(cdfs: Dict[str, EmpiricalCdf],
+def _render_quantiles(cdfs: dict[str, EmpiricalCdf],
                       quantiles: Sequence[float] = (0.1, 0.25, 0.5,
                                                     0.75, 0.9)) -> str:
     names = list(cdfs)
@@ -81,12 +81,12 @@ def _render_quantiles(cdfs: Dict[str, EmpiricalCdf],
     return "\n".join(rows)
 
 
-def render_improvement(results: Dict[str, SchemeResult], subject: str,
+def render_improvement(results: dict[str, SchemeResult], subject: str,
                        baselines: Sequence[str]) -> str:
     """The paper's "+X% vs baseline" one-liners for FLARE."""
     if subject not in results:
         raise KeyError(f"unknown subject scheme {subject!r}")
-    lines: List[str] = []
+    lines: list[str] = []
     subject_rate = results[subject].mean_bitrate_kbps()
     subject_changes = results[subject].mean_changes()
     for baseline in baselines:

@@ -10,7 +10,7 @@ video flows and one Iperf data flow.  ``run_static`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.runner import (
     ExperimentScale,
@@ -25,31 +25,31 @@ from repro.workload.scenarios import build_testbed_scenario
 TESTBED_SCHEMES = ("festive", "google", "flare")
 
 
-def run_static(scale: Optional[ExperimentScale] = None,
+def run_static(scale: ExperimentScale | None = None,
                schemes: Sequence[str] = TESTBED_SCHEMES,
-               ) -> Dict[str, SchemeResult]:
+               ) -> dict[str, SchemeResult]:
     """Table I: the static testbed scenario."""
     scale = scale if scale is not None else testbed_scale()
     return run_comparison(build_testbed_scenario, schemes, scale=scale,
                           dynamic=False)
 
 
-def run_dynamic(scale: Optional[ExperimentScale] = None,
+def run_dynamic(scale: ExperimentScale | None = None,
                 schemes: Sequence[str] = TESTBED_SCHEMES,
-                ) -> Dict[str, SchemeResult]:
+                ) -> dict[str, SchemeResult]:
     """Table II: the dynamic (cyclic iTbs) testbed scenario."""
     scale = scale if scale is not None else testbed_scale()
     return run_comparison(build_testbed_scenario, schemes, scale=scale,
                           dynamic=True)
 
 
-def table1_text(scale: Optional[ExperimentScale] = None) -> str:
+def table1_text(scale: ExperimentScale | None = None) -> str:
     """Rendered Table I."""
     return render_summary_table(
         run_static(scale), "Table I: summary of the static scenario")
 
 
-def table2_text(scale: Optional[ExperimentScale] = None) -> str:
+def table2_text(scale: ExperimentScale | None = None) -> str:
     """Rendered Table II."""
     return render_summary_table(
         run_dynamic(scale), "Table II: summary of the dynamic scenario")
@@ -67,9 +67,9 @@ class TestbedTraces:
     """
 
     scheme: str
-    video_rates: Dict[int, TimeSeries]
-    buffers: Dict[int, TimeSeries]
-    data_throughput: Optional[TimeSeries]
+    video_rates: dict[int, TimeSeries]
+    buffers: dict[int, TimeSeries]
+    data_throughput: TimeSeries | None
 
 
 def figure_time_series(scheme: str, dynamic: bool = False,
@@ -81,7 +81,7 @@ def figure_time_series(scheme: str, dynamic: bool = False,
     scenario.run()
     sampler = scenario.sampler
     video_ids = [p.flow.flow_id for p in scenario.players]
-    data_series: Optional[TimeSeries] = None
+    data_series: TimeSeries | None = None
     if scenario.data_flows:
         data_series = sampler.throughput_bps.get(
             scenario.data_flows[0].flow_id)
@@ -118,7 +118,7 @@ def _sparkline(series: TimeSeries, bins: int, scale: float) -> str:
     t0, t1 = times[0], times[-1]
     if t1 <= t0:
         return f"{values[-1] / scale:.0f}"
-    spans: List[List[float]] = [[] for _ in range(bins)]
+    spans: list[list[float]] = [[] for _ in range(bins)]
     for t, v in zip(times, values):
         index = min(int((t - t0) / (t1 - t0) * bins), bins - 1)
         spans[index].append(v)

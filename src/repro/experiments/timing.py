@@ -12,7 +12,7 @@ simulation ladder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.phy import tbs
 
 
 def synthetic_problem(num_clients: int, rng: np.random.Generator,
-                      ladder: Optional[BitrateLadder] = None,
+                      ladder: BitrateLadder | None = None,
                       bai_s: float = 2.0,
                       num_data_flows: int = 4,
                       alpha: float = 1.0) -> ProblemSpec:
@@ -40,7 +40,7 @@ def synthetic_problem(num_clients: int, rng: np.random.Generator,
     allowed range models a random hysteresis level.
     """
     ladder = ladder if ladder is not None else SIMULATION_LADDER
-    flows: List[FlowSpec] = []
+    flows: list[FlowSpec] = []
     for flow_id in range(num_clients):
         itbs = int(rng.integers(tbs.MIN_ITBS + 2, tbs.MAX_ITBS + 1))
         bytes_per_prb = tbs.bytes_per_prb(itbs)
@@ -76,7 +76,7 @@ class TimingResult:
     """
 
     num_clients: int
-    times_ms: List[float]
+    times_ms: list[float]
 
     def cdf(self) -> EmpiricalCdf:
         """Empirical CDF of the solve times."""
@@ -86,12 +86,12 @@ class TimingResult:
 def measure_solver(solver: Solver,
                    client_counts: Sequence[int] = (32, 64, 128),
                    instances: int = 30,
-                   seed: int = 7) -> Dict[int, TimingResult]:
+                   seed: int = 7) -> dict[int, TimingResult]:
     """Time ``solver`` across instance sizes (the Figure 9 sweep)."""
     rng = np.random.default_rng(seed)
-    results: Dict[int, TimingResult] = {}
+    results: dict[int, TimingResult] = {}
     for count in client_counts:
-        times: List[float] = []
+        times: list[float] = []
         for _ in range(instances):
             problem = synthetic_problem(count, rng)
             solution = solver.solve(problem)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro import check as chk
 from repro.util import require_non_negative, require_positive
 
 
@@ -80,6 +81,8 @@ class PlayoutBuffer:
         if self._level_s > self._capacity_s:
             self._overfill_clipped_s += self._level_s - self._capacity_s
             self._level_s = self._capacity_s
+        if chk.CHECKER is not None:
+            chk.CHECKER.check_buffer_level(self._level_s, self._capacity_s)
 
     def drain(self, step_s: float) -> DrainResult:
         """Play out up to ``step_s`` seconds of video.
@@ -94,6 +97,8 @@ class PlayoutBuffer:
         self._level_s -= played
         self._total_played_s += played
         self._total_starved_s += starved
+        if chk.CHECKER is not None:
+            chk.CHECKER.check_buffer_level(self._level_s, self._capacity_s)
         return DrainResult(played_s=played, starved_s=starved)
 
     def flush(self) -> float:

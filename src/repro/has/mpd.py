@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.util import bits_to_bytes, require_positive
 
@@ -31,7 +31,7 @@ class BitrateLadder:
         rates_bps: strictly increasing bitrates in bits/second.
     """
 
-    rates_bps: Tuple[float, ...]
+    rates_bps: tuple[float, ...]
 
     def __post_init__(self) -> None:
         if not self.rates_bps:
@@ -42,7 +42,7 @@ class BitrateLadder:
             raise ValueError("ladder bitrates must be strictly increasing")
 
     @staticmethod
-    def from_kbps(rates_kbps: Sequence[float]) -> "BitrateLadder":
+    def from_kbps(rates_kbps: Sequence[float]) -> BitrateLadder:
         """Build a ladder from kilobit/second values."""
         return BitrateLadder(tuple(float(r) * 1e3 for r in rates_kbps))
 
@@ -137,7 +137,7 @@ class MediaPresentation:
 
     ladder: BitrateLadder
     segment_duration_s: float = 10.0
-    total_duration_s: Optional[float] = None
+    total_duration_s: float | None = None
     vbr_variability: float = 0.0
 
     def __post_init__(self) -> None:
@@ -150,7 +150,7 @@ class MediaPresentation:
                 f"{self.vbr_variability}")
 
     @property
-    def num_segments(self) -> Optional[int]:
+    def num_segments(self) -> int | None:
         """Number of segments, or ``None`` for unbounded videos."""
         if self.total_duration_s is None:
             return None
@@ -172,7 +172,7 @@ class MediaPresentation:
         return 1.0 + self.vbr_variability * (2.0 * unit - 1.0)
 
     def segment_size_bytes(self, bitrate_bps: float,
-                           segment_index: Optional[int] = None) -> float:
+                           segment_index: int | None = None) -> float:
         """Payload bytes of one segment encoded at ``bitrate_bps``.
 
         Args:

@@ -24,8 +24,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
 from repro.abr.base import AbrAlgorithm, AbrContext
 from repro.has.buffer import PlayoutBuffer
 from repro.has.mpd import MediaPresentation
@@ -69,13 +67,13 @@ class PlayerConfig:
             none of the paper's players abandon).
     """
 
-    startup_threshold_s: Optional[float] = None
-    resume_threshold_s: Optional[float] = None
+    startup_threshold_s: float | None = None
+    resume_threshold_s: float | None = None
     request_threshold_s: float = 30.0
     request_latency_s: float = 0.08
     buffer_capacity_s: float = 240.0
     start_time_s: float = 0.0
-    abandonment_factor: Optional[float] = None
+    abandonment_factor: float | None = None
 
     def __post_init__(self) -> None:
         require_positive("request_threshold_s", self.request_threshold_s)
@@ -106,7 +104,7 @@ class HasPlayer:
         flow: VideoFlow,
         mpd: MediaPresentation,
         abr: AbrAlgorithm,
-        config: Optional[PlayerConfig] = None,
+        config: PlayerConfig | None = None,
     ) -> None:
         self.flow = flow
         self.mpd = mpd
@@ -116,17 +114,17 @@ class HasPlayer:
         self.log = SegmentLog()
         self.state = PlaybackState.STARTUP
         self._next_segment_index = 0
-        self._pending: Optional[_PendingRequest] = None
-        self._active: Optional[_PendingRequest] = None
+        self._pending: _PendingRequest | None = None
+        self._active: _PendingRequest | None = None
         self._payload_start_s = 0.0
         self._step_end_s = 0.0
-        self._startup_delay_s: Optional[float] = None
+        self._startup_delay_s: float | None = None
         self._stall_events = 0
         self._rebuffer_s = 0.0
         self._abandonments = 0
-        self._abr_override_index: Optional[int] = None
+        self._abr_override_index: int | None = None
         #: (time, buffer_level) samples appended once per playback step.
-        self.buffer_trace: List[Tuple[float, float]] = []
+        self.buffer_trace: list[tuple[float, float]] = []
 
     # ------------------------------------------------------------------
     # Derived thresholds
@@ -149,7 +147,7 @@ class HasPlayer:
     # Observable state
     # ------------------------------------------------------------------
     @property
-    def startup_delay_s(self) -> Optional[float]:
+    def startup_delay_s(self) -> float | None:
         """Time from player start to first played frame (None: not yet)."""
         return self._startup_delay_s
 
@@ -173,7 +171,7 @@ class HasPlayer:
         """True once a bounded video has fully played out."""
         return self.state is PlaybackState.FINISHED
 
-    def current_ladder_index(self) -> Optional[int]:
+    def current_ladder_index(self) -> int | None:
         """Ladder index of the most recently *requested* segment."""
         if self._active is not None:
             return self._active.ladder_index
@@ -187,7 +185,7 @@ class HasPlayer:
     # ------------------------------------------------------------------
     # Coordinated-scheme hook
     # ------------------------------------------------------------------
-    def set_assigned_index(self, ladder_index: Optional[int]) -> None:
+    def set_assigned_index(self, ladder_index: int | None) -> None:
         """Pin the next selections to a network-assigned ladder index.
 
         Used by the FLARE plugin: the player will request exactly this
@@ -331,7 +329,7 @@ class HasPlayer:
         return self.mpd.ladder.clamp_index(index)
 
     def _build_context(self, now_s: float) -> AbrContext:
-        last_index: Optional[int] = None
+        last_index: int | None = None
         if len(self.log) > 0:
             last_index = self.mpd.ladder.highest_at_most(
                 self.log.records[-1].bitrate_bps)

@@ -9,7 +9,7 @@ the time-series plots of Figures 4 and 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.util import bytes_to_bits
 
@@ -58,7 +58,7 @@ class SegmentLog:
     """Append-only log of a player's completed segments."""
 
     def __init__(self) -> None:
-        self._records: List[SegmentRecord] = []
+        self._records: list[SegmentRecord] = []
 
     def append(self, record: SegmentRecord) -> None:
         """Add a completed segment record."""
@@ -72,11 +72,11 @@ class SegmentLog:
         """All records, oldest first."""
         return tuple(self._records)
 
-    def bitrates(self) -> List[float]:
+    def bitrates(self) -> list[float]:
         """Encoding bitrate of each downloaded segment, in order."""
         return [record.bitrate_bps for record in self._records]
 
-    def throughputs(self, last: int = 0) -> List[float]:
+    def throughputs(self, last: int = 0) -> list[float]:
         """Observed download throughputs, oldest first.
 
         Args:

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
 from repro.obs import events as obs_events
 from repro.obs import tracer as obs
 from repro.util import bits_to_bytes, require_non_negative
@@ -34,7 +32,7 @@ class BearerQos:
     """
 
     gbr_bps: float = 0.0
-    mbr_bps: Optional[float] = None
+    mbr_bps: float | None = None
     priority: int = 0
 
     def __post_init__(self) -> None:
@@ -59,7 +57,7 @@ class GbrUpdate:
     time_s: float
     flow_id: int
     gbr_bps: float
-    mbr_bps: Optional[float]
+    mbr_bps: float | None
 
 
 class BearerRegistry:
@@ -73,10 +71,10 @@ class BearerRegistry:
     """
 
     def __init__(self) -> None:
-        self._bearers: Dict[int, BearerQos] = {}
-        self._updates: List[GbrUpdate] = []
+        self._bearers: dict[int, BearerQos] = {}
+        self._updates: list[GbrUpdate] = []
 
-    def register(self, flow_id: int, qos: Optional[BearerQos] = None) -> None:
+    def register(self, flow_id: int, qos: BearerQos | None = None) -> None:
         """Add a bearer for ``flow_id`` (default: best-effort non-GBR)."""
         if flow_id in self._bearers:
             raise ValueError(f"flow {flow_id} already registered")
@@ -91,7 +89,7 @@ class BearerRegistry:
         return self._bearers.get(flow_id, BearerQos())
 
     def update_gbr(self, flow_id: int, gbr_bps: float,
-                   mbr_bps: Optional[float] = None,
+                   mbr_bps: float | None = None,
                    time_s: float = 0.0) -> None:
         """Continuously retune a bearer's GBR (and optionally MBR).
 
@@ -125,13 +123,13 @@ class BearerRegistry:
             return math.inf
         return bits_to_bytes(mbr * step_s)
 
-    def gbr_flows(self) -> List[Tuple[int, BearerQos]]:
+    def gbr_flows(self) -> list[tuple[int, BearerQos]]:
         """All bearers with a guarantee, sorted by priority."""
         items = [(fid, qos) for fid, qos in self._bearers.items() if qos.is_gbr]
         items.sort(key=lambda pair: (pair[1].priority, pair[0]))
         return items
 
     @property
-    def update_history(self) -> Tuple[GbrUpdate, ...]:
+    def update_history(self) -> tuple[GbrUpdate, ...]:
         """All GBR updates applied so far, oldest first."""
         return tuple(self._updates)

@@ -20,7 +20,7 @@ buffer underflows even in the worst channel conditions (Section IV-A).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 from repro.mac.gbr import BearerRegistry
 from repro.mac.scheduler import (
@@ -50,12 +50,12 @@ class PrioritySetScheduler(Scheduler):
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
-                 registry: BearerRegistry) -> Dict[int, Allocation]:
+                 registry: BearerRegistry) -> dict[int, Allocation]:
         claims = self._gather_claims(now_s, step_s, flows, registry)
         active = {claim.flow.flow_id for claim in claims
                   if claim.remaining_demand_bytes > 0}
         by_id = {claim.flow.flow_id: claim for claim in claims}
-        result: Dict[int, Allocation] = {}
+        result: dict[int, Allocation] = {}
         remaining_budget = prb_budget
 
         # --- Phase 1: honour GBR guarantees in priority order. -------

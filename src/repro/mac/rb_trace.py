@@ -15,7 +15,7 @@ boundary to obtain the closed interval's per-flow report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from collections.abc import Iterable
 
 from repro.util import bytes_to_bits, require_non_negative
 
@@ -54,12 +54,12 @@ class RbTraceModule:
     """Accumulates per-flow RB and byte counts between BAI boundaries."""
 
     def __init__(self) -> None:
-        self._prbs: Dict[int, float] = {}
-        self._bytes: Dict[int, float] = {}
+        self._prbs: dict[int, float] = {}
+        self._bytes: dict[int, float] = {}
         self._interval_start_s = 0.0
         self._now_s = 0.0
-        self._cumulative_bytes: Dict[int, float] = {}
-        self._cumulative_prbs: Dict[int, float] = {}
+        self._cumulative_bytes: dict[int, float] = {}
+        self._cumulative_prbs: dict[int, float] = {}
 
     def record(self, flow_id: int, prbs: float, num_bytes: float,
                now_s: float) -> None:
@@ -84,7 +84,7 @@ class RbTraceModule:
         )
         self._now_s = max(self._now_s, now_s)
 
-    def roll(self, now_s: float) -> Dict[int, FlowUsage]:
+    def roll(self, now_s: float) -> dict[int, FlowUsage]:
         """Close the open interval and return its per-flow report.
 
         This is the Statistics Reporter hand-off: the returned mapping
@@ -105,7 +105,7 @@ class RbTraceModule:
         self._interval_start_s = now_s
         return report
 
-    def cumulative(self, flow_id: int) -> Tuple[float, float]:
+    def cumulative(self, flow_id: int) -> tuple[float, float]:
         """Total (prbs, bytes) for ``flow_id`` since simulation start."""
         return (
             self._cumulative_prbs.get(flow_id, 0.0),

@@ -18,7 +18,7 @@ the timescales ABR decisions live on (hundreds of milliseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.mac.gbr import BearerRegistry
 from repro.net.flows import Flow
@@ -63,7 +63,7 @@ class _Claim:
 
 
 def waterfill_prbs(budget: float, claims: Sequence[_Claim],
-                   weights: Sequence[float]) -> List[float]:
+                   weights: Sequence[float]) -> list[float]:
     """Divide ``budget`` PRBs proportionally to ``weights``.
 
     Flows whose proportional share exceeds the PRBs they can use are
@@ -81,8 +81,8 @@ def waterfill_prbs(budget: float, claims: Sequence[_Claim],
         total_weight = sum(weights[i] for i in active)
         if total_weight <= 0:
             break
-        capped: List[int] = []
-        next_active: List[int] = []
+        capped: list[int] = []
+        next_active: list[int] = []
         consumed = 0.0
         for i in active:
             share = remaining * weights[i] / total_weight
@@ -111,7 +111,7 @@ class Scheduler:
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
-                 registry: BearerRegistry) -> Dict[int, Allocation]:
+                 registry: BearerRegistry) -> dict[int, Allocation]:
         """Divide ``prb_budget`` PRBs among ``flows`` for this step.
 
         Returns a mapping ``flow_id -> Allocation`` containing every
@@ -124,9 +124,9 @@ class Scheduler:
 
     @staticmethod
     def _gather_claims(now_s: float, step_s: float, flows: Sequence[Flow],
-                       registry: BearerRegistry) -> List[_Claim]:
+                       registry: BearerRegistry) -> list[_Claim]:
         """Build per-flow claims: demand capped by MBR and the channel."""
-        claims: List[_Claim] = []
+        claims: list[_Claim] = []
         for flow in flows:
             bytes_per_prb = flow.ue.channel.bytes_per_prb_at(now_s)
             demand = flow.demand_bytes(step_s)
@@ -152,7 +152,7 @@ class ProportionalFairScheduler(Scheduler):
     def __init__(self, time_constant_s: float = 1.0) -> None:
         require_positive("time_constant_s", time_constant_s)
         self.time_constant_s = time_constant_s
-        self._avg_rate_bps: Dict[int, float] = {}
+        self._avg_rate_bps: dict[int, float] = {}
 
     def _pf_weight(self, claim: _Claim, step_s: float) -> float:
         """PF metric: achievable instantaneous rate over served average."""
@@ -162,8 +162,8 @@ class ProportionalFairScheduler(Scheduler):
         return achievable_bps / max(avg, floor)
 
     def _update_averages(self, step_s: float, flows: Sequence[Flow],
-                         grants: Dict[int, Allocation],
-                         active_ids: Optional[set] = None) -> None:
+                         grants: dict[int, Allocation],
+                         active_ids: set | None = None) -> None:
         """EWMA update of served throughput.
 
         Only flows with queued data this step are updated: an idle HAS
@@ -185,11 +185,11 @@ class ProportionalFairScheduler(Scheduler):
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
-                 registry: BearerRegistry) -> Dict[int, Allocation]:
+                 registry: BearerRegistry) -> dict[int, Allocation]:
         claims = self._gather_claims(now_s, step_s, flows, registry)
         weights = [self._pf_weight(c, step_s) for c in claims]
         grants_prbs = waterfill_prbs(prb_budget, claims, weights)
-        result: Dict[int, Allocation] = {}
+        result: dict[int, Allocation] = {}
         active = {claim.flow.flow_id for claim in claims
                   if claim.remaining_demand_bytes > 0}
         for claim, prbs in zip(claims, grants_prbs):
@@ -214,10 +214,10 @@ class MaxThroughputScheduler(Scheduler):
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
-                 registry: BearerRegistry) -> Dict[int, Allocation]:
+                 registry: BearerRegistry) -> dict[int, Allocation]:
         claims = self._gather_claims(now_s, step_s, flows, registry)
         order = sorted(claims, key=lambda c: c.bytes_per_prb, reverse=True)
-        result: Dict[int, Allocation] = {}
+        result: dict[int, Allocation] = {}
         remaining = prb_budget
         for claim in order:
             if remaining <= 1e-12 or claim.bytes_per_prb <= 0:
@@ -241,11 +241,11 @@ class RoundRobinScheduler(Scheduler):
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
-                 registry: BearerRegistry) -> Dict[int, Allocation]:
+                 registry: BearerRegistry) -> dict[int, Allocation]:
         claims = self._gather_claims(now_s, step_s, flows, registry)
         weights = [1.0 if c.max_prbs() > 0 else 0.0 for c in claims]
         grants_prbs = waterfill_prbs(prb_budget, claims, weights)
-        result: Dict[int, Allocation] = {}
+        result: dict[int, Allocation] = {}
         for claim, prbs in zip(claims, grants_prbs):
             if prbs <= 0:
                 continue

@@ -20,7 +20,7 @@ the 1200-second sweeps.
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 from repro.mac.gbr import BearerRegistry
 from repro.mac.scheduler import Allocation, Scheduler, _Claim
@@ -45,7 +45,7 @@ class TtiReferenceScheduler(Scheduler):
         self.tti_s = tti_s
         self.prb_per_tti = prb_per_tti
         self.time_constant_s = time_constant_s
-        self._avg_rate_bps: Dict[int, float] = {}
+        self._avg_rate_bps: dict[int, float] = {}
 
     def _pf_metric(self, claim: _Claim) -> float:
         achievable = bytes_to_bits(claim.bytes_per_prb) / self.tti_s
@@ -54,12 +54,12 @@ class TtiReferenceScheduler(Scheduler):
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
-                 registry: BearerRegistry) -> Dict[int, Allocation]:
+                 registry: BearerRegistry) -> dict[int, Allocation]:
         claims = self._gather_claims(now_s, step_s, flows, registry)
         by_id = {claim.flow.flow_id: claim for claim in claims}
         active_ids = {c.flow.flow_id for c in claims
                       if c.remaining_demand_bytes > 0}
-        result: Dict[int, Allocation] = {}
+        result: dict[int, Allocation] = {}
         num_ttis = max(1, int(round(step_s / self.tti_s)))
         decay = min(self.tti_s / self.time_constant_s, 1.0)
 
@@ -69,11 +69,11 @@ class TtiReferenceScheduler(Scheduler):
             for flow_id, _ in registry.gbr_flows()
         }
 
-        delivered_bits: Dict[int, float] = {c.flow.flow_id: 0.0
+        delivered_bits: dict[int, float] = {c.flow.flow_id: 0.0
                                             for c in claims}
         for _ in range(num_ttis):
             prbs_left = self.prb_per_tti
-            tti_delivered: Dict[int, float] = {}
+            tti_delivered: dict[int, float] = {}
 
             # Phase 1: integer PRBs to cover GBR token debt.
             for flow_id, _qos in registry.gbr_flows():

@@ -8,7 +8,7 @@ benchmark harness to "plot" CDFs on a terminal.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 
 class EmpiricalCdf:
@@ -59,7 +59,7 @@ class EmpiricalCdf:
         """The sample mean."""
         return sum(self._sorted) / len(self._sorted)
 
-    def points(self) -> List[Tuple[float, float]]:
+    def points(self) -> list[tuple[float, float]]:
         """(value, cumulative probability) step points."""
         n = len(self._sorted)
         return [(value, (index + 1) / n)

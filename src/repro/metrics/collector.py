@@ -10,12 +10,15 @@ the numbers the paper's tables and figures report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING
 
 from repro.metrics.fairness import jain_index
 from repro.metrics.qoe import ClientSummary, summarize_player
 from repro.metrics.timeseries import TimeSeries
 from repro.util import bytes_to_bits, require_positive
+
+if TYPE_CHECKING:
+    from repro.sim.cell import Cell
 
 
 class MetricsSampler:
@@ -31,13 +34,13 @@ class MetricsSampler:
     def __init__(self, interval_s: float = 1.0) -> None:
         require_positive("interval_s", interval_s)
         self.interval_s = interval_s
-        self.throughput_bps: Dict[int, TimeSeries] = {}
-        self.buffer_s: Dict[int, TimeSeries] = {}
-        self.bitrate_bps: Dict[int, TimeSeries] = {}
-        self._last_delivered: Dict[int, float] = {}
+        self.throughput_bps: dict[int, TimeSeries] = {}
+        self.buffer_s: dict[int, TimeSeries] = {}
+        self.bitrate_bps: dict[int, TimeSeries] = {}
+        self._last_delivered: dict[int, float] = {}
         self._last_time_s = 0.0
 
-    def on_interval(self, now_s: float, cell) -> None:
+    def on_interval(self, now_s: float, cell: Cell) -> None:
         """Take one sample of every flow in ``cell``."""
         elapsed = max(now_s - self._last_time_s, 1e-9)
         for flow in cell.flows:
@@ -78,9 +81,9 @@ class CellReport:
         total_rebuffer_s: summed underflow time across clients.
     """
 
-    clients: List[ClientSummary] = field(default_factory=list)
-    data_throughput_bps: Dict[int, float] = field(default_factory=dict)
-    jain_video_rates: Optional[float] = None
+    clients: list[ClientSummary] = field(default_factory=list)
+    data_throughput_bps: dict[int, float] = field(default_factory=dict)
+    jain_video_rates: float | None = None
     average_bitrate_kbps: float = 0.0
     mean_changes: float = 0.0
     total_rebuffer_s: float = 0.0
@@ -94,8 +97,9 @@ class CellReport:
                 / len(self.data_throughput_bps))
 
 
-def collect_cell_report(cell, sampler: Optional[MetricsSampler] = None,
-                        duration_s: Optional[float] = None) -> CellReport:
+def collect_cell_report(cell: Cell,
+                        sampler: MetricsSampler | None = None,
+                        duration_s: float | None = None) -> CellReport:
     """Reduce a finished cell (+ optional sampler) to a report.
 
     Data-flow throughput uses the sampler when available (matching the

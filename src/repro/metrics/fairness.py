@@ -12,7 +12,7 @@ one client gets everything.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def jain_index(values: Sequence[float]) -> float:

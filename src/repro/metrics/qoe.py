@@ -11,7 +11,7 @@ segment log and state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.has.player import HasPlayer
 from repro.util import to_kbps
@@ -61,7 +61,7 @@ class ClientSummary:
     change_magnitude_bps: float
     rebuffer_time_s: float
     stall_events: int
-    startup_delay_s: Optional[float]
+    startup_delay_s: float | None
     segments_downloaded: int
     video_throughput_bps: float
 

@@ -15,7 +15,7 @@ normalised per segment, so scores are comparable across run lengths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from collections.abc import Iterable
 
 from repro.metrics.qoe import ClientSummary
 from repro.util import require_non_negative
@@ -66,7 +66,7 @@ def mean_qoe_bps(clients: Iterable[ClientSummary],
     return sum(scores) / len(scores)
 
 
-def qoe_table(populations: Dict[str, Iterable[ClientSummary]],
+def qoe_table(populations: dict[str, Iterable[ClientSummary]],
               weights: QoeWeights = QoeWeights()) -> str:
     """Text table of mean QoE per named population (e.g. per scheme)."""
     lines = [f"{'scheme':<12s} {'mean QoE (kbps-equivalent)':>28s}"]

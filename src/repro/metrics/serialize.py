@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict
+from typing import Any
 
 from repro.metrics.collector import CellReport
 from repro.metrics.qoe import ClientSummary
@@ -23,18 +23,18 @@ from repro.metrics.qoe import ClientSummary
 SCHEMA_VERSION = 1
 
 
-def client_summary_to_dict(summary: ClientSummary) -> Dict[str, Any]:
+def client_summary_to_dict(summary: ClientSummary) -> dict[str, Any]:
     """Encode one :class:`ClientSummary` as a plain dict."""
     return dataclasses.asdict(summary)
 
 
-def client_summary_from_dict(data: Dict[str, Any]) -> ClientSummary:
+def client_summary_from_dict(data: dict[str, Any]) -> ClientSummary:
     """Rebuild a :class:`ClientSummary` from its dict encoding."""
     fields = {f.name for f in dataclasses.fields(ClientSummary)}
     return ClientSummary(**{k: v for k, v in data.items() if k in fields})
 
 
-def cell_report_to_dict(report: CellReport) -> Dict[str, Any]:
+def cell_report_to_dict(report: CellReport) -> dict[str, Any]:
     """Encode one :class:`CellReport` as a plain dict.
 
     ``data_throughput_bps`` keys become strings (JSON objects only
@@ -54,7 +54,7 @@ def cell_report_to_dict(report: CellReport) -> Dict[str, Any]:
     }
 
 
-def cell_report_from_dict(data: Dict[str, Any]) -> CellReport:
+def cell_report_from_dict(data: dict[str, Any]) -> CellReport:
     """Rebuild a :class:`CellReport` from its dict encoding.
 
     Raises:

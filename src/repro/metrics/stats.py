@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -148,7 +148,7 @@ def _standard_normal_cdf(x: float) -> float:
     return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
 
 
-def compare_with_ci(populations: Dict[str, Sequence[float]],
+def compare_with_ci(populations: dict[str, Sequence[float]],
                     label: str = "metric",
                     confidence: float = 0.95) -> str:
     """Render named populations as ``name: mean [lo, hi]`` lines."""

@@ -8,15 +8,15 @@ seconds, data throughput); the sampler in
 from __future__ import annotations
 
 import bisect
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 
 class TimeSeries:
     """An append-only (time, value) series with time-ordered access."""
 
     def __init__(self) -> None:
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._times: list[float] = []
+        self._values: list[float] = []
 
     def __len__(self) -> int:
         return len(self._times)
@@ -44,7 +44,7 @@ class TimeSeries:
         """Sample values, oldest first."""
         return tuple(self._values)
 
-    def items(self) -> List[Tuple[float, float]]:
+    def items(self) -> list[tuple[float, float]]:
         """(time, value) pairs, oldest first."""
         return list(zip(self._times, self._values))
 
@@ -93,7 +93,7 @@ class TimeSeries:
             return self._values[0]
         return total / span
 
-    def window(self, start_s: float, end_s: float) -> "TimeSeries":
+    def window(self, start_s: float, end_s: float) -> TimeSeries:
         """Sub-series with ``start_s <= t <= end_s``."""
         result = TimeSeries()
         for t, v in zip(self._times, self._values):

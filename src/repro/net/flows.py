@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Optional
+from collections.abc import Callable
 
 from repro.net.tcp import FluidTcp
 from repro.phy.channel import ChannelModel
@@ -62,7 +62,7 @@ class UserEquipment:
         channel: ChannelModel,
         theta_bps: float = 0.2e6,
         beta: float = 10.0,
-        ue_id: Optional[int] = None,
+        ue_id: int | None = None,
     ) -> None:
         require_non_negative("theta_bps", theta_bps)
         require_non_negative("beta", beta)
@@ -87,8 +87,8 @@ class Flow:
     _ids = itertools.count()
 
     def __init__(self, ue: UserEquipment, kind: FlowKind,
-                 tcp: Optional[FluidTcp] = None,
-                 flow_id: Optional[int] = None) -> None:
+                 tcp: FluidTcp | None = None,
+                 flow_id: int | None = None) -> None:
         self.flow_id = next(self._ids) if flow_id is None else flow_id
         self.ue = ue
         self.kind = kind
@@ -135,8 +135,8 @@ class Flow:
 class DataFlow(Flow):
     """A long-lived bulk TCP transfer (the paper's Iperf data flows)."""
 
-    def __init__(self, ue: UserEquipment, tcp: Optional[FluidTcp] = None,
-                 flow_id: Optional[int] = None) -> None:
+    def __init__(self, ue: UserEquipment, tcp: FluidTcp | None = None,
+                 flow_id: int | None = None) -> None:
         super().__init__(ue, FlowKind.DATA, tcp=tcp, flow_id=flow_id)
 
     def backlog_bytes(self) -> float:
@@ -153,12 +153,12 @@ class VideoFlow(Flow):
     and pick the next bitrate).
     """
 
-    def __init__(self, ue: UserEquipment, tcp: Optional[FluidTcp] = None,
-                 flow_id: Optional[int] = None) -> None:
+    def __init__(self, ue: UserEquipment, tcp: FluidTcp | None = None,
+                 flow_id: int | None = None) -> None:
         super().__init__(ue, FlowKind.VIDEO, tcp=tcp, flow_id=flow_id)
         self._remaining_bytes = 0.0
         self._download_active = False
-        self._completion_callback = None
+        self._completion_callback: Callable[[], None] | None = None
 
     @property
     def download_active(self) -> bool:
@@ -170,7 +170,8 @@ class VideoFlow(Flow):
         """Bytes left in the current download (0 when idle)."""
         return self._remaining_bytes
 
-    def begin_download(self, size_bytes: float, on_complete) -> None:
+    def begin_download(self, size_bytes: float,
+                       on_complete: Callable[[], None]) -> None:
         """Start downloading a segment of ``size_bytes`` bytes.
 
         Args:

@@ -17,8 +17,6 @@ bitrate decision into a bearer update.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
-
 from repro.mac.gbr import BearerRegistry
 from repro.net.flows import Flow, FlowKind
 
@@ -44,7 +42,7 @@ class Pcrf:
     """Flow-session registry across (possibly several) cells."""
 
     def __init__(self) -> None:
-        self._sessions: Dict[int, FlowSession] = {}
+        self._sessions: dict[int, FlowSession] = {}
 
     def register_flow(self, flow: Flow, cell_id: int) -> FlowSession:
         """Record a new flow session.
@@ -63,7 +61,7 @@ class Pcrf:
         self._sessions.pop(flow_id, None)
 
     def sessions_in_cell(self, cell_id: int,
-                         kind: Optional[FlowKind] = None) -> List[FlowSession]:
+                         kind: FlowKind | None = None) -> list[FlowSession]:
         """All sessions in ``cell_id``, optionally filtered by kind."""
         return [
             session for session in self._sessions.values()
@@ -87,7 +85,7 @@ class PolicyDecision:
     time_s: float
     flow_id: int
     gbr_bps: float
-    mbr_bps: Optional[float]
+    mbr_bps: float | None
 
 
 class Pcef:
@@ -101,15 +99,15 @@ class Pcef:
 
     def __init__(self, registry: BearerRegistry) -> None:
         self._registry = registry
-        self._decisions: List[PolicyDecision] = []
+        self._decisions: list[PolicyDecision] = []
 
     def enforce(self, flow_id: int, gbr_bps: float,
-                mbr_bps: Optional[float] = None, time_s: float = 0.0) -> None:
+                mbr_bps: float | None = None, time_s: float = 0.0) -> None:
         """Apply a GBR (and optional MBR) to a flow's bearer."""
         self._registry.update_gbr(flow_id, gbr_bps, mbr_bps, time_s)
         self._decisions.append(PolicyDecision(time_s, flow_id, gbr_bps, mbr_bps))
 
     @property
-    def decisions(self) -> List[PolicyDecision]:
+    def decisions(self) -> list[PolicyDecision]:
         """All enforcement actions, oldest first."""
         return list(self._decisions)

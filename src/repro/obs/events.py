@@ -14,8 +14,6 @@ physical resource blocks (PRB x TTI units).
 
 from __future__ import annotations
 
-from typing import Dict
-
 # -- MAC layer ---------------------------------------------------------
 TTI_ALLOC = "tti.alloc"
 MAC_SCHED = "mac.sched"
@@ -37,7 +35,7 @@ SIM_EVENTS = "sim.events"
 #: Every event type with its fields and units.  ``type`` and ``t``
 #: (simulation seconds) are implicit on all events; parallel-worker
 #: shards additionally carry a ``task`` field (submission index).
-EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
+EVENT_SCHEMA: dict[str, dict[str, str]] = {
     TTI_ALLOC: {
         "flow": "flow id the grant belongs to",
         "ue": "UE id of the flow",

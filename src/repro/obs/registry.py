@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from collections.abc import Iterator
+from typing import Any
 
 #: Raw samples kept per histogram for quantile estimation; aggregates
 #: (count/total/min/max) stay exact beyond this.
@@ -45,9 +46,9 @@ class Histogram:
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-        self.values: List[float] = []
+        self.min: float | None = None
+        self.max: float | None = None
+        self.values: list[float] = []
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -66,7 +67,7 @@ class Histogram:
         """Mean of all samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> Optional[float]:
+    def quantile(self, q: float) -> float | None:
         """Approximate ``q``-quantile from the retained samples."""
         if not self.values:
             return None
@@ -74,7 +75,7 @@ class Histogram:
         index = min(int(q * len(ordered)), len(ordered) - 1)
         return ordered[index]
 
-    def summary(self) -> Dict[str, Any]:
+    def summary(self) -> dict[str, Any]:
         """Aggregate view: count, mean, min/max, p50/p90."""
         return {
             "count": self.count,
@@ -90,8 +91,8 @@ class MetricsRegistry:
     """Named counters and histograms with snapshot/merge support."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- accessors -----------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -118,7 +119,7 @@ class MetricsRegistry:
             self.histogram(name).observe(time.perf_counter() - started)
 
     # -- sink protocol -------------------------------------------------
-    def on_event(self, event: Dict[str, Any]) -> None:
+    def on_event(self, event: dict[str, Any]) -> None:
         """Count events per type (``events.<type>`` counters)."""
         self.counter(f"events.{event.get('type', '?')}").inc()
 
@@ -126,7 +127,7 @@ class MetricsRegistry:
         """Sinks are closeable; the registry has nothing to release."""
 
     # -- snapshot / merge ----------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """A plain-dict copy of the full registry state (mergeable)."""
         return {
             "counters": {name: c.value
@@ -139,7 +140,7 @@ class MetricsRegistry:
             },
         }
 
-    def merge(self, snapshot: Dict[str, Any]) -> None:
+    def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Used to aggregate worker-process registries into the parent:
@@ -167,7 +168,7 @@ class MetricsRegistry:
             if room > 0:
                 histogram.values.extend(state.get("values", [])[:room])
 
-    def summary(self) -> Dict[str, Any]:
+    def summary(self) -> dict[str, Any]:
         """Human-oriented aggregate view of the whole registry."""
         return {
             "counters": {name: c.value
@@ -182,8 +183,8 @@ class MetricsRegistry:
         self._histograms.clear()
 
 
-def snapshot_delta(before: Dict[str, Any],
-                   after: Dict[str, Any]) -> Dict[str, Any]:
+def snapshot_delta(before: dict[str, Any],
+                   after: dict[str, Any]) -> dict[str, Any]:
     """Snapshot-shaped difference between two registry snapshots.
 
     Unlike :func:`registry_delta` (summary-shaped, for human-facing
@@ -192,12 +193,12 @@ def snapshot_delta(before: Dict[str, Any],
     to ship only what one task contributed out of a reused worker
     process whose registry accumulates across tasks.
     """
-    counters: Dict[str, int] = {}
+    counters: dict[str, int] = {}
     for name, value in after.get("counters", {}).items():
         moved = int(value) - int(before.get("counters", {}).get(name, 0))
         if moved:
             counters[name] = moved
-    histograms: Dict[str, Any] = {}
+    histograms: dict[str, Any] = {}
     for name, state in after.get("histograms", {}).items():
         previous = before.get("histograms", {}).get(
             name, {"count": 0, "total": 0.0, "values": []})
@@ -206,8 +207,8 @@ def snapshot_delta(before: Dict[str, Any],
             continue
         new_values = state.get("values", [])[len(previous.get("values", [])):]
         if new_values:
-            low: Optional[float] = min(new_values)
-            high: Optional[float] = max(new_values)
+            low: float | None = min(new_values)
+            high: float | None = max(new_values)
         else:  # samples beyond the cap: fall back to lifetime bounds
             low, high = state.get("min"), state.get("max")
         histograms[name] = {
@@ -220,8 +221,8 @@ def snapshot_delta(before: Dict[str, Any],
     return {"counters": counters, "histograms": histograms}
 
 
-def registry_delta(before: Dict[str, Any],
-                   after: Dict[str, Any]) -> Dict[str, Any]:
+def registry_delta(before: dict[str, Any],
+                   after: dict[str, Any]) -> dict[str, Any]:
     """What changed between two :meth:`MetricsRegistry.snapshot` calls.
 
     Returns a summary-shaped dict (counters as deltas, histograms as
@@ -229,12 +230,12 @@ def registry_delta(before: Dict[str, Any],
     the names that actually moved — the payload
     :func:`repro.experiments.bench.measure` embeds in BENCH artifacts.
     """
-    counters: Dict[str, int] = {}
+    counters: dict[str, int] = {}
     for name, value in after.get("counters", {}).items():
         delta = int(value) - int(before.get("counters", {}).get(name, 0))
         if delta:
             counters[name] = delta
-    histograms: Dict[str, Any] = {}
+    histograms: dict[str, Any] = {}
     for name, state in after.get("histograms", {}).items():
         previous = before.get("histograms", {}).get(
             name, {"count": 0, "total": 0.0, "values": []})

@@ -21,10 +21,11 @@ import json
 import os
 import pathlib
 from collections import deque
-from typing import Any, Deque, Dict, Iterator, List, Optional, Union
+from collections.abc import Iterator
+from typing import Any, Deque
 
 
-def encode_event(event: Dict[str, Any]) -> str:
+def encode_event(event: dict[str, Any]) -> str:
     """Canonical one-line JSON encoding of an event (no newline)."""
     return json.dumps(event, separators=(",", ":"))
 
@@ -32,7 +33,7 @@ def encode_event(event: Dict[str, Any]) -> str:
 class TraceSink:
     """Interface every sink implements."""
 
-    def on_event(self, event: Dict[str, Any]) -> None:
+    def on_event(self, event: dict[str, Any]) -> None:
         """Consume one event dict (must not mutate it)."""
         raise NotImplementedError
 
@@ -47,14 +48,14 @@ class JsonlSink(TraceSink):
         path: destination file (parent directories are created).
     """
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(self, path: str | os.PathLike) -> None:
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file: Optional[io.TextIOWrapper] = self.path.open(
+        self._file: io.TextIOWrapper | None = self.path.open(
             "w", encoding="utf-8")
         self.events_written = 0
 
-    def on_event(self, event: Dict[str, Any]) -> None:
+    def on_event(self, event: dict[str, Any]) -> None:
         self.write_line(encode_event(event))
 
     def write_line(self, line: str) -> None:
@@ -78,27 +79,27 @@ class RingBufferSink(TraceSink):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._events: Deque[dict[str, Any]] = deque(maxlen=capacity)
 
-    def on_event(self, event: Dict[str, Any]) -> None:
+    def on_event(self, event: dict[str, Any]) -> None:
         self._events.append(event)
 
     def __len__(self) -> int:
         return len(self._events)
 
-    def events(self) -> List[Dict[str, Any]]:
+    def events(self) -> list[dict[str, Any]]:
         """All buffered events, oldest first."""
         return list(self._events)
 
-    def of_type(self, *event_types: str) -> List[Dict[str, Any]]:
+    def of_type(self, *event_types: str) -> list[dict[str, Any]]:
         """Buffered events whose ``type`` is one of ``event_types``."""
         wanted = set(event_types)
         return [e for e in self._events if e.get("type") in wanted]
 
 
-def read_jsonl(path: Union[str, os.PathLike]) -> Iterator[Dict[str, Any]]:
+def read_jsonl(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
     """Parse a JSONL trace file back into event dicts."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:

@@ -25,14 +25,15 @@ import json
 import os
 import pathlib
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional, Sequence, Union
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sinks import JsonlSink, RingBufferSink, TraceSink
 
 #: The ambient tracer consulted by every instrumentation site.
 #: ``None`` (the default) disables tracing entirely.
-TRACER: Optional["Tracer"] = None
+TRACER: Tracer | None = None
 
 
 class Tracer:
@@ -45,14 +46,14 @@ class Tracer:
     """
 
     def __init__(self, sinks: Sequence[TraceSink],
-                 static: Optional[Dict[str, Any]] = None) -> None:
+                 static: dict[str, Any] | None = None) -> None:
         self.sinks = list(sinks)
         self.static = dict(static) if static else {}
         self.events_emitted = 0
 
     def emit(self, event_type: str, time_s: float, **fields: Any) -> None:
         """Emit one event at simulation time ``time_s``."""
-        event: Dict[str, Any] = {"type": event_type, "t": time_s}
+        event: dict[str, Any] = {"type": event_type, "t": time_s}
         if self.static:
             event.update(self.static)
         event.update(fields)
@@ -66,7 +67,7 @@ class Tracer:
         JSONL sinks receive the raw line verbatim (shard merging stays
         byte-identical); other sinks get the parsed dict.
         """
-        parsed: Optional[Dict[str, Any]] = None
+        parsed: dict[str, Any] | None = None
         self.events_emitted += 1
         for sink in self.sinks:
             if isinstance(sink, JsonlSink):
@@ -78,14 +79,14 @@ class Tracer:
 
     # -- conveniences --------------------------------------------------
     @property
-    def jsonl_path(self) -> Optional[pathlib.Path]:
+    def jsonl_path(self) -> pathlib.Path | None:
         """Path of the first attached JSONL sink (None without one)."""
         for sink in self.sinks:
             if isinstance(sink, JsonlSink):
                 return sink.path
         return None
 
-    def ring(self) -> Optional[RingBufferSink]:
+    def ring(self) -> RingBufferSink | None:
         """The first attached ring buffer (None without one)."""
         for sink in self.sinks:
             if isinstance(sink, RingBufferSink):
@@ -97,7 +98,7 @@ class Tracer:
         for sink in self.sinks:
             sink.close()
 
-    def __enter__(self) -> "Tracer":
+    def __enter__(self) -> Tracer:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -123,16 +124,16 @@ def uninstall() -> None:
     TRACER = None
 
 
-def current() -> Optional[Tracer]:
+def current() -> Tracer | None:
     """The ambient tracer, or ``None``."""
     return TRACER
 
 
 @contextmanager
-def tracing(jsonl: Optional[Union[str, os.PathLike]] = None,
-            ring: Optional[int] = None,
-            registry: Optional[MetricsRegistry] = None,
-            static: Optional[Dict[str, Any]] = None,
+def tracing(jsonl: str | os.PathLike | None = None,
+            ring: int | None = None,
+            registry: MetricsRegistry | None = None,
+            static: dict[str, Any] | None = None,
             ) -> Iterator[Tracer]:
     """Install an ambient tracer for the enclosed region.
 
@@ -164,7 +165,7 @@ def tracing(jsonl: Optional[Union[str, os.PathLike]] = None,
         tracer.close()
 
 
-def merge_shards(shard_paths: Sequence[Union[str, os.PathLike]],
+def merge_shards(shard_paths: Sequence[str | os.PathLike],
                  tracer: Tracer, remove: bool = True) -> int:
     """Fold worker shard files into ``tracer``, in the given order.
 
@@ -178,7 +179,7 @@ def merge_shards(shard_paths: Sequence[Union[str, os.PathLike]],
         path = pathlib.Path(shard)
         if not path.exists():
             continue
-        with path.open("r", encoding="utf-8") as handle:
+        with path.open(encoding="utf-8") as handle:
             for line in handle:
                 line = line.rstrip("\n")
                 if line:

@@ -25,10 +25,11 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
+from repro import check as chk
 from repro.phy import tbs
 from repro.phy.cqi import LinkAdaptation
 from repro.phy.mobility import MobilityModel, Position
@@ -45,7 +46,10 @@ class ChannelModel:
 
     def bytes_per_prb_at(self, time_s: float) -> float:
         """Bytes one PRB carries in one TTI at ``time_s``."""
-        return tbs.bytes_per_prb(self.itbs_at(time_s))
+        itbs = self.itbs_at(time_s)
+        if chk.CHECKER is not None:
+            chk.CHECKER.check_tbs_index(itbs, tbs.MIN_ITBS, tbs.MAX_ITBS)
+        return tbs.bytes_per_prb(itbs)
 
 
 class StaticItbsChannel(ChannelModel):
@@ -106,8 +110,8 @@ class TraceItbsChannel(ChannelModel):
     entry holds forever (or the trace loops if ``loop_s`` is set).
     """
 
-    def __init__(self, trace: Sequence[Tuple[float, int]],
-                 loop_s: Optional[float] = None) -> None:
+    def __init__(self, trace: Sequence[tuple[float, int]],
+                 loop_s: float | None = None) -> None:
         if not trace:
             raise ValueError("trace must be non-empty")
         times = [t for t, _ in trace]
@@ -141,7 +145,7 @@ class OutageChannel(ChannelModel):
     """
 
     def __init__(self, inner: ChannelModel,
-                 outages: Sequence[Tuple[float, float]]) -> None:
+                 outages: Sequence[tuple[float, float]]) -> None:
         for start, end in outages:
             if end <= start:
                 raise ValueError(f"empty outage window [{start}, {end})")
@@ -245,9 +249,9 @@ class FadingChannel(ChannelModel):
         mobility: MobilityModel,
         enb_position: Position,
         fading: FadingProcess,
-        pathloss: Optional[LogDistancePathLoss] = None,
-        link_budget: Optional[LinkBudget] = None,
-        link_adaptation: Optional[LinkAdaptation] = None,
+        pathloss: LogDistancePathLoss | None = None,
+        link_budget: LinkBudget | None = None,
+        link_adaptation: LinkAdaptation | None = None,
     ) -> None:
         self._mobility = mobility
         self._enb = enb_position
@@ -257,7 +261,7 @@ class FadingChannel(ChannelModel):
             tx_power_dbm=43.0
         )
         self._la = link_adaptation if link_adaptation is not None else LinkAdaptation()
-        self._cache_time: Optional[float] = None
+        self._cache_time: float | None = None
         self._cache_itbs = tbs.MIN_ITBS
         self._cache_period = self._fading._period  # fading resolution
 

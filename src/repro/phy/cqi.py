@@ -17,7 +17,7 @@ CQI 0 means "out of range": the UE cannot be scheduled at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.phy import tbs
 

@@ -14,13 +14,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
-
 import numpy as np
 
 from repro.util import require_positive
 
-Position = Tuple[float, float]
+Position = tuple[float, float]
 
 
 @dataclass(frozen=True)
@@ -111,7 +109,7 @@ class RandomWaypointMobility(MobilityModel):
         speed_min_mps: float = 5.0,
         speed_max_mps: float = 15.0,
         pause_s: float = 0.0,
-        start: Optional[Position] = None,
+        start: Position | None = None,
     ) -> None:
         require_positive("speed_min_mps", speed_min_mps)
         if speed_max_mps < speed_min_mps:

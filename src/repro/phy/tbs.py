@@ -18,7 +18,9 @@ the property the paper's experiments rely on (relative capacity as the
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
+
+from repro import check as chk
 
 #: Inclusive range of valid TBS indices (3GPP TS 36.213 Table 7.1.7.2.1-1).
 MIN_ITBS = 0
@@ -69,6 +71,8 @@ def transport_block_bits(itbs: int, n_prb: int) -> int:
     Raises:
         ValueError: on an out-of-range ``itbs`` or ``n_prb``.
     """
+    if chk.CHECKER is not None:
+        chk.CHECKER.check_tbs_lookup(itbs, n_prb, MIN_ITBS, MAX_ITBS, MAX_PRB)
     validate_itbs(itbs)
     if not 1 <= n_prb <= MAX_PRB:
         raise ValueError(f"n_prb must be in [1, {MAX_PRB}], got {n_prb!r}")

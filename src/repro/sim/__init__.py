@@ -1,6 +1,12 @@
 """Simulation engine: event queue and the cell world object."""
 
-from repro.sim.cell import Cell, CellConfig
+from repro.sim.cell import Cell, CellConfig, IntervalController
 from repro.sim.engine import EventHandle, EventQueue
 
-__all__ = ["Cell", "CellConfig", "EventHandle", "EventQueue"]
+__all__ = [
+    "Cell",
+    "CellConfig",
+    "EventHandle",
+    "EventQueue",
+    "IntervalController",
+]

@@ -20,8 +20,10 @@ OneAPI server, the AVIS agent and the metrics sampler all conform.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Protocol
 
+from repro import check as chk
 from repro.abr.base import AbrAlgorithm
 from repro.has.mpd import BitrateLadder, MediaPresentation
 from repro.has.player import HasPlayer, PlayerConfig
@@ -69,11 +71,26 @@ class CellConfig:
         return self.prb_per_tti * (self.step_s / self.tti_s)
 
 
+class IntervalController(Protocol):
+    """Structural type of a periodic controller.
+
+    Anything exposing an ``interval_s`` period and an
+    ``on_interval(now_s, cell)`` callback qualifies — OneAPI servers,
+    metrics samplers, arrival schedules, AViS agents.
+    """
+
+    interval_s: float
+
+    def on_interval(self, now_s: float, cell: Cell) -> None:
+        """Invoked by the cell driver every ``interval_s`` seconds."""
+        ...
+
+
 class Cell:
     """One simulated LTE cell and everything attached to it."""
 
-    def __init__(self, config: Optional[CellConfig] = None,
-                 scheduler: Optional[Scheduler] = None) -> None:
+    def __init__(self, config: CellConfig | None = None,
+                 scheduler: Scheduler | None = None) -> None:
         self.config = config if config is not None else CellConfig()
         self.scheduler = (scheduler if scheduler is not None
                           else PrioritySetScheduler())
@@ -81,14 +98,13 @@ class Cell:
         self.trace = RbTraceModule()
         self.pcrf = Pcrf()
         self.pcef = Pcef(self.registry)
-        self._flows: List[Flow] = []
-        self._players: Dict[int, HasPlayer] = {}
-        self._ladders: Dict[int, BitrateLadder] = {}
-        self._controllers: List[Tuple[object, List[float]]] = []
-        self._usage_snapshots: Dict[int, Tuple[Dict[int, Tuple[float, float]],
-                                               float]] = {}
+        self._flows: list[Flow] = []
+        self._players: dict[int, HasPlayer] = {}
+        self._ladders: dict[int, BitrateLadder] = {}
+        self._controllers: list[tuple[IntervalController, list[float]]] = []
+        self._usage_snapshots: dict[int, tuple[dict[int, tuple[float, float]], float]] = {}
         self._now_s = 0.0
-        self._step_hooks: List[Callable[[float], None]] = []
+        self._step_hooks: list[Callable[[float], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection used by network-side controllers
@@ -104,20 +120,20 @@ class Cell:
         return self._now_s
 
     @property
-    def flows(self) -> Tuple[Flow, ...]:
+    def flows(self) -> tuple[Flow, ...]:
         """All flows, in attachment order."""
         return tuple(self._flows)
 
     @property
-    def players(self) -> Dict[int, HasPlayer]:
+    def players(self) -> dict[int, HasPlayer]:
         """Players by video flow id."""
         return dict(self._players)
 
-    def video_flows(self) -> List[VideoFlow]:
+    def video_flows(self) -> list[VideoFlow]:
         """Video flows in attachment order."""
         return [flow for flow in self._flows if isinstance(flow, VideoFlow)]
 
-    def data_flows(self) -> List[DataFlow]:
+    def data_flows(self) -> list[DataFlow]:
         """Data flows in attachment order."""
         return [flow for flow in self._flows if isinstance(flow, DataFlow)]
 
@@ -129,7 +145,7 @@ class Cell:
         """
         return self._players[flow_id]
 
-    def ladder_for_flow(self, flow_id: int) -> Optional[BitrateLadder]:
+    def ladder_for_flow(self, flow_id: int) -> BitrateLadder | None:
         """The bitrate ladder of a video flow (None for data flows)."""
         return self._ladders.get(flow_id)
 
@@ -142,7 +158,7 @@ class Cell:
     # ------------------------------------------------------------------
     def add_video_flow(self, ue: UserEquipment, mpd: MediaPresentation,
                        abr: AbrAlgorithm,
-                       player_config: Optional[PlayerConfig] = None
+                       player_config: PlayerConfig | None = None
                        ) -> HasPlayer:
         """Attach a HAS video flow + player for ``ue``."""
         flow = VideoFlow(ue)
@@ -163,7 +179,7 @@ class Cell:
         return flow
 
     def register_bare_video_flow(self, flow: VideoFlow,
-                                 ladder: Optional[BitrateLadder] = None
+                                 ladder: BitrateLadder | None = None
                                  ) -> None:
         """Attach a video flow with no player (uplink streamers).
 
@@ -203,8 +219,8 @@ class Cell:
         self.registry.deregister(flow_id)
         self.pcrf.deregister_flow(flow_id)
 
-    def add_controller(self, controller, first_fire_s: Optional[float] = None
-                       ) -> None:
+    def add_controller(self, controller: IntervalController,
+                       first_fire_s: float | None = None) -> None:
         """Register an interval controller.
 
         Args:
@@ -218,7 +234,7 @@ class Cell:
         first = first_fire_s if first_fire_s is not None else interval
         self._controllers.append((controller, [first]))
 
-    def remove_controller(self, controller) -> None:
+    def remove_controller(self, controller: IntervalController) -> None:
         """Unregister an interval controller (e.g. a failed server)."""
         self._controllers = [(c, due) for c, due in self._controllers
                              if c is not controller]
@@ -230,7 +246,7 @@ class Cell:
     # ------------------------------------------------------------------
     # Usage reporting (the Statistics Reporter hand-off)
     # ------------------------------------------------------------------
-    def consume_usage_report(self, consumer: object) -> Dict[int, FlowUsage]:
+    def consume_usage_report(self, consumer: object) -> dict[int, FlowUsage]:
         """Per-flow usage since this consumer's previous call.
 
         Each consumer (OneAPI server, AVIS agent, metrics sampler) gets
@@ -239,8 +255,8 @@ class Cell:
         """
         key = id(consumer)
         previous, previous_time = self._usage_snapshots.get(key, ({}, 0.0))
-        report: Dict[int, FlowUsage] = {}
-        snapshot: Dict[int, Tuple[float, float]] = {}
+        report: dict[int, FlowUsage] = {}
+        snapshot: dict[int, tuple[float, float]] = {}
         duration = max(self._now_s - previous_time, 0.0)
         for flow in self._flows:
             cum_prbs, cum_bytes = self.trace.cumulative(flow.flow_id)
@@ -280,6 +296,14 @@ class Cell:
         allocations = self.scheduler.allocate(
             now, step_s, self._flows, self.config.prbs_per_step,
             self.registry)
+
+        checker = chk.CHECKER
+        if checker is not None:
+            checker.check_rb_conservation(
+                now,
+                sum(a.prbs for a in allocations.values()),
+                self.config.prbs_per_step,
+            )
 
         tracer = obs.TRACER
         step_prbs = 0.0

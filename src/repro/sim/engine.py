@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 from repro.obs import events as obs_events
 from repro.obs import tracer as obs
@@ -36,7 +36,7 @@ class _ScheduledEvent:
 class EventHandle:
     """Cancellation token returned by :meth:`EventQueue.schedule`."""
 
-    def __init__(self, event: _ScheduledEvent, queue: "EventQueue") -> None:
+    def __init__(self, event: _ScheduledEvent, queue: EventQueue) -> None:
         self._event = event
         self._queue = queue
 
@@ -68,7 +68,7 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[_ScheduledEvent] = []
+        self._heap: list[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._live = 0
 
@@ -97,7 +97,7 @@ class EventQueue:
         stops the whole recurrence.
         """
         require_positive("interval_s", interval_s)
-        handle_box: List[EventHandle] = []
+        handle_box: list[EventHandle] = []
 
         def fire(now_s: float) -> None:
             callback(now_s)
@@ -113,7 +113,7 @@ class EventQueue:
         handle_box.append(handle)
         return handle
 
-    def next_time(self) -> Optional[float]:
+    def next_time(self) -> float | None:
         """Fire time of the earliest pending event, or ``None``."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

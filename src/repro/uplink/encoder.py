@@ -18,8 +18,6 @@ End-to-end freshness is tracked per segment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
-
 from repro.has.mpd import BitrateLadder
 from repro.util import require_positive
 
@@ -42,11 +40,11 @@ class ProducedSegment:
     bitrate_bps: float
     size_bytes: float
     produced_at_s: float
-    uploaded_at_s: Optional[float] = None
+    uploaded_at_s: float | None = None
     dropped: bool = False
 
     @property
-    def latency_s(self) -> Optional[float]:
+    def latency_s(self) -> float | None:
         """Production-to-upload latency (None if dropped/in flight)."""
         if self.uploaded_at_s is None:
             return None
@@ -71,7 +69,7 @@ class LiveEncoder:
         self.ladder = ladder
         self.segment_duration_s = segment_duration_s
         self.max_backlog_segments = max_backlog_segments
-        self._segments: List[ProducedSegment] = []
+        self._segments: list[ProducedSegment] = []
         self._next_production_s = 0.0
         self._next_index = 0
         self._current_ladder_index = 0
@@ -87,9 +85,9 @@ class LiveEncoder:
         return self._current_ladder_index
 
     # -- production -----------------------------------------------------
-    def produce_due_segments(self, now_s: float) -> List[ProducedSegment]:
+    def produce_due_segments(self, now_s: float) -> list[ProducedSegment]:
         """Emit every segment whose production time has arrived."""
-        produced: List[ProducedSegment] = []
+        produced: list[ProducedSegment] = []
         while self._next_production_s <= now_s + 1e-12:
             bitrate = self.ladder.rate(self._current_ladder_index)
             segment = ProducedSegment(
@@ -112,17 +110,17 @@ class LiveEncoder:
             oldest.dropped = True
 
     # -- accounting ------------------------------------------------------
-    def queued_segments(self) -> List[ProducedSegment]:
+    def queued_segments(self) -> list[ProducedSegment]:
         """Segments produced but neither uploaded nor dropped."""
         return [s for s in self._segments
                 if s.uploaded_at_s is None and not s.dropped]
 
     @property
-    def segments(self) -> List[ProducedSegment]:
+    def segments(self) -> list[ProducedSegment]:
         """All produced segments, oldest first."""
         return list(self._segments)
 
-    def uploaded_segments(self) -> List[ProducedSegment]:
+    def uploaded_segments(self) -> list[ProducedSegment]:
         """Segments fully delivered to the server."""
         return [s for s in self._segments if s.uploaded_at_s is not None]
 

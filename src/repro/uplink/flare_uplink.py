@@ -13,8 +13,6 @@ concrete.
 
 from __future__ import annotations
 
-from typing import Dict, Union
-
 from repro.core.algorithm1 import Algorithm1
 from repro.core.controller import make_solver
 from repro.core.oneapi import OneApiServer
@@ -37,7 +35,7 @@ class FlareUplinkSystem:
 
     def __init__(
         self,
-        solver: Union[str, Solver] = "exact",
+        solver: str | Solver = "exact",
         delta: int = 2,
         alpha: float = 1.0,
         bai_s: float = 2.0,
@@ -48,7 +46,7 @@ class FlareUplinkSystem:
                                    alpha=alpha, enforce_gbr=True,
                                    cost_smoothing=cost_smoothing)
         self.adapter = UplinkCellAdapter()
-        self._plugins: Dict[int, FlarePlugin] = {}
+        self._plugins: dict[int, FlarePlugin] = {}
         self._installed = False
 
     def attach_streamer(

@@ -15,10 +15,13 @@ now drives the encoder instead of the player.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING
 
 from repro.net.flows import VideoFlow
 from repro.uplink.encoder import LiveEncoder, ProducedSegment
+
+if TYPE_CHECKING:
+    from repro.sim.cell import Cell
 
 
 class UplinkStreamer:
@@ -32,12 +35,12 @@ class UplinkStreamer:
     def __init__(self, flow: VideoFlow, encoder: LiveEncoder) -> None:
         self.flow = flow
         self.encoder = encoder
-        self._in_flight: Optional[ProducedSegment] = None
+        self._in_flight: ProducedSegment | None = None
         self._step_end_s = 0.0
-        self._assigned_index: Optional[int] = None
+        self._assigned_index: int | None = None
 
     # -- coordinated control ---------------------------------------------
-    def set_assigned_index(self, ladder_index: Optional[int]) -> None:
+    def set_assigned_index(self, ladder_index: int | None) -> None:
         """Pin the encoder to a network-assigned ladder index."""
         self._assigned_index = ladder_index
         if ladder_index is not None:
@@ -72,7 +75,7 @@ class UplinkStreamer:
 
     # -- stats --------------------------------------------------------------
     @property
-    def in_flight(self) -> Optional[ProducedSegment]:
+    def in_flight(self) -> ProducedSegment | None:
         """The segment currently being uploaded (None when idle)."""
         return self._in_flight
 
@@ -128,11 +131,11 @@ class UplinkCellAdapter:
         self._streamers.append(streamer)
 
     @property
-    def streamers(self) -> list:
+    def streamers(self) -> list[UplinkStreamer]:
         """All tracked streamers."""
         return list(self._streamers)
 
-    def install(self, cell) -> None:
+    def install(self, cell: Cell) -> None:
         """Attach production to the cell's step loop.
 
         Uses a pre-step trick: the hook fires at the *end* of step N,

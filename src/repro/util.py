@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 #: Bits per byte, named to keep unit conversions greppable.
 BITS_PER_BYTE = 8
@@ -94,7 +94,7 @@ class Ewma:
     def __init__(self, weight: float) -> None:
         require_in_range("weight", weight, 0.0, 1.0)
         self._weight = weight
-        self._value: Optional[float] = None
+        self._value: float | None = None
 
     @property
     def weight(self) -> float:
@@ -102,7 +102,7 @@ class Ewma:
         return self._weight
 
     @property
-    def value(self) -> Optional[float]:
+    def value(self) -> float | None:
         """Current estimate, or ``None`` before the first sample."""
         return self._value
 
@@ -173,7 +173,7 @@ class SlidingWindow:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._samples: List[float] = []
+        self._samples: list[float] = []
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -198,13 +198,13 @@ class SlidingWindow:
         """True once :attr:`capacity` samples have been retained."""
         return len(self._samples) == self._capacity
 
-    def mean(self) -> Optional[float]:
+    def mean(self) -> float | None:
         """Arithmetic mean of retained samples, ``None`` when empty."""
         if not self._samples:
             return None
         return sum(self._samples) / len(self._samples)
 
-    def harmonic_mean(self) -> Optional[float]:
+    def harmonic_mean(self) -> float | None:
         """Harmonic mean of retained samples (FESTIVE's estimator).
 
         Samples that are zero or negative are ignored because a harmonic
@@ -244,7 +244,7 @@ class IntervalAccumulator:
 
     total_bytes: float = 0.0
     elapsed_s: float = 0.0
-    _history: List[float] = field(default_factory=list)
+    _history: list[float] = field(default_factory=list)
 
     def add(self, num_bytes: float, duration_s: float) -> None:
         """Record ``num_bytes`` delivered over ``duration_s`` seconds."""

@@ -11,9 +11,7 @@ builder around it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
-
-import numpy as np
+from collections.abc import Callable
 
 from repro.core.controller import FlareSystem
 from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
@@ -23,7 +21,7 @@ from repro.net.flows import UserEquipment, reset_entity_ids
 from repro.phy.channel import StaticItbsChannel
 from repro.sim.cell import Cell, CellConfig
 from repro.util import require_non_negative
-from repro.workload.scenarios import FlareParams, Scenario
+from repro.workload.scenarios import FlareParams, Scenario, start_jitter
 
 
 @dataclass
@@ -46,9 +44,9 @@ class ScheduledArrival:
 class ArrivalSchedule:
     """Step hook executing scripted arrivals against a running cell."""
 
-    def __init__(self, arrivals: Optional[List[ScheduledArrival]] = None
+    def __init__(self, arrivals: list[ScheduledArrival] | None = None
                  ) -> None:
-        self._arrivals: List[ScheduledArrival] = list(arrivals or [])
+        self._arrivals: list[ScheduledArrival] = list(arrivals or [])
 
     def add(self, time_s: float, attach: Callable[[], object]) -> None:
         """Schedule ``attach()`` to run at simulation time ``time_s``."""
@@ -66,7 +64,7 @@ class ArrivalSchedule:
                 arrival.done = True
 
     @property
-    def executed(self) -> List[ScheduledArrival]:
+    def executed(self) -> list[ScheduledArrival]:
         """Arrivals that have fired, in schedule order."""
         return [a for a in self._arrivals if a.done]
 
@@ -83,7 +81,7 @@ class ArrivalScenario(Scenario):
 
     schedule: ArrivalSchedule = field(default_factory=ArrivalSchedule)
 
-    def late_players(self) -> List[HasPlayer]:
+    def late_players(self) -> list[HasPlayer]:
         """Players attached by the schedule (valid after run())."""
         return [a.result for a in self.schedule.executed
                 if isinstance(a.result, HasPlayer)]
@@ -97,7 +95,7 @@ def build_arrival_scenario(
     itbs: int = 15,
     segment_s: float = 10.0,
     seed: int = 0,
-    flare_params: Optional[FlareParams] = None,
+    flare_params: FlareParams | None = None,
     step_s: float = 0.02,
 ) -> ArrivalScenario:
     """FLARE cell where ``late_clients`` arrive at ``arrival_time_s``.
@@ -108,7 +106,6 @@ def build_arrival_scenario(
     the paper's large-drop escape hatch from the stability constraint.
     """
     reset_entity_ids()
-    rng = np.random.default_rng(seed)
     params = flare_params or FlareParams()
     cell = Cell(CellConfig(step_s=step_s))
     flare = FlareSystem(
@@ -122,17 +119,17 @@ def build_arrival_scenario(
     mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=segment_s)
 
     players = []
-    for _ in range(initial_clients):
+    for i in range(initial_clients):
         config = PlayerConfig(
             request_threshold_s=3.0 * segment_s,
-            start_time_s=float(rng.uniform(0.0, segment_s)))
+            start_time_s=start_jitter(seed, 531, i, segment_s))
         players.append(flare.attach_client(
             cell, UserEquipment(StaticItbsChannel(itbs)), mpd, config))
 
     schedule = ArrivalSchedule()
 
-    def make_attach():
-        def attach():
+    def make_attach() -> Callable[[], HasPlayer]:
+        def attach() -> HasPlayer:
             config = PlayerConfig(request_threshold_s=3.0 * segment_s,
                                   start_time_s=cell.now_s)
             return flare.attach_client(

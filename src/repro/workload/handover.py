@@ -16,8 +16,6 @@ player would keep playing across a handover.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
-
 from repro.core.controller import FlareSystem
 from repro.has.player import HasPlayer
 from repro.sim.cell import Cell
@@ -37,10 +35,10 @@ class HandoverManager:
     """Executes and audits FLARE-client handovers between cells."""
 
     def __init__(self) -> None:
-        self._records: List[HandoverRecord] = []
+        self._records: list[HandoverRecord] = []
 
     @property
-    def records(self) -> List[HandoverRecord]:
+    def records(self) -> list[HandoverRecord]:
         """Executed handovers, oldest first."""
         return list(self._records)
 

@@ -16,8 +16,6 @@ wrapper, so every existing channel model composes with coupling.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 from repro.phy import tbs
 from repro.phy.channel import ChannelModel
 from repro.sim.cell import Cell
@@ -45,10 +43,10 @@ class InterferenceCoupler:
         require_in_range("smoothing", smoothing, 0.0, 1.0)
         self.coupling_db = coupling_db
         self.smoothing = smoothing
-        self._cells: Dict[int, Cell] = {}
-        self._utilisation: Dict[int, Ewma] = {}
-        self._last_prbs: Dict[int, float] = {}
-        self._last_time: Dict[int, float] = {}
+        self._cells: dict[int, Cell] = {}
+        self._utilisation: dict[int, Ewma] = {}
+        self._last_prbs: dict[int, float] = {}
+        self._last_time: dict[int, float] = {}
 
     # -- registration -----------------------------------------------------
     def install(self, cell: Cell) -> None:
@@ -62,7 +60,7 @@ class InterferenceCoupler:
         cell.add_step_hook(lambda now_s: self._on_step(cell, now_s))
 
     def couple(self, channel: ChannelModel, cell_id: int
-               ) -> "CoupledChannel":
+               ) -> CoupledChannel:
         """Wrap a UE channel so it sees neighbour interference."""
         return CoupledChannel(channel, self, cell_id)
 
@@ -87,7 +85,7 @@ class InterferenceCoupler:
 
     def interference_db(self, victim_cell_id: int) -> float:
         """Total SINR penalty seen by UEs of ``victim_cell_id``."""
-        neighbours: List[float] = [
+        neighbours: list[float] = [
             self.utilisation(cell_id)
             for cell_id in self._cells if cell_id != victim_cell_id
         ]

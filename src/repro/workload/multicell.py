@@ -15,13 +15,12 @@ optional load-proportional interference coupling via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Any
 
 from repro.core.controller import MultiCellOneApi
 from repro.has.mpd import SIMULATION_LADDER, MediaPresentation
 from repro.workload.interference import InterferenceCoupler
+from repro.workload.scenarios import start_jitter
 from repro.has.player import HasPlayer, PlayerConfig
 from repro.metrics.collector import (
     CellReport,
@@ -47,14 +46,14 @@ class MultiCellScenario:
         coupler: the interference coupler, when coupling is enabled.
     """
 
-    cells: Dict[int, Cell]
-    samplers: Dict[int, MetricsSampler]
-    players: Dict[int, List[HasPlayer]]
+    cells: dict[int, Cell]
+    samplers: dict[int, MetricsSampler]
+    players: dict[int, list[HasPlayer]]
     oneapi: MultiCellOneApi
     duration_s: float
-    coupler: Optional[InterferenceCoupler] = None
+    coupler: InterferenceCoupler | None = None
 
-    def run(self) -> Dict[int, CellReport]:
+    def run(self) -> dict[int, CellReport]:
         """Advance every cell in lockstep; return per-cell reports.
 
         Lockstep matters when interference coupling is enabled: every
@@ -79,13 +78,13 @@ class MultiCellScenario:
 def build_multicell_scenario(
     num_cells: int = 2,
     clients_per_cell: int = 4,
-    itbs_per_cell: Optional[List[int]] = None,
+    itbs_per_cell: list[int] | None = None,
     duration_s: float = 300.0,
     segment_s: float = 10.0,
     seed: int = 0,
     step_s: float = 0.02,
     interference_coupling_db: float = 0.0,
-    **flare_kwargs,
+    **flare_kwargs: Any,
 ) -> MultiCellScenario:
     """FLARE across several cells with (optionally) unequal channels.
 
@@ -102,7 +101,6 @@ def build_multicell_scenario(
     if num_cells < 1:
         raise ValueError(f"num_cells must be >= 1, got {num_cells}")
     reset_entity_ids()
-    rng = np.random.default_rng(seed)
     if itbs_per_cell is None:
         spread = (20, 9, 15, 12, 24, 6)
         itbs_per_cell = [spread[i % len(spread)] for i in range(num_cells)]
@@ -113,9 +111,9 @@ def build_multicell_scenario(
     coupler = (InterferenceCoupler(coupling_db=interference_coupling_db)
                if interference_coupling_db > 0 else None)
     mpd = MediaPresentation(SIMULATION_LADDER, segment_duration_s=segment_s)
-    cells: Dict[int, Cell] = {}
-    samplers: Dict[int, MetricsSampler] = {}
-    players: Dict[int, List[HasPlayer]] = {}
+    cells: dict[int, Cell] = {}
+    samplers: dict[int, MetricsSampler] = {}
+    players: dict[int, list[HasPlayer]] = {}
 
     for cell_id in range(num_cells):
         cell = Cell(CellConfig(cell_id=cell_id, step_s=step_s))
@@ -123,13 +121,15 @@ def build_multicell_scenario(
             coupler.install(cell)
         system = oneapi.system_for(cell)
         cell_players = []
-        for _ in range(clients_per_cell):
+        for client in range(clients_per_cell):
             channel = StaticItbsChannel(itbs_per_cell[cell_id])
             if coupler is not None:
                 channel = coupler.couple(channel, cell_id)
             config = PlayerConfig(
                 request_threshold_s=3.0 * segment_s,
-                start_time_s=float(rng.uniform(0.0, segment_s)))
+                start_time_s=start_jitter(
+                    seed, 521, cell_id * clients_per_cell + client,
+                    segment_s))
             cell_players.append(system.attach_client(
                 cell, UserEquipment(channel), mpd, config))
         sampler = MetricsSampler(interval_s=1.0)

@@ -22,8 +22,6 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
-
 import numpy as np
 
 from repro.abr.avis import AvisNetworkAgent, AvisUeAdapter
@@ -92,7 +90,7 @@ class FlareParams:
     solver: str = "exact"
     enforce_gbr: bool = True
     enforce_step_limit: bool = True
-    cost_smoothing: Optional[float] = None
+    cost_smoothing: float | None = None
 
 
 @dataclass
@@ -113,14 +111,27 @@ class Scenario:
     sampler: MetricsSampler
     duration_s: float
     scheme: str
-    players: List[HasPlayer] = field(default_factory=list)
-    data_flows: List[DataFlow] = field(default_factory=list)
-    flare: Optional[FlareSystem] = None
+    players: list[HasPlayer] = field(default_factory=list)
+    data_flows: list[DataFlow] = field(default_factory=list)
+    flare: FlareSystem | None = None
 
     def run(self) -> CellReport:
         """Simulate to completion and return the cell report."""
         self.cell.run(self.duration_s)
         return collect_cell_report(self.cell, self.sampler, self.duration_s)
+
+
+def start_jitter(seed: int, tag: int, index: int,
+                 segment_s: float) -> float:
+    """Per-entity start-time jitter in ``[0, segment_s)``.
+
+    Every entity draws from its own ``default_rng([seed, tag, index])``
+    child stream, so adding or removing one client never shifts the
+    draws of any other — the same spawn-key discipline the channel
+    models use.  ``tag`` namespaces the stream per builder.
+    """
+    rng = np.random.default_rng([seed, tag, index])
+    return float(rng.uniform(0.0, segment_s))
 
 
 def _client_abr(scheme: str, segment_s: float) -> AbrAlgorithm:
@@ -168,16 +179,16 @@ def _player_config(scheme: str, segment_s: float, start_time_s: float,
 def _attach_clients(
     cell: Cell,
     scheme: str,
-    ues: List[UserEquipment],
+    ues: list[UserEquipment],
     mpd: MediaPresentation,
     flare_params: FlareParams,
-    start_times: List[float],
+    start_times: list[float],
     google_threshold_s: float = 15.0,
     default_cost_smoothing: float = 0.1,
-) -> (List[HasPlayer], Optional[FlareSystem]):
+) -> (list[HasPlayer], FlareSystem | None):
     """Attach one video client per UE according to ``scheme``."""
-    players: List[HasPlayer] = []
-    flare: Optional[FlareSystem] = None
+    players: list[HasPlayer] = []
+    flare: FlareSystem | None = None
     if scheme == "flare":
         smoothing = (flare_params.cost_smoothing
                      if flare_params.cost_smoothing is not None
@@ -226,8 +237,8 @@ def build_testbed_scenario(
     num_data: int = 1,
     static_itbs: int = 7,
     segment_s: float = 4.0,
-    ladder: Optional[BitrateLadder] = None,
-    flare_params: Optional[FlareParams] = None,
+    ladder: BitrateLadder | None = None,
+    flare_params: FlareParams | None = None,
     step_s: float = 0.02,
 ) -> Scenario:
     """The femtocell testbed: 3 video flows + 1 Iperf data flow.
@@ -240,7 +251,6 @@ def build_testbed_scenario(
         static_itbs: calibrated TBS index of the static scenario.
     """
     reset_entity_ids()
-    rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     ladder = ladder or TESTBED_LADDER
     mpd = MediaPresentation(ladder=ladder, segment_duration_s=segment_s)
@@ -257,8 +267,8 @@ def build_testbed_scenario(
     video_ues = [UserEquipment(make_channel(i)) for i in range(num_video)]
     data_ues = [UserEquipment(make_channel(num_video + i))
                 for i in range(num_data)]
-    start_times = [float(rng.uniform(0.0, segment_s))
-                   for _ in range(num_video)]
+    start_times = [start_jitter(seed, 501, i, segment_s)
+                   for i in range(num_video)]
     google_threshold = 40.0 if dynamic else 15.0
     players, flare = _attach_clients(
         cell, scheme, video_ues, mpd, flare_params, start_times,
@@ -315,8 +325,8 @@ def build_cell_scenario(
     num_data: int = 0,
     duration_s: float = 1200.0,
     segment_s: float = 10.0,
-    ladder: Optional[BitrateLadder] = None,
-    flare_params: Optional[FlareParams] = None,
+    ladder: BitrateLadder | None = None,
+    flare_params: FlareParams | None = None,
     step_s: float = 0.02,
 ) -> Scenario:
     """The ns-3-style cell: N clients in a 2000 m x 2000 m field.
@@ -325,7 +335,6 @@ def build_cell_scenario(
     fading, 10 s segments, the 100-3000 kbps ladder, 1200 s runs.
     """
     reset_entity_ids()
-    rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     ladder = ladder or SIMULATION_LADDER
     mpd = MediaPresentation(ladder=ladder, segment_duration_s=segment_s)
@@ -342,8 +351,8 @@ def build_cell_scenario(
             np.random.default_rng([seed, 202, i]), field_area, mobile))
         for i in range(num_data)
     ]
-    start_times = [float(rng.uniform(0.0, segment_s))
-                   for _ in range(num_video)]
+    start_times = [start_jitter(seed, 502, i, segment_s)
+                   for i in range(num_video)]
     players, flare = _attach_clients(
         cell, scheme, video_ues, mpd, flare_params, start_times)
     data_flows = [cell.add_data_flow(ue) for ue in data_ues]
@@ -361,8 +370,8 @@ def build_mixed_scenario(
     num_video: int = 8,
     num_data: int = 8,
     duration_s: float = 1200.0,
-    ladder: Optional[BitrateLadder] = None,
-    flare_params: Optional[FlareParams] = None,
+    ladder: BitrateLadder | None = None,
+    flare_params: FlareParams | None = None,
     step_s: float = 0.02,
 ) -> Scenario:
     """Figure 10's workload: 8 video + 8 data clients, fine ladder."""
@@ -385,7 +394,7 @@ def build_coexistence_scenario(
     num_legacy: int = 4,
     duration_s: float = 600.0,
     mobile: bool = False,
-    flare_params: Optional[FlareParams] = None,
+    flare_params: FlareParams | None = None,
     step_s: float = 0.02,
 ) -> Scenario:
     """Deployment extension (paper Section V): FLARE and legacy players
@@ -397,7 +406,6 @@ def build_coexistence_scenario(
     clients.
     """
     reset_entity_ids()
-    rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     field_area = Field(2000.0, 2000.0)
     mpd = MediaPresentation(ladder=SIMULATION_LADDER,
@@ -411,17 +419,18 @@ def build_coexistence_scenario(
         enforce_step_limit=flare_params.enforce_step_limit)
     flare.install(cell)
 
-    players: List[HasPlayer] = []
+    players: list[HasPlayer] = []
     for i in range(num_flare):
         ue = UserEquipment(_fading_channel(
             np.random.default_rng([seed, 301, i]), field_area, mobile))
-        config = _player_config("flare", 10.0, float(rng.uniform(0.0, 10.0)))
+        config = _player_config("flare", 10.0,
+                                start_jitter(seed, 311, i, 10.0))
         players.append(flare.attach_client(cell, ue, mpd, config))
     for i in range(num_legacy):
         ue = UserEquipment(_fading_channel(
             np.random.default_rng([seed, 302, i]), field_area, mobile))
         config = _player_config("festive", 10.0,
-                                float(rng.uniform(0.0, 10.0)))
+                                start_jitter(seed, 312, i, 10.0))
         players.append(cell.add_video_flow(ue, mpd, Festive(), config))
     sampler = MetricsSampler(interval_s=1.0)
     cell.add_controller(sampler)
@@ -438,8 +447,8 @@ def build_trace_scenario(
     num_data: int = 0,
     duration_s: float = 600.0,
     segment_s: float = 10.0,
-    ladder: Optional[BitrateLadder] = None,
-    flare_params: Optional[FlareParams] = None,
+    ladder: BitrateLadder | None = None,
+    flare_params: FlareParams | None = None,
     step_s: float = 0.02,
 ) -> Scenario:
     """Trace-driven cell: each UE replays a synthetic iTbs trace.
@@ -455,7 +464,6 @@ def build_trace_scenario(
     )
 
     reset_entity_ids()
-    rng = np.random.default_rng(seed)
     flare_params = flare_params or FlareParams()
     ladder = ladder or SIMULATION_LADDER
     mpd = MediaPresentation(ladder=ladder, segment_duration_s=segment_s)
@@ -476,8 +484,8 @@ def build_trace_scenario(
     video_ues = [UserEquipment(make_channel(i)) for i in range(num_video)]
     data_ues = [UserEquipment(make_channel(num_video + i))
                 for i in range(num_data)]
-    start_times = [float(rng.uniform(0.0, segment_s))
-                   for _ in range(num_video)]
+    start_times = [start_jitter(seed, 504, i, segment_s)
+                   for i in range(num_video)]
     players, flare = _attach_clients(
         cell, scheme, video_ues, mpd, flare_params, start_times)
     data_flows = [cell.add_data_flow(ue) for ue in data_ues]

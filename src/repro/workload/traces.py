@@ -10,7 +10,7 @@ occasional deep fades.  They feed
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ def random_walk_itbs_trace(
     max_step: int = 2,
     lo: int = tbs.MIN_ITBS,
     hi: int = tbs.MAX_ITBS,
-) -> List[Tuple[float, int]]:
+) -> list[tuple[float, int]]:
     """Bounded random-walk iTbs trace.
 
     Each ``step_period_s`` the index moves by a uniform integer in
@@ -43,7 +43,7 @@ def random_walk_itbs_trace(
     if hi < lo:
         raise ValueError(f"hi must be >= lo ({hi} < {lo})")
     current = min(max(start_itbs, lo), hi)
-    trace: List[Tuple[float, int]] = [(0.0, current)]
+    trace: list[tuple[float, int]] = [(0.0, current)]
     time_s = step_period_s
     while time_s < duration_s:
         step = int(rng.integers(-max_step, max_step + 1))
@@ -66,7 +66,7 @@ def markov_fade_itbs_trace(
     bad_itbs: int = 3,
     p_enter_fade: float = 0.02,
     p_exit_fade: float = 0.2,
-) -> List[Tuple[float, int]]:
+) -> list[tuple[float, int]]:
     """Two-state Gilbert-Elliott-style fade trace.
 
     The channel alternates between a good state (around ``good_itbs``)
@@ -84,7 +84,7 @@ def markov_fade_itbs_trace(
         if not 0.0 < p <= 1.0:
             raise ValueError(f"{name} must be in (0, 1], got {p}")
     in_fade = False
-    trace: List[Tuple[float, int]] = []
+    trace: list[tuple[float, int]] = []
     time_s = 0.0
     while time_s < duration_s or not trace:
         if in_fade:
@@ -101,7 +101,7 @@ def markov_fade_itbs_trace(
     return trace
 
 
-def trace_mean_capacity_bps(trace: Sequence[Tuple[float, int]],
+def trace_mean_capacity_bps(trace: Sequence[tuple[float, int]],
                             prb_per_tti: int = tbs.PRB_PER_TTI_10MHZ
                             ) -> float:
     """Mean full-cell capacity of a trace (diagnostic helper)."""

@@ -34,10 +34,26 @@ class TestTransportBlockBits:
         for itbs in range(27):
             assert tbs.transport_block_bits(itbs, 50) % 8 == 0
 
+    def test_full_corner_coverage(self):
+        # Every (iTbs, PRB) corner of the table is reachable.
+        for itbs in (tbs.MIN_ITBS, tbs.MAX_ITBS):
+            for n_prb in (1, tbs.MAX_PRB):
+                assert tbs.transport_block_bits(itbs, n_prb) > 0
+
+    def test_widest_carrier_column(self):
+        # PRB 110 (20 MHz carrier) is the last valid column.
+        assert (tbs.transport_block_bits(26, tbs.MAX_PRB)
+                > tbs.transport_block_bits(26, tbs.MAX_PRB - 1))
+
     @pytest.mark.parametrize("bad_prb", [0, 111])
     def test_prb_range(self, bad_prb):
         with pytest.raises(ValueError):
             tbs.transport_block_bits(5, bad_prb)
+
+    @pytest.mark.parametrize("bad_itbs", [-1, 27])
+    def test_itbs_range(self, bad_itbs):
+        with pytest.raises(ValueError):
+            tbs.transport_block_bits(bad_itbs, 50)
 
     @given(st.integers(0, 26), st.integers(1, 109))
     def test_monotone_in_prbs(self, itbs, n_prb):

@@ -1,0 +1,237 @@
+"""Tests for the runtime invariant sanitizer (``repro.check``).
+
+Covers three layers:
+
+* unit: every ``InvariantChecker`` method, passing and tripping, and
+  the stable ``invariant`` names carried by ``InvariantViolation``;
+* lifecycle: install/uninstall, the ``checking()`` /``checked_run()``
+  context managers, and ``REPRO_CHECK`` environment parsing;
+* integration: a deliberately buggy scheduler trips RB conservation
+  through the real cell driver, and a full testbed run produces a
+  byte-identical ``CellReport`` with checks on vs off.
+"""
+
+import pytest
+
+from repro import check as chk
+from repro.mac.scheduler import Allocation, Scheduler
+from repro.metrics.serialize import dump_cell_report
+from repro.net.flows import UserEquipment
+from repro.phy import tbs
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.cell import Cell, CellConfig
+from repro.workload.scenarios import build_testbed_scenario
+
+
+@pytest.fixture()
+def checker():
+    """A fresh, non-ambient checker for direct method calls."""
+    return chk.InvariantChecker()
+
+
+class TestInvariantViolation:
+    def test_is_a_value_error(self):
+        err = chk.InvariantViolation("rb_conservation", "boom")
+        assert isinstance(err, ValueError)
+
+    def test_carries_invariant_name_and_message(self):
+        err = chk.InvariantViolation("one_step_up", "jumped two rungs")
+        assert err.invariant == "one_step_up"
+        assert str(err) == "[one_step_up] jumped two rungs"
+
+
+class TestCheckerMethods:
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            chk.InvariantChecker(tolerance=-1e-9)
+
+    def test_rb_conservation_passes_and_counts(self, checker):
+        checker.check_rb_conservation(0.0, 50.0, 50.0)
+        checker.check_rb_conservation(0.02, 49.5, 50.0)
+        assert checker.counts == {"rb_conservation": 2}
+
+    def test_rb_conservation_allows_float_slop(self, checker):
+        checker.check_rb_conservation(0.0, 50.0 + 1e-9, 50.0)
+
+    def test_over_allocated_tti_trips(self, checker):
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_rb_conservation(0.0, 51.0, 50.0)
+        assert excinfo.value.invariant == "rb_conservation"
+
+    def test_gbr_capacity(self, checker):
+        checker.check_gbr_capacity(0.0, 40.0, 50.0)
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_gbr_capacity(0.0, 50.5, 50.0)
+        assert excinfo.value.invariant == "gbr_capacity"
+
+    def test_tbs_lookup_boundaries_pass(self, checker):
+        for itbs in (tbs.MIN_ITBS, tbs.MAX_ITBS):
+            for n_prb in (1, tbs.MAX_PRB):
+                checker.check_tbs_lookup(itbs, n_prb, tbs.MIN_ITBS,
+                                         tbs.MAX_ITBS, tbs.MAX_PRB)
+        assert checker.counts["tbs_lookup"] == 4
+
+    @pytest.mark.parametrize("itbs", [tbs.MIN_ITBS - 1, tbs.MAX_ITBS + 1])
+    def test_tbs_lookup_bad_index(self, checker, itbs):
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_tbs_lookup(itbs, 1, tbs.MIN_ITBS,
+                                     tbs.MAX_ITBS, tbs.MAX_PRB)
+        assert excinfo.value.invariant == "tbs_index_range"
+
+    @pytest.mark.parametrize("n_prb", [0, 111])
+    def test_tbs_lookup_bad_prb(self, checker, n_prb):
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_tbs_lookup(9, n_prb, tbs.MIN_ITBS,
+                                     tbs.MAX_ITBS, tbs.MAX_PRB)
+        assert excinfo.value.invariant == "tbs_prb_range"
+
+    def test_tbs_index_from_channel(self, checker):
+        checker.check_tbs_index(26, tbs.MIN_ITBS, tbs.MAX_ITBS)
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_tbs_index(27, tbs.MIN_ITBS, tbs.MAX_ITBS)
+        assert excinfo.value.invariant == "tbs_index_range"
+
+    def test_one_step_up_allows_single_step_and_any_drop(self, checker):
+        checker.check_ladder_step(7, previous_level=2, new_level=3)
+        checker.check_ladder_step(7, previous_level=2, new_level=2)
+        checker.check_ladder_step(7, previous_level=4, new_level=0)
+        assert checker.counts == {"one_step_up": 3}
+
+    def test_two_step_jump_trips(self, checker):
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_ladder_step(7, previous_level=2, new_level=4)
+        assert excinfo.value.invariant == "one_step_up"
+
+    def test_solver_residual(self, checker):
+        checker.check_solver_residual(used_rbs=40.0, r=0.8, total_rbs=50.0)
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_solver_residual(used_rbs=41.0, r=0.8,
+                                          total_rbs=50.0)
+        assert excinfo.value.invariant == "optimizer_residual"
+
+    def test_solver_residual_stub_solution_uses_hard_capacity(self, checker):
+        # r == 0 means the solution reports no RB share (hand-built
+        # stubs): only the hard cell capacity applies.
+        checker.check_solver_residual(used_rbs=50.0, r=0.0, total_rbs=50.0)
+        with pytest.raises(chk.InvariantViolation):
+            checker.check_solver_residual(used_rbs=50.1, r=0.0,
+                                          total_rbs=50.0)
+
+    def test_buffer_level(self, checker):
+        checker.check_buffer_level(0.0, 30.0)
+        checker.check_buffer_level(30.0, 30.0)
+        with pytest.raises(chk.InvariantViolation) as excinfo:
+            checker.check_buffer_level(-0.5, 30.0)
+        assert excinfo.value.invariant == "buffer_level"
+        with pytest.raises(chk.InvariantViolation):
+            checker.check_buffer_level(30.5, 30.0)
+
+
+class TestLifecycle:
+    def test_no_ambient_checker_by_default(self):
+        assert chk.current() is None
+
+    def test_install_uninstall(self):
+        installed = chk.install()
+        try:
+            assert chk.current() is installed
+            with pytest.raises(RuntimeError):
+                chk.install()
+        finally:
+            chk.uninstall()
+        assert chk.current() is None
+        chk.uninstall()  # idempotent
+
+    def test_checking_scopes_the_ambient_checker(self):
+        with chk.checking() as checker:
+            assert chk.current() is checker
+        assert chk.current() is None
+
+    def test_checking_uninstalls_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with chk.checking():
+                raise RuntimeError("boom")
+        assert chk.current() is None
+
+    def test_checking_accepts_a_custom_checker(self):
+        mine = chk.InvariantChecker(tolerance=1e-3)
+        with chk.checking(mine) as checker:
+            assert checker is mine
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", " ON "])
+    def test_enabled_in_env_truthy(self, value):
+        assert chk.enabled_in_env({chk.ENV_FLAG: value})
+
+    @pytest.mark.parametrize("env", [{}, {chk.ENV_FLAG: ""},
+                                     {chk.ENV_FLAG: "0"},
+                                     {chk.ENV_FLAG: "no"}])
+    def test_enabled_in_env_falsy(self, env):
+        assert not chk.enabled_in_env(env)
+
+    def test_checked_run_exports_env_and_restores(self, monkeypatch):
+        monkeypatch.delenv(chk.ENV_FLAG, raising=False)
+        import os
+        with chk.checked_run() as checker:
+            assert chk.current() is checker
+            assert os.environ[chk.ENV_FLAG] == "1"
+        assert chk.current() is None
+        assert chk.ENV_FLAG not in os.environ
+
+
+class _OverAllocatingScheduler(Scheduler):
+    """A buggy scheduler that grants 1.5x the step's PRB budget."""
+
+    def allocate(self, now_s, step_s, flows, prb_budget, registry):
+        grant = 1.5 * prb_budget / max(len(flows), 1)
+        return {flow.flow_id: Allocation(prbs=grant, bytes_delivered=0.0)
+                for flow in flows}
+
+
+class TestCellIntegration:
+    def test_rogue_scheduler_trips_rb_conservation(self):
+        cell = Cell(CellConfig(), scheduler=_OverAllocatingScheduler())
+        cell.add_data_flow(UserEquipment(StaticItbsChannel(9)))
+        with chk.checking():
+            with pytest.raises(chk.InvariantViolation) as excinfo:
+                cell.run(0.1)
+        assert excinfo.value.invariant == "rb_conservation"
+
+    def test_rogue_scheduler_unnoticed_without_checker(self):
+        # The zero-cost-when-off contract: no checker, no enforcement.
+        cell = Cell(CellConfig(), scheduler=_OverAllocatingScheduler())
+        cell.add_data_flow(UserEquipment(StaticItbsChannel(9)))
+        cell.run(0.1)
+
+    def test_tbs_table_raises_value_error_with_checker_on(self):
+        # InvariantViolation front-runs the table's own ValueError but
+        # keeps the documented "raises ValueError" contract.
+        with chk.checking():
+            with pytest.raises(ValueError):
+                tbs.transport_block_bits(27, 50)
+            with pytest.raises(ValueError):
+                tbs.transport_block_bits(9, 0)
+
+
+class TestScenarioIntegration:
+    DURATION_S = 20.0
+
+    def _report(self):
+        return build_testbed_scenario(
+            scheme="flare", seed=3, duration_s=self.DURATION_S).run()
+
+    def test_reports_byte_identical_with_checks_on(self):
+        plain = dump_cell_report(self._report())
+        with chk.checking() as checker:
+            checked = dump_cell_report(self._report())
+        assert checked == plain
+        assert sum(checker.counts.values()) > 0
+
+    def test_flare_run_exercises_every_invariant_family(self):
+        with chk.checking() as checker:
+            self._report()
+        # The fluid MAC uses per-PRB rates, so the channel-side
+        # ``tbs_index`` check fires rather than the full table lookup.
+        for invariant in ("rb_conservation", "gbr_capacity", "tbs_index",
+                          "one_step_up", "optimizer_residual",
+                          "buffer_level"):
+            assert checker.counts.get(invariant, 0) > 0, invariant

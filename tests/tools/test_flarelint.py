@@ -1,0 +1,113 @@
+"""Fixture-based self-tests for the flarelint rules.
+
+Every fixture under ``tools/flarelint/fixtures`` declares its virtual
+lint path on the first line (``# lint-path: ...``) and marks each line
+that must be flagged with an end-of-line ``# FLxxx`` comment.  The
+tests assert the linter reports exactly the marked (line, code) pairs
+— nothing missing, nothing extra.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+from tools.flarelint import lint_source
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tools" / "flarelint" / "fixtures"
+
+_MARKER = re.compile(r"#\s*(FL\d{3})\s*$")
+_LINT_PATH = re.compile(r"#\s*lint-path:\s*(\S+)")
+
+
+def _load_fixture(name: str):
+    text = (FIXTURES / name).read_text(encoding="utf-8")
+    match = _LINT_PATH.search(text.splitlines()[0])
+    assert match, f"{name} must declare '# lint-path: ...' on line 1"
+    expected = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        marker = _MARKER.search(line)
+        if marker:
+            expected.add((line_number, marker.group(1)))
+    return text, match.group(1), expected
+
+
+def _findings_for(name: str):
+    source, virtual_path, expected = _load_fixture(name)
+    findings = lint_source(source, virtual_path)
+    return {(f.line, f.code) for f in findings}, expected
+
+
+ALL_FIXTURES = sorted(p.name for p in FIXTURES.glob("*.py"))
+
+
+def test_fixture_corpus_is_present():
+    assert len(ALL_FIXTURES) >= 8
+
+
+@pytest.mark.parametrize("name", ALL_FIXTURES)
+def test_fixture_findings_match_markers(name):
+    got, expected = _findings_for(name)
+    assert got == expected, (
+        f"{name}: expected {sorted(expected)}, got {sorted(got)}"
+    )
+
+
+def test_wall_clock_whitelist_is_path_scoped():
+    source = (FIXTURES / "whitelisted_clock.py").read_text(encoding="utf-8")
+    clean = lint_source(source, "src/repro/core/optimizer.py")
+    assert clean == []
+    flagged = lint_source(source, "src/repro/sim/engine.py")
+    assert {f.code for f in flagged} == {"FL001"}
+    assert len(flagged) == 2  # two perf_counter reads
+
+
+def test_obs_package_may_touch_the_tracer_unguarded():
+    source = "TRACER = None\n\ndef install(t):\n    global TRACER\n    TRACER = t\n"
+    assert lint_source(source, "src/repro/obs/tracer.py") == []
+
+
+def test_select_restricts_rules():
+    source = (FIXTURES / "bad_mutable_default.py").read_text(encoding="utf-8")
+    assert lint_source(source, "src/repro/core/x.py", select=["FL001"]) == []
+    flagged = lint_source(source, "src/repro/core/x.py", select=["FL004"])
+    assert len(flagged) == 3
+
+
+def test_finding_render_format():
+    source = "def f(x=[]):\n    return x\n"
+    finding = lint_source(source, "src/repro/core/x.py")[0]
+    assert finding.render() == (
+        "src/repro/core/x.py:1:8: FL004 mutable default argument in f(); "
+        "default to None and construct inside the function"
+    )
+
+
+class TestCli:
+    def test_src_repro_is_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint", "src/repro"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_findings_exit_nonzero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint",
+             "tools/flarelint/fixtures/bad_mutable_default.py"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "FL004" in result.stdout
+
+    def test_missing_path_exits_two(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint", "no/such/dir"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 2

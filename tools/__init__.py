@@ -1,0 +1,1 @@
+"""Repository tooling: doc checking and the flarelint custom linter."""

@@ -19,7 +19,7 @@ import pathlib
 import re
 import sys
 import time
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -30,9 +30,9 @@ _FENCE = re.compile(r"^```python[ \t]*$(?P<body>.*?)^```[ \t]*$",
                     re.MULTILINE | re.DOTALL)
 
 
-def default_files() -> List[pathlib.Path]:
+def default_files() -> list[pathlib.Path]:
     """The Markdown files checked by default, in a stable order."""
-    files: List[pathlib.Path] = []
+    files: list[pathlib.Path] = []
     for target in DEFAULT_TARGETS:
         path = REPO_ROOT / target
         if path.is_dir():
@@ -42,17 +42,17 @@ def default_files() -> List[pathlib.Path]:
     return files
 
 
-def extract_fences(text: str) -> Iterator[Tuple[int, str]]:
+def extract_fences(text: str) -> Iterator[tuple[int, str]]:
     """Yield ``(line_number, source)`` for every python fence."""
     for match in _FENCE.finditer(text):
         line = text.count("\n", 0, match.start()) + 2  # body starts
         yield line, match.group("body")
 
 
-def run_file(path: pathlib.Path) -> Tuple[int, List[str]]:
+def run_file(path: pathlib.Path) -> tuple[int, list[str]]:
     """Run one file's fences; returns (fences_run, error_messages)."""
     namespace: dict = {"__name__": f"docfence:{path.name}"}
-    errors: List[str] = []
+    errors: list[str] = []
     count = 0
     for line, source in extract_fences(path.read_text(encoding="utf-8")):
         count += 1
@@ -69,11 +69,11 @@ def run_file(path: pathlib.Path) -> Tuple[int, List[str]]:
     return count, errors
 
 
-def main(argv: List[str]) -> int:
+def main(argv: list[str]) -> int:
     files = ([pathlib.Path(arg) for arg in argv]
              if argv else default_files())
     total = 0
-    failures: List[str] = []
+    failures: list[str] = []
     for path in files:
         if not path.exists():
             failures.append(f"{path}: no such file")

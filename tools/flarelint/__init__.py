@@ -1,0 +1,45 @@
+"""flarelint: AST lint rules specific to the FLARE reproduction.
+
+Generic linters cannot know that this simulator's correctness rests on
+seeded determinism, a zero-cost tracer fast path, and float-tolerant
+rate comparisons.  flarelint encodes those repo-specific contracts as
+four AST rules:
+
+* **FL001 determinism** — no module-global randomness (bare ``random``
+  module functions, unseeded ``np.random.default_rng()``, legacy
+  ``np.random.*`` draws) and no wall-clock reads anywhere in
+  ``repro``; the known timing sites (``obs.registry``,
+  ``experiments.bench``/``report``, ``core.optimizer``) are
+  whitelisted for wall-clock only.
+* **FL002 tracer fast path** — every use of the ambient tracer must
+  go through the established ``is None`` guard (directly or via a
+  local alias), so untraced runs stay zero-cost.
+* **FL003 float equality** — no ``==``/``!=`` on rates, throughputs
+  or buffer levels; accumulated float state needs tolerant
+  comparisons.
+* **FL004 mutable defaults** — no mutable default arguments.
+
+Run it with::
+
+    python -m tools.flarelint src/repro
+
+Exit status is 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+from tools.flarelint.rules import (
+    ALL_CODES,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_CODES",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,39 @@
+"""CLI entry point: ``python -m tools.flarelint <paths>``."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from tools.flarelint.rules import ALL_CODES, lint_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Lint the given files/directories; exit 1 on any finding."""
+    parser = argparse.ArgumentParser(
+        prog="flarelint",
+        description="FLARE-repo-specific AST lint rules "
+                    "(determinism, tracer fast path, float equality, "
+                    "mutable defaults).",
+    )
+    parser.add_argument("paths", nargs="+", type=pathlib.Path,
+                        help="files or directories to lint")
+    parser.add_argument("--select", nargs="*", choices=ALL_CODES,
+                        default=None, metavar="CODE",
+                        help="restrict to specific rule codes")
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        if not path.exists():
+            print(f"flarelint: no such path: {path}", file=sys.stderr)
+            return 2
+    findings = lint_paths(args.paths, select=args.select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"flarelint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

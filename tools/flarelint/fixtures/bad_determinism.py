@@ -1,0 +1,18 @@
+# lint-path: src/repro/sim/fixture.py
+"""FL001 fixture: every marked line must be flagged."""
+import random
+import time
+
+import numpy as np
+from random import choice  # FL001
+
+
+def unseeded_everything():
+    a = random.random()  # FL001
+    b = random.randint(0, 5)  # FL001
+    c = np.random.rand(3)  # FL001
+    d = np.random.default_rng()  # FL001
+    e = random.Random()  # FL001
+    f = time.time()  # FL001
+    g = time.perf_counter()  # FL001
+    return a, b, c, d, e, f, g, choice([1, 2])

@@ -1,0 +1,10 @@
+# lint-path: src/repro/has/fixture.py
+"""FL003 fixture: float equality on rate-like quantities."""
+
+
+def compares(flow, previous_rate_bps, throughput_bps, buffer_level_s):
+    a = flow.rate_bps == previous_rate_bps  # FL003
+    b = throughput_bps != 0.0  # FL003
+    c = buffer_level_s == 0  # FL003
+    d = flow.ladder.rate(0) == previous_rate_bps  # FL003
+    return a, b, c, d

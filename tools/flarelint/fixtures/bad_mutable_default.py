@@ -1,0 +1,14 @@
+# lint-path: src/repro/core/fixture.py
+"""FL004 fixture: mutable default arguments."""
+
+
+def list_default(samples=[]):  # FL004
+    return samples
+
+
+def dict_default(*, table={}):  # FL004
+    return table
+
+
+def call_default(history=list()):  # FL004
+    return history

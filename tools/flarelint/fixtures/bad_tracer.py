@@ -1,0 +1,27 @@
+# lint-path: src/repro/mac/fixture.py
+"""FL002 fixture: unguarded ambient tracer/checker uses."""
+from repro import check as chk
+from repro.obs import tracer as obs
+
+
+def unguarded_direct(now_s):
+    obs.TRACER.emit("mac.sched", now_s)  # FL002
+
+
+def unguarded_alias(now_s):
+    tracer = obs.TRACER
+    tracer.emit("mac.sched", now_s)  # FL002
+
+
+def wrong_subject_guard(now_s, other):
+    if other is not None:
+        obs.TRACER.emit("mac.sched", now_s)  # FL002
+
+
+def guard_does_not_survive_else(now_s):
+    if obs.TRACER is None:
+        obs.TRACER.emit("mac.sched", now_s)  # FL002
+
+
+def unguarded_checker(level_s, capacity_s):
+    chk.CHECKER.check_buffer_level(level_s, capacity_s)  # FL002

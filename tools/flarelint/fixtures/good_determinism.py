@@ -1,0 +1,12 @@
+# lint-path: src/repro/sim/fixture.py
+"""FL001 fixture: nothing here may be flagged."""
+import random
+
+import numpy as np
+
+
+def seeded_everything(seed):
+    rng = np.random.default_rng(seed)
+    child = np.random.default_rng([seed, 7])
+    local = random.Random(seed)
+    return rng.uniform(), child.normal(), local.random()

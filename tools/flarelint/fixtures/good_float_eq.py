@@ -1,0 +1,11 @@
+# lint-path: src/repro/has/fixture.py
+"""FL003 fixture: tolerant float comparisons and integer equality."""
+import math
+
+
+def compares(flow, previous_rate_bps, level, buffer_level_s):
+    a = math.isclose(flow.rate_bps, previous_rate_bps, rel_tol=1e-9)
+    b = flow.rate_bps > previous_rate_bps
+    c = level == 3  # ladder indices are ints: equality is exact
+    d = buffer_level_s <= 1e-12
+    return a, b, c, d

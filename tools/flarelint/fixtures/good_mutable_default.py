@@ -1,0 +1,10 @@
+# lint-path: src/repro/core/fixture.py
+"""FL004 fixture: the None-default idiom."""
+
+
+def none_default(samples=None):
+    return [] if samples is None else samples
+
+
+def immutable_defaults(count=0, name="flow", pair=(1, 2)):
+    return count, name, pair

@@ -1,0 +1,44 @@
+# lint-path: src/repro/mac/fixture.py
+"""FL002 fixture: every established fast-path guard shape."""
+from repro import check as chk
+from repro.obs import tracer as obs
+
+
+def direct_guard(now_s):
+    if obs.TRACER is not None:
+        obs.TRACER.emit("mac.sched", now_s)
+
+
+def alias_guard(now_s):
+    tracer = obs.TRACER
+    if tracer is not None:
+        tracer.emit("mac.sched", now_s)
+
+
+def boolop_guard(now_s, fired):
+    if fired and obs.TRACER is not None:
+        obs.TRACER.emit("mac.sched", now_s, fired=fired)
+
+
+def conditional_expression(path):
+    tracer = obs.TRACER
+    return tracer.jsonl_path if tracer is not None else path
+
+
+def early_exit_guard(now_s):
+    tracer = obs.TRACER
+    if tracer is None:
+        return
+    tracer.emit("mac.sched", now_s)
+
+
+def else_branch_guard(now_s):
+    if obs.TRACER is None:
+        pass
+    else:
+        obs.TRACER.emit("mac.sched", now_s)
+
+
+def checker_guard(level_s, capacity_s):
+    if chk.CHECKER is not None:
+        chk.CHECKER.check_buffer_level(level_s, capacity_s)

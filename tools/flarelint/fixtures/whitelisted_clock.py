@@ -1,0 +1,8 @@
+# lint-path: src/repro/core/optimizer.py
+"""FL001 fixture: the optimizer module may time its solves."""
+import time
+
+
+def timed_solve():
+    started = time.perf_counter()
+    return time.perf_counter() - started

@@ -1,0 +1,456 @@
+"""The flarelint rule implementations.
+
+Every rule works on the stdlib ``ast`` so the linter has zero
+third-party dependencies and runs anywhere the repo's tests run.
+Rule applicability is decided from the (posix-normalised) file path,
+which lets the self-tests exercise rules against fixture sources under
+virtual paths like ``src/repro/sim/fixture.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+#: All rule codes, in report order.
+ALL_CODES = ("FL001", "FL002", "FL003", "FL004")
+
+#: Modules allowed to read wall clocks (established timing sites:
+#: metrics-registry timers, bench artifacts, report generation, and
+#: solver solve-time measurement for paper Figure 9).
+WALL_CLOCK_WHITELIST = (
+    "repro/obs/registry.py",
+    "repro/experiments/bench.py",
+    "repro/experiments/report.py",
+    "repro/experiments/timing.py",
+    "repro/core/optimizer.py",
+)
+
+#: Modules that *implement* the ambient tracer / checker singletons and
+#: may therefore touch them unguarded.
+AMBIENT_IMPL_PREFIXES = ("repro/obs/", "repro/check.py")
+
+#: Ambient singleton attributes whose users must follow the
+#: ``is None`` fast-path pattern.
+AMBIENT_ATTRS = frozenset({"TRACER", "CHECKER"})
+
+_WALL_CLOCK_CALL = re.compile(
+    r"(^|\.)time\.(time|time_ns|perf_counter|perf_counter_ns|monotonic"
+    r"|monotonic_ns|process_time|process_time_ns)$"
+)
+_DATETIME_CALL = re.compile(r"(^|\.)(datetime|date)\.(now|utcnow|today)$")
+_WALL_CLOCK_NAMES = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+})
+_NUMPY_RANDOM_CALL = re.compile(r"^(np|numpy)\.random\.(\w+)$")
+_STDLIB_RANDOM_CALL = re.compile(r"^random\.(\w+)$")
+
+#: ``np.random`` members that are seedable constructors rather than
+#: draws from the hidden module-global generator.
+_NUMPY_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: Identifier fragments that mark a float rate / throughput / buffer
+#: level quantity (split on underscores before matching).
+_FLOAT_PARTS = frozenset({
+    "bps", "kbps", "mbps", "gbps", "rate", "rates", "bitrate", "bitrates",
+    "throughput", "throughputs", "bandwidth", "goodput",
+})
+
+_MUTABLE_CALL_NAMES = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, orderable for stable output."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we visit
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# FL001: determinism
+# ---------------------------------------------------------------------------
+def _check_determinism(tree: ast.Module, path: str,
+                       findings: list[Finding]) -> None:
+    allow_wall_clock = any(_posix(path).endswith(suffix)
+                           for suffix in WALL_CLOCK_WHITELIST)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    findings.append(Finding(
+                        path, node.lineno, node.col_offset, "FL001",
+                        f"import of module-global random function(s) "
+                        f"{', '.join(sorted(bad))}; use a per-entity "
+                        f"seeded RNG instance instead",
+                    ))
+            if node.module == "time" and not allow_wall_clock:
+                bad = [a.name for a in node.names
+                       if a.name in _WALL_CLOCK_NAMES]
+                if bad:
+                    findings.append(Finding(
+                        path, node.lineno, node.col_offset, "FL001",
+                        f"wall-clock import ({', '.join(sorted(bad))}) in a "
+                        f"deterministic module; results must be a pure "
+                        f"function of the seed",
+                    ))
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        full = _unparse(node.func)
+        if not full:
+            continue
+        numpy_match = _NUMPY_RANDOM_CALL.match(full)
+        if numpy_match:
+            member = numpy_match.group(2)
+            if member not in _NUMPY_RANDOM_OK:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "FL001",
+                    f"np.random.{member}() draws from numpy's hidden "
+                    f"module-global generator; use a seeded "
+                    f"np.random.default_rng(seed) instance",
+                ))
+            elif member == "default_rng" and not node.args:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "FL001",
+                    "np.random.default_rng() without a seed is "
+                    "entropy-seeded; pass an explicit seed",
+                ))
+            continue
+        stdlib_match = _STDLIB_RANDOM_CALL.match(full)
+        if stdlib_match:
+            member = stdlib_match.group(1)
+            if member == "Random":
+                if not node.args:
+                    findings.append(Finding(
+                        path, node.lineno, node.col_offset, "FL001",
+                        "random.Random() without a seed is entropy-seeded; "
+                        "pass an explicit seed",
+                    ))
+            else:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "FL001",
+                    f"random.{member}() uses the module-global RNG; use a "
+                    f"per-entity seeded random.Random/default_rng instance",
+                ))
+            continue
+        if not allow_wall_clock and (_WALL_CLOCK_CALL.search(full)
+                                     or _DATETIME_CALL.search(full)):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL001",
+                f"wall-clock read {full}() in a deterministic module; "
+                f"only the whitelisted timing sites may read clocks",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# FL002: ambient tracer/checker fast path
+# ---------------------------------------------------------------------------
+def _guard_subjects(test: ast.expr) -> tuple[set[str], set[str]]:
+    """Subjects proven non-None in the (body, orelse) of an ``if test``."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if isinstance(right, ast.Constant) and right.value is None:
+            subject = _unparse(left)
+            if isinstance(op, ast.IsNot):
+                return {subject}, set()
+            if isinstance(op, ast.Is):
+                return set(), {subject}
+        return set(), set()
+    if isinstance(test, ast.BoolOp):
+        body: set[str] = set()
+        orelse: set[str] = set()
+        for value in test.values:
+            sub_body, sub_orelse = _guard_subjects(value)
+            if isinstance(test.op, ast.And):
+                body |= sub_body
+            else:
+                orelse |= sub_orelse
+        return body, orelse
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        body, orelse = _guard_subjects(test.operand)
+        return orelse, body
+    return set(), set()
+
+
+def _terminates(body: Sequence[ast.stmt]) -> bool:
+    """True when a block always leaves the enclosing suite."""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+class _AmbientGuardChecker:
+    """Walks a module asserting every ambient-singleton use is guarded."""
+
+    def __init__(self, path: str, findings: list[Finding]) -> None:
+        self.path = path
+        self.findings = findings
+
+    def run(self, tree: ast.Module) -> None:
+        self._walk_body(tree.body, frozenset(), set())
+
+    # -- traversal ------------------------------------------------------
+    def _walk_body(self, body: Sequence[ast.stmt], guards: frozenset[str],
+                   aliases: set[str]) -> None:
+        live = set(guards)
+        for stmt in body:
+            self._walk(stmt, frozenset(live), aliases)
+            # An early-exit ``if x is None: return`` guards the rest of
+            # the suite.
+            if isinstance(stmt, ast.If) and _terminates(stmt.body):
+                _, orelse_subjects = _guard_subjects(stmt.test)
+                live |= orelse_subjects
+
+    def _walk(self, node: ast.AST, guards: frozenset[str],
+              aliases: set[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                self._walk(decorator, guards, aliases)
+            # Guards and aliases never survive into a deferred body.
+            self._walk_body(node.body, frozenset(), set())
+            return
+        if isinstance(node, ast.Lambda):
+            self._walk(node.body, frozenset(), set())
+            return
+        if isinstance(node, ast.ClassDef):
+            for decorator in node.decorator_list:
+                self._walk(decorator, guards, aliases)
+            self._walk_body(node.body, frozenset(), set())
+            return
+        if isinstance(node, ast.If):
+            self._walk(node.test, guards, aliases)
+            body_subjects, orelse_subjects = _guard_subjects(node.test)
+            self._walk_body(node.body, guards | body_subjects, aliases)
+            self._walk_body(node.orelse, guards | orelse_subjects, aliases)
+            return
+        if isinstance(node, ast.IfExp):
+            self._walk(node.test, guards, aliases)
+            body_subjects, orelse_subjects = _guard_subjects(node.test)
+            self._walk(node.body, guards | body_subjects, aliases)
+            self._walk(node.orelse, guards | orelse_subjects, aliases)
+            return
+        if isinstance(node, ast.Assign):
+            if (isinstance(node.value, ast.Attribute)
+                    and node.value.attr in AMBIENT_ATTRS):
+                # ``tracer = obs.TRACER`` is the fast-path pattern's
+                # single attribute load, not an unguarded use.
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+            else:
+                self._walk(node.value, guards, aliases)
+            for target in node.targets:
+                self._walk(target, guards, aliases)
+            return
+        # ``x.TRACER is not None`` is the guard itself, not a use.
+        if (isinstance(node, ast.Compare)
+                and len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.Is, ast.IsNot))
+                and isinstance(node.comparators[0], ast.Constant)
+                and node.comparators[0].value is None):
+            return
+        if isinstance(node, ast.Attribute):
+            self._check_attribute(node, guards, aliases)
+        for _, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self._walk_body(value, guards, aliases)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            self._walk(item, guards, aliases)
+            elif isinstance(value, ast.AST):
+                self._walk(value, guards, aliases)
+
+    # -- the actual check ----------------------------------------------
+    def _check_attribute(self, node: ast.Attribute, guards: frozenset[str],
+                         aliases: set[str]) -> None:
+        # Direct use: ``obs.TRACER.emit`` — the inner ``obs.TRACER``
+        # attribute is itself the value of an enclosing attribute; we
+        # check at the *inner* node so the guard subject matches.
+        if node.attr in AMBIENT_ATTRS:
+            subject = _unparse(node)
+            if subject not in guards:
+                self.findings.append(Finding(
+                    self.path, node.lineno, node.col_offset, "FL002",
+                    f"use of ambient {node.attr} without an "
+                    f"'if {subject} is not None' fast-path guard",
+                ))
+            return
+        # Alias use: ``tracer.emit`` where ``tracer = obs.TRACER``.
+        if (isinstance(node.value, ast.Name) and node.value.id in aliases
+                and node.value.id not in guards):
+            self.findings.append(Finding(
+                self.path, node.lineno, node.col_offset, "FL002",
+                f"use of tracer alias '{node.value.id}' without an "
+                f"'if {node.value.id} is not None' fast-path guard",
+            ))
+
+
+def _check_tracer_fastpath(tree: ast.Module, path: str,
+                           findings: list[Finding]) -> None:
+    posix = _posix(path)
+    if any(marker in posix or posix.endswith(marker)
+           for marker in AMBIENT_IMPL_PREFIXES):
+        return
+    _AmbientGuardChecker(path, findings).run(tree)
+
+
+# ---------------------------------------------------------------------------
+# FL003: float equality on rates / throughputs / buffer levels
+# ---------------------------------------------------------------------------
+def _identifier_of(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _identifier_of(node.func)
+    return None
+
+
+def _is_rate_like(name: str | None) -> bool:
+    if not name:
+        return False
+    parts = set(name.lower().split("_"))
+    if parts & _FLOAT_PARTS:
+        return True
+    lowered = name.lower()
+    return lowered.endswith("level_s") or (
+        "buffer" in parts and "level" in parts)
+
+
+def _check_float_equality(tree: ast.Module, path: str,
+                          findings: list[Finding]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                name = _identifier_of(side)
+                if _is_rate_like(name):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    findings.append(Finding(
+                        path, node.lineno, node.col_offset, "FL003",
+                        f"float {symbol} on rate-like quantity "
+                        f"'{name}'; compare with an explicit tolerance "
+                        f"(math.isclose or a named epsilon)",
+                    ))
+                    break
+
+
+# ---------------------------------------------------------------------------
+# FL004: mutable default arguments
+# ---------------------------------------------------------------------------
+def _is_mutable_default(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _identifier_of(node.func)
+        return name in _MUTABLE_CALL_NAMES
+    return False
+
+
+def _check_mutable_defaults(tree: ast.Module, path: str,
+                            findings: list[Finding]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if _is_mutable_default(default):
+                assert default is not None
+                name = (node.name
+                        if not isinstance(node, ast.Lambda) else "<lambda>")
+                findings.append(Finding(
+                    path, default.lineno, default.col_offset, "FL004",
+                    f"mutable default argument in {name}(); default to "
+                    f"None and construct inside the function",
+                ))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+_RULES = (
+    ("FL001", _check_determinism),
+    ("FL002", _check_tracer_fastpath),
+    ("FL003", _check_float_equality),
+    ("FL004", _check_mutable_defaults),
+)
+
+
+def lint_source(source: str, path: str,
+                select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one source string under the (virtual) path ``path``."""
+    selected = frozenset(select) if select is not None else frozenset(ALL_CODES)
+    tree = ast.parse(source, filename=path)
+    findings: list[Finding] = []
+    for code, rule in _RULES:
+        if code in selected:
+            rule(tree, path, findings)
+    return sorted(findings)
+
+
+def lint_file(path: pathlib.Path,
+              select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), select=select)
+
+
+def iter_python_files(paths: Sequence[pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[pathlib.Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(paths: Sequence[pathlib.Path],
+               select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint files and directories; returns all findings, sorted."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, select=select))
+    return sorted(findings)
