@@ -27,14 +27,24 @@ runs one scenario with event tracing on and writes a JSONL trace
 (schema: ``docs/observability.md``); ``--trace PATH`` does the same
 for any other command, merging parallel workers' shards in
 deterministic task order.
+
+Profiling and analytics: ``flare-repro profile <target>`` runs any
+table/figure command or trace scenario with the span profiler on,
+prints a per-phase self-time report and writes a Chrome trace-event
+JSON (loadable in Perfetto / ``chrome://tracing``);
+``flare-repro analyze <trace>`` reconstructs player sessions from a
+JSONL trace, attributes every stall to a cause (channel, scheduler,
+solver, client) and cross-checks trace-derived QoE against the
+scenario's CellReport when one was saved next to the trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from contextlib import nullcontext
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 from repro import check as chk
 from repro.experiments import (
@@ -56,7 +66,10 @@ from repro.experiments import (
 from repro.experiments.bench import measure, write_bench_json
 from repro.experiments.parallel import execution_defaults
 from repro.experiments.runner import full_mode
+from repro.metrics.serialize import dump_cell_report, load_cell_report
 from repro.obs import EVENT_FAMILIES, MetricsRegistry, tracing
+from repro.obs import prof
+from repro.obs.analyze import analyze_trace, render_analysis
 from repro.workload.scenarios import (
     build_cell_scenario,
     build_mixed_scenario,
@@ -88,25 +101,97 @@ TRACE_SCENARIOS = {
 }
 
 
+def _scenario_duration(args: argparse.Namespace) -> float:
+    if args.duration is not None:
+        return float(args.duration)
+    return 600.0 if is_full_run() else 120.0
+
+
 def _trace_command(args: argparse.Namespace) -> str:
     """Run one scenario with tracing on; report per-family counts."""
     builder, fixed = TRACE_SCENARIOS[args.scenario]
     out = args.out if args.out != "results" else "trace.jsonl"
-    duration = args.duration
-    if duration is None:
-        duration = 600.0 if is_full_run() else 120.0
+    duration = _scenario_duration(args)
     scheme = args.scheme if args.scheme else "flare"
     counts = MetricsRegistry()
     with tracing(jsonl=out, registry=counts) as tracer:
-        builder(scheme=scheme, seed=args.seed, duration_s=duration,
-                **fixed).run()
+        report = builder(scheme=scheme, seed=args.seed,
+                         duration_s=duration, **fixed).run()
         emitted = tracer.events_emitted
-    lines = [f"trace written to {out} ({emitted} events)"]
+    # Save the collector's view next to the trace so `analyze` can
+    # cross-validate trace-derived QoE against it.
+    report_path = pathlib.Path(f"{out}.report.json")
+    report_path.write_text(dump_cell_report(report) + "\n",
+                           encoding="utf-8")
+    lines = [f"trace written to {out} ({emitted} events)",
+             f"cell report written to {report_path}"]
     for family, types in EVENT_FAMILIES.items():
         total = sum(counts.counter(f"events.{name}").value
                     for name in types)
         lines.append(f"  {family:<12} {total:>8}")
     return "\n".join(lines)
+
+
+def _profile_command(args: argparse.Namespace) -> None:
+    """Run any command/scenario under the span profiler.
+
+    Only the profiled run happens here (inside the measured region);
+    trace export and the text report are emitted afterwards by
+    :func:`_profile_export`, so they do not inflate the measured wall
+    time the perf gate compares against profiling-off runs.
+    """
+    profiler = prof.current()
+    assert profiler is not None  # installed by main() for this command
+    target = args.scenario
+    table = _command_table()
+    with profiler.span("run"):
+        if target in table:
+            table[target](args)
+        elif target == "all":
+            for handler in table.values():
+                handler(args)
+        elif target == "report":
+            generate_report(args.out if args.out != "results"
+                            else "results")
+        else:
+            builder, fixed = TRACE_SCENARIOS[target]
+            scheme = args.scheme if args.scheme else "flare"
+            builder(scheme=scheme, seed=args.seed,
+                    duration_s=_scenario_duration(args), **fixed).run()
+
+
+def _profile_export(args: argparse.Namespace,
+                    profiler: prof.Profiler) -> str:
+    """Write the Chrome trace and render the per-phase report."""
+    trace_out = (args.out if args.out != "results"
+                 else f"profile_{args.scenario}.trace.json")
+    trace_path = profiler.write_chrome_trace(trace_out)
+    lines = [profiler.report(),
+             f"chrome trace written to {trace_path} "
+             f"(load in Perfetto or chrome://tracing)"]
+    return "\n".join(lines)
+
+
+def _find_sibling_report(trace_path: pathlib.Path) -> pathlib.Path | None:
+    """The ``<trace>.report.json`` the trace command writes, if any."""
+    if trace_path.is_dir():
+        candidates = sorted(trace_path.glob("*.report.json"))
+        return candidates[0] if candidates else None
+    sibling = pathlib.Path(f"{trace_path}.report.json")
+    return sibling if sibling.exists() else None
+
+
+def _analyze_command(args: argparse.Namespace) -> str:
+    """Offline trace analytics: sessions, stalls, solver health."""
+    trace_path = pathlib.Path(args.scenario)
+    if not trace_path.exists():
+        raise SystemExit(f"flare-repro analyze: no trace at {trace_path}")
+    report = None
+    report_path = _find_sibling_report(trace_path)
+    if report_path is not None:
+        report = load_cell_report(report_path.read_text(encoding="utf-8"))
+    analysis = analyze_trace(trace_path, report)
+    return render_analysis(analysis)
 
 
 def _command_table() -> dict[str, Callable[[argparse.Namespace], str]]:
@@ -128,18 +213,58 @@ def _command_table() -> dict[str, Callable[[argparse.Namespace], str]]:
     }
 
 
+class _Parser(argparse.ArgumentParser):
+    """Argument parser with per-command ``scenario`` validation.
+
+    The positional ``scenario`` means different things per command
+    (trace scenario, profile target, trace path for ``analyze``), so
+    static ``choices`` cannot express it — this hook validates after
+    parsing, keeping argparse's usual ``SystemExit`` error behaviour.
+    """
+
+    def parse_args(self, args: Sequence[str] | None = None,  # type: ignore[override]
+                   namespace: argparse.Namespace | None = None
+                   ) -> argparse.Namespace:
+        parsed = super().parse_args(args, namespace)
+        if parsed.command == "trace":
+            if parsed.scenario is None:
+                parsed.scenario = "testbed"
+            if parsed.scenario not in TRACE_SCENARIOS:
+                self.error(
+                    f"argument scenario: invalid choice: "
+                    f"{parsed.scenario!r} (choose from "
+                    f"{', '.join(sorted(TRACE_SCENARIOS))})")
+        elif parsed.command == "profile":
+            targets = ({*TRACE_SCENARIOS, *_command_table(),
+                        "all", "report"})
+            if parsed.scenario is None:
+                parsed.scenario = "testbed"
+            if parsed.scenario not in targets:
+                self.error(
+                    f"argument scenario: invalid profile target: "
+                    f"{parsed.scenario!r} (choose from "
+                    f"{', '.join(sorted(targets))})")
+        elif parsed.command == "analyze":
+            if parsed.scenario is None:
+                self.error("analyze requires a JSONL trace file or a "
+                           "directory of trace shards")
+        return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="flare-repro",
         description="Reproduce FLARE (ICDCS 2017) tables and figures.",
     )
-    commands = [*_command_table(), "all", "report", "trace"]
+    commands = [*_command_table(), "all", "report", "trace", "profile",
+                "analyze"]
     parser.add_argument("command", choices=commands,
                         help="which table/figure to regenerate")
-    parser.add_argument("scenario", nargs="?", default="testbed",
-                        choices=sorted(TRACE_SCENARIOS),
-                        help="scenario for the trace command")
+    parser.add_argument("scenario", nargs="?", default=None,
+                        help="scenario for the trace/profile commands "
+                             "(default: testbed), or the trace "
+                             "file/directory for analyze")
     parser.add_argument("--scheme", default=None,
                         choices=("festive", "google", "flare"),
                         help="single scheme for fig4/fig5 panels and "
@@ -178,6 +303,12 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "trace":
         print(_trace_command(args))
         return 0
+    if args.command == "profile":
+        _profile_command(args)
+        return 0
+    if args.command == "analyze":
+        print(_analyze_command(args))
+        return 0
     if args.command == "report":
         path = generate_report(args.out)
         print(f"report written to {path}")
@@ -200,11 +331,18 @@ def main(argv: list[str] | None = None) -> int:
     trace_context = (tracing(jsonl=args.trace)
                      if args.trace and args.command != "trace"
                      else nullcontext())
+    profile_context = (
+        prof.profiling(event_min_s=prof.DEFAULT_EVENT_MIN_S)
+        if args.command == "profile" else nullcontext())
     with scale_context, check_context, trace_context, execution_defaults(
             jobs=args.jobs, use_cache=not args.no_cache):
-        with measure(args.command, command=args.command,
-                     full_scale=is_full_run()) as record:
-            status = _dispatch(args)
+        with profile_context as profiler:
+            with measure(args.command, command=args.command,
+                         full_scale=is_full_run()) as record:
+                status = _dispatch(args)
+        if profiler is not None:
+            record.extra["profile"] = profiler.bench_section()
+            print(_profile_export(args, profiler))
         bench_path = write_bench_json(record)
     print(f"[bench] {bench_path}", file=sys.stderr)
     return status

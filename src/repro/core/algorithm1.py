@@ -30,6 +30,7 @@ from repro.core.optimizer import (
     Solution,
     Solver,
 )
+from repro.obs import prof
 from repro.util import require_non_negative
 
 
@@ -152,6 +153,13 @@ class Algorithm1:
         The returned decision's ``indices`` are what the OneAPI server
         enforces (GBR + plugin assignment).
         """
+        profiler = prof.PROFILER
+        if profiler is None:
+            return self._run_bai(problem)
+        with profiler.span("core.alg1"):
+            return self._run_bai(problem)
+
+    def _run_bai(self, problem: ProblemSpec) -> BaiDecision:
         constrained = ProblemSpec(
             flows=tuple(self.constrain(spec) for spec in problem.flows),
             num_data_flows=problem.num_data_flows,

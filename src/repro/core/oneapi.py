@@ -28,6 +28,7 @@ from repro.core.algorithm1 import Algorithm1, BaiDecision
 from repro.core.optimizer import FlowSpec, ProblemSpec
 from repro.core.plugin import FlarePlugin
 from repro.obs import events as obs_events
+from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.util import Ewma, require_positive
 
@@ -154,6 +155,14 @@ class OneApiServer:
 
     def on_interval(self, now_s: float, cell: Cell) -> None:
         """Run one BAI against ``cell`` (invoked by the cell driver)."""
+        profiler = prof.PROFILER
+        if profiler is None:
+            self._run_interval(now_s, cell)
+            return
+        with profiler.span("core.bai"):
+            self._run_interval(now_s, cell)
+
+    def _run_interval(self, now_s: float, cell: Cell) -> None:
         problem = self.build_problem(now_s, cell)
         if not problem.flows:
             return

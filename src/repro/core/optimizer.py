@@ -31,12 +31,12 @@ Two solvers are provided, mirroring the paper's evaluation:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.utility import data_utility, video_utility
 from repro.has.mpd import BitrateLadder
+from repro.obs import prof
 from repro.obs.registry import REGISTRY
 from repro.util import require_non_negative, require_positive
 
@@ -155,7 +155,7 @@ def _all_minimum_solution(problem: ProblemSpec, started: float) -> Solution:
         continuous_rates_bps=dict(rates),
         r=r,
         utility=_discrete_objective(problem, indices, r),
-        solve_time_s=time.perf_counter() - started,
+        solve_time_s=prof.clock() - started,
         feasible=False,
     )
 
@@ -167,6 +167,14 @@ class Solver:
 
     def solve(self, problem: ProblemSpec) -> Solution:
         """Return the recommended per-flow ladder indices and ``r``."""
+        profiler = prof.PROFILER
+        if profiler is None:
+            return self._observe(self._solve(problem))
+        with profiler.span(f"solver.{self.name}"):
+            return self._observe(self._solve(problem))
+
+    def _solve(self, problem: ProblemSpec) -> Solution:
+        """Subclass hook: the actual optimization."""
         raise NotImplementedError
 
     def _observe(self, solution: Solution) -> Solution:
@@ -208,16 +216,13 @@ class ExactSolver(Solver):
             raise ValueError(f"quanta must be >= 10, got {quanta}")
         self.quanta = quanta
 
-    def solve(self, problem: ProblemSpec) -> Solution:
-        return self._observe(self._solve(problem))
-
     def _solve(self, problem: ProblemSpec) -> Solution:
-        started = time.perf_counter()
+        started = prof.clock()
         if not problem.flows:
             r = 0.0
             return Solution(indices={}, rates_bps={}, r=r,
                             utility=_discrete_objective(problem, {}, r),
-                            solve_time_s=time.perf_counter() - started)
+                            solve_time_s=prof.clock() - started)
         quantum = problem.total_rbs / self.quanta
 
         # Per-flow choice lists: (weight_in_quanta, value, index).
@@ -304,7 +309,7 @@ class ExactSolver(Solver):
             continuous_rates_bps=dict(rates),
             r=r,
             utility=_discrete_objective(problem, indices, r),
-            solve_time_s=time.perf_counter() - started,
+            solve_time_s=prof.clock() - started,
         )
 
 
@@ -400,15 +405,12 @@ class RelaxedSolver(Solver):
         return rates, value_of(rates)
 
     # -- outer problem -------------------------------------------------
-    def solve(self, problem: ProblemSpec) -> Solution:
-        return self._observe(self._solve(problem))
-
     def _solve(self, problem: ProblemSpec) -> Solution:
-        started = time.perf_counter()
+        started = prof.clock()
         if not problem.flows:
             return Solution(indices={}, rates_bps={}, r=0.0,
                             utility=_discrete_objective(problem, {}, 0.0),
-                            solve_time_s=time.perf_counter() - started)
+                            solve_time_s=prof.clock() - started)
         w, lo_arr, hi_arr, beta_theta, beta = self._arrays(problem)
         min_rbs = float(np.dot(w, lo_arr))
         max_rbs = float(np.dot(w, hi_arr))
@@ -464,5 +466,5 @@ class RelaxedSolver(Solver):
             continuous_rates_bps=continuous,
             r=r_discrete,
             utility=_discrete_objective(problem, indices, r_discrete),
-            solve_time_s=time.perf_counter() - started,
+            solve_time_s=prof.clock() - started,
         )

@@ -16,10 +16,12 @@ Usage::
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import pathlib
 import platform
+import subprocess
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -33,9 +35,45 @@ from repro.obs.registry import REGISTRY, registry_delta
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 #: Artifact schema version (bump on shape changes).
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: Fields that vary run-to-run/machine-to-machine by construction.
+#: Artifact-diffing (tests, the CI perf gate) must ignore these and
+#: compare the rest — see :func:`comparable_dict`.
+VOLATILE_BENCH_FIELDS = frozenset({
+    "timestamp", "git_rev", "host", "python",
+    "wall_time_s", "obs", "profile",
+})
 
 PathLike = Union[str, pathlib.Path]
+
+_GIT_REV: str | None = None
+
+
+def _git_revision() -> str:
+    """The repo's short commit hash, or ``"unknown"`` (cached)."""
+    global _GIT_REV
+    if _GIT_REV is None:
+        try:
+            _GIT_REV = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=pathlib.Path(__file__).parent,
+                capture_output=True, text=True, timeout=5.0,
+                check=True).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REV = "unknown"
+    return _GIT_REV
+
+
+def comparable_dict(payload: dict[str, Any]) -> dict[str, Any]:
+    """A BENCH payload with the volatile fields stripped.
+
+    Use this when diffing artifacts across runs or machines; the
+    remaining fields (cell counts, cache behaviour, QoE metrics)
+    are expected to be stable for identical inputs.
+    """
+    return {key: value for key, value in payload.items()
+            if key not in VOLATILE_BENCH_FIELDS}
 
 
 def bench_dir() -> pathlib.Path:
@@ -87,7 +125,10 @@ class BenchRecord:
         return {
             "schema_version": BENCH_SCHEMA_VERSION,
             "name": self.name,
-            "timestamp": time.time(),
+            "timestamp": datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds"),
+            "git_rev": _git_revision(),
+            "host": platform.node(),
             "wall_time_s": self.wall_time_s,
             "jobs": self.jobs,
             "runs_executed": self.runs_executed,

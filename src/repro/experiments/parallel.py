@@ -40,6 +40,7 @@ from repro.experiments.cache import (
     cell_key,
 )
 from repro.metrics.collector import CellReport
+from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.obs.registry import REGISTRY, snapshot_delta
 from repro.obs.sinks import JsonlSink
@@ -78,8 +79,9 @@ def _execute(task: ExperimentTask) -> CellReport:
     return scenario.run()
 
 
-def _execute_observed(payload: tuple[ExperimentTask, str | None, int]
-                      ) -> tuple[CellReport, dict[str, Any]]:
+def _execute_observed(
+    payload: tuple[ExperimentTask, str | None, int, float | None]
+) -> tuple[CellReport, dict[str, Any], dict[str, Any] | None]:
     """Pool entry point that also ships observability back to the parent.
 
     The worker runs the cell with a private JSONL tracer writing to
@@ -87,24 +89,41 @@ def _execute_observed(payload: tuple[ExperimentTask, str | None, int]
     submission index as ``task``) and returns, alongside the report,
     what the cell contributed to the worker's metrics registry — pool
     processes are reused across tasks, so the cumulative registry is
-    differenced per task rather than cleared.
+    differenced per task rather than cleared.  When ``event_min_s`` is
+    not ``None`` the parent is profiling: a private
+    :class:`~repro.obs.prof.Profiler` (Chrome track ``index + 1``;
+    track 0 is the parent) collects the cell's phase timings with the
+    parent's timeline-event duration floor, and its snapshot travels
+    back for deterministic merging.
     """
-    task, shard_path, index = payload
+    task, shard_path, index, event_min_s = payload
     before = REGISTRY.snapshot()
-    # Forked workers inherit the parent's ambient tracer (and its open
-    # file handle); discard it — the worker's events go to its shard.
+    # Forked workers inherit the parent's ambient tracer/profiler (and
+    # the tracer's open file handle); discard both — the worker's
+    # events go to its shard, its timings to its own snapshot.
     obs.uninstall()
+    prof.uninstall()
     tracer: Tracer | None = None
     if shard_path is not None:
         tracer = obs.install(Tracer([JsonlSink(shard_path)],
                                     static={"task": index}))
+    profiler: prof.Profiler | None = None
+    if event_min_s is not None:
+        profiler = prof.install(prof.Profiler(task=index + 1,
+                                              event_min_s=event_min_s))
+        profiler.begin("run")
     try:
         report = _execute(task)
     finally:
+        if profiler is not None:
+            profiler.end()
+            prof.uninstall()
         if tracer is not None:
             obs.uninstall()
             tracer.close()
-    return report, snapshot_delta(before, REGISTRY.snapshot())
+    prof_snapshot = profiler.snapshot() if profiler is not None else None
+    return (report, snapshot_delta(before, REGISTRY.snapshot()),
+            prof_snapshot)
 
 
 # ----------------------------------------------------------------------
@@ -274,20 +293,29 @@ def run_tasks(tasks: Sequence[ExperimentTask],
         if jobs > 1 and len(pending) > 1:
             workers = min(jobs, len(pending))
             tracer = obs.TRACER
+            parent_profiler = prof.PROFILER
             # Worker shards only make sense when the parent traces to
             # a file; serial runs emit into the parent tracer inline.
             shard_base = tracer.jsonl_path if tracer is not None else None
-            payloads: list[tuple[ExperimentTask, str | None, int]] = []
+            event_min_s = (parent_profiler.event_min_s
+                           if parent_profiler is not None else None)
+            payloads: list[tuple[ExperimentTask, str | None, int,
+                                 float | None]] = []
             for rank, index in enumerate(pending):
                 shard = (f"{shard_base}.shard{rank:04d}"
                          if shard_base is not None else None)
-                payloads.append((tasks[index], shard, index))
+                payloads.append((tasks[index], shard, index, event_min_s))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = list(pool.map(_execute_observed, payloads))
             fresh = []
-            for report, obs_delta in outcomes:
+            # Outcomes arrive in submission order, so folding worker
+            # profiler snapshots here keeps the merged aggregate
+            # deterministic regardless of worker count.
+            for report, obs_delta, prof_snapshot in outcomes:
                 fresh.append(report)
                 REGISTRY.merge(obs_delta)
+                if parent_profiler is not None and prof_snapshot is not None:
+                    parent_profiler.merge(prof_snapshot)
             if shard_base is not None and tracer is not None:
                 merge_shards([p[1] for p in payloads], tracer)
         else:

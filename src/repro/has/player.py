@@ -30,6 +30,7 @@ from repro.has.mpd import MediaPresentation
 from repro.has.segments import SegmentLog, SegmentRecord
 from repro.net.flows import VideoFlow
 from repro.obs import events as obs_events
+from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.util import require_non_negative, require_positive
 
@@ -351,6 +352,14 @@ class HasPlayer:
         active = self._active
         if active is None:
             return
+        profiler = prof.PROFILER
+        if profiler is None:
+            self._complete_segment(active)
+            return
+        with profiler.span("has.seg_done"):
+            self._complete_segment(active)
+
+    def _complete_segment(self, active: _PendingRequest) -> None:
         self._active = None
         record = SegmentRecord(
             index=active.segment_index,

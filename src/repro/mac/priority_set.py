@@ -32,6 +32,7 @@ from repro.mac.scheduler import (
 )
 from repro.net.flows import Flow
 from repro.obs import events as obs_events
+from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.util import require_positive
 
@@ -51,12 +52,20 @@ class PrioritySetScheduler(Scheduler):
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
                  registry: BearerRegistry) -> dict[int, Allocation]:
+        profiler = prof.PROFILER
+        if profiler is not None:
+            profiler.begin("mac.claims")
         claims = self._gather_claims(now_s, step_s, flows, registry)
         active = {claim.flow.flow_id for claim in claims
                   if claim.remaining_demand_bytes > 0}
         by_id = {claim.flow.flow_id: claim for claim in claims}
         result: dict[int, Allocation] = {}
         remaining_budget = prb_budget
+        if profiler is not None:
+            # One span for both allocation phases: the ISSUE-level
+            # phase is "GBR/PF scheduling"; a finer split costs more
+            # to measure than the GBR pass takes.
+            profiler.switch("mac.sched")
 
         # --- Phase 1: honour GBR guarantees in priority order. -------
         for flow_id, qos in registry.gbr_flows():
@@ -97,6 +106,8 @@ class PrioritySetScheduler(Scheduler):
         # PF averages must reflect total service (phase 1 + phase 2) so
         # GBR-favoured flows do not also dominate phase 2.
         self.pf._update_averages(step_s, flows, result, active)
+        if profiler is not None:
+            profiler.end()
         if obs.TRACER is not None:
             gbr_prbs = sum(a.gbr_prbs for a in result.values())
             total_prbs = sum(a.prbs for a in result.values())

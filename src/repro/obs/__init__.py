@@ -16,11 +16,37 @@ The layer has two halves:
   result-cache hits) and embedded in ``BENCH_<name>.json`` artifacts
   by :func:`repro.experiments.bench.measure`.
 
+Two companions build on those halves:
+
+* **Span profiler** (:mod:`repro.obs.prof`) — the timing twin of the
+  tracer: an ambient :class:`Profiler` (:func:`profiling`) collecting
+  hierarchical phase timings across the TTI loop, solver and player,
+  with Chrome trace-event export and deterministic worker merging.
+* **Trace analytics** (:mod:`repro.obs.analyze`) — offline analysis of
+  JSONL trace shards: per-flow session reconstruction, stall
+  attribution against concurrent PHY/MAC/solver events, solver health,
+  and QoE cross-validation against the CellReport collector.
+
 See ``docs/observability.md`` for the event schema reference and a
 worked example.
 """
 
+from repro.obs.analyze import (
+    STALL_CAUSES,
+    FlowSession,
+    SolverHealth,
+    StallEvent,
+    TraceAnalysis,
+    analyze_trace,
+    cross_validate,
+    iter_trace_events,
+    render_analysis,
+)
 from repro.obs.events import EVENT_FAMILIES, EVENT_SCHEMA
+from repro.obs.prof import PhaseStat, Profiler, clock, profiling
+from repro.obs.prof import current as current_profiler
+from repro.obs.prof import install as install_profiler
+from repro.obs.prof import uninstall as uninstall_profiler
 from repro.obs.registry import (
     Counter,
     Histogram,
@@ -44,21 +70,37 @@ from repro.obs.tracer import uninstall as uninstall_tracer
 __all__ = [
     "EVENT_FAMILIES",
     "EVENT_SCHEMA",
+    "STALL_CAUSES",
     "Counter",
+    "FlowSession",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "PhaseStat",
+    "Profiler",
     "REGISTRY",
     "RingBufferSink",
+    "SolverHealth",
+    "StallEvent",
+    "TraceAnalysis",
     "TraceSink",
     "Tracer",
+    "analyze_trace",
+    "clock",
+    "cross_validate",
+    "current_profiler",
     "current_tracer",
     "encode_event",
+    "install_profiler",
     "install_tracer",
+    "iter_trace_events",
     "merge_shards",
+    "profiling",
     "read_jsonl",
     "registry_delta",
+    "render_analysis",
     "snapshot_delta",
     "tracing",
+    "uninstall_profiler",
     "uninstall_tracer",
 ]

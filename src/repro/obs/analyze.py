@@ -1,0 +1,603 @@
+"""Offline analytics over JSONL trace shards.
+
+Everything here works on the *existing* event schema
+(:mod:`repro.obs.events`) — no new event types, so traces written by
+older runs analyze unchanged and shard byte-identity is untouched.
+Three questions are answered:
+
+* **What did each player session look like?**  Per-flow
+  :class:`FlowSession` reconstruction: segment timeline
+  (``seg.request``/``seg.done``/``seg.abandon``), bitrate track and
+  buffer trajectory samples.
+* **Why did a player stall?**  Each rebuffer event (detected from the
+  cumulative ``stalls`` field on ``seg.done``) is *attributed* against
+  the concurrent PHY/MAC/solver events to exactly one cause in
+  :data:`STALL_CAUSES`:
+
+  - ``channel`` — the UE's TBS index dipped to the floor of its
+    session (deep fade / outage) inside the attribution window;
+  - ``solver`` — an infeasible BAI overlapped the stall, or the last
+    assignment exceeded what the flow then actually sustained;
+  - ``scheduler`` — the cell was busy and backlogged while the flow
+    received far less than its fair PRB share (starvation);
+  - ``client`` — no concurrent network anomaly (startup behaviour,
+    aggressive ABR, seeks).
+
+* **Was the solver healthy?**  :class:`SolverHealth` aggregates
+  ``bai.solve`` events: solve-time stats, infeasible count, RB-share
+  residual (capacity headroom ``1 - r``), hysteresis holds, and
+  assignment churn (enforced-index changes across consecutive BAIs).
+
+Finally :func:`cross_validate` checks that trace-derived QoE (average
+bitrate, bitrate changes, segment and stall counts) matches a
+:class:`~repro.metrics.collector.CellReport` within tolerance — the
+tracer and the metrics collector observe the same run through
+independent code paths, so agreement is a strong end-to-end check.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pathlib
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any
+
+from repro.obs import events as obs_events
+from repro.obs.sinks import read_jsonl
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.has
+    from repro.metrics.collector import CellReport
+
+#: Stall cause categories, in attribution-priority order.
+STALL_CAUSES = ("channel", "solver", "scheduler", "client")
+
+#: Seconds of lead context before a stall's estimated start that count
+#: as "concurrent" for attribution (two default BAIs).
+ATTRIBUTION_LEAD_S = 4.0
+
+#: A TBS index at or below this is treated as an outage-grade channel.
+CHANNEL_FLOOR_ITBS = 2
+
+#: ... or a dip below this fraction of the session's median TBS index.
+CHANNEL_DIP_FACTOR = 0.5
+
+#: The solver over-assigned when the flow sustained less than this
+#: fraction of its assigned rate during the stall window.
+OVERASSIGN_FACTOR = 0.5
+
+#: Cell utilisation above which starvation points at the scheduler.
+SCHED_UTIL_THRESHOLD = 0.9
+
+#: ... combined with a PRB share below this fraction of fair share.
+STARVED_SHARE_FACTOR = 0.5
+
+
+# ----------------------------------------------------------------------
+# Session model
+# ----------------------------------------------------------------------
+@dataclass
+class SegmentFetch:
+    """One segment's fetch lifecycle, reconstructed from the trace."""
+
+    segment: int
+    ladder_index: int | None = None
+    bitrate_bps: float = 0.0
+    request_s: float | None = None
+    done_s: float | None = None
+    abandon_s: float | None = None
+    throughput_bps: float | None = None
+    buffer_after_s: float | None = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the segment finished downloading."""
+        return self.done_s is not None
+
+
+@dataclass
+class StallEvent:
+    """One rebuffer event with its attributed cause."""
+
+    flow: int
+    start_s: float
+    end_s: float
+    cause: str = "client"
+    evidence: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        """Estimated stall duration in seconds."""
+        return max(self.end_s - self.start_s, 0.0)
+
+
+@dataclass
+class FlowSession:
+    """One video flow's reconstructed session."""
+
+    flow: int
+    task: int = 0
+    ue: int | None = None
+    segments: dict[int, SegmentFetch] = field(default_factory=dict)
+    #: (t, bitrate_bps) at every segment completion, in completion order.
+    bitrate_track: list[tuple[float, float]] = field(default_factory=list)
+    #: (t, buffer_s) samples from every segment lifecycle event.
+    buffer_track: list[tuple[float, float]] = field(default_factory=list)
+    stalls: list[StallEvent] = field(default_factory=list)
+    #: (t, prbs, itbs, tbs_bytes) per traced MAC grant.
+    allocs: list[tuple[float, float, int, float]] = field(
+        default_factory=list)
+    #: raw ``seg.done`` events, in trace order (stall detection input).
+    dones: list[dict[str, Any]] = field(default_factory=list)
+
+    # -- trace-derived QoE (mirrors repro.metrics.qoe) -----------------
+    def done_bitrates(self) -> list[float]:
+        """Bitrates of completed segments, in completion order."""
+        return [bps for _, bps in self.bitrate_track]
+
+    @property
+    def average_bitrate_bps(self) -> float:
+        """Mean bitrate over completed segments (0.0 when none)."""
+        bitrates = self.done_bitrates()
+        return sum(bitrates) / len(bitrates) if bitrates else 0.0
+
+    @property
+    def num_bitrate_changes(self) -> int:
+        """Consecutive-segment bitrate changes."""
+        bitrates = self.done_bitrates()
+        return sum(1 for a, b in zip(bitrates, bitrates[1:])
+                   if not math.isclose(a, b, rel_tol=1e-12))
+
+    @property
+    def segments_completed(self) -> int:
+        """Completed segment downloads."""
+        return len(self.bitrate_track)
+
+    @property
+    def stall_count(self) -> int:
+        """Player stall events visible in the trace (cumulative field)."""
+        if not self.dones:
+            return 0
+        return max(int(done.get("stalls", 0)) for done in self.dones)
+
+
+@dataclass
+class SolverHealth:
+    """Aggregate health of the OneAPI optimizer over the trace."""
+
+    solves: int = 0
+    infeasible: int = 0
+    solve_s_total: float = 0.0
+    solve_s_max: float = 0.0
+    r_total: float = 0.0
+    churn: int = 0
+    holds: int = 0
+    actions: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_solve_s(self) -> float:
+        """Mean solver wall time per BAI (0.0 when no BAIs ran)."""
+        return self.solve_s_total / self.solves if self.solves else 0.0
+
+    @property
+    def mean_r(self) -> float:
+        """Mean RB share assigned to video."""
+        return self.r_total / self.solves if self.solves else 0.0
+
+    @property
+    def mean_residual(self) -> float:
+        """Mean capacity headroom ``1 - r`` left to data flows."""
+        return 1.0 - self.mean_r
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze_trace` derives from one trace."""
+
+    sessions: dict[tuple[int, int], FlowSession] = field(
+        default_factory=dict)
+    solver: SolverHealth = field(default_factory=SolverHealth)
+    events_read: int = 0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    #: QoE cross-check mismatches (None: no CellReport was available).
+    qoe_mismatches: list[str] | None = None
+
+    def all_stalls(self) -> list[StallEvent]:
+        """Every attributed stall across sessions, in time order."""
+        stalls = [stall for session in self.sessions.values()
+                  for stall in session.stalls]
+        return sorted(stalls, key=lambda s: (s.start_s, s.flow))
+
+    def stall_causes(self) -> dict[str, int]:
+        """Stall count per cause category (zero-filled)."""
+        counts = {cause: 0 for cause in STALL_CAUSES}
+        for stall in self.all_stalls():
+            counts[stall.cause] += 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# Trace loading
+# ----------------------------------------------------------------------
+def iter_trace_events(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
+    """Events from a JSONL trace file, or every ``*.jsonl`` in a dir."""
+    target = pathlib.Path(path)
+    if target.is_dir():
+        shards = sorted(target.glob("*.jsonl"))
+        if not shards:
+            raise FileNotFoundError(f"no *.jsonl trace shards in {target}")
+        for shard in shards:
+            yield from read_jsonl(shard)
+    else:
+        yield from read_jsonl(target)
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+class _CellTimeline:
+    """Per-task cell-level context used by stall attribution."""
+
+    def __init__(self) -> None:
+        #: (t, budget_prbs, used_prbs, backlogged) from ``mac.sched``.
+        self.sched: list[tuple[float, float, float, int]] = []
+        #: (t, feasible, {flow: rate_bps}, {flow: enforced index}).
+        self.bais: list[tuple[float, bool, dict[int, float],
+                              dict[int, int]]] = []
+
+    def sched_in(self, lo: float, hi: float
+                 ) -> list[tuple[float, float, float, int]]:
+        return [s for s in self.sched if lo <= s[0] <= hi]
+
+    def bais_in(self, lo: float, hi: float
+                ) -> list[tuple[float, bool, dict[int, float],
+                                dict[int, int]]]:
+        return [b for b in self.bais if lo <= b[0] <= hi]
+
+    def last_bai_before(self, t: float
+                        ) -> tuple[float, bool, dict[int, float],
+                                   dict[int, int]] | None:
+        last = None
+        for bai in self.bais:
+            if bai[0] <= t:
+                last = bai
+            else:
+                break
+        return last
+
+
+def analyze_trace(path: str | os.PathLike,
+                  report: CellReport | None = None) -> TraceAnalysis:
+    """Analyze one trace (file or shard directory).
+
+    Args:
+        path: JSONL trace file, or a directory of ``*.jsonl`` shards.
+        report: when given, the QoE cross-check runs against it and
+            :attr:`TraceAnalysis.qoe_mismatches` is populated.
+    """
+    analysis = TraceAnalysis()
+    timelines: dict[int, _CellTimeline] = {}
+
+    for event in iter_trace_events(path):
+        analysis.events_read += 1
+        event_type = str(event.get("type", "?"))
+        analysis.event_counts[event_type] = (
+            analysis.event_counts.get(event_type, 0) + 1)
+        task = int(event.get("task", 0))
+        t = float(event.get("t", 0.0))
+
+        if event_type == obs_events.TTI_ALLOC:
+            if event.get("kind", "video") != "video":
+                continue  # data-flow grants are cell context, not sessions
+            session = _session(analysis, task, int(event["flow"]))
+            if session.ue is None and "ue" in event:
+                session.ue = int(event["ue"])
+            session.allocs.append((t, float(event.get("prbs", 0.0)),
+                                   int(event.get("itbs", 0)),
+                                   float(event.get("tbs_bytes", 0.0))))
+        elif event_type == obs_events.MAC_SCHED:
+            timeline = timelines.setdefault(task, _CellTimeline())
+            used = (float(event.get("gbr_prbs", 0.0))
+                    + float(event.get("pf_prbs", 0.0)))
+            timeline.sched.append((t, float(event.get("budget_prbs", 0.0)),
+                                   used, int(event.get("backlogged", 0))))
+        elif event_type == obs_events.BAI_SOLVE:
+            timeline = timelines.setdefault(task, _CellTimeline())
+            rates = {int(f["flow"]): float(f.get("rate_bps", 0.0))
+                     for f in event.get("flows", [])}
+            enforced = {int(f["flow"]): int(f.get("enforced", 0))
+                        for f in event.get("flows", [])}
+            timeline.bais.append((t, bool(event.get("feasible", True)),
+                                  rates, enforced))
+            _tally_solver(analysis.solver, event, timeline)
+        elif event_type == obs_events.SEG_REQUEST:
+            session = _session(analysis, task, int(event["flow"]))
+            fetch = session.segments.setdefault(
+                int(event["segment"]), SegmentFetch(int(event["segment"])))
+            fetch.request_s = t
+            fetch.ladder_index = int(event.get("index", 0))
+            fetch.bitrate_bps = float(event.get("bitrate_bps", 0.0))
+            session.buffer_track.append(
+                (t, float(event.get("buffer_s", 0.0))))
+        elif event_type == obs_events.SEG_DONE:
+            session = _session(analysis, task, int(event["flow"]))
+            fetch = session.segments.setdefault(
+                int(event["segment"]), SegmentFetch(int(event["segment"])))
+            fetch.done_s = t
+            fetch.bitrate_bps = float(event.get("bitrate_bps", 0.0))
+            fetch.throughput_bps = float(event.get("throughput_bps", 0.0))
+            fetch.buffer_after_s = float(event.get("buffer_s", 0.0))
+            session.bitrate_track.append((t, fetch.bitrate_bps))
+            session.buffer_track.append((t, fetch.buffer_after_s))
+            session.dones.append(event)
+        elif event_type == obs_events.SEG_ABANDON:
+            session = _session(analysis, task, int(event["flow"]))
+            fetch = session.segments.setdefault(
+                int(event["segment"]), SegmentFetch(int(event["segment"])))
+            fetch.abandon_s = t
+            session.buffer_track.append(
+                (t, float(event.get("buffer_s", 0.0))))
+
+    for (task, _flow), session in sorted(analysis.sessions.items()):
+        timeline = timelines.get(task, _CellTimeline())
+        session.stalls = _detect_stalls(session)
+        for stall in session.stalls:
+            stall.cause, stall.evidence = _attribute_stall(
+                stall, session, timeline)
+
+    if report is not None:
+        analysis.qoe_mismatches = cross_validate(analysis, report)
+    return analysis
+
+
+def _session(analysis: TraceAnalysis, task: int, flow: int) -> FlowSession:
+    key = (task, flow)
+    session = analysis.sessions.get(key)
+    if session is None:
+        session = analysis.sessions[key] = FlowSession(flow=flow, task=task)
+    return session
+
+
+def _tally_solver(health: SolverHealth, event: dict[str, Any],
+                  timeline: _CellTimeline) -> None:
+    health.solves += 1
+    if not event.get("feasible", True):
+        health.infeasible += 1
+    solve_s = float(event.get("solve_s", 0.0))
+    health.solve_s_total += solve_s
+    health.solve_s_max = max(health.solve_s_max, solve_s)
+    health.r_total += float(event.get("r", 0.0))
+    for flow_verdict in event.get("flows", []):
+        action = str(flow_verdict.get("action", "?"))
+        health.actions[action] = health.actions.get(action, 0) + 1
+        if (int(flow_verdict.get("enforced", 0))
+                != int(flow_verdict.get("recommended", 0))):
+            health.holds += 1
+    # Assignment churn: enforced-index changes vs the previous BAI.
+    if len(timeline.bais) >= 2:
+        previous = timeline.bais[-2][3]
+        current = timeline.bais[-1][3]
+        health.churn += sum(
+            1 for flow_id, index in current.items()
+            if flow_id in previous and previous[flow_id] != index)
+
+
+# ----------------------------------------------------------------------
+# Stall detection + attribution
+# ----------------------------------------------------------------------
+def _detect_stalls(session: FlowSession) -> list[StallEvent]:
+    """Stall events from the cumulative ``stalls`` field on seg.done.
+
+    The player can stall at most once between consecutive completions
+    (resuming requires a completed segment to refill the buffer), so a
+    jump in the counter between two ``seg.done`` events brackets one
+    stall.  The start is estimated as the moment the previous
+    completion's buffer would have drained (it drains in real time
+    while playing); the end as the completion that refilled the buffer.
+    A stall after the *last* completion is invisible here — the QoE
+    cross-check allows that one-event slack.
+    """
+    stalls: list[StallEvent] = []
+    previous: dict[str, Any] | None = None
+    for done in session.dones:
+        count = int(done.get("stalls", 0))
+        if previous is not None and count > int(previous.get("stalls", 0)):
+            prev_t = float(previous.get("t", 0.0))
+            done_t = float(done.get("t", prev_t))
+            start = prev_t + float(previous.get("buffer_s", 0.0))
+            start = min(max(start, prev_t), done_t)
+            for _ in range(count - int(previous.get("stalls", 0))):
+                stalls.append(StallEvent(flow=session.flow,
+                                         start_s=start, end_s=done_t))
+        previous = done
+    return stalls
+
+
+def _attribute_stall(stall: StallEvent, session: FlowSession,
+                     timeline: _CellTimeline) -> tuple[str, str]:
+    """Classify one stall into exactly one :data:`STALL_CAUSES` entry.
+
+    The checks run in priority order and the first match wins; the
+    fallback is ``client``, so every stall gets exactly one cause.
+    """
+    lo = stall.start_s - ATTRIBUTION_LEAD_S
+    hi = stall.end_s
+    window = [a for a in session.allocs if lo <= a[0] <= hi]
+
+    # -- channel: TBS index dipped to outage grade ---------------------
+    if window:
+        min_itbs = min(itbs for _, _, itbs, _ in window)
+        session_itbs = sorted(itbs for _, _, itbs, _ in session.allocs)
+        median_itbs = session_itbs[len(session_itbs) // 2]
+        if (min_itbs <= CHANNEL_FLOOR_ITBS
+                or min_itbs < CHANNEL_DIP_FACTOR * median_itbs):
+            return "channel", (
+                f"iTbs dipped to {min_itbs} in the stall window "
+                f"(session median {median_itbs})")
+
+    # -- solver: infeasible BAI overlapping the stall ------------------
+    for bai_t, feasible, _rates, _enforced in timeline.bais_in(lo, hi):
+        if not feasible:
+            return "solver", (
+                f"infeasible BAI at t={bai_t:.2f}s (minimum ladder "
+                f"rates exceeded capacity)")
+
+    # -- scheduler: starved of PRBs while the cell was busy ------------
+    sched = timeline.sched_in(lo, hi)
+    if sched:
+        budget = sum(s[1] for s in sched)
+        used = sum(s[2] for s in sched)
+        backlog = [s[3] for s in sched]
+        mean_backlog = sum(backlog) / len(backlog)
+        utilisation = used / budget if budget > 0 else 0.0
+        flow_prbs = sum(prbs for _, prbs, _, _ in window)
+        fair_share = used / mean_backlog if mean_backlog > 0 else 0.0
+        if (utilisation >= SCHED_UTIL_THRESHOLD and mean_backlog >= 2
+                and flow_prbs < STARVED_SHARE_FACTOR * fair_share):
+            return "scheduler", (
+                f"cell {100 * utilisation:.0f}% utilised with "
+                f"{mean_backlog:.1f} backlogged flows while the flow got "
+                f"{flow_prbs:.1f} of a {fair_share:.1f}-PRB fair share")
+
+    # -- solver: over-assignment the flow could not sustain ------------
+    last_bai = timeline.last_bai_before(stall.start_s)
+    if last_bai is not None and hi > lo:
+        assigned = last_bai[2].get(session.flow)
+        if assigned is not None and assigned > 0:
+            achieved = (sum(tbs for _, _, _, tbs in window) * 8.0
+                        / (hi - lo))
+            if achieved < OVERASSIGN_FACTOR * assigned:
+                return "solver", (
+                    f"assigned {assigned / 1e3:.0f} kbps but the flow "
+                    f"sustained {achieved / 1e3:.0f} kbps over the "
+                    f"stall window")
+
+    return "client", ("no concurrent channel/scheduler/solver anomaly; "
+                      "client-side behaviour (startup, ABR, seek)")
+
+
+# ----------------------------------------------------------------------
+# QoE cross-validation
+# ----------------------------------------------------------------------
+def cross_validate(analysis: TraceAnalysis, report: CellReport,
+                   rel_tol: float = 1e-6,
+                   stall_slack: int = 1) -> list[str]:
+    """Compare trace-derived QoE against a collector CellReport.
+
+    Returns a list of human-readable mismatch descriptions (empty when
+    the trace and the report agree).  Average bitrates must match to
+    ``rel_tol``; bitrate-change and segment counts exactly; stall
+    counts to within ``stall_slack`` (a stall after the final segment
+    completion is invisible in the trace).
+    """
+    problems: list[str] = []
+    by_flow: dict[int, FlowSession] = {}
+    for (_task, flow), session in sorted(analysis.sessions.items()):
+        if flow in by_flow:
+            problems.append(
+                f"flow {flow} appears in multiple trace tasks; QoE "
+                f"cross-check needs a single-run trace")
+            return problems
+        by_flow[flow] = session
+
+    clients = {client.flow_id: client for client in report.clients}
+    for flow_id, client in sorted(clients.items()):
+        session = by_flow.get(flow_id)
+        if session is None:
+            problems.append(f"flow {flow_id} is in the CellReport but "
+                            f"absent from the trace")
+            continue
+        if not math.isclose(session.average_bitrate_bps,
+                            client.average_bitrate_bps,
+                            rel_tol=rel_tol, abs_tol=1e-3):
+            problems.append(
+                f"flow {flow_id}: trace average bitrate "
+                f"{session.average_bitrate_bps:.0f} bps != report "
+                f"{client.average_bitrate_bps:.0f} bps")
+        trace_changes = session.num_bitrate_changes
+        report_changes = client.num_bitrate_changes
+        if trace_changes != report_changes:
+            problems.append(
+                f"flow {flow_id}: trace bitrate changes "
+                f"{trace_changes} != report {report_changes}")
+        if session.segments_completed != client.segments_downloaded:
+            problems.append(
+                f"flow {flow_id}: trace segments "
+                f"{session.segments_completed} != report "
+                f"{client.segments_downloaded}")
+        if abs(session.stall_count - client.stall_events) > stall_slack:
+            problems.append(
+                f"flow {flow_id}: trace stalls {session.stall_count} "
+                f"!= report {client.stall_events} (slack {stall_slack})")
+    for flow_id in sorted(set(by_flow) - set(clients)):
+        if by_flow[flow_id].segments_completed > 0:
+            problems.append(f"flow {flow_id} is in the trace but absent "
+                            f"from the CellReport")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_analysis(analysis: TraceAnalysis) -> str:
+    """Human-readable text report over one :class:`TraceAnalysis`."""
+    lines = [f"trace: {analysis.events_read} events, "
+             f"{len(analysis.sessions)} video session(s)"]
+
+    lines.append("")
+    lines.append(f"{'flow':>6} {'segs':>6} {'avg kbps':>9} {'changes':>8} "
+                 f"{'stalls':>7}  causes")
+    for (_task, flow), session in sorted(analysis.sessions.items()):
+        causes = ",".join(sorted(stall.cause for stall in session.stalls))
+        lines.append(
+            f"{flow:>6} {session.segments_completed:>6} "
+            f"{session.average_bitrate_bps / 1e3:>9.0f} "
+            f"{session.num_bitrate_changes:>8} "
+            f"{session.stall_count:>7}  {causes or '-'}")
+
+    stalls = analysis.all_stalls()
+    lines.append("")
+    if stalls:
+        lines.append("stall attribution:")
+        for stall in stalls:
+            lines.append(
+                f"  t={stall.start_s:8.2f}s flow={stall.flow} "
+                f"dur={stall.duration_s:5.2f}s cause={stall.cause}: "
+                f"{stall.evidence}")
+        counts = analysis.stall_causes()
+        summary = ", ".join(f"{cause}={counts[cause]}"
+                            for cause in STALL_CAUSES)
+        lines.append(f"  by cause: {summary}")
+    else:
+        lines.append("stall attribution: no stalls in the trace")
+
+    solver = analysis.solver
+    lines.append("")
+    if solver.solves:
+        actions = ", ".join(f"{name}={count}" for name, count
+                            in sorted(solver.actions.items()))
+        lines.append(
+            f"solver health: {solver.solves} BAIs, "
+            f"{solver.infeasible} infeasible, "
+            f"mean solve {1e3 * solver.mean_solve_s:.2f} ms "
+            f"(max {1e3 * solver.solve_s_max:.2f} ms), "
+            f"mean r {solver.mean_r:.3f} "
+            f"(residual {solver.mean_residual:.3f}), "
+            f"churn {solver.churn}, holds {solver.holds}")
+        lines.append(f"  hysteresis actions: {actions or '-'}")
+    else:
+        lines.append("solver health: no bai.solve events in the trace")
+
+    lines.append("")
+    if analysis.qoe_mismatches is None:
+        lines.append("qoe cross-check: skipped (no CellReport alongside "
+                     "the trace)")
+    elif analysis.qoe_mismatches:
+        lines.append(f"qoe cross-check: {len(analysis.qoe_mismatches)} "
+                     f"MISMATCH(ES)")
+        lines.extend(f"  {problem}" for problem in analysis.qoe_mismatches)
+    else:
+        lines.append("qoe cross-check: OK (trace-derived QoE matches the "
+                     "CellReport)")
+    return "\n".join(lines)

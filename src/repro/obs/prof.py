@@ -1,0 +1,415 @@
+"""Hierarchical span profiler: where does the wall-clock time go?
+
+The profiler is the timing twin of the tracer and follows the same
+ambient zero-cost-when-off pattern: one module attribute
+(:data:`PROFILER`), ``None`` by default, consulted by every
+instrumented phase of the TTI loop (PHY CQI re-evaluation, TBS
+lookup/claims, GBR/PF scheduling, the OneAPI solve, Algorithm 1,
+player segment handling)::
+
+    from repro.obs import prof
+    ...
+    profiler = prof.PROFILER
+    if profiler is not None:
+        profiler.begin("mac.sched")
+    ...phase 1...
+    if profiler is not None:
+        profiler.end()
+
+With no profiler installed each site costs one attribute load and an
+``is None`` check — simulation results stay byte-identical (tested in
+``tests/obs/test_fastpath.py``).
+
+Spans nest: a span opened while another is active becomes its child,
+and aggregates are keyed by the ``/``-joined path from the root (e.g.
+``run/sim.step/mac.sched``).  Per path the profiler keeps call
+counts, cumulative seconds (time between ``begin`` and ``end``) and
+*self* seconds (cumulative minus time spent in child spans), so
+self-times across all phases sum to the cumulative time of the roots.
+
+Raw span events are retained (up to :data:`DEFAULT_EVENT_CAP`; the
+overflow count is reported, never silently dropped) for Chrome
+trace-event export — :meth:`Profiler.write_chrome_trace` produces a
+JSON file loadable in Perfetto / ``chrome://tracing``.  Worker
+processes profile independently and ship :meth:`Profiler.snapshot`
+dicts back to the parent, which folds them in submission order with
+:meth:`Profiler.merge` — the merged aggregate is deterministic for a
+fixed task list regardless of worker count (timings themselves are, of
+course, wall-clock measurements).
+
+:func:`clock` is the repo's single sanctioned raw-clock primitive:
+simulator code outside ``repro.obs``/``repro.experiments`` must not
+call ``time.perf_counter()`` directly (flarelint FL005) and uses this
+wrapper (or spans) instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from contextlib import contextmanager
+from collections.abc import Iterator
+from typing import Any
+
+#: The ambient profiler consulted by every instrumented phase.
+#: ``None`` (the default) disables profiling entirely.
+PROFILER: Profiler | None = None
+
+#: Raw span events retained per profiler for Chrome trace export;
+#: aggregates (calls / cumulative / self seconds) stay exact beyond it.
+DEFAULT_EVENT_CAP = 100_000
+
+#: Timeline-event duration floor used by the CLI profile path: spans
+#: shorter than this are aggregated but not retained as raw events
+#: (per-TTI slivers are invisible in a Chrome trace anyway, while
+#: recording and shipping them dominates profiling overhead; solver
+#: invocations run well above this floor and always survive).
+DEFAULT_EVENT_MIN_S = 2e-4
+
+#: The sanctioned raw-clock primitive, bound once for the hot path.
+clock = time.perf_counter
+
+
+class PhaseStat:
+    """Aggregate timing view for one span path.
+
+    Internally the profiler accumulates into plain ``[calls, cum_s,
+    self_s]`` lists (list-index increments are the cheapest mutation
+    the hot path can make); :attr:`Profiler.stats` wraps them in these
+    read-friendly objects on access.
+    """
+
+    __slots__ = ("calls", "cum_s", "self_s")
+
+    def __init__(self, calls: int = 0, cum_s: float = 0.0,
+                 self_s: float = 0.0) -> None:
+        self.calls = calls
+        self.cum_s = cum_s
+        self.self_s = self_s
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (used by BENCH artifacts and snapshots)."""
+        return {"calls": self.calls, "cum_s": self.cum_s,
+                "self_s": self.self_s}
+
+
+class Profiler:
+    """Collect hierarchical span timings for one process.
+
+    Attributes:
+        task: integer track id for Chrome export (0 = the parent
+            process; parallel workers use their submission index + 1).
+        event_cap: raw events retained for the Chrome timeline.
+        event_min_s: spans shorter than this are aggregated but not
+            retained as timeline events (and not counted as dropped);
+            0.0 retains everything up to the cap.
+        events_dropped: events beyond the cap (aggregates still exact).
+    """
+
+    __slots__ = ("task", "event_cap", "event_min_s", "events_dropped",
+                 "_stats", "_root_children", "_stack", "_events",
+                 "_origin")
+
+    def __init__(self, task: int = 0,
+                 event_cap: int = DEFAULT_EVENT_CAP,
+                 event_min_s: float = 0.0) -> None:
+        if event_cap < 0:
+            raise ValueError(f"event_cap must be >= 0, got {event_cap}")
+        if event_min_s < 0:
+            raise ValueError(
+                f"event_min_s must be >= 0, got {event_min_s}")
+        self.task = task
+        self.event_cap = event_cap
+        self.event_min_s = event_min_s
+        self.events_dropped = 0
+        #: path -> [calls, cum_s, self_s] (see :class:`PhaseStat`).
+        self._stats: dict[str, list[Any]] = {}
+        #: Interned span-tree nodes: name -> (path, children, stat).
+        #: Each frame carries its node so ``end`` needs no dict lookup.
+        self._root_children: dict[str, tuple[str, dict[str, Any],
+                                             list[Any]]] = {}
+        #: Open frames: [node, start_s, child_s].
+        self._stack: list[list[Any]] = []
+        #: (task, path, start_s, duration_s) — own + merged events.
+        self._events: list[tuple[int, str, float, float]] = []
+        self._origin = clock()
+
+    def _intern(self, name: str) -> tuple[str, dict[str, Any], list[Any]]:
+        """The span-tree node for ``name`` under the current span."""
+        stack = self._stack
+        if stack:
+            parent = stack[-1][0]
+            children = parent[1]
+            prefix = parent[0]
+        else:
+            children = self._root_children
+            prefix = ""
+        entry = children.get(name)
+        if entry is None:
+            path = f"{prefix}/{name}" if prefix else name
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = self._stats[path] = [0, 0.0, 0.0]
+            entry = children[name] = (path, {}, stat)
+        return entry
+
+    # -- span API ------------------------------------------------------
+    def begin(self, name: str) -> None:
+        """Open a span named ``name`` nested under the current span."""
+        stack = self._stack
+        if stack:
+            entry = stack[-1][0][1].get(name)
+            if entry is None:
+                entry = self._intern(name)
+        else:
+            entry = self._root_children.get(name)
+            if entry is None:
+                entry = self._intern(name)
+        stack.append([entry, clock(), 0.0])
+
+    def end(self) -> None:
+        """Close the innermost open span."""
+        now = clock()
+        stack = self._stack
+        frame = stack.pop()
+        entry = frame[0]
+        elapsed = now - frame[1]
+        stat = entry[2]
+        stat[0] += 1
+        stat[1] += elapsed
+        stat[2] += elapsed - frame[2]
+        if stack:
+            stack[-1][2] += elapsed
+        if elapsed >= self.event_min_s:
+            events = self._events
+            if len(events) < self.event_cap:
+                events.append((self.task, entry[0],
+                               frame[1] - self._origin, elapsed))
+            else:
+                self.events_dropped += 1
+
+    def switch(self, name: str) -> None:
+        """Close the innermost span and open sibling ``name``.
+
+        Equivalent to ``end(); begin(name)`` but with a single clock
+        read shared by the close and the open — the call sites that
+        walk straight from one TTI phase into the next use this, which
+        both halves the call count at those boundaries and leaves no
+        unattributed gap between adjacent spans.
+        """
+        now = clock()
+        stack = self._stack
+        frame = stack.pop()
+        entry = frame[0]
+        elapsed = now - frame[1]
+        stat = entry[2]
+        stat[0] += 1
+        stat[1] += elapsed
+        stat[2] += elapsed - frame[2]
+        if stack:
+            parent = stack[-1]
+            parent[2] += elapsed
+            children = parent[0][1]
+        else:
+            children = self._root_children
+        if elapsed >= self.event_min_s:
+            events = self._events
+            if len(events) < self.event_cap:
+                events.append((self.task, entry[0],
+                               frame[1] - self._origin, elapsed))
+            else:
+                self.events_dropped += 1
+        sibling = children.get(name)
+        if sibling is None:
+            sibling = self._intern(name)
+        stack.append([sibling, now, 0.0])
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context-manager form of :meth:`begin`/:meth:`end`."""
+        self.begin(name)
+        try:
+            yield
+        finally:
+            self.end()
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def stats(self) -> dict[str, PhaseStat]:
+        """Per-path aggregates (path -> :class:`PhaseStat`).
+
+        A fresh read-only view built on access; mutating it does not
+        affect the profiler.
+        """
+        return {path: PhaseStat(*stat)
+                for path, stat in self._stats.items()}
+
+    def total_s(self) -> float:
+        """Cumulative seconds across root spans (own + merged)."""
+        return sum(stat[1] for path, stat in self._stats.items()
+                   if "/" not in path)
+
+    def self_total_s(self) -> float:
+        """Summed self seconds across every phase.
+
+        Equals :meth:`total_s` up to float rounding — the invariant the
+        acceptance report prints as *self-time coverage*.
+        """
+        return sum(stat[2] for stat in self._stats.values())
+
+    # -- snapshot / merge ----------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict copy of the profiler state (mergeable)."""
+        return {
+            "task": self.task,
+            "stats": {path: {"calls": stat[0], "cum_s": stat[1],
+                             "self_s": stat[2]}
+                      for path, stat in self._stats.items()},
+            "events": [[task, path, start, dur]
+                       for task, path, start, dur in self._events],
+            "events_dropped": self.events_dropped,
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        The parallel runner calls this with worker snapshots ordered by
+        task submission index, so the merged aggregate is deterministic
+        for a fixed task list regardless of worker count.
+        """
+        for path, state in snapshot.get("stats", {}).items():
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = self._stats[path] = [0, 0.0, 0.0]
+            stat[0] += int(state["calls"])
+            stat[1] += float(state["cum_s"])
+            stat[2] += float(state["self_s"])
+        default_task = int(snapshot.get("task", 0))
+        for event in snapshot.get("events", []):
+            task, path, start, dur = event
+            if len(self._events) < self.event_cap:
+                self._events.append((int(task) if task is not None
+                                     else default_task,
+                                     str(path), float(start), float(dur)))
+            else:
+                self.events_dropped += 1
+        self.events_dropped += int(snapshot.get("events_dropped", 0))
+
+    # -- reports -------------------------------------------------------
+    def report(self, top: int = 20) -> str:
+        """Text top-``top`` report, phases ordered by self time."""
+        rows = sorted(self.stats.items(),
+                      key=lambda item: (-item[1].self_s, item[0]))
+        total = self.total_s()
+        self_total = self.self_total_s()
+        lines = [f"{'phase':<52} {'calls':>9} {'cum s':>10} "
+                 f"{'self s':>10} {'self %':>7}"]
+        for path, stat in rows[:top]:
+            share = 100.0 * stat.self_s / total if total > 0 else 0.0
+            lines.append(f"{path:<52} {stat.calls:>9} {stat.cum_s:>10.4f} "
+                         f"{stat.self_s:>10.4f} {share:>6.1f}%")
+        dropped = len(rows) - min(len(rows), top)
+        if dropped > 0:
+            lines.append(f"... {dropped} more phase(s) below the top "
+                         f"{top} (see the BENCH profile section)")
+        coverage = 100.0 * self_total / total if total > 0 else 100.0
+        lines.append(f"total profiled {total:.4f}s; per-phase self times "
+                     f"sum to {self_total:.4f}s ({coverage:.1f}% coverage)")
+        if self.events_dropped:
+            lines.append(f"timeline truncated: {self.events_dropped} span "
+                         f"event(s) beyond the {self.event_cap} cap "
+                         f"(aggregates above remain exact)")
+        return "\n".join(lines)
+
+    def bench_section(self) -> dict[str, Any]:
+        """The ``profile`` section embedded in ``BENCH_*.json``."""
+        return {
+            "total_s": self.total_s(),
+            "self_total_s": self.self_total_s(),
+            "events": len(self._events),
+            "events_dropped": self.events_dropped,
+            "phases": {path: stat.as_dict()
+                       for path, stat in sorted(self.stats.items())},
+        }
+
+    # -- Chrome trace-event export -------------------------------------
+    def chrome_events(self) -> list[dict[str, Any]]:
+        """Chrome trace-event dicts ("X" complete events, µs units)."""
+        events = []
+        for task, path, start, dur in self._events:
+            leaf = path.rsplit("/", 1)[-1]
+            events.append({
+                "name": leaf,
+                "cat": path.split("/", 1)[0],
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": dur * 1e6,
+                "pid": task,
+                "tid": 0,
+                "args": {"path": path},
+            })
+        return events
+
+    def write_chrome_trace(self, path: str | os.PathLike) -> pathlib.Path:
+        """Write a Perfetto/``chrome://tracing``-loadable JSON file."""
+        target = pathlib.Path(path)
+        os.makedirs(target.parent, exist_ok=True)
+        payload = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "events_dropped": self.events_dropped,
+                "source": "repro.obs.prof",
+            },
+        }
+        target.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        return target
+
+
+def install(profiler: Profiler) -> Profiler:
+    """Make ``profiler`` the ambient profiler (returns it).
+
+    Raises:
+        RuntimeError: if another profiler is already installed.
+    """
+    global PROFILER
+    if PROFILER is not None:
+        raise RuntimeError("a profiler is already installed")
+    PROFILER = profiler
+    return profiler
+
+
+def uninstall() -> None:
+    """Remove the ambient profiler (idempotent)."""
+    global PROFILER
+    PROFILER = None
+
+
+def current() -> Profiler | None:
+    """The ambient profiler, or ``None``."""
+    return PROFILER
+
+
+@contextmanager
+def profiling(task: int = 0,
+              event_cap: int = DEFAULT_EVENT_CAP,
+              event_min_s: float = 0.0) -> Iterator[Profiler]:
+    """Install an ambient profiler for the enclosed region.
+
+    Yields:
+        The installed :class:`Profiler`; it is uninstalled on exit but
+        keeps its collected data, so reports/exports remain usable.
+    """
+    profiler = install(Profiler(task=task, event_cap=event_cap,
+                                event_min_s=event_min_s))
+    try:
+        yield profiler
+    finally:
+        uninstall()

@@ -110,13 +110,27 @@ class MetricsRegistry:
         return histogram
 
     @contextmanager
-    def time_block(self, name: str) -> Iterator[None]:
-        """Time the enclosed block into histogram ``name`` (seconds)."""
+    def time(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into histogram ``name`` (seconds).
+
+        The elapsed time is observed in a ``finally`` so a raising
+        block still contributes its sample, and the exception is
+        tag-counted into ``<name>.exceptions`` before propagating.
+        """
         started = time.perf_counter()
         try:
             yield
+        except BaseException:
+            self.counter(f"{name}.exceptions").inc()
+            raise
         finally:
             self.histogram(name).observe(time.perf_counter() - started)
+
+    @contextmanager
+    def time_block(self, name: str) -> Iterator[None]:
+        """Deprecated alias for :meth:`time` (kept for callers)."""
+        with self.time(name):
+            yield
 
     # -- sink protocol -------------------------------------------------
     def on_event(self, event: dict[str, Any]) -> None:

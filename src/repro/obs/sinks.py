@@ -50,7 +50,9 @@ class JsonlSink(TraceSink):
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = pathlib.Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Unconditional, race-free creation: many pool workers open
+        # shard files in the same fresh trace directory simultaneously.
+        os.makedirs(self.path.parent, exist_ok=True)
         self._file: io.TextIOWrapper | None = self.path.open(
             "w", encoding="utf-8")
         self.events_written = 0

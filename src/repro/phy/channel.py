@@ -30,6 +30,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro import check as chk
+from repro.obs import prof
 from repro.phy import tbs
 from repro.phy.cqi import LinkAdaptation
 from repro.phy.mobility import MobilityModel, Position
@@ -275,6 +276,13 @@ class FadingChannel(ChannelModel):
     def itbs_at(self, time_s: float) -> int:
         bucket = math.floor(time_s / self._cache_period)
         if self._cache_time != bucket:
+            # Cache miss: the full mobility -> path loss -> fading ->
+            # SINR -> link-adaptation chain runs (profiled as phy.cqi).
+            profiler = prof.PROFILER
+            if profiler is not None:
+                profiler.begin("phy.cqi")
             self._cache_itbs = self._la.itbs(self.sinr_db_at(time_s))
             self._cache_time = bucket
+            if profiler is not None:
+                profiler.end()
         return self._cache_itbs

@@ -34,6 +34,7 @@ from repro.mac.scheduler import Scheduler
 from repro.net.flows import DataFlow, Flow, UserEquipment, VideoFlow
 from repro.net.pcrf import Pcef, Pcrf
 from repro.obs import events as obs_events
+from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.phy.tbs import PRB_PER_TTI_10MHZ, TTI_MS
 from repro.util import require_positive
@@ -287,12 +288,22 @@ class Cell:
         step_s = self.config.step_s
         end = now + step_s
 
+        profiler = prof.PROFILER
+        if profiler is not None:
+            profiler.begin("sim.step")
+        # Controller firing and player request issuance are profiled
+        # by their rare inner spans (core.bai, has.seg_done, nesting
+        # under sim.step); dedicated per-step wrapper spans here would
+        # cost more than the dispatch they measure.
         self._fire_due_controllers()
 
         for player in self._players.values():
             player.issue_requests(now)
             player.note_time(end)
 
+        # The scheduler opens its own phase spans (mac.claims /
+        # mac.sched) directly under sim.step; a grouping wrapper here
+        # would only measure its own overhead.
         allocations = self.scheduler.allocate(
             now, step_s, self._flows, self.config.prbs_per_step,
             self.registry)
@@ -308,6 +319,8 @@ class Cell:
         tracer = obs.TRACER
         step_prbs = 0.0
         step_bytes = 0.0
+        if profiler is not None:
+            profiler.begin("sim.deliver")
         for flow in self._flows:
             allocation = allocations.get(flow.flow_id)
             delivered = allocation.bytes_delivered if allocation else 0.0
@@ -329,8 +342,12 @@ class Cell:
                         itbs=flow.ue.channel.itbs_at(now),
                     )
 
+        if profiler is not None:
+            profiler.switch("has.playback")
         for player in self._players.values():
             player.advance_playback(end, step_s)
+        if profiler is not None:
+            profiler.end()
 
         if tracer is not None:
             tracer.emit(obs_events.SIM_STEP, now, cell=self.cell_id,
@@ -340,6 +357,8 @@ class Cell:
         self._now_s = end
         for hook in self._step_hooks:
             hook(end)
+        if profiler is not None:
+            profiler.end()
 
     def run(self, duration_s: float) -> None:
         """Run the simulation until ``now_s >= duration_s``."""

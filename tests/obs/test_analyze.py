@@ -1,0 +1,268 @@
+"""Tests for the offline trace analytics (sessions, stalls, solver)."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import (
+    STALL_CAUSES,
+    analyze_trace,
+    cross_validate,
+    iter_trace_events,
+    render_analysis,
+    tracing,
+)
+from repro.workload.scenarios import build_testbed_scenario
+
+
+def _write(path, events):
+    path.write_text("".join(json.dumps(event) + "\n" for event in events))
+    return path
+
+
+def _done(flow, t, segment, stalls, buffer_s=2.0, bitrate_bps=1e6):
+    return {"type": "seg.done", "t": t, "flow": flow, "segment": segment,
+            "bitrate_bps": bitrate_bps, "throughput_bps": 2e6,
+            "buffer_s": buffer_s, "stalls": stalls, "state": "playing"}
+
+
+def _alloc(flow, t, itbs, prbs=1.0, tbs_bytes=1000.0, kind="video"):
+    return {"type": "tti.alloc", "t": t, "flow": flow, "ue": flow,
+            "kind": kind, "prbs": prbs, "gbr_prbs": 0.0,
+            "tbs_bytes": tbs_bytes, "itbs": itbs}
+
+
+#: Two completions bracketing one stall: buffer 2.0s at t=10 drains at
+#: t=12 (the estimated start), the refilling completion lands at t=20.
+_STALL_PAIR = [_done(0, 10.0, 0, stalls=0), _done(0, 20.0, 1, stalls=1)]
+
+
+class TestSessionReconstruction:
+    def test_segment_lifecycle_and_qoe(self, tmp_path):
+        events = [
+            {"type": "seg.request", "t": 0.0, "flow": 0, "segment": 0,
+             "index": 1, "bitrate_bps": 1e6, "size_bytes": 5e5,
+             "buffer_s": 0.0, "state": "startup"},
+            _done(0, 4.0, 0, stalls=0, bitrate_bps=1e6),
+            _done(0, 8.0, 1, stalls=0, bitrate_bps=2e6),
+            _done(0, 12.0, 2, stalls=0, bitrate_bps=2e6),
+        ]
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", events))
+        session = analysis.sessions[(0, 0)]
+        assert session.segments[0].completed
+        assert session.segments[0].request_s == 0.0
+        assert session.segments_completed == 3
+        assert session.average_bitrate_bps == pytest.approx(5e6 / 3)
+        assert session.num_bitrate_changes == 1
+        assert session.stall_count == 0
+
+    def test_data_flow_grants_do_not_create_sessions(self, tmp_path):
+        events = [_alloc(9, 1.0, 10, kind="data"), _done(0, 4.0, 0, 0)]
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", events))
+        assert set(analysis.sessions) == {(0, 0)}
+
+    def test_directory_of_shards(self, tmp_path):
+        _write(tmp_path / "a.jsonl", [_done(0, 4.0, 0, 0)])
+        _write(tmp_path / "b.jsonl", [_done(1, 5.0, 0, 0)])
+        assert len(list(iter_trace_events(tmp_path))) == 2
+        analysis = analyze_trace(tmp_path)
+        assert len(analysis.sessions) == 2
+
+    def test_empty_shard_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_trace_events(tmp_path))
+
+
+class TestStallDetection:
+    def test_counter_jump_brackets_one_stall(self, tmp_path):
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", _STALL_PAIR))
+        stalls = analysis.all_stalls()
+        assert len(stalls) == 1
+        assert stalls[0].start_s == pytest.approx(12.0)
+        assert stalls[0].end_s == pytest.approx(20.0)
+        assert stalls[0].duration_s == pytest.approx(8.0)
+
+    def test_jump_of_two_yields_two_stalls(self, tmp_path):
+        events = [_done(0, 10.0, 0, stalls=0), _done(0, 20.0, 1, stalls=2)]
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", events))
+        assert len(analysis.all_stalls()) == 2
+
+    def test_start_clamped_into_completion_interval(self, tmp_path):
+        # A 30s buffer cannot drain before the next completion at t=20;
+        # the estimate clamps to the bracketing interval.
+        events = [_done(0, 10.0, 0, stalls=0, buffer_s=30.0),
+                  _done(0, 20.0, 1, stalls=1)]
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", events))
+        assert analysis.all_stalls()[0].start_s == pytest.approx(20.0)
+
+    def test_trailing_stall_after_last_done_is_invisible(self, tmp_path):
+        analysis = analyze_trace(
+            _write(tmp_path / "t.jsonl", [_done(0, 10.0, 0, stalls=1)]))
+        assert analysis.all_stalls() == []
+        assert analysis.sessions[(0, 0)].stall_count == 1
+
+
+class TestAttribution:
+    """Each synthetic trace isolates one cause; the priority chain
+    (channel > solver > scheduler > client) must pick exactly it."""
+
+    def _analyze(self, tmp_path, extra):
+        path = _write(tmp_path / "t.jsonl", _STALL_PAIR + extra)
+        analysis = analyze_trace(path)
+        stalls = analysis.all_stalls()
+        assert len(stalls) == 1
+        assert stalls[0].cause in STALL_CAUSES
+        return stalls[0]
+
+    def test_channel_outage_grade_itbs(self, tmp_path):
+        extra = [_alloc(0, t, 10) for t in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)]
+        extra.append(_alloc(0, 15.0, 1))  # deep fade inside the window
+        stall = self._analyze(tmp_path, extra)
+        assert stall.cause == "channel"
+        assert "iTbs dipped to 1" in stall.evidence
+
+    def test_solver_infeasible_bai(self, tmp_path):
+        extra = [_alloc(0, 15.0, 10),
+                 {"type": "bai.solve", "t": 14.0, "cell": 0,
+                  "num_video": 1, "num_data": 0, "total_rbs": 100.0,
+                  "r": 1.0, "utility": 0.0, "solve_s": 0.001,
+                  "feasible": False, "flows": []}]
+        stall = self._analyze(tmp_path, extra)
+        assert stall.cause == "solver"
+        assert "infeasible BAI" in stall.evidence
+
+    def test_scheduler_starvation(self, tmp_path):
+        extra = [_alloc(0, 15.0, 10, prbs=0.1),
+                 {"type": "mac.sched", "t": 14.0, "budget_prbs": 10.0,
+                  "gbr_prbs": 0.0, "pf_prbs": 9.5, "backlogged": 4},
+                 {"type": "mac.sched", "t": 16.0, "budget_prbs": 10.0,
+                  "gbr_prbs": 0.0, "pf_prbs": 9.5, "backlogged": 4}]
+        stall = self._analyze(tmp_path, extra)
+        assert stall.cause == "scheduler"
+        assert "fair share" in stall.evidence
+
+    def test_solver_over_assignment(self, tmp_path):
+        extra = [_alloc(0, 15.0, 10, tbs_bytes=1000.0),
+                 {"type": "bai.solve", "t": 10.0, "cell": 0,
+                  "num_video": 1, "num_data": 0, "total_rbs": 100.0,
+                  "r": 0.5, "utility": 1.0, "solve_s": 0.001,
+                  "feasible": True,
+                  "flows": [{"flow": 0, "recommended": 3, "enforced": 3,
+                             "rate_bps": 5e6, "action": "keep"}]}]
+        stall = self._analyze(tmp_path, extra)
+        assert stall.cause == "solver"
+        assert "assigned 5000 kbps" in stall.evidence
+
+    def test_client_fallback_when_nothing_concurrent(self, tmp_path):
+        stall = self._analyze(tmp_path, [])
+        assert stall.cause == "client"
+
+    def test_every_stall_gets_exactly_one_cause(self, tmp_path):
+        events = list(_STALL_PAIR)
+        events.append(_done(0, 30.0, 2, stalls=2))
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", events))
+        counts = analysis.stall_causes()
+        assert set(counts) == set(STALL_CAUSES)
+        assert sum(counts.values()) == len(analysis.all_stalls()) == 2
+
+
+class TestSolverHealth:
+    def test_aggregates(self, tmp_path):
+        def bai(t, enforced, action, feasible=True, recommended=None):
+            recommended = enforced if recommended is None else recommended
+            return {"type": "bai.solve", "t": t, "cell": 0, "num_video": 1,
+                    "num_data": 0, "total_rbs": 100.0, "r": 0.4,
+                    "utility": 1.0, "solve_s": 0.002, "feasible": feasible,
+                    "flows": [{"flow": 0, "recommended": recommended,
+                               "enforced": enforced, "rate_bps": 1e6,
+                               "action": action}]}
+
+        events = [bai(2.0, 1, "keep"),
+                  bai(4.0, 1, "hold", recommended=2),
+                  bai(6.0, 2, "upgrade"),
+                  bai(8.0, 2, "keep", feasible=False)]
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", events))
+        solver = analysis.solver
+        assert solver.solves == 4
+        assert solver.infeasible == 1
+        assert solver.holds == 1          # enforced != recommended once
+        assert solver.churn == 1          # 1 -> 2 across consecutive BAIs
+        assert solver.actions == {"keep": 2, "hold": 1, "upgrade": 1}
+        assert solver.mean_solve_s == pytest.approx(0.002)
+        assert solver.mean_r == pytest.approx(0.4)
+        assert solver.mean_residual == pytest.approx(0.6)
+
+
+def _fake_report(*clients):
+    return SimpleNamespace(clients=list(clients))
+
+
+def _fake_client(flow_id, avg_bps=1e6, changes=0, segments=2, stalls=1):
+    return SimpleNamespace(flow_id=flow_id, average_bitrate_bps=avg_bps,
+                           num_bitrate_changes=changes,
+                           segments_downloaded=segments,
+                           stall_events=stalls)
+
+
+class TestCrossValidate:
+    def _analysis(self, tmp_path):
+        return analyze_trace(_write(tmp_path / "t.jsonl", _STALL_PAIR))
+
+    def test_matching_report_yields_no_mismatches(self, tmp_path):
+        analysis = self._analysis(tmp_path)
+        assert cross_validate(analysis, _fake_report(_fake_client(0))) == []
+
+    def test_bitrate_mismatch_reported(self, tmp_path):
+        analysis = self._analysis(tmp_path)
+        problems = cross_validate(
+            analysis, _fake_report(_fake_client(0, avg_bps=2e6)))
+        assert any("average bitrate" in p for p in problems)
+
+    def test_stall_slack_tolerates_trailing_stall(self, tmp_path):
+        analysis = self._analysis(tmp_path)
+        assert cross_validate(
+            analysis, _fake_report(_fake_client(0, stalls=2))) == []
+        problems = cross_validate(
+            analysis, _fake_report(_fake_client(0, stalls=3)))
+        assert any("stalls" in p for p in problems)
+
+    def test_missing_and_extra_flows_reported(self, tmp_path):
+        analysis = self._analysis(tmp_path)
+        problems = cross_validate(
+            analysis, _fake_report(_fake_client(0), _fake_client(7)))
+        assert any("flow 7" in p and "absent from the trace" in p
+                   for p in problems)
+        problems = cross_validate(analysis, _fake_report())
+        assert any("absent from the CellReport" in p for p in problems)
+
+    def test_analyze_trace_populates_mismatches(self, tmp_path):
+        path = _write(tmp_path / "t.jsonl", _STALL_PAIR)
+        assert analyze_trace(path).qoe_mismatches is None
+        analysis = analyze_trace(path, _fake_report(_fake_client(0)))
+        assert analysis.qoe_mismatches == []
+
+
+class TestRender:
+    def test_render_sections(self, tmp_path):
+        analysis = analyze_trace(_write(tmp_path / "t.jsonl", _STALL_PAIR))
+        text = render_analysis(analysis)
+        assert "1 video session(s)" in text
+        assert "stall attribution:" in text
+        assert "by cause:" in text
+        assert "no bai.solve events" in text
+        assert "qoe cross-check: skipped" in text
+
+
+class TestEndToEnd:
+    def test_traced_run_cross_validates_against_its_report(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        with tracing(jsonl=out):
+            report = build_testbed_scenario("flare", seed=2,
+                                            duration_s=30.0).run()
+        analysis = analyze_trace(out, report)
+        assert analysis.qoe_mismatches == []
+        assert analysis.solver.solves > 0
+        assert all(stall.cause in STALL_CAUSES
+                   for stall in analysis.all_stalls())
+        assert "qoe cross-check: OK" in render_analysis(analysis)

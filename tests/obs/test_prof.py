@@ -1,0 +1,257 @@
+"""Tests for the hierarchical span profiler."""
+
+import json
+
+import pytest
+
+from repro.obs import prof
+from repro.obs.prof import Profiler
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_profiler():
+    prof.uninstall()
+    yield
+    prof.uninstall()
+
+
+def _busy(profiler, name, reps=1000):
+    with profiler.span(name):
+        return sum(range(reps))
+
+
+class TestSpans:
+    def test_nested_paths_are_slash_joined(self):
+        profiler = Profiler()
+        with profiler.span("run"):
+            with profiler.span("step"):
+                with profiler.span("mac"):
+                    pass
+            with profiler.span("step"):
+                pass
+        assert set(profiler.stats) == {"run", "run/step", "run/step/mac"}
+        assert profiler.stats["run"].calls == 1
+        assert profiler.stats["run/step"].calls == 2
+
+    def test_switch_closes_and_opens_sibling(self):
+        profiler = Profiler()
+        profiler.begin("run")
+        profiler.begin("a")
+        profiler.switch("b")
+        profiler.end()
+        profiler.end()
+        assert set(profiler.stats) == {"run", "run/a", "run/b"}
+        assert profiler.stats["run/a"].calls == 1
+        assert profiler.stats["run/b"].calls == 1
+        assert profiler.depth == 0
+
+    def test_switch_leaves_no_gap_between_siblings(self):
+        profiler = Profiler()
+        profiler.begin("run")
+        profiler.begin("a")
+        profiler.switch("b")
+        profiler.end()
+        profiler.end()
+        run = profiler.stats["run"]
+        a = profiler.stats["run/a"]
+        b = profiler.stats["run/b"]
+        # Both siblings share the boundary clock read, so their
+        # cumulative times partition the parent's child time exactly.
+        assert run.cum_s - run.self_s == pytest.approx(a.cum_s + b.cum_s)
+        events = {event["name"]: event for event in profiler.chrome_events()}
+        assert events["a"]["ts"] + events["a"]["dur"] == pytest.approx(
+            events["b"]["ts"])
+
+    def test_switch_at_root_level(self):
+        profiler = Profiler()
+        profiler.begin("first")
+        profiler.switch("second")
+        profiler.end()
+        assert set(profiler.stats) == {"first", "second"}
+        assert profiler.total_s() == pytest.approx(
+            profiler.stats["first"].cum_s + profiler.stats["second"].cum_s)
+
+    def test_same_name_under_different_parents_is_distinct(self):
+        profiler = Profiler()
+        with profiler.span("a"):
+            with profiler.span("x"):
+                pass
+        with profiler.span("b"):
+            with profiler.span("x"):
+                pass
+        assert "a/x" in profiler.stats
+        assert "b/x" in profiler.stats
+
+    def test_self_time_excludes_children(self):
+        profiler = Profiler()
+        with profiler.span("outer"):
+            _busy(profiler, "inner", 50_000)
+        outer = profiler.stats["outer"]
+        inner = profiler.stats["outer/inner"]
+        assert outer.cum_s >= inner.cum_s
+        assert outer.self_s == pytest.approx(outer.cum_s - inner.cum_s)
+
+    def test_self_times_partition_total_exactly(self):
+        profiler = Profiler()
+        with profiler.span("run"):
+            for _ in range(5):
+                with profiler.span("step"):
+                    _busy(profiler, "mac")
+                    _busy(profiler, "deliver")
+        assert profiler.self_total_s() == pytest.approx(
+            profiler.total_s(), abs=1e-9)
+
+    def test_depth_tracks_open_spans(self):
+        profiler = Profiler()
+        assert profiler.depth == 0
+        profiler.begin("a")
+        profiler.begin("b")
+        assert profiler.depth == 2
+        profiler.end()
+        profiler.end()
+        assert profiler.depth == 0
+
+    def test_end_on_empty_stack_raises(self):
+        with pytest.raises(IndexError):
+            Profiler().end()
+
+
+class TestEventCap:
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(event_cap=-1)
+
+    def test_cap_drops_events_but_keeps_aggregates(self):
+        profiler = Profiler(event_cap=3)
+        for _ in range(10):
+            with profiler.span("x"):
+                pass
+        assert profiler.stats["x"].calls == 10
+        assert len(profiler.chrome_events()) == 3
+        assert profiler.events_dropped == 7
+        assert "timeline truncated: 7" in profiler.report()
+
+    def test_zero_cap_keeps_no_timeline(self):
+        profiler = Profiler(event_cap=0)
+        with profiler.span("x"):
+            pass
+        assert profiler.chrome_events() == []
+        assert profiler.events_dropped == 1
+        assert profiler.stats["x"].calls == 1
+
+
+class TestMerge:
+    def _worker_snapshot(self, task):
+        worker = Profiler(task=task)
+        with worker.span("run"):
+            with worker.span("step"):
+                pass
+        return worker.snapshot()
+
+    def test_merge_folds_stats_additively(self):
+        parent = Profiler()
+        with parent.span("run"):
+            pass
+        parent.merge(self._worker_snapshot(1))
+        parent.merge(self._worker_snapshot(2))
+        assert parent.stats["run"].calls == 3
+        assert parent.stats["run/step"].calls == 2
+
+    def test_merge_is_order_deterministic(self):
+        snapshots = [self._worker_snapshot(i + 1) for i in range(3)]
+        first, second = Profiler(), Profiler()
+        for snapshot in snapshots:
+            first.merge(snapshot)
+        for snapshot in snapshots:
+            second.merge(snapshot)
+        assert first.bench_section() == second.bench_section()
+        assert first.chrome_events() == second.chrome_events()
+
+    def test_merged_events_keep_worker_task_as_pid(self):
+        parent = Profiler(task=0)
+        parent.merge(self._worker_snapshot(7))
+        assert {e["pid"] for e in parent.chrome_events()} == {7}
+
+    def test_merge_accumulates_dropped_counts(self):
+        worker = Profiler(task=1, event_cap=0)
+        with worker.span("x"):
+            pass
+        parent = Profiler()
+        parent.merge(worker.snapshot())
+        assert parent.events_dropped == 1
+
+    def test_merge_empty_snapshot_is_a_noop(self):
+        parent = Profiler()
+        with parent.span("run"):
+            pass
+        before = parent.bench_section()
+        parent.merge(Profiler(task=5).snapshot())
+        assert parent.bench_section() == before
+
+
+class TestExports:
+    def test_chrome_trace_file_shape(self, tmp_path):
+        profiler = Profiler()
+        with profiler.span("run"):
+            with profiler.span("step"):
+                pass
+        path = profiler.write_chrome_trace(tmp_path / "deep" / "t.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["events_dropped"] == 0
+        events = payload["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        step = next(e for e in events if e["name"] == "step")
+        assert step["args"]["path"] == "run/step"
+        assert step["cat"] == "run"
+        assert step["dur"] >= 0
+
+    def test_report_contains_coverage_line(self):
+        profiler = Profiler()
+        with profiler.span("run"):
+            pass
+        assert "100.0% coverage" in profiler.report()
+
+    def test_report_truncates_to_top_n(self):
+        profiler = Profiler()
+        for i in range(5):
+            with profiler.span(f"p{i}"):
+                pass
+        assert "3 more phase(s)" in profiler.report(top=2)
+
+    def test_bench_section_shape(self):
+        profiler = Profiler()
+        with profiler.span("run"):
+            pass
+        section = profiler.bench_section()
+        assert set(section) == {"total_s", "self_total_s", "events",
+                                "events_dropped", "phases"}
+        assert section["phases"]["run"]["calls"] == 1
+
+
+class TestAmbientLifecycle:
+    def test_default_is_off(self):
+        assert prof.PROFILER is None
+        assert prof.current() is None
+
+    def test_install_uninstall(self):
+        profiler = prof.install(Profiler())
+        assert prof.current() is profiler
+        with pytest.raises(RuntimeError):
+            prof.install(Profiler())
+        prof.uninstall()
+        prof.uninstall()  # idempotent
+        assert prof.current() is None
+
+    def test_profiling_context_keeps_data_after_exit(self):
+        with prof.profiling() as profiler:
+            assert prof.current() is profiler
+            with profiler.span("run"):
+                pass
+        assert prof.current() is None
+        assert profiler.stats["run"].calls == 1
+
+    def test_clock_is_monotonic_nonnegative_delta(self):
+        a = prof.clock()
+        b = prof.clock()
+        assert b >= a

@@ -1,5 +1,7 @@
 """Tests for the metrics registry."""
 
+import pytest
+
 from repro.obs import MetricsRegistry
 from repro.obs.registry import (
     HISTOGRAM_SAMPLE_CAP,
@@ -42,6 +44,29 @@ class TestCountersAndHistograms:
         hist = reg.histogram("op")
         assert hist.count == 1
         assert 0.0 <= hist.min < 1.0
+
+    def test_time_observes_even_when_the_block_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.time("op"):
+                raise RuntimeError("boom")
+        assert reg.histogram("op").count == 1
+        assert reg.counter("op.exceptions").value == 1
+
+    def test_time_does_not_tag_exceptions_on_success(self):
+        reg = MetricsRegistry()
+        with reg.time("op"):
+            pass
+        assert reg.histogram("op").count == 1
+        assert reg.counter("op.exceptions").value == 0
+
+    def test_time_block_is_an_alias_for_time(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with reg.time_block("op"):
+                raise ValueError("boom")
+        assert reg.histogram("op").count == 1
+        assert reg.counter("op.exceptions").value == 1
 
     def test_sink_protocol_counts_event_types(self):
         reg = MetricsRegistry()

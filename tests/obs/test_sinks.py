@@ -1,13 +1,16 @@
 """Tests for the trace sinks."""
 
 import json
+import threading
 
 import pytest
 
 from repro.obs import (
     JsonlSink,
     RingBufferSink,
+    Tracer,
     encode_event,
+    merge_shards,
     read_jsonl,
 )
 
@@ -44,6 +47,32 @@ class TestJsonlSink:
         JsonlSink(path).close()
         assert path.exists()
 
+    def test_concurrent_shard_opens_in_fresh_directory(self, tmp_path):
+        # Regression: pool workers open shard files in the same fresh
+        # trace directory simultaneously; directory creation must be
+        # race-free (unconditional makedirs, no exists-then-create).
+        shard_dir = tmp_path / "fresh" / "shards"
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def open_shard(index):
+            try:
+                barrier.wait(timeout=10)
+                sink = JsonlSink(shard_dir / f"shard_{index:04d}.jsonl")
+                sink.on_event({"type": "x", "t": float(index)})
+                sink.close()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=open_shard, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(list(shard_dir.glob("*.jsonl"))) == 8
+
     def test_closed_sink_raises(self, tmp_path):
         sink = JsonlSink(tmp_path / "trace.jsonl")
         sink.close()
@@ -71,3 +100,51 @@ class TestRingBufferSink:
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError):
             RingBufferSink(capacity=0)
+
+    def test_wraparound_over_many_cycles(self):
+        ring = RingBufferSink(capacity=4)
+        for i in range(4 * 7 + 3):
+            ring.on_event({"type": "x", "t": float(i)})
+        assert len(ring) == 4
+        assert [e["t"] for e in ring.events()] == [27.0, 28.0, 29.0, 30.0]
+
+    def test_wraparound_at_exact_capacity_boundary(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(6):
+            ring.on_event({"type": "x", "t": float(i)})
+        assert [e["t"] for e in ring.events()] == [3.0, 4.0, 5.0]
+
+
+class TestMergeShards:
+    def _shard(self, path, times):
+        sink = JsonlSink(path)
+        for t in times:
+            sink.on_event({"type": "x", "t": t})
+        sink.close()
+        return path
+
+    def test_empty_shard_leaves_merge_byte_identical(self, tmp_path):
+        a = self._shard(tmp_path / "a.jsonl", [0.0, 1.0])
+        b = self._shard(tmp_path / "b.jsonl", [2.0])
+        empty = self._shard(tmp_path / "empty.jsonl", [])
+
+        def merge(shards, out):
+            sink = JsonlSink(out)
+            merged = merge_shards(shards, Tracer([sink]), remove=False)
+            sink.close()
+            return merged, out.read_bytes()
+
+        with_empty = merge([a, empty, b], tmp_path / "with.jsonl")
+        a2 = self._shard(tmp_path / "a2.jsonl", [0.0, 1.0])
+        b2 = self._shard(tmp_path / "b2.jsonl", [2.0])
+        without = merge([a2, b2], tmp_path / "without.jsonl")
+        assert with_empty[0] == without[0] == 3
+        assert with_empty[1] == without[1]
+
+    def test_missing_shard_is_skipped(self, tmp_path):
+        a = self._shard(tmp_path / "a.jsonl", [0.0])
+        sink = JsonlSink(tmp_path / "out.jsonl")
+        merged = merge_shards([a, tmp_path / "gone.jsonl"],
+                              Tracer([sink]), remove=False)
+        sink.close()
+        assert merged == 1

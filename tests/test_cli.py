@@ -138,3 +138,101 @@ class TestTraceCommand:
         record = json.loads(
             (isolated_artifacts / "bench" / "BENCH_trace.json").read_text())
         assert "solver.exact.solve_s" in record["obs"]["histograms"]
+
+    def test_trace_writes_report_sibling(self, isolated_artifacts):
+        out = isolated_artifacts / "trace.jsonl"
+        assert main(["trace", "testbed", "--out", str(out),
+                     "--duration", "20"]) == 0
+        sibling = isolated_artifacts / "trace.jsonl.report.json"
+        assert sibling.exists()
+        from repro.metrics.serialize import load_cell_report
+
+        report = load_cell_report(sibling.read_text())
+        assert report.clients
+
+
+class TestProfileCommand:
+    def test_scenario_targets_and_command_targets_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["profile"]).scenario == "testbed"
+        assert parser.parse_args(["profile", "cell"]).scenario == "cell"
+        assert parser.parse_args(["profile", "table1"]).scenario == "table1"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["profile", "bogus"])
+
+    def test_profile_scenario_writes_trace_and_bench(self, capsys,
+                                                     isolated_artifacts):
+        trace_out = isolated_artifacts / "prof.trace.json"
+        assert main(["profile", "testbed", "--duration", "20",
+                     "--out", str(trace_out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "% coverage" in stdout
+        assert "chrome trace written to" in stdout
+        payload = json.loads(trace_out.read_text())
+        assert payload["traceEvents"]
+        record = json.loads((isolated_artifacts / "bench"
+                             / "BENCH_profile.json").read_text())
+        assert record["profile"]["phases"]["run"]["calls"] == 1
+        assert "run/sim.step" in record["profile"]["phases"]
+
+    def test_no_ambient_profiler_leaks(self, isolated_artifacts):
+        from repro.obs import prof
+
+        trace_out = isolated_artifacts / "prof.trace.json"
+        assert main(["profile", "testbed", "--duration", "20",
+                     "--out", str(trace_out)]) == 0
+        assert prof.PROFILER is None
+
+    def test_profile_parallel_command_merges_workers(self, capsys,
+                                                     isolated_artifacts):
+        trace_out = isolated_artifacts / "t1.trace.json"
+        assert main(["profile", "table1", "--jobs", "2", "--no-cache",
+                     "--out", str(trace_out)]) == 0
+        payload = json.loads(trace_out.read_text())
+        pids = {event["pid"] for event in payload["traceEvents"]}
+        assert pids - {0}, "worker tracks missing from the merged trace"
+        record = json.loads((isolated_artifacts / "bench"
+                             / "BENCH_profile.json").read_text())
+        # Parent "run" span + one per worker task (3 table1 schemes).
+        assert record["profile"]["phases"]["run"]["calls"] == 4
+
+    def test_self_times_cover_total(self, isolated_artifacts):
+        trace_out = isolated_artifacts / "prof.trace.json"
+        assert main(["profile", "testbed", "--duration", "20",
+                     "--out", str(trace_out)]) == 0
+        record = json.loads((isolated_artifacts / "bench"
+                             / "BENCH_profile.json").read_text())
+        profile = record["profile"]
+        assert profile["self_total_s"] == pytest.approx(
+            profile["total_s"], rel=0.05)
+
+
+class TestAnalyzeCommand:
+    def test_requires_a_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_missing_trace_exits(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "/no/such/trace.jsonl"])
+
+    def test_analyze_traced_run_cross_validates(self, capsys,
+                                                isolated_artifacts):
+        out = isolated_artifacts / "trace.jsonl"
+        assert main(["trace", "testbed", "--out", str(out),
+                     "--duration", "20"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "video session(s)" in stdout
+        assert "qoe cross-check: OK" in stdout
+
+    def test_analyze_without_sibling_report_skips_check(self, capsys,
+                                                        isolated_artifacts):
+        out = isolated_artifacts / "trace.jsonl"
+        assert main(["trace", "testbed", "--out", str(out),
+                     "--duration", "20"]) == 0
+        (isolated_artifacts / "trace.jsonl.report.json").unlink()
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        assert "qoe cross-check: skipped" in capsys.readouterr().out

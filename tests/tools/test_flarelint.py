@@ -21,7 +21,7 @@ from tools.flarelint import lint_source
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 FIXTURES = REPO_ROOT / "tools" / "flarelint" / "fixtures"
 
-_MARKER = re.compile(r"#\s*(FL\d{3})\s*$")
+_MARKER = re.compile(r"#\s*((?:FL\d{3}[ \t]*)+)$")
 _LINT_PATH = re.compile(r"#\s*lint-path:\s*(\S+)")
 
 
@@ -33,7 +33,8 @@ def _load_fixture(name: str):
     for line_number, line in enumerate(text.splitlines(), start=1):
         marker = _MARKER.search(line)
         if marker:
-            expected.add((line_number, marker.group(1)))
+            for code in marker.group(1).split():
+                expected.add((line_number, code))
     return text, match.group(1), expected
 
 
@@ -60,11 +61,24 @@ def test_fixture_findings_match_markers(name):
 
 def test_wall_clock_whitelist_is_path_scoped():
     source = (FIXTURES / "whitelisted_clock.py").read_text(encoding="utf-8")
-    clean = lint_source(source, "src/repro/core/optimizer.py")
+    clean = lint_source(source, "src/repro/experiments/timing.py")
     assert clean == []
+    # Outside the whitelist both the determinism rule and the
+    # prof-timing rule fire on each of the two perf_counter reads.
     flagged = lint_source(source, "src/repro/sim/engine.py")
-    assert {f.code for f in flagged} == {"FL001"}
-    assert len(flagged) == 2  # two perf_counter reads
+    assert {f.code for f in flagged} == {"FL001", "FL005"}
+    assert len(flagged) == 4
+
+
+def test_prof_timing_exempts_obs_and_experiments():
+    source = (FIXTURES / "bad_prof_timing.py").read_text(encoding="utf-8")
+    for exempt in ("src/repro/obs/prof.py", "src/repro/experiments/bench.py"):
+        findings = lint_source(source, exempt, select=["FL005"])
+        assert findings == [], exempt
+    flagged = lint_source(source, "src/repro/core/solver.py",
+                          select=["FL005"])
+    assert {f.code for f in flagged} == {"FL005"}
+    assert len(flagged) == 4  # one import + three clock reads
 
 
 def test_obs_package_may_touch_the_tracer_unguarded():

@@ -13,6 +13,6 @@ def unseeded_everything():
     c = np.random.rand(3)  # FL001
     d = np.random.default_rng()  # FL001
     e = random.Random()  # FL001
-    f = time.time()  # FL001
-    g = time.perf_counter()  # FL001
+    f = time.time()  # FL001 FL005
+    g = time.perf_counter()  # FL001 FL005
     return a, b, c, d, e, f, g, choice([1, 2])

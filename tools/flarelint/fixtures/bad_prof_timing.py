@@ -1,0 +1,17 @@
+# lint-path: src/repro/mac/fixture.py
+"""FL005 fixture: raw clocks in simulator code must be flagged.
+
+The virtual path sits in a FL001-whitelist-free, non-obs, non-
+experiments subtree, so both the determinism rule and the prof-timing
+rule fire on every raw clock read.
+"""
+import time
+
+from time import monotonic  # FL001 FL005
+
+
+def handrolled_timer():
+    started = time.perf_counter()  # FL001 FL005
+    elapsed = time.perf_counter() - started  # FL001 FL005
+    stamp = time.time()  # FL001 FL005
+    return elapsed, stamp, monotonic()

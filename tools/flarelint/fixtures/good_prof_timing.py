@@ -1,0 +1,18 @@
+# lint-path: src/repro/mac/fixture.py
+"""FL005 fixture: prof-mediated timing in simulator code is clean."""
+from repro.obs import prof
+
+
+def span_timed(scheduler, flows):
+    profiler = prof.PROFILER
+    if profiler is not None:
+        profiler.begin("mac.sched")
+    result = scheduler(flows)
+    if profiler is not None:
+        profiler.end()
+    return result
+
+
+def clock_timed():
+    started = prof.clock()
+    return prof.clock() - started

@@ -1,5 +1,5 @@
-# lint-path: src/repro/core/optimizer.py
-"""FL001 fixture: the optimizer module may time its solves."""
+# lint-path: src/repro/experiments/timing.py
+"""FL001 fixture: whitelisted timing sites may read clocks."""
 import time
 
 

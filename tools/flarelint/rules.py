@@ -16,26 +16,31 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 #: All rule codes, in report order.
-ALL_CODES = ("FL001", "FL002", "FL003", "FL004")
+ALL_CODES = ("FL001", "FL002", "FL003", "FL004", "FL005")
 
 #: Modules allowed to read wall clocks (established timing sites:
-#: metrics-registry timers, bench artifacts, report generation, and
-#: solver solve-time measurement for paper Figure 9).
+#: metrics-registry timers, the profiler's ``clock()`` primitive,
+#: bench artifacts, report generation, and solver benchmarking).
 WALL_CLOCK_WHITELIST = (
     "repro/obs/registry.py",
+    "repro/obs/prof.py",
     "repro/experiments/bench.py",
     "repro/experiments/report.py",
     "repro/experiments/timing.py",
-    "repro/core/optimizer.py",
 )
 
-#: Modules that *implement* the ambient tracer / checker singletons and
-#: may therefore touch them unguarded.
+#: Modules that *implement* the ambient tracer / checker / profiler
+#: singletons and may therefore touch them unguarded.
 AMBIENT_IMPL_PREFIXES = ("repro/obs/", "repro/check.py")
 
 #: Ambient singleton attributes whose users must follow the
 #: ``is None`` fast-path pattern.
-AMBIENT_ATTRS = frozenset({"TRACER", "CHECKER"})
+AMBIENT_ATTRS = frozenset({"TRACER", "CHECKER", "PROFILER"})
+
+#: ``src/repro`` subtrees that may time code with raw clocks; the
+#: simulator proper must route timing through ``repro.obs.prof``
+#: (spans or ``prof.clock()``) so FL005 can keep hot paths honest.
+_PROF_TIMING_EXEMPT = ("obs/", "experiments/")
 
 _WALL_CLOCK_CALL = re.compile(
     r"(^|\.)time\.(time|time_ns|perf_counter|perf_counter_ns|monotonic"
@@ -407,6 +412,50 @@ def _check_mutable_defaults(tree: ast.Module, path: str,
 
 
 # ---------------------------------------------------------------------------
+# FL005: raw clocks in simulator code (time via prof spans instead)
+# ---------------------------------------------------------------------------
+def _check_prof_timing(tree: ast.Module, path: str,
+                       findings: list[Finding]) -> None:
+    """Forbid bare wall-clock reads in ``src/repro`` outside obs/experiments.
+
+    Unlike FL001 (which polices *determinism* and has a whitelist for
+    sanctioned timing sites), FL005 polices *how* simulator code times
+    itself: profiling must go through :mod:`repro.obs.prof` spans or
+    ``prof.clock()`` so the profiler sees every measured phase.  The
+    rule therefore exempts only the ``obs/`` and ``experiments/``
+    subtrees — there is no per-file whitelist.
+    """
+    match = re.search(r"(?:^|/)repro/(.+)$", _posix(path))
+    if match is None:
+        return
+    remainder = match.group(1)
+    if remainder.startswith(_PROF_TIMING_EXEMPT):
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                bad = [a.name for a in node.names
+                       if a.name in _WALL_CLOCK_NAMES]
+                if bad:
+                    findings.append(Finding(
+                        path, node.lineno, node.col_offset, "FL005",
+                        f"raw clock import ({', '.join(sorted(bad))}) in "
+                        f"simulator code; time via repro.obs.prof spans "
+                        f"or prof.clock()",
+                    ))
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        full = _unparse(node.func)
+        if full and _WALL_CLOCK_CALL.search(full):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL005",
+                f"raw clock read {full}() in simulator code; time via "
+                f"repro.obs.prof spans or prof.clock()",
+            ))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 _RULES = (
@@ -414,6 +463,7 @@ _RULES = (
     ("FL002", _check_tracer_fastpath),
     ("FL003", _check_float_equality),
     ("FL004", _check_mutable_defaults),
+    ("FL005", _check_prof_timing),
 )
 
 

@@ -1,0 +1,117 @@
+"""CI perf-regression gate over ``BENCH_<name>.json`` artifacts.
+
+Compares the wall time of a freshly-measured run against a committed
+baseline artifact and fails when the run regressed by more than the
+allowed fraction::
+
+    python tools/perf_gate.py BENCH_table1.json \\
+        benchmarks/baselines/BENCH_table1.json --threshold 0.25
+
+Exit codes: ``0`` within budget, ``1`` regression, ``2`` bad input.
+The threshold can also be set via ``REPRO_PERF_THRESHOLD`` (the
+command-line flag wins).  Only ``wall_time_s`` gates the build — the
+other volatile fields (timestamp, git_rev, host, ...) are informational
+and deterministic fields are expected to match byte-for-byte anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from typing import Any
+
+#: Environment variable overriding the default regression threshold.
+THRESHOLD_ENV = "REPRO_PERF_THRESHOLD"
+
+#: Allowed fractional slowdown vs the baseline before CI fails.
+DEFAULT_THRESHOLD = 0.25
+
+
+class GateError(ValueError):
+    """A BENCH artifact is missing or malformed."""
+
+
+def load_bench(path: pathlib.Path) -> dict[str, Any]:
+    """Load one BENCH artifact, validating the fields the gate needs."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise GateError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise GateError(f"{path} is not valid JSON: {exc}") from exc
+    wall = payload.get("wall_time_s")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        raise GateError(f"{path} has no usable wall_time_s field")
+    return payload
+
+
+def evaluate(current: dict[str, Any], baseline: dict[str, Any],
+             threshold: float) -> tuple[bool, str]:
+    """Gate ``current`` against ``baseline``; returns (ok, summary).
+
+    ``ok`` is False only for a wall-time regression beyond
+    ``baseline * (1 + threshold)``.  A baseline wall time of zero
+    (degenerate artifact) passes anything, since no meaningful ratio
+    exists.
+    """
+    base_wall = float(baseline["wall_time_s"])
+    cur_wall = float(current["wall_time_s"])
+    budget = base_wall * (1.0 + threshold)
+    name = current.get("name", "?")
+    if base_wall <= 0.0:
+        return True, (f"perf-gate [{name}]: baseline wall time is 0s; "
+                      f"nothing to gate (current {cur_wall:.3f}s)")
+    ratio = cur_wall / base_wall
+    detail = (f"perf-gate [{name}]: current {cur_wall:.3f}s vs baseline "
+              f"{base_wall:.3f}s ({ratio:.2f}x, budget "
+              f"{budget:.3f}s = +{threshold:.0%})")
+    if cur_wall > budget:
+        return False, detail + " -- REGRESSION"
+    return True, detail + " -- OK"
+
+
+def _resolve_threshold(flag: float | None) -> float:
+    if flag is not None:
+        return flag
+    env = os.environ.get(THRESHOLD_ENV)
+    if env:
+        try:
+            return float(env)
+        except ValueError as exc:
+            raise GateError(
+                f"{THRESHOLD_ENV}={env!r} is not a number") from exc
+    return DEFAULT_THRESHOLD
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_gate",
+        description="Fail when a BENCH artifact's wall time regresses "
+                    "past the committed baseline.")
+    parser.add_argument("current", type=pathlib.Path,
+                        help="BENCH_<name>.json from this run")
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="committed baseline BENCH_<name>.json")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help=f"allowed fractional slowdown (default "
+                             f"{DEFAULT_THRESHOLD}, env {THRESHOLD_ENV})")
+    args = parser.parse_args(argv)
+    try:
+        threshold = _resolve_threshold(args.threshold)
+        if threshold < 0:
+            raise GateError(f"threshold must be >= 0, got {threshold}")
+        current = load_bench(args.current)
+        baseline = load_bench(args.baseline)
+    except GateError as exc:
+        print(f"perf-gate: {exc}", file=sys.stderr)
+        return 2
+    ok, summary = evaluate(current, baseline, threshold)
+    print(summary)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
