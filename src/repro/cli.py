@@ -70,9 +70,11 @@ from repro.metrics.serialize import dump_cell_report, load_cell_report
 from repro.obs import EVENT_FAMILIES, MetricsRegistry, tracing
 from repro.obs import prof
 from repro.obs.analyze import analyze_trace, render_analysis
+from repro.sim import kernel_mode
 from repro.workload.scenarios import (
     build_cell_scenario,
     build_mixed_scenario,
+    build_scale_scenario,
     build_testbed_scenario,
     build_trace_scenario,
 )
@@ -98,6 +100,7 @@ TRACE_SCENARIOS = {
     "cell-mobile": (build_cell_scenario, {"mobile": True}),
     "mixed": (build_mixed_scenario, {}),
     "trace-driven": (build_trace_scenario, {}),
+    "scale": (build_scale_scenario, {}),
 }
 
 
@@ -295,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 120, or 600 with --full)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed for the trace command")
+    parser.add_argument("--no-kernel", action="store_true",
+                        help="run the pure-object TTI loop instead of "
+                             "the vectorized kernel (equivalent to "
+                             "REPRO_KERNEL=0; workers inherit it)")
     return parser
 
 
@@ -325,6 +332,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    kernel_context = (kernel_mode(False) if args.no_kernel
+                      else nullcontext())
     scale_context = full_mode(True) if args.full else nullcontext()
     check_context = chk.checked_run() if args.check else nullcontext()
     # The trace command installs its own tracer; --trace covers the rest.
@@ -334,11 +343,13 @@ def main(argv: list[str] | None = None) -> int:
     profile_context = (
         prof.profiling(event_min_s=prof.DEFAULT_EVENT_MIN_S)
         if args.command == "profile" else nullcontext())
-    with scale_context, check_context, trace_context, execution_defaults(
-            jobs=args.jobs, use_cache=not args.no_cache):
+    with kernel_context, scale_context, check_context, trace_context, \
+            execution_defaults(jobs=args.jobs,
+                               use_cache=not args.no_cache):
         with profile_context as profiler:
             with measure(args.command, command=args.command,
-                         full_scale=is_full_run()) as record:
+                         full_scale=is_full_run(),
+                         kernel=not args.no_kernel) as record:
                 status = _dispatch(args)
         if profiler is not None:
             record.extra["profile"] = profiler.bench_section()

@@ -215,6 +215,24 @@ class ExactSolver(Solver):
         if quanta < 10:
             raise ValueError(f"quanta must be >= 10, got {quanta}")
         self.quanta = quanta
+        self._log_table: np.ndarray | None = None
+
+    def _log_one_minus_r(self) -> np.ndarray:
+        """``math.log(1 - q/Q)`` for q in [0, Q), cached per solver.
+
+        Built with ``math.log`` (not ``np.log``) so each entry is the
+        exact float the scalar scan would compute; the ``q == Q`` slot
+        is a placeholder the caller masks out (``log 0`` is undefined).
+        """
+        table = self._log_table
+        if table is None:
+            quanta = self.quanta
+            table = np.empty(quanta + 1)
+            for q in range(quanta):
+                table[q] = math.log(1.0 - q / quanta)
+            table[quanta] = 0.0
+            self._log_table = table
+        return table
 
     def _solve(self, problem: ProblemSpec) -> Solution:
         started = prof.clock()
@@ -240,52 +258,69 @@ class ExactSolver(Solver):
             return _all_minimum_solution(problem, started)
 
         neg_inf = -1e18
+        size = self.quanta + 1
         # dp[q]: best video utility using exactly q quanta (or less,
         # tracked per exact usage; unreachable states stay neg_inf).
-        dp = np.full(self.quanta + 1, neg_inf)
+        # The per-choice relaxation runs through reused scratch buffers
+        # (``out=`` ufuncs + ``copyto``): same element values as the
+        # allocating ``dp + value`` / ``np.where`` formulation, without
+        # three fresh arrays per ladder choice.
+        dp = np.full(size, neg_inf)
         dp[0] = 0.0
+        cand_buf = np.empty(size)
+        better = np.empty(size, dtype=bool)
         parents: list[np.ndarray] = []
         for options in choices:
-            ndp = np.full(self.quanta + 1, neg_inf)
-            parent = np.full(self.quanta + 1, -1, dtype=np.int64)
+            ndp = np.full(size, neg_inf)
+            parent = np.full(size, -1, dtype=np.int64)
             for choice_number, (weight, value, _) in enumerate(options):
                 if weight > self.quanta:
                     continue
                 if weight == 0:
-                    candidate = dp + value
+                    candidate = np.add(dp, value, out=cand_buf)
                 else:
-                    candidate = np.full(self.quanta + 1, neg_inf)
-                    candidate[weight:] = dp[:self.quanta + 1 - weight] + value
-                better = candidate > ndp
-                ndp = np.where(better, candidate, ndp)
+                    cand_buf[:weight] = neg_inf
+                    np.add(dp[:size - weight], value,
+                           out=cand_buf[weight:])
+                    candidate = cand_buf
+                np.greater(candidate, ndp, out=better)
+                np.copyto(ndp, candidate, where=better)
                 parent[better] = choice_number
             parents.append(parent)
             dp = ndp
 
         # Outer scan over the quantised budget: pick the usage level q
-        # maximising video utility + data term at r = q/Q.
-        best_q, best_obj = -1, neg_inf
-        running_best = neg_inf
-        running_best_q = -1
-        for q in range(self.quanta + 1):
-            if dp[q] > running_best:
-                running_best = dp[q]
-                running_best_q = q
-            if running_best <= neg_inf / 2:
-                continue
-            r = q / self.quanta
-            if problem.num_data_flows > 0:
-                if r >= 1.0:
-                    continue
-                objective = running_best + data_utility(
-                    r, problem.num_data_flows, problem.alpha)
-            else:
-                objective = running_best
-            if objective > best_obj:
-                best_obj = objective
-                best_q = running_best_q
-        if best_q < 0:
+        # maximising video utility + data term at r = q/Q.  Vectorised,
+        # replicating the sequential scan bit-for-bit:
+        #  * ``maximum.accumulate`` is the running best (comparisons
+        #    only, no arithmetic);
+        #  * the running best's index follows the strict ``>`` update
+        #    rule — it moves only where dp strictly exceeds the prior
+        #    prefix max, so it is the forward-fill (``max.accumulate``
+        #    of positions) of those strict-increase points;
+        #  * the data term is ``run_max + n_alpha * log(1 - q/Q)`` with
+        #    the log table precomputed via ``math.log`` (identical
+        #    values, identical add/mul), its ``q == Q`` entry and every
+        #    unreachable prefix masked out exactly as the scan's
+        #    ``continue`` guards skip them;
+        #  * ``argmax`` keeps the first maximum, as strict ``>`` does.
+        run_max = np.maximum.accumulate(dp)
+        positions = np.arange(size)
+        strict = np.empty(size, dtype=bool)
+        strict[0] = True
+        np.greater(dp[1:], run_max[:-1], out=strict[1:])
+        rbq = np.maximum.accumulate(np.where(strict, positions, 0))
+        if problem.num_data_flows > 0:
+            n_alpha = problem.num_data_flows * problem.alpha
+            objective = run_max + n_alpha * self._log_one_minus_r()
+            objective[self.quanta] = -np.inf
+        else:
+            objective = run_max.copy()
+        objective[run_max <= neg_inf / 2] = -np.inf
+        best = int(np.argmax(objective))
+        if not np.isfinite(objective[best]):
             return _all_minimum_solution(problem, started)
+        best_q = int(rbq[best])
 
         # Backtrack the DP to recover per-flow choices.
         indices: dict[int, int] = {}

@@ -290,8 +290,18 @@ def run_tasks(tasks: Sequence[ExperimentTask],
             LEDGER.record(hit, cached=True)
 
     if pending:
-        if jobs > 1 and len(pending) > 1:
-            workers = min(jobs, len(pending))
+        # Never fan out beyond the machine's cores: on an oversubscribed
+        # host the extra workers only add fork/IPC overhead and
+        # scheduler contention (reports are identical at any worker
+        # count, so this is purely a wall-time matter).  With a tracer
+        # or profiler installed the pool is kept regardless — worker
+        # shards tag events with their task index and the merged Chrome
+        # trace carries one track per worker, and that shard/track
+        # shape is observable behaviour the clamp must not change.
+        observed = obs.TRACER is not None or prof.PROFILER is not None
+        usable = jobs if observed else min(jobs, os.cpu_count() or 1)
+        if usable > 1 and len(pending) > 1:
+            workers = min(usable, len(pending))
             tracer = obs.TRACER
             parent_profiler = prof.PROFILER
             # Worker shards only make sense when the parent traces to

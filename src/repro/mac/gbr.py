@@ -73,16 +73,30 @@ class BearerRegistry:
     def __init__(self) -> None:
         self._bearers: dict[int, BearerQos] = {}
         self._updates: list[GbrUpdate] = []
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every QoS mutation.
+
+        Consumers that cache a derived view of the registry (the
+        vectorized TTI kernel mirrors GBR/MBR byte budgets into flat
+        arrays) compare this against their snapshot to know when to
+        refresh.
+        """
+        return self._version
 
     def register(self, flow_id: int, qos: BearerQos | None = None) -> None:
         """Add a bearer for ``flow_id`` (default: best-effort non-GBR)."""
         if flow_id in self._bearers:
             raise ValueError(f"flow {flow_id} already registered")
         self._bearers[flow_id] = qos if qos is not None else BearerQos()
+        self._version += 1
 
     def deregister(self, flow_id: int) -> None:
         """Remove the bearer of a departed flow."""
         self._bearers.pop(flow_id, None)
+        self._version += 1
 
     def qos(self, flow_id: int) -> BearerQos:
         """QoS of ``flow_id`` (best-effort default if never registered)."""
@@ -108,6 +122,7 @@ class BearerRegistry:
             priority=current.priority,
         )
         self._updates.append(GbrUpdate(time_s, flow_id, gbr_bps, mbr_bps))
+        self._version += 1
         if obs.TRACER is not None:
             obs.TRACER.emit(obs_events.GBR_UPDATE, time_s, flow=flow_id,
                             gbr_bps=gbr_bps, mbr_bps=mbr_bps)

@@ -74,23 +74,29 @@ def waterfill_prbs(budget: float, claims: Sequence[_Claim],
     if len(claims) != len(weights):
         raise ValueError("claims and weights must align")
     grants = [0.0] * len(claims)
-    active = [i for i, c in enumerate(claims)
-              if c.max_prbs() > 0 and weights[i] > 0]
+    # Demand is constant for the duration of the fill, so each claim's
+    # PRB cap is computed exactly once up front instead of re-deriving
+    # it (division included) on every progressive-filling round.
+    caps = [c.max_prbs() for c in claims]
+    active = [i for i in range(len(claims))
+              if caps[i] > 0 and weights[i] > 0]
     remaining = budget
     while remaining > 1e-12 and active:
-        total_weight = sum(weights[i] for i in active)
+        total_weight = 0.0
+        for i in active:
+            total_weight += weights[i]
         if total_weight <= 0:
             break
-        capped: list[int] = []
+        capped = False
         next_active: list[int] = []
         consumed = 0.0
         for i in active:
             share = remaining * weights[i] / total_weight
-            room = claims[i].max_prbs() - grants[i]
+            room = caps[i] - grants[i]
             if share >= room - 1e-12:
                 grants[i] += room
                 consumed += room
-                capped.append(i)
+                capped = True
             else:
                 next_active.append(i)
         if not capped:
@@ -109,6 +115,8 @@ def waterfill_prbs(budget: float, claims: Sequence[_Claim],
 class Scheduler:
     """Interface every downlink scheduler implements."""
 
+    _claim_pool: list[_Claim]
+
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,
                  registry: BearerRegistry) -> dict[int, Allocation]:
@@ -122,16 +130,36 @@ class Scheduler:
         """
         raise NotImplementedError
 
-    @staticmethod
-    def _gather_claims(now_s: float, step_s: float, flows: Sequence[Flow],
+    def _gather_claims(self, now_s: float, step_s: float,
+                       flows: Sequence[Flow],
                        registry: BearerRegistry) -> list[_Claim]:
-        """Build per-flow claims: demand capped by MBR and the channel."""
+        """Build per-flow claims: demand capped by MBR and the channel.
+
+        ``_Claim`` objects are recycled from a per-scheduler scratch
+        pool across steps (the profiler showed dataclass construction
+        dominating ``mac.claims``); only the returned *list* is fresh,
+        so callers may slice and filter it freely.
+        """
+        try:
+            pool = self._claim_pool
+        except AttributeError:
+            pool = self._claim_pool = []
         claims: list[_Claim] = []
-        for flow in flows:
+        for index, flow in enumerate(flows):
             bytes_per_prb = flow.ue.channel.bytes_per_prb_at(now_s)
             demand = flow.demand_bytes(step_s)
-            demand = min(demand, registry.mbr_bytes_for_step(flow.flow_id, step_s))
-            claims.append(_Claim(flow, bytes_per_prb, demand))
+            mbr_cap = registry.mbr_bytes_for_step(flow.flow_id, step_s)
+            if demand > mbr_cap:
+                demand = mbr_cap
+            if index < len(pool):
+                claim = pool[index]
+                claim.flow = flow
+                claim.bytes_per_prb = bytes_per_prb
+                claim.remaining_demand_bytes = demand
+            else:
+                claim = _Claim(flow, bytes_per_prb, demand)
+                pool.append(claim)
+            claims.append(claim)
         return claims
 
 
@@ -175,13 +203,15 @@ class ProportionalFairScheduler(Scheduler):
         """
         decay = step_s / self.time_constant_s
         decay = min(decay, 1.0)
+        averages = self._avg_rate_bps
         for flow in flows:
             if active_ids is not None and flow.flow_id not in active_ids:
                 continue
-            delivered = grants.get(flow.flow_id, Allocation()).bytes_delivered
+            grant = grants.get(flow.flow_id)
+            delivered = grant.bytes_delivered if grant is not None else 0.0
             rate = bytes_to_bits(delivered) / step_s
-            old = self._avg_rate_bps.get(flow.flow_id, 0.0)
-            self._avg_rate_bps[flow.flow_id] = (1 - decay) * old + decay * rate
+            old = averages.get(flow.flow_id, 0.0)
+            averages[flow.flow_id] = (1 - decay) * old + decay * rate
 
     def allocate(self, now_s: float, step_s: float, flows: Sequence[Flow],
                  prb_budget: float,

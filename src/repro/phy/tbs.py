@@ -43,6 +43,23 @@ _TBS_ONE_PRB: Sequence[int] = (
     440, 488, 520, 552, 584, 616, 712,
 )
 
+#: Full TBS table in bits, ``TBS_TABLE[itbs][n_prb]`` for ``n_prb`` in
+#: ``0..MAX_PRB`` (index 0 is 0 so callers can index by PRB count
+#: directly).  Precomputed at import so the hot path is a plain tuple
+#: index instead of multiply + quantise + validation per lookup.
+TBS_TABLE: tuple[tuple[int, ...], ...] = tuple(
+    tuple((bits * n // 8) * 8 for n in range(MAX_PRB + 1))
+    for bits in _TBS_ONE_PRB
+)
+
+#: Bits one PRB carries per TTI, indexed by iTbs (float, no validation).
+BITS_PER_PRB_TABLE: tuple[float, ...] = tuple(
+    float(bits) for bits in _TBS_ONE_PRB)
+
+#: Bytes one PRB carries per TTI, indexed by iTbs (float, no validation).
+BYTES_PER_PRB_TABLE: tuple[float, ...] = tuple(
+    float(bits) / 8.0 for bits in _TBS_ONE_PRB)
+
 
 def validate_itbs(itbs: int) -> int:
     """Check that ``itbs`` is a valid TBS index and return it.
@@ -76,20 +93,19 @@ def transport_block_bits(itbs: int, n_prb: int) -> int:
     validate_itbs(itbs)
     if not 1 <= n_prb <= MAX_PRB:
         raise ValueError(f"n_prb must be in [1, {MAX_PRB}], got {n_prb!r}")
-    raw = _TBS_ONE_PRB[itbs] * n_prb
-    # Quantise down to a whole number of bytes, as the table does.
-    return (raw // 8) * 8
+    return TBS_TABLE[itbs][n_prb]
 
 
 def bits_per_prb(itbs: int) -> float:
     """Bits carried by a single PRB in one TTI at TBS index ``itbs``."""
     validate_itbs(itbs)
-    return float(_TBS_ONE_PRB[itbs])
+    return BITS_PER_PRB_TABLE[itbs]
 
 
 def bytes_per_prb(itbs: int) -> float:
     """Bytes carried by a single PRB in one TTI at TBS index ``itbs``."""
-    return bits_per_prb(itbs) / 8.0
+    validate_itbs(itbs)
+    return BYTES_PER_PRB_TABLE[itbs]
 
 
 def peak_rate_bps(itbs: int, prb_per_tti: int = PRB_PER_TTI_10MHZ) -> float:

@@ -1,7 +1,8 @@
-"""Simulation engine: event queue and the cell world object."""
+"""Simulation engine: event queue, cell world object, TTI fast path."""
 
 from repro.sim.cell import Cell, CellConfig, IntervalController
-from repro.sim.engine import EventHandle, EventQueue
+from repro.sim.engine import EventHandle, EventQueue, earliest_due
+from repro.sim.kernel import TtiKernel, kernel_enabled, kernel_mode
 
 __all__ = [
     "Cell",
@@ -9,4 +10,8 @@ __all__ = [
     "EventHandle",
     "EventQueue",
     "IntervalController",
+    "TtiKernel",
+    "earliest_due",
+    "kernel_enabled",
+    "kernel_mode",
 ]

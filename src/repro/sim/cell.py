@@ -37,6 +37,7 @@ from repro.obs import events as obs_events
 from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.phy.tbs import PRB_PER_TTI_10MHZ, TTI_MS
+from repro.sim.kernel import TtiKernel, kernel_enabled
 from repro.util import require_positive
 
 
@@ -106,6 +107,7 @@ class Cell:
         self._usage_snapshots: dict[int, tuple[dict[int, tuple[float, float]], float]] = {}
         self._now_s = 0.0
         self._step_hooks: list[Callable[[float], None]] = []
+        self._kernel: TtiKernel | None = None
 
     # ------------------------------------------------------------------
     # Introspection used by network-side controllers
@@ -157,6 +159,27 @@ class Cell:
     # ------------------------------------------------------------------
     # Topology construction
     # ------------------------------------------------------------------
+    def _invalidate_kernel(self) -> None:
+        """Topology changed: the TTI kernel's mirrors must rebuild."""
+        if self._kernel is not None:
+            self._kernel.invalidate()
+
+    def _active_kernel(self) -> TtiKernel | None:
+        """The vectorized fast path, or ``None`` when disabled.
+
+        The kernel instance is created lazily and discarded whenever
+        the selection (``REPRO_KERNEL`` / :func:`kernel_mode`) turns
+        the fast path off, so toggling mid-process never leaves stale
+        mirrors behind.
+        """
+        if not kernel_enabled():
+            self._kernel = None
+            return None
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._kernel = TtiKernel(self)
+        return kernel
+
     def add_video_flow(self, ue: UserEquipment, mpd: MediaPresentation,
                        abr: AbrAlgorithm,
                        player_config: PlayerConfig | None = None
@@ -164,6 +187,7 @@ class Cell:
         """Attach a HAS video flow + player for ``ue``."""
         flow = VideoFlow(ue)
         player = HasPlayer(flow, mpd, abr, player_config)
+        self._invalidate_kernel()
         self._flows.append(flow)
         self._players[flow.flow_id] = player
         self._ladders[flow.flow_id] = mpd.ladder
@@ -174,6 +198,7 @@ class Cell:
     def add_data_flow(self, ue: UserEquipment) -> DataFlow:
         """Attach a bulk data flow for ``ue``."""
         flow = DataFlow(ue)
+        self._invalidate_kernel()
         self._flows.append(flow)
         self.registry.register(flow.flow_id, BearerQos())
         self.pcrf.register_flow(flow, self.cell_id)
@@ -188,6 +213,7 @@ class Cell:
         playback machinery is absent — the application on top (e.g. an
         uplink streamer) drives the flow's downloads itself.
         """
+        self._invalidate_kernel()
         self._flows.append(flow)
         if ladder is not None:
             self._ladders[flow.flow_id] = ladder
@@ -206,6 +232,7 @@ class Cell:
                 cell's bearer registry.
         """
         flow = player.flow
+        self._invalidate_kernel()
         self._flows.append(flow)
         self._players[flow.flow_id] = player
         self._ladders[flow.flow_id] = player.mpd.ladder
@@ -214,6 +241,7 @@ class Cell:
 
     def remove_flow(self, flow_id: int) -> None:
         """Detach a flow (departure)."""
+        self._invalidate_kernel()
         self._flows = [f for f in self._flows if f.flow_id != flow_id]
         self._players.pop(flow_id, None)
         self._ladders.pop(flow_id, None)
@@ -254,6 +282,10 @@ class Cell:
         an independent delta view over the cumulative RB/byte trace, so
         multiple controllers never steal each other's reports.
         """
+        if self._kernel is not None:
+            # Mid-run callers (controllers, hooks) already see flushed
+            # state; this covers direct external calls.
+            self._kernel.flush()
         key = id(consumer)
         previous, previous_time = self._usage_snapshots.get(key, ({}, 0.0))
         report: dict[int, FlowUsage] = {}
@@ -284,6 +316,9 @@ class Cell:
 
     def step(self) -> None:
         """Advance the simulation by one fluid MAC step."""
+        kernel = self._active_kernel()
+        if kernel is not None and kernel.step():
+            return
         now = self._now_s
         step_s = self.config.step_s
         end = now + step_s
@@ -363,5 +398,8 @@ class Cell:
     def run(self, duration_s: float) -> None:
         """Run the simulation until ``now_s >= duration_s``."""
         require_positive("duration_s", duration_s)
+        kernel = self._active_kernel()
+        if kernel is not None and kernel.run(duration_s):
+            return
         while self._now_s < duration_s - 1e-9:
             self.step()

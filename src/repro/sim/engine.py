@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
 from repro.obs import events as obs_events
 from repro.obs import tracer as obs
@@ -136,3 +137,20 @@ class EventQueue:
             self._live -= 1
             event.callback(event.time_s)
             fired += 1
+
+
+def earliest_due(controllers: Iterable[tuple[object, list[float]]]
+                 ) -> float:
+    """Earliest next-fire time over ``(controller, [next_due])`` pairs.
+
+    The cell driver and the TTI kernel's idle fast-forward both need
+    the nearest interval-controller deadline: the driver to know when
+    a step must actually dispatch, the fast-forward to bound how far
+    the clock may stride without skipping a BAI/sampler firing.
+    Returns ``inf`` when no controller is registered.
+    """
+    bound = math.inf
+    for _, next_due in controllers:
+        if next_due[0] < bound:
+            bound = next_due[0]
+    return bound

@@ -1,0 +1,1067 @@
+"""Vectorized TTI fast path: struct-of-arrays MAC/PHY kernel.
+
+The object-graph step loop in :mod:`repro.sim.cell` is the paper's
+architecture made literal — flows, bearers, TCP models and players are
+objects, and every fluid MAC step walks them through method calls.
+That is the right shape for correctness work, but the PR-4 profiler
+shows the per-step call overhead dominating wall time long before the
+arithmetic does, which caps how many UEs a study can simulate.
+
+:class:`TtiKernel` is the same step, restructured.  Per-flow hot state
+(congestion windows, delivered-byte totals, PF served averages, RB
+trace accumulators, GBR/MBR byte budgets, per-UE channel working
+points) is mirrored into flat parallel arrays — one slot per flow, in
+attachment order — and one fused function computes the channel→TBS
+chain, both Priority Set scheduling phases (GBR pass + proportional-
+fair waterfill) and MAC delivery over those arrays.  Cyclic-channel
+populations are evaluated as one batched array operation (numpy when
+importable, a plain loop over the same ``array('d')`` parameter blocks
+otherwise).  Results are flushed back into the existing ``Flow`` /
+``Allocation`` / ``RbTraceModule`` objects at every observation
+boundary, so everything outside the hot loop keeps seeing the object
+world it was written against.
+
+**The mirroring contract.**  Object state is authoritative at every
+*observation boundary*; array state is authoritative strictly between
+them.  Boundaries are: interval-controller firings, segment-completion
+callbacks, step hooks, public ``Cell.step()`` returns, and the end of
+``Cell.run()``.  The kernel flushes mirrors to objects immediately
+before each boundary and reloads them immediately after, so controller
+code, ABR callbacks, tests and metrics collectors never observe a
+stale object.  Anything the kernel cannot faithfully mirror (a custom
+scheduler, flow, TCP or player subclass) makes the cell fall back to
+the object path for the whole run — silently, and detectably via
+:attr:`TtiKernel.active`.
+
+**Exactness.**  The kernel is differentially tested to produce
+*byte-identical* serialized ``CellReport``s to the object path.  Every
+floating-point expression replicates the object path's operation order
+exactly (``min``/``max`` become tie-exact conditionals, builtin
+``sum`` becomes sequential accumulation, constant subexpressions are
+hoisted but never re-associated).  The inlined bodies mirror
+``FluidTcp.on_delivered``, ``VideoFlow._consume``,
+``PlayoutBuffer.drain`` and ``CyclicItbsChannel.itbs_at`` — when those
+change, the differential tests in ``tests/sim/test_kernel.py`` fail.
+
+**Idle fast-forward.**  When no flow is backlogged and nothing is due
+— every player finished or not yet started, every TCP window already
+collapsed to its restart value, no tracer, no step hooks — the kernel
+advances the clock in one stride to the next controller deadline,
+player start time or run end instead of stepping empty TTIs.  The one
+intentionally unmirrored quantity is ``FluidTcp._idle_for_s``, which
+would keep growing past ``idle_reset_s`` during skipped steps; its
+magnitude above the reset threshold is unobservable (the window is
+already reset, and the counter rezeroes on the next backlogged step).
+
+Selection: the fast path is on by default; ``REPRO_KERNEL=0`` (env),
+``--no-kernel`` (CLI) or :func:`kernel_mode` disable it.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from array import array
+from contextlib import contextmanager
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro import check as chk
+from repro.has.buffer import PlayoutBuffer
+from repro.has.player import HasPlayer, PlaybackState
+from repro.mac.gbr import BearerRegistry
+from repro.mac.priority_set import PrioritySetScheduler
+from repro.mac.rb_trace import RbTraceModule
+from repro.net.flows import DataFlow, Flow, VideoFlow
+from repro.net.tcp import FluidTcp
+from repro.obs import events as obs_events
+from repro.obs import prof
+from repro.obs import tracer as obs
+from repro.phy.channel import (
+    ChannelModel,
+    CyclicItbsChannel,
+    StaticItbsChannel,
+)
+from repro.phy.tbs import (
+    BYTES_PER_PRB_TABLE,
+    MAX_ITBS,
+    MIN_ITBS,
+    validate_itbs,
+)
+from repro.sim.engine import earliest_due
+
+if TYPE_CHECKING:
+    from repro.sim.cell import Cell
+
+try:
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _numpy = None  # type: ignore[assignment]
+
+np: Any = _numpy
+
+#: Environment variable selecting the fast path (default: enabled).
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Values of :data:`KERNEL_ENV` that disable the kernel.
+_DISABLED_VALUES = frozenset({"0", "false", "off", "no"})
+
+#: In-process override of the environment selection (see
+#: :func:`kernel_mode`); mirrors the ``full_mode`` pattern.
+_FORCED: Optional[bool] = None
+
+#: Minimum cyclic-channel population for the batched numpy evaluation;
+#: below this the per-slot loop wins (no array round-trip overhead).
+MIN_BULK_CYCLIC = 32
+
+# Per-slot channel evaluation strategies.
+_CONST = 0    # StaticItbsChannel: bytes/PRB is a constant
+_PLAIN = 1    # base-class bytes_per_prb_at: itbs_at() + table lookup
+_GENERIC = 2  # channel overrides bytes_per_prb_at: call it
+_CYCLIC = 3   # CyclicItbsChannel: batched triangular sweep
+
+
+def kernel_enabled() -> bool:
+    """True when the vectorized TTI fast path should be used.
+
+    An active :func:`kernel_mode` context wins; otherwise the
+    ``REPRO_KERNEL`` environment convention applies (enabled unless
+    set to ``0``/``false``/``off``/``no``).
+    """
+    if _FORCED is not None:
+        return _FORCED
+    value = os.environ.get(KERNEL_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in _DISABLED_VALUES
+
+
+@contextmanager
+def kernel_mode(enabled: bool) -> Iterator[None]:
+    """Scoped override of the fast-path selection.
+
+    Inside the context :func:`kernel_enabled` reports ``enabled``
+    regardless of ``REPRO_KERNEL``.  The environment variable is also
+    set for the duration so worker processes forked by the experiment
+    pool inherit the selection; both are restored on exit.
+    """
+    global _FORCED
+    previous_forced = _FORCED
+    previous_env = os.environ.get(KERNEL_ENV)
+    _FORCED = enabled
+    os.environ[KERNEL_ENV] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        _FORCED = previous_forced
+        if previous_env is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous_env
+
+
+class TtiKernel:
+    """Struct-of-arrays fast path for one :class:`~repro.sim.cell.Cell`.
+
+    Create one per cell (the cell does this lazily); call :meth:`step`
+    or :meth:`run`.  Both return ``False`` — with object state left
+    authoritative — when the cell's configuration is outside the
+    kernel's supported envelope, in which case the caller runs the
+    object path instead.
+    """
+
+    def __init__(self, cell: Cell) -> None:
+        self._cell = cell
+        self._step_s = cell.config.step_s
+        self._budget = cell.config.prbs_per_step
+        self._n = 0
+        self._ready = False
+        self._dirty = True
+        self._unsupported = False
+        self._mirrors_hot = False
+        self._last_idle = True
+        self._ff_steps = 0
+        self._sched_obj: Any = None
+        self._failed_sched: Any = None
+        self._reg_version = -1
+        # Per-slot static structure (rebuilt on topology change).
+        self._flows: list[Flow] = []
+        self._flow_ids: list[int] = []
+        self._ue_ids: list[int] = []
+        self._kind_values: list[str] = []
+        self._videos: list[Optional[VideoFlow]] = []
+        self._channels: list[ChannelModel] = []
+        self._ch_mode: list[int] = []
+        self._const_itbs: list[int] = []
+        self._const_bpp: list[float] = []
+        self._tcps: list[FluidTcp] = []
+        # Per-slot TCP constants (hoisted, never re-associated).
+        self._step_over_rtt: list[float] = []
+        self._rtt_over_step: list[float] = []
+        self._growth: list[float] = []
+        self._init_cwnd: list[float] = []
+        self._max_cwnd: list[float] = []
+        self._idle_reset: list[float] = []
+        # Per-player issuance-gate table (player, buffer, start time,
+        # request threshold, abandonment enabled, MPD).
+        self._issue_info: list[
+            tuple[HasPlayer, PlayoutBuffer, float, float, bool, Any]] = []
+        # Per-slot mutable mirrors (flushed at observation boundaries).
+        self._cwnd: list[float] = []
+        self._idle: list[float] = []
+        self._totals: list[float] = []
+        self._pf_avg: list[float] = []
+        self._pf_seen: list[bool] = []
+        self._int_prbs: list[float] = []
+        self._int_bytes: list[float] = []
+        self._cum_prbs: list[float] = []
+        self._cum_bytes: list[float] = []
+        self._int_seen: list[bool] = []
+        self._cum_seen: list[bool] = []
+        self._tr_now = 0.0
+        # Registry-derived views (rebuilt when registry.version moves).
+        self._mbr_cap: list[float] = []
+        self._gbr_slots: list[tuple[int, float]] = []
+        # Cyclic-channel parameter blocks (array('d') so numpy can view
+        # them zero-copy via frombuffer; the no-numpy fallback loops
+        # over the same buffers).
+        self._cyc_slots: list[int] = []
+        self._cyc_off = array("d")
+        self._cyc_cycle = array("d")
+        self._cyc_lo = array("d")
+        self._cyc_hi = array("d")
+        self._cyc_span = array("d")
+        self._cyc_itbs: list[int] = []
+        # Per-step scratch (reset by slice-copy from _zeros).
+        self._zeros: list[float] = []
+        self._bpp: list[float] = []
+        self._wanted: list[float] = []
+        self._demand: list[float] = []
+        self._alloc_prbs: list[float] = []
+        self._alloc_bytes: list[float] = []
+        self._alloc_gbr: list[float] = []
+        self._gbr_granted: list[bool] = []
+        # Single-load bundle of the per-slot arrays (see _rebuild).
+        self._hot: tuple[list[Any], ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while the fast path is driving this cell."""
+        return self._ready and not self._unsupported
+
+    @property
+    def fast_forwarded_steps(self) -> int:
+        """Idle steps skipped by fast-forward so far."""
+        return self._ff_steps
+
+    def invalidate(self) -> None:
+        """Topology changed: rebuild mirrors at the next boundary."""
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Public driving API (called by the cell)
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance one fluid step on the fast path.
+
+        Returns ``False`` (objects authoritative, nothing advanced
+        beyond already-fired controllers) when unsupported.
+        """
+        if not self._enter():
+            return False
+        while not self._step_once():
+            if not self._sync():
+                return False
+        self.flush()
+        return True
+
+    def run(self, duration_s: float) -> bool:
+        """Drive the whole run loop on the fast path.
+
+        Returns ``False`` when the configuration is (or mid-run
+        becomes) unsupported; the caller's object loop continues from
+        the current ``now_s``.
+        """
+        if not self._enter():
+            return False
+        cell = self._cell
+        end_gate = duration_s - 1e-9
+        # Bearer-registry changes can only originate at observation
+        # boundaries (controller fires, completion callbacks, step
+        # hooks), and ``_step_once`` resyncs after each of those — so
+        # the loop here checks only for topology/scheduler changes.
+        while cell._now_s < end_gate:
+            if self._dirty or cell.scheduler is not self._sched_obj:
+                if not self._sync():
+                    return False
+            if self._last_idle and self._try_fast_forward(end_gate):
+                continue
+            self._step_once()
+        self.flush()
+        return True
+
+    def flush(self) -> None:
+        """Write array mirrors back into the object graph.
+
+        Idempotent; a no-op while object state is already
+        authoritative.
+        """
+        if not self._mirrors_hot:
+            return
+        self._mirrors_hot = False
+        cell = self._cell
+        flows = self._flows
+        cwnd = self._cwnd
+        idle = self._idle
+        totals = self._totals
+        wanted = self._wanted
+        for i in range(self._n):
+            flow = flows[i]
+            flow.total_delivered_bytes = totals[i]
+            # ``demand_bytes`` records the step's backlog on the flow;
+            # the kernel defers that write to the boundary (only the
+            # latest value is observable).
+            flow._last_wanted = wanted[i]
+            tcp = flow.tcp
+            tcp._cwnd = cwnd[i]
+            tcp._idle_for_s = idle[i]
+        sched = self._sched_obj
+        if sched is not None:
+            averages = sched.pf._avg_rate_bps
+            pf_avg = self._pf_avg
+            pf_seen = self._pf_seen
+            flow_ids = self._flow_ids
+            for i in range(self._n):
+                if pf_seen[i]:
+                    averages[flow_ids[i]] = pf_avg[i]
+        trace = cell.trace
+        int_seen = self._int_seen
+        cum_seen = self._cum_seen
+        flow_ids = self._flow_ids
+        for i in range(self._n):
+            fid = flow_ids[i]
+            if int_seen[i]:
+                trace._prbs[fid] = self._int_prbs[i]
+                trace._bytes[fid] = self._int_bytes[i]
+            if cum_seen[i]:
+                trace._cumulative_prbs[fid] = self._cum_prbs[i]
+                trace._cumulative_bytes[fid] = self._cum_bytes[i]
+        trace._now_s = self._tr_now
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    def _enter(self) -> bool:
+        """Public-boundary entry: objects are authoritative here."""
+        if not self._sync():
+            return False
+        self._reload_mutable()
+        return True
+
+    def _sync(self) -> bool:
+        """Ensure mirrors match the current topology; rebuild if not."""
+        cell = self._cell
+        if self._unsupported:
+            # Only retry after something changed; a permanently
+            # unsupported cell must not pay a rescan per step.
+            if not self._dirty and cell.scheduler is self._failed_sched:
+                return False
+            self._unsupported = False
+        if (self._dirty or not self._ready
+                or cell.scheduler is not self._sched_obj):
+            self.flush()
+            if not self._rebuild():
+                self._unsupported = True
+                self._failed_sched = cell.scheduler
+                return False
+        if cell.registry.version != self._reg_version:
+            self._resync_registry()
+        return True
+
+    def _rebuild(self) -> bool:
+        """Re-derive every per-slot structure from the object graph."""
+        cell = self._cell
+        sched = cell.scheduler
+        if type(sched) is not PrioritySetScheduler:
+            return False
+        if type(cell.registry) is not BearerRegistry:
+            return False
+        if type(cell.trace) is not RbTraceModule:
+            return False
+        flows = list(cell._flows)
+        players_seen = 0
+        for flow in flows:
+            if type(flow) not in (VideoFlow, DataFlow):
+                return False
+            if type(flow.tcp) is not FluidTcp:
+                return False
+            if flow.flow_id in cell._players:
+                players_seen += 1
+        if players_seen != len(cell._players):
+            # An orphan player (no attached flow) would still be
+            # stepped by the object path; don't guess.
+            return False
+        for player in cell._players.values():
+            if type(player) is not HasPlayer:
+                return False
+            if type(player.buffer) is not PlayoutBuffer:
+                return False
+        # Issuance-gate table: the per-step request gate re-reads only
+        # what can change (playback state, pending/active requests,
+        # buffer level); construction-time player configuration is
+        # captured here once per topology.
+        self._issue_info = [
+            (player, player.buffer, player.config.start_time_s,
+             player.config.request_threshold_s,
+             player.config.abandonment_factor is not None, player.mpd)
+            for player in cell._players.values()
+        ]
+        n = len(flows)
+        self._flows = flows
+        self._n = n
+        self._sched_obj = sched
+        self._flow_ids = [flow.flow_id for flow in flows]
+        self._ue_ids = [flow.ue.ue_id for flow in flows]
+        self._kind_values = [flow.kind.value for flow in flows]
+        self._videos = [flow if type(flow) is VideoFlow else None
+                        for flow in flows]
+        step_s = self._step_s
+        self._tcps = [flow.tcp for flow in flows]
+        self._step_over_rtt = [step_s / tcp.rtt_s for tcp in self._tcps]
+        self._rtt_over_step = [tcp.rtt_s / step_s for tcp in self._tcps]
+        self._growth = [2.0 ** (step_s / tcp.rtt_s) for tcp in self._tcps]
+        self._init_cwnd = [tcp._initial_cwnd for tcp in self._tcps]
+        self._max_cwnd = [tcp._max_cwnd for tcp in self._tcps]
+        self._idle_reset = [tcp.idle_reset_s for tcp in self._tcps]
+        self._channels = [flow.ue.channel for flow in flows]
+        self._ch_mode = [0] * n
+        self._const_itbs = [0] * n
+        self._const_bpp = [0.0] * n
+        self._cyc_slots = []
+        self._cyc_off = array("d")
+        self._cyc_cycle = array("d")
+        self._cyc_lo = array("d")
+        self._cyc_hi = array("d")
+        self._cyc_span = array("d")
+        for i, channel in enumerate(self._channels):
+            if type(channel) is StaticItbsChannel:
+                self._ch_mode[i] = _CONST
+                self._const_itbs[i] = channel._itbs
+                self._const_bpp[i] = BYTES_PER_PRB_TABLE[channel._itbs]
+            elif type(channel) is CyclicItbsChannel:
+                self._ch_mode[i] = _CYCLIC
+                self._cyc_slots.append(i)
+                self._cyc_off.append(channel._offset)
+                self._cyc_cycle.append(channel._cycle)
+                self._cyc_lo.append(channel._lo)
+                self._cyc_hi.append(channel._hi)
+                self._cyc_span.append(channel._hi - channel._lo)
+            elif (type(channel).bytes_per_prb_at
+                  is ChannelModel.bytes_per_prb_at):
+                self._ch_mode[i] = _PLAIN
+            else:
+                self._ch_mode[i] = _GENERIC
+        self._cyc_itbs = [0] * len(self._cyc_slots)
+        self._zeros = [0.0] * n
+        self._bpp = [0.0] * n
+        self._wanted = [0.0] * n
+        self._demand = [0.0] * n
+        self._alloc_prbs = [0.0] * n
+        self._alloc_bytes = [0.0] * n
+        self._alloc_gbr = [0.0] * n
+        self._gbr_granted = [False] * n
+        self._cwnd = [0.0] * n
+        self._idle = [0.0] * n
+        self._totals = [0.0] * n
+        self._pf_avg = [0.0] * n
+        self._pf_seen = [False] * n
+        self._int_prbs = [0.0] * n
+        self._int_bytes = [0.0] * n
+        self._cum_prbs = [0.0] * n
+        self._cum_bytes = [0.0] * n
+        self._int_seen = [False] * n
+        self._cum_seen = [False] * n
+        self._dirty = False
+        self._ready = True
+        self._resync_registry()
+        self._reload_mutable()
+        # One-load bundle of every per-slot array the fused step touches
+        # each step; ``_step_once`` unpacks it in a single statement
+        # instead of ~30 attribute loads per step.  Everything in here
+        # is mutated in place (never rebound) until the next rebuild.
+        self._hot = (
+            self._ch_mode, self._const_bpp, self._bpp, self._wanted,
+            self._demand, self._videos, self._channels, self._cwnd,
+            self._step_over_rtt, self._mbr_cap, self._pf_avg,
+            self._pf_seen, self._alloc_prbs, self._alloc_bytes,
+            self._alloc_gbr, self._gbr_granted, self._zeros,
+            self._totals, self._idle, self._idle_reset, self._init_cwnd,
+            self._max_cwnd, self._growth, self._rtt_over_step,
+            self._int_prbs, self._int_bytes, self._cum_prbs,
+            self._cum_bytes, self._int_seen, self._cum_seen,
+        )
+        return True
+
+    def _resync_registry(self) -> None:
+        """Refresh the GBR/MBR byte budgets from the bearer registry."""
+        cell = self._cell
+        registry = cell.registry
+        step_s = self._step_s
+        # In-place so the ``_hot`` bundle (built after the first resync)
+        # keeps seeing the same list object across re-syncs.
+        self._mbr_cap[:] = [registry.mbr_bytes_for_step(fid, step_s)
+                            for fid in self._flow_ids]
+        slot_of = {fid: i for i, fid in enumerate(self._flow_ids)}
+        gbr_slots: list[tuple[int, float]] = []
+        for fid, _qos in registry.gbr_flows():
+            slot = slot_of.get(fid)
+            if slot is None:
+                # Stale bearer: the object path's by_id.get() also
+                # skips it.
+                continue
+            gbr_slots.append(
+                (slot, registry.gbr_bytes_for_step(fid, step_s)))
+        self._gbr_slots = gbr_slots
+        self._reg_version = registry.version
+
+    def _reload_mutable(self) -> None:
+        """Re-read every mirrored mutable from the object graph."""
+        cell = self._cell
+        flows = self._flows
+        tcps = self._tcps
+        flow_ids = self._flow_ids
+        for i in range(self._n):
+            self._totals[i] = flows[i].total_delivered_bytes
+            tcp = tcps[i]
+            self._cwnd[i] = tcp._cwnd
+            self._idle[i] = tcp._idle_for_s
+        sched = self._sched_obj
+        averages = sched.pf._avg_rate_bps
+        trace = cell.trace
+        int_prbs = trace._prbs
+        int_bytes = trace._bytes
+        cum_prbs = trace._cumulative_prbs
+        cum_bytes = trace._cumulative_bytes
+        for i in range(self._n):
+            fid = flow_ids[i]
+            self._pf_seen[i] = fid in averages
+            self._pf_avg[i] = averages.get(fid, 0.0)
+            self._int_seen[i] = fid in int_prbs
+            self._int_prbs[i] = int_prbs.get(fid, 0.0)
+            self._int_bytes[i] = int_bytes.get(fid, 0.0)
+            self._cum_seen[i] = fid in cum_prbs
+            self._cum_prbs[i] = cum_prbs.get(fid, 0.0)
+            self._cum_bytes[i] = cum_bytes.get(fid, 0.0)
+        self._tr_now = trace._now_s
+        self._mirrors_hot = False
+
+    # ------------------------------------------------------------------
+    # Idle fast-forward
+    # ------------------------------------------------------------------
+    def _try_fast_forward(self, end_gate: float) -> bool:
+        """Stride the clock over provably-empty steps.
+
+        Returns True when at least one step was skipped.  Refuses
+        whenever any per-step work could be observable: a tracer emits
+        per-step events, step hooks run every step, a backlogged or
+        mid-reset flow evolves TCP state, and a started-but-unfinished
+        player drains its buffer.
+        """
+        cell = self._cell
+        if cell._step_hooks:
+            return False
+        if obs.TRACER is not None:
+            return False
+        videos = self._videos
+        idle = self._idle
+        reset = self._idle_reset
+        for i in range(self._n):
+            video = videos[i]
+            if video is None or video._download_active:
+                return False
+            if idle[i] < reset[i]:
+                # The window has not collapsed to the restart value
+                # yet; skipping steps would skip that transition.
+                return False
+        now = cell._now_s
+        start_bound = math.inf
+        finished = PlaybackState.FINISHED
+        for player in cell._players.values():
+            if player.state is finished:
+                continue
+            if player._pending is not None or player._active is not None:
+                return False
+            start = player.config.start_time_s
+            if now >= start:
+                return False
+            if start < start_bound:
+                start_bound = start
+        ctrl_bound = earliest_due(cell._controllers)
+        step_s = self._step_s
+        skipped = 0
+        # A step at time t is empty iff no controller is due at t, the
+        # step's *end* still precedes every pending player start, and
+        # the run loop would execute it at all.  The clock must advance
+        # by repeated single adds — the same float sequence the object
+        # loop produces.
+        while (now < end_gate and now + 1e-12 < ctrl_bound
+               and now + step_s < start_bound):
+            now += step_s
+            skipped += 1
+        if skipped == 0:
+            return False
+        cell._now_s = now
+        self._ff_steps += skipped
+        return True
+
+    # ------------------------------------------------------------------
+    # The fused step
+    # ------------------------------------------------------------------
+    def _step_once(self) -> bool:
+        """One fluid MAC step over the array mirrors.
+
+        Returns ``False`` — before any per-step phase has run, with
+        object state authoritative — when a controller firing dirtied
+        the topology and a resync is needed first.
+        """
+        cell = self._cell
+        now = cell._now_s
+        step_s = self._step_s
+        end = now + step_s
+        n = self._n
+
+        profiler = prof.PROFILER
+        if profiler is not None:
+            profiler.begin("sim.step")
+
+        # --- Interval controllers (observation boundary). ------------
+        fire = False
+        for _controller, next_due in cell._controllers:
+            if next_due[0] <= now + 1e-12:
+                fire = True
+                break
+        if fire:
+            self.flush()
+            cell._fire_due_controllers()
+            if self._dirty or cell.scheduler is not self._sched_obj:
+                if profiler is not None:
+                    profiler.end()
+                return False
+            if cell.registry.version != self._reg_version:
+                self._resync_registry()
+            self._reload_mutable()
+
+        # --- Player request issuance (gated: the full call runs only
+        # --- when it provably does something). -----------------------
+        playing = PlaybackState.PLAYING
+        finished = PlaybackState.FINISHED
+        for (player, buffer, start_s, threshold_s, can_abandon,
+             mpd) in self._issue_info:
+            state = player.state
+            if state is finished or now < start_s:
+                player._step_end_s = end
+                continue
+            pending = player._pending
+            active = player._active
+            if pending is not None:
+                if now >= pending.payload_starts_at_s:
+                    player.issue_requests(now)
+            elif active is not None:
+                if (state is playing and active.ladder_index != 0
+                        and can_abandon):
+                    player.issue_requests(now)
+            elif (buffer._level_s < threshold_s
+                  and mpd.has_segment(player._next_segment_index)):
+                player.issue_requests(now)
+            player._step_end_s = end
+
+        if profiler is not None:
+            profiler.begin("sim.kernel.claims")
+        self._mirrors_hot = True
+        checker = chk.CHECKER
+        tracer = obs.TRACER
+
+        # --- Claims: channel chain + demand, into flat arrays. -------
+        (modes, const_bpp, bpp, wanted, demand, videos, channels, cwnd,
+         step_over_rtt, mbr_cap, pf_avg, pf_seen, alloc_prbs,
+         alloc_bytes, alloc_gbr, gbr_granted, zeros, totals, idle,
+         idle_reset, init_cwnd, max_cwnd, growth, rtt_over_step,
+         int_prbs, int_bytes, cum_prbs, cum_bytes, int_seen,
+         cum_seen) = self._hot
+        gbr_slots = self._gbr_slots
+        if self._cyc_slots:
+            self._fill_cyclic(now)
+        cyc_itbs = self._cyc_itbs
+        cyc_index = 0
+        active_list: list[int] = []
+        # Without GBR slots phase 1 never touches ``demand``, so the
+        # phase-2 candidate set (and its PF weights and PRB caps) can
+        # be built right here instead of re-scanning all slots.
+        fused_cand = not gbr_slots
+        cand: list[int] = []
+        weights: list[float] = []
+        caps: list[float] = []
+        for i in range(n):
+            mode = modes[i]
+            if mode == _CONST:
+                if checker is not None:
+                    checker.check_tbs_index(
+                        self._const_itbs[i], MIN_ITBS, MAX_ITBS)
+                bytes_per_prb = const_bpp[i]
+            elif mode == _CYCLIC:
+                itbs = cyc_itbs[cyc_index]
+                cyc_index += 1
+                if checker is not None:
+                    checker.check_tbs_index(itbs, MIN_ITBS, MAX_ITBS)
+                bytes_per_prb = BYTES_PER_PRB_TABLE[itbs]
+            elif mode == _PLAIN:
+                itbs = channels[i].itbs_at(now)
+                if checker is not None:
+                    checker.check_tbs_index(itbs, MIN_ITBS, MAX_ITBS)
+                bytes_per_prb = BYTES_PER_PRB_TABLE[validate_itbs(itbs)]
+            else:
+                bytes_per_prb = channels[i].bytes_per_prb_at(now)
+            bpp[i] = bytes_per_prb
+            video = videos[i]
+            if video is None:
+                backlog = math.inf
+            elif video._download_active:
+                backlog = video._remaining_bytes
+            else:
+                backlog = 0.0
+            wanted[i] = backlog
+            if backlog <= 0:
+                flow_demand = 0.0
+            else:
+                limit = cwnd[i] * step_over_rtt[i]
+                flow_demand = backlog if backlog <= limit else limit
+                cap = mbr_cap[i]
+                if flow_demand > cap:
+                    flow_demand = cap
+            demand[i] = flow_demand
+            if flow_demand > 0:
+                active_list.append(i)
+                if fused_cand and flow_demand > 1e-9 and bytes_per_prb > 0:
+                    cand.append(i)
+                    achievable = (bytes_per_prb * 8) / step_s
+                    avg = pf_avg[i]
+                    weights.append(
+                        achievable / (avg if avg >= 1e3 else 1e3))
+                    caps.append(flow_demand / bytes_per_prb)
+
+        if profiler is not None:
+            profiler.switch("sim.kernel.sched")
+
+        # --- Phase 1: GBR guarantees in bearer-priority order. -------
+        need_order = tracer is not None or checker is not None
+        alloc_prbs[:] = zeros
+        alloc_bytes[:] = zeros
+        order: list[int] = []
+        if need_order or gbr_slots:
+            alloc_gbr[:] = zeros
+        remaining_budget = self._budget
+        for slot, guarantee in gbr_slots:
+            slot_bpp = bpp[slot]
+            if slot_bpp <= 0:
+                continue
+            if remaining_budget <= 1e-12:
+                break
+            slot_demand = demand[slot]
+            need = guarantee if guarantee <= slot_demand else slot_demand
+            if need <= 0:
+                continue
+            prbs_needed = need / slot_bpp
+            prbs = (prbs_needed if prbs_needed <= remaining_budget
+                    else remaining_budget)
+            delivered = prbs * slot_bpp
+            remaining_budget -= prbs
+            demand[slot] = slot_demand - delivered
+            alloc_prbs[slot] += prbs
+            alloc_bytes[slot] += delivered
+            alloc_gbr[slot] += prbs
+            if need_order:
+                order.append(slot)
+                gbr_granted[slot] = True
+
+        # --- Phase 2: proportional-fair waterfill of the rest. -------
+        if remaining_budget > 1e-12:
+            if not fused_cand:
+                cand = [i for i in range(n)
+                        if demand[i] > 1e-9 and bpp[i] > 0]
+                for i in cand:
+                    achievable = (bpp[i] * 8) / step_s
+                    avg = pf_avg[i]
+                    weights.append(
+                        achievable / (avg if avg >= 1e3 else 1e3))
+                    caps.append(demand[i] / bpp[i])
+            if len(cand) == 1:
+                # Sole candidate: round 1 of the progressive fill either
+                # caps it or hands it its full share — replicated here
+                # without the list machinery.  ``total_weight`` is
+                # ``0.0 + w`` in the object path, exactly ``w`` for the
+                # strictly positive weights candidates are built with.
+                i = cand[0]
+                weight = weights[0]
+                share = remaining_budget * weight / weight
+                prb_cap = caps[0]
+                prbs = prb_cap if share >= prb_cap - 1e-12 else share
+                if prbs > 0:
+                    delivered = prbs * bpp[i]
+                    slot_demand = demand[i]
+                    if delivered > slot_demand:
+                        delivered = slot_demand
+                    demand[i] = slot_demand - delivered
+                    alloc_prbs[i] += prbs
+                    alloc_bytes[i] += delivered
+                    if need_order and not gbr_granted[i]:
+                        order.append(i)
+            elif cand:
+                grants = _waterfill(remaining_budget, caps, weights)
+                for j, i in enumerate(cand):
+                    prbs = grants[j]
+                    if prbs <= 0:
+                        continue
+                    delivered = prbs * bpp[i]
+                    slot_demand = demand[i]
+                    if delivered > slot_demand:
+                        delivered = slot_demand
+                    demand[i] = slot_demand - delivered
+                    alloc_prbs[i] += prbs
+                    alloc_bytes[i] += delivered
+                    if need_order and not gbr_granted[i]:
+                        order.append(i)
+
+        # --- PF served-average EWMA (active flows only). -------------
+        decay = step_s / self._sched_obj.pf.time_constant_s
+        if decay > 1.0:
+            decay = 1.0
+        one_minus = 1 - decay
+        for i in active_list:
+            rate = (alloc_bytes[i] * 8) / step_s
+            pf_avg[i] = one_minus * pf_avg[i] + decay * rate
+            pf_seen[i] = True
+
+        if need_order:
+            # Replicate the object path's result-dict iteration order
+            # (phase-1 grants first, then phase-2-only grants) so the
+            # sequential float sums below are bit-identical.
+            total_prbs: Any = 0
+            gbr_prbs: Any = 0
+            for slot in order:
+                total_prbs += alloc_prbs[slot]
+                gbr_prbs += alloc_gbr[slot]
+                gbr_granted[slot] = False
+            if tracer is not None:
+                tracer.emit(
+                    obs_events.MAC_SCHED, now,
+                    budget_prbs=self._budget,
+                    gbr_prbs=gbr_prbs,
+                    pf_prbs=total_prbs - gbr_prbs,
+                    backlogged=len(active_list),
+                )
+            if checker is not None:
+                checker.check_rb_conservation(now, total_prbs,
+                                              self._budget)
+
+        # --- Delivery: TCP feedback, byte accounting, RB trace. ------
+        if profiler is not None:
+            profiler.switch("sim.kernel.deliver")
+        step_prbs = 0.0
+        step_bytes = 0.0
+        for i in range(n):
+            delivered = alloc_bytes[i]
+            prbs = alloc_prbs[i]
+            totals[i] += delivered
+            # Inlined FluidTcp.on_delivered (exact op order).
+            flow_wanted = wanted[i]
+            if flow_wanted <= 0:
+                idle[i] += step_s
+                if idle[i] >= idle_reset[i]:
+                    cwnd[i] = init_cwnd[i]
+            else:
+                idle[i] = 0.0
+                limit = cwnd[i] * step_over_rtt[i]
+                window_min = (flow_wanted if flow_wanted <= limit
+                              else limit)
+                if delivered >= window_min - 1e-9:
+                    grown = cwnd[i] * growth[i]
+                    cwnd[i] = (grown if grown <= max_cwnd[i]
+                               else max_cwnd[i])
+                else:
+                    granted_per_rtt = delivered * rtt_over_step[i]
+                    target = granted_per_rtt * 1.25
+                    if target < init_cwnd[i]:
+                        target = init_cwnd[i]
+                    cwnd[i] += 0.5 * (target - cwnd[i])
+            if delivered > 0:
+                video = videos[i]
+                if video is not None and video._download_active:
+                    remaining = video._remaining_bytes - delivered
+                    if remaining <= 1e-6:
+                        # Segment completion: an observation boundary
+                        # *inside* the deliver loop.  Bring the object
+                        # graph exactly current (earlier slots fully
+                        # delivered, this flow's bytes counted, its RB
+                        # trace not yet recorded — the object path's
+                        # state when the callback fires), run the
+                        # callback, then re-arm the mirrors.
+                        self.flush()
+                        video._remaining_bytes = 0.0
+                        video._download_active = False
+                        callback = video._completion_callback
+                        video._completion_callback = None
+                        if callback is not None:
+                            callback()
+                        if (not self._dirty and cell.registry.version
+                                != self._reg_version):
+                            self._resync_registry()
+                        self._reload_mutable()
+                        self._mirrors_hot = True
+                    else:
+                        video._remaining_bytes = remaining
+            if prbs > 0 or delivered > 0:
+                # Inlined RbTraceModule.record.
+                int_prbs[i] += prbs
+                int_bytes[i] += delivered
+                cum_prbs[i] += prbs
+                cum_bytes[i] += delivered
+                int_seen[i] = True
+                cum_seen[i] = True
+                if end > self._tr_now:
+                    self._tr_now = end
+                if tracer is not None:
+                    step_prbs += prbs
+                    step_bytes += delivered
+                    tracer.emit(
+                        obs_events.TTI_ALLOC, now,
+                        flow=self._flow_ids[i],
+                        ue=self._ue_ids[i],
+                        kind=self._kind_values[i],
+                        prbs=prbs,
+                        gbr_prbs=alloc_gbr[i] if need_order else 0.0,
+                        tbs_bytes=delivered,
+                        itbs=channels[i].itbs_at(now),
+                    )
+
+        # --- Playback (inline drain for the steady PLAYING state). ---
+        if profiler is not None:
+            profiler.switch("sim.kernel.playback")
+        for player in cell._players.values():
+            buffer = player.buffer
+            level = buffer._level_s
+            if player.state is playing and level >= step_s:
+                player._step_end_s = end
+                level -= step_s
+                buffer._level_s = level
+                buffer._total_played_s += step_s
+                if checker is not None:
+                    checker.check_buffer_level(level, buffer._capacity_s)
+                player.buffer_trace.append((end, level))
+            else:
+                player.advance_playback(end, step_s)
+        if profiler is not None:
+            profiler.end()
+
+        if tracer is not None:
+            tracer.emit(obs_events.SIM_STEP, now, cell=cell.cell_id,
+                        flows=len(cell._flows), prbs=step_prbs,
+                        bytes=step_bytes)
+
+        cell._now_s = end
+        if cell._step_hooks:
+            # Step hooks are an observation boundary too.
+            self.flush()
+            for hook in cell._step_hooks:
+                hook(end)
+            if not self._dirty:
+                if cell.registry.version != self._reg_version:
+                    self._resync_registry()
+                self._reload_mutable()
+        if profiler is not None:
+            profiler.end()
+        self._last_idle = not active_list
+        return True
+
+    def _fill_cyclic(self, now: float) -> None:
+        """Evaluate every cyclic channel's triangular sweep at once.
+
+        Exact replica of ``CyclicItbsChannel.itbs_at`` per element:
+        numpy's elementwise ``%``, ``/``, ``*``, ``-`` and ``rint``
+        are correctly rounded, so the batched result is bit-identical
+        to the scalar loop (``round`` and ``rint`` both round half to
+        even).
+        """
+        count = len(self._cyc_slots)
+        if np is not None and count >= MIN_BULK_CYCLIC:
+            off = np.frombuffer(self._cyc_off)
+            cycle = np.frombuffer(self._cyc_cycle)
+            lo = np.frombuffer(self._cyc_lo)
+            hi = np.frombuffer(self._cyc_hi)
+            span = np.frombuffer(self._cyc_span)
+            phase = ((now + off) % cycle) / cycle
+            level = np.where(
+                phase < 0.5,
+                lo + 2.0 * phase * span,
+                hi - 2.0 * (phase - 0.5) * span,
+            )
+            self._cyc_itbs = np.rint(level).astype(np.int64).tolist()
+            return
+        off = self._cyc_off
+        cycle = self._cyc_cycle
+        lo = self._cyc_lo
+        hi = self._cyc_hi
+        span = self._cyc_span
+        itbs = self._cyc_itbs
+        for j in range(count):
+            phase = ((now + off[j]) % cycle[j]) / cycle[j]
+            if phase < 0.5:
+                level = lo[j] + 2.0 * phase * span[j]
+            else:
+                level = hi[j] - 2.0 * (phase - 0.5) * span[j]
+            itbs[j] = int(round(level))
+
+
+def _waterfill(budget: float, caps: list[float],
+               weights: list[float]) -> list[float]:
+    """Slot-indexed replica of :func:`repro.mac.scheduler.waterfill_prbs`.
+
+    Operates on precomputed PRB caps instead of ``_Claim`` objects;
+    float-for-float identical to the object path's progressive fill.
+    Callers guarantee every cap and weight is strictly positive
+    (phase-2 candidates require backlog and a usable channel), so the
+    object path's initial activity filter reduces to the identity.
+    """
+    grants = [0.0] * len(caps)
+    active = list(range(len(caps)))
+    remaining = budget
+    while remaining > 1e-12 and active:
+        total_weight = 0.0
+        for i in active:
+            total_weight += weights[i]
+        if total_weight <= 0:
+            break
+        capped = False
+        next_active: list[int] = []
+        consumed = 0.0
+        for i in active:
+            share = remaining * weights[i] / total_weight
+            room = caps[i] - grants[i]
+            if share >= room - 1e-12:
+                grants[i] += room
+                consumed += room
+                capped = True
+            else:
+                next_active.append(i)
+        if not capped:
+            for i in next_active:
+                share = remaining * weights[i] / total_weight
+                grants[i] += share
+                consumed += share
+            remaining = 0.0
+            break
+        remaining -= consumed
+        active = next_active
+    return grants

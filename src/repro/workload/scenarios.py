@@ -439,6 +439,50 @@ def build_coexistence_scenario(
                     flare=flare)
 
 
+def build_scale_scenario(
+    scheme: str = "festive",
+    seed: int = 0,
+    num_video: int = 2048,
+    duration_s: float = 60.0,
+    segment_s: float = 4.0,
+    ladder: BitrateLadder | None = None,
+    flare_params: FlareParams | None = None,
+    step_s: float = 0.02,
+) -> Scenario:
+    """Scale stressor: thousands of concurrent players in one cell.
+
+    Exercises the TTI kernel's struct-of-arrays fast path far beyond
+    the paper's 8-16 UEs (Probe-and-Adapt / COMETS argue coordinated
+    HAS must be evaluated at this population).  Each UE rides its own
+    phase of a deterministic cyclic iTbs sweep, and start times are
+    staggered with the usual per-entity jitter so request boundaries
+    do not synchronise.  Intended for ``flare-repro profile scale``
+    and the micro-benchmarks, not for paper tables.
+    """
+    reset_entity_ids()
+    flare_params = flare_params or FlareParams()
+    ladder = ladder or TESTBED_LADDER
+    mpd = MediaPresentation(ladder=ladder, segment_duration_s=segment_s)
+    cell = Cell(CellConfig(step_s=step_s))
+
+    video_ues = [
+        UserEquipment(CyclicItbsChannel(
+            lo=1, hi=12, cycle_s=240.0,
+            offset_s=i * 240.0 / max(num_video, 1)))
+        for i in range(num_video)
+    ]
+    start_times = [start_jitter(seed, 505, i, segment_s)
+                   for i in range(num_video)]
+    players, flare = _attach_clients(
+        cell, scheme, video_ues, mpd, flare_params, start_times,
+        default_cost_smoothing=0.5)
+    sampler = MetricsSampler(interval_s=1.0)
+    cell.add_controller(sampler)
+    return Scenario(cell=cell, sampler=sampler, duration_s=duration_s,
+                    scheme=scheme, players=players, data_flows=[],
+                    flare=flare)
+
+
 def build_trace_scenario(
     scheme: str,
     trace_kind: str = "random-walk",

@@ -1,0 +1,185 @@
+"""Differential tests for the vectorized TTI kernel.
+
+The kernel's contract is *byte-identical* serialized ``CellReport``s
+against the pure-object path — not approximate agreement.  The matrix
+here runs coordinated (FLARE, AVIS) and client-side (FESTIVE) schemes
+across seeds with the invariant sanitizer armed on both paths; any
+drift in a mirrored quantity (TCP windows, PF averages, RB trace,
+delivered totals) shows up as a serialization diff.
+
+Fast-forward boundary semantics (stride must stop exactly at
+controller deadlines, player starts and the run end, and a refused or
+zero-length stride must still make progress) get targeted scenarios,
+and the per-TTI reference scheduler pins two properties: the kernel
+refuses cells it cannot mirror, and the fluid path it accelerates
+stays within the reference discipline's agreement envelope.
+"""
+
+import pytest
+
+from repro import check as chk
+from repro.core.controller import FlareSystem
+from repro.has.mpd import TESTBED_LADDER, MediaPresentation
+from repro.has.player import PlayerConfig
+from repro.abr.festive import Festive
+from repro.mac.tti_reference import TtiReferenceScheduler
+from repro.metrics.collector import MetricsSampler, collect_cell_report
+from repro.metrics.serialize import dump_cell_report
+from repro.net.flows import UserEquipment, reset_entity_ids
+from repro.phy.channel import StaticItbsChannel
+from repro.sim import Cell, CellConfig, kernel_mode
+from repro.workload.scenarios import build_testbed_scenario
+
+
+def _matrix_report(scheme: str, seed: int, kernel: bool) -> str:
+    with kernel_mode(kernel):
+        report = build_testbed_scenario(scheme, seed=seed,
+                                        duration_s=30.0).run()
+    return dump_cell_report(report)
+
+
+class TestDifferentialMatrix:
+    """FLARE/FESTIVE/AVIS x seeds, sanitizer armed on both paths."""
+
+    @pytest.mark.parametrize("scheme", ["flare", "festive", "avis"])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_byte_identical_reports(self, scheme, seed):
+        with chk.checked_run():
+            fast = _matrix_report(scheme, seed, kernel=True)
+            slow = _matrix_report(scheme, seed, kernel=False)
+        assert fast == slow
+
+    def test_dynamic_channel_byte_identical(self):
+        def report(kernel):
+            with kernel_mode(kernel):
+                built = build_testbed_scenario("flare", dynamic=True,
+                                               seed=1, duration_s=30.0)
+                return dump_cell_report(built.run())
+
+        with chk.checked_run():
+            assert report(True) == report(False)
+
+
+# ----------------------------------------------------------------------
+# Idle-TTI fast-forward boundaries
+# ----------------------------------------------------------------------
+def idle_start_cell(start_time_s: float, sampler_interval_s: float,
+                    flare: bool = False):
+    """One static-channel video client that starts in the future.
+
+    Until ``start_time_s`` no flow is backlogged, so the kernel may
+    stride — bounded by the sampler's deadlines (and FLARE's BAI
+    controller when ``flare``).
+    """
+    reset_entity_ids()
+    mpd = MediaPresentation(ladder=TESTBED_LADDER, segment_duration_s=4.0)
+    cell = Cell(CellConfig(step_s=0.02))
+    ue = UserEquipment(StaticItbsChannel(7))
+    config = PlayerConfig(request_threshold_s=12.0,
+                          start_time_s=start_time_s)
+    if flare:
+        system = FlareSystem(bai_s=2.0)
+        system.install(cell)
+        system.attach_client(cell, ue, mpd, config)
+    else:
+        cell.add_video_flow(ue, mpd, Festive(), config)
+    sampler = MetricsSampler(interval_s=sampler_interval_s)
+    cell.add_controller(sampler)
+    return cell, sampler
+
+
+def run_report(cell, sampler, duration_s):
+    cell.run(duration_s)
+    return dump_cell_report(collect_cell_report(cell, sampler,
+                                                duration_s))
+
+
+class TestFastForward:
+    def _compare(self, start, interval, duration, flare=False):
+        with kernel_mode(True):
+            cell, sampler = idle_start_cell(start, interval, flare)
+            fast = run_report(cell, sampler, duration)
+            ff_steps = cell._kernel._ff_steps
+        with kernel_mode(False):
+            cell, sampler = idle_start_cell(start, interval, flare)
+            slow = run_report(cell, sampler, duration)
+        assert fast == slow
+        return ff_steps
+
+    def test_skips_idle_prefix(self):
+        # 6 s idle gap, 1 s sampler: plenty of whole strides.
+        assert self._compare(6.0, 1.0, 12.0) > 0
+
+    def test_event_exactly_at_stride_edge(self):
+        # The sampler's only deadline coincides with the player start:
+        # the stride must stop there so the step covering both runs.
+        assert self._compare(5.0, 5.0, 10.0) > 0
+
+    def test_bai_edge(self):
+        # FLARE's 2 s BAI controller bounds every stride; firings at
+        # 2/4/... must happen at the same clock values as the object
+        # loop's accumulated float time.
+        assert self._compare(5.0, 1.0, 12.0, flare=True) > 0
+
+    def test_zero_length_stride_makes_progress(self):
+        # A deadline every single step leaves nothing to skip; the
+        # kernel must fall through to normal stepping, not livelock.
+        ff = self._compare(2.0, 0.02, 4.0)
+        assert ff == 0
+
+    def test_no_skip_when_flow_backlogged(self):
+        # Starting at t=0 there is never an idle window.
+        assert self._compare(0.0, 1.0, 8.0) == 0
+
+
+# ----------------------------------------------------------------------
+# Per-TTI reference scheduler
+# ----------------------------------------------------------------------
+def reference_cell(start: float = 0.0):
+    reset_entity_ids()
+    mpd = MediaPresentation(ladder=TESTBED_LADDER, segment_duration_s=4.0)
+    cell = Cell(CellConfig(step_s=0.02),
+                scheduler=TtiReferenceScheduler())
+    ue = UserEquipment(StaticItbsChannel(7))
+    cell.add_video_flow(ue, mpd, Festive(),
+                        PlayerConfig(request_threshold_s=12.0,
+                                     start_time_s=start))
+    sampler = MetricsSampler(interval_s=1.0)
+    cell.add_controller(sampler)
+    return cell, sampler
+
+
+class TestTtiReference:
+    def test_kernel_refuses_reference_scheduler(self):
+        # The reference discipline is not mirrorable; the cell must
+        # fall back to the object path and still finish correctly.
+        with kernel_mode(True):
+            cell, sampler = reference_cell()
+            fast = run_report(cell, sampler, 12.0)
+            assert cell._kernel is not None
+            assert cell._kernel._ff_steps == 0
+        with kernel_mode(False):
+            cell, sampler = reference_cell()
+            slow = run_report(cell, sampler, 12.0)
+        assert fast == slow
+
+    def test_fluid_kernel_within_reference_envelope(self):
+        # The kernel accelerates the fluid approximation; its total
+        # delivery must stay inside the fluid-vs-reference agreement
+        # the scheduler tests pin (10%).
+        def total(scheduler):
+            reset_entity_ids()
+            mpd = MediaPresentation(ladder=TESTBED_LADDER,
+                                    segment_duration_s=4.0)
+            cell = Cell(CellConfig(step_s=0.02), scheduler=scheduler)
+            ue = UserEquipment(StaticItbsChannel(7))
+            cell.add_video_flow(ue, mpd, Festive(),
+                                PlayerConfig(request_threshold_s=12.0))
+            cell.run(20.0)
+            return sum(f.total_delivered_bytes for f in cell._flows)
+
+        with kernel_mode(True):
+            fluid = total(None)
+        with kernel_mode(False):
+            reference = total(TtiReferenceScheduler())
+        assert fluid == pytest.approx(reference, rel=0.1)
