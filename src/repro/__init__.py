@@ -46,6 +46,16 @@ from repro.workload import (
     build_mixed_scenario,
     build_testbed_scenario,
 )
+# The multi-cell network sits above core/workload, so it is imported
+# last (see the repro.sim package docstring).
+from repro.sim.network import (
+    MetroChannel,
+    Network,
+    NetworkPlan,
+    SitePlan,
+    grid_site_plan,
+)
+from repro.workload.metro import build_metro_plan
 
 __version__ = "1.1.0"
 
@@ -70,5 +80,11 @@ __all__ = [
     "build_coexistence_scenario",
     "build_mixed_scenario",
     "build_testbed_scenario",
+    "MetroChannel",
+    "Network",
+    "NetworkPlan",
+    "SitePlan",
+    "grid_site_plan",
+    "build_metro_plan",
     "__version__",
 ]

@@ -9,6 +9,7 @@ Usage::
     flare-repro ablations         # DESIGN.md design-choice ablations
     flare-repro all               # everything, in order
     flare-repro report --out results/   # full results directory + CSVs
+    flare-repro metro --cells 16 --jobs 2   # multi-cell scaling study
 
 Scale control: ``--full`` (or ``REPRO_FULL=1``) runs paper-fidelity
 experiments (1200 s, 20 seeds); the default is a quick mode suitable
@@ -63,8 +64,9 @@ from repro.experiments import (
     table1_text,
     table2_text,
 )
-from repro.experiments.bench import measure, write_bench_json
-from repro.experiments.parallel import execution_defaults
+from repro.experiments.bench import BenchRecord, measure, write_bench_json
+from repro.experiments.metro import run_metro_scaling
+from repro.experiments.parallel import execution_defaults, resolve_jobs
 from repro.experiments.runner import full_mode
 from repro.metrics.serialize import dump_cell_report, load_cell_report
 from repro.obs import EVENT_FAMILIES, MetricsRegistry, tracing
@@ -135,6 +137,40 @@ def _trace_command(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _metro_command(args: argparse.Namespace,
+                   record: BenchRecord | None = None) -> str:
+    """Run the metro scaling study; stash it in the BENCH artifact.
+
+    Shard counts swept: 1 plus the resolved ``--jobs`` count (when
+    more than one worker is configured), so the emitted
+    ``BENCH_metro.json`` always contains the 1-shard baseline the
+    speedup column is relative to.
+    """
+    jobs = resolve_jobs(None)
+    shard_counts = (1,) if jobs <= 1 else (1, jobs)
+    num_cells = (args.cells if args.cells is not None
+                 else (100 if is_full_run() else 16))
+    ues_per_cell = (args.ues_per_cell if args.ues_per_cell is not None
+                    else (10 if is_full_run() else 4))
+    duration = (float(args.duration) if args.duration is not None
+                else (120.0 if is_full_run() else 40.0))
+    study = run_metro_scaling(
+        num_cells=num_cells, ues_per_cell=ues_per_cell,
+        duration_s=duration, shard_counts=shard_counts,
+        scheme=args.scheme if args.scheme else "flare", seed=args.seed)
+    if record is not None:
+        record.extra["scaling"] = study
+    lines = [f"metro scaling study: {study['cells']} cells, "
+             f"{study['ues']} UEs, {study['duration_s']:g} s simulated",
+             f"{'shards':>7} {'wall_s':>9} {'speedup':>8} "
+             f"{'handovers':>10} {'kernel_cells':>13}"]
+    for row in study["rows"]:
+        lines.append(f"{row['shards']:>7} {row['wall_time_s']:>9.2f} "
+                     f"{row['speedup']:>8.2f} {row['handovers']:>10} "
+                     f"{row['kernel_cell_runs']:>13}")
+    return "\n".join(lines)
+
+
 def _profile_command(args: argparse.Namespace) -> None:
     """Run any command/scenario under the span profiler.
 
@@ -150,6 +186,8 @@ def _profile_command(args: argparse.Namespace) -> None:
     with profiler.span("run"):
         if target in table:
             table[target](args)
+        elif target == "metro":
+            _metro_command(args)
         elif target == "all":
             for handler in table.values():
                 handler(args)
@@ -239,7 +277,7 @@ class _Parser(argparse.ArgumentParser):
                     f"{', '.join(sorted(TRACE_SCENARIOS))})")
         elif parsed.command == "profile":
             targets = ({*TRACE_SCENARIOS, *_command_table(),
-                        "all", "report"})
+                        "all", "report", "metro"})
             if parsed.scenario is None:
                 parsed.scenario = "testbed"
             if parsed.scenario not in targets:
@@ -260,8 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="flare-repro",
         description="Reproduce FLARE (ICDCS 2017) tables and figures.",
     )
-    commands = [*_command_table(), "all", "report", "trace", "profile",
-                "analyze"]
+    commands = [*_command_table(), "all", "report", "metro", "trace",
+                "profile", "analyze"]
     parser.add_argument("command", choices=commands,
                         help="which table/figure to regenerate")
     parser.add_argument("scenario", nargs="?", default=None,
@@ -295,7 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--duration", type=float, default=None,
                         metavar="SECONDS",
                         help="simulated duration for the trace command "
-                             "(default: 120, or 600 with --full)")
+                             "(default: 120, or 600 with --full) and "
+                             "the metro command (default: 40/120)")
+    parser.add_argument("--cells", type=int, default=None, metavar="N",
+                        help="metro command: number of cells "
+                             "(default: 16, or 100 with --full)")
+    parser.add_argument("--ues-per-cell", type=int, default=None,
+                        metavar="N",
+                        help="metro command: UEs per cell "
+                             "(default: 4, or 10 with --full)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed for the trace command")
     parser.add_argument("--no-kernel", action="store_true",
@@ -305,8 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _dispatch(args: argparse.Namespace) -> int:
+def _dispatch(args: argparse.Namespace,
+              record: BenchRecord | None = None) -> int:
     table = _command_table()
+    if args.command == "metro":
+        print(_metro_command(args, record))
+        return 0
     if args.command == "trace":
         print(_trace_command(args))
         return 0
@@ -350,7 +400,7 @@ def main(argv: list[str] | None = None) -> int:
             with measure(args.command, command=args.command,
                          full_scale=is_full_run(),
                          kernel=not args.no_kernel) as record:
-                status = _dispatch(args)
+                status = _dispatch(args, record)
         if profiler is not None:
             record.extra["profile"] = profiler.bench_section()
             print(_profile_export(args, profiler))

@@ -75,17 +75,20 @@ class FlareSystem:
         player_config: PlayerConfig | None = None,
         max_bitrate_bps: float | None = None,
         skimming: bool = False,
+        flow_id: int | None = None,
     ) -> HasPlayer:
         """Add a FLARE-enabled HAS client to ``cell``.
 
         Creates the video flow and player, embeds a plugin, registers
         the plugin with the OneAPI server (the "client sends its ladder
-        on stream start" message), and returns the player.
+        on stream start" message), and returns the player.  ``flow_id``
+        pins the flow identifier (see :meth:`Cell.add_video_flow`).
         """
         # The flow id is allocated inside add_video_flow; create the
         # player with a placeholder ABR, then wire the plugin to it.
         placeholder = FlareClientAbr(FlarePlugin(-1, mpd.ladder))
-        player = cell.add_video_flow(ue, mpd, placeholder, player_config)
+        player = cell.add_video_flow(ue, mpd, placeholder, player_config,
+                                     flow_id=flow_id)
         plugin = FlarePlugin(
             player.flow.flow_id, mpd.ladder,
             max_bitrate_bps=max_bitrate_bps, skimming=skimming)

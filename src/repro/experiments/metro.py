@@ -1,0 +1,77 @@
+"""Metro scaling study: cells × shards → wall time, handovers, QoE.
+
+Drives the multi-cell :class:`~repro.sim.network.Network` over a range
+of shard counts on the *same* plan, so the resulting
+``BENCH_metro.json`` answers the deployment questions the single-cell
+benchmarks cannot: how wall time scales with worker processes, how
+many handovers the mobility model generates, and whether per-cell QoE
+is stable across execution modes (it must be — the sharded path is
+byte-identical to the reference, see ``tests/sim/test_network.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.bench import measure
+from repro.experiments.parallel import LEDGER
+from repro.sim.network import Network
+from repro.workload.metro import build_metro_plan
+
+
+def run_metro_scaling(
+    num_cells: int = 16,
+    ues_per_cell: int = 4,
+    duration_s: float = 60.0,
+    shard_counts: tuple[int, ...] = (1, 2),
+    scheme: str = "flare",
+    seed: int = 0,
+    **plan_kwargs: Any,
+) -> dict[str, Any]:
+    """Run the same metro once per shard count and tabulate scaling.
+
+    Returns a JSON-ready dict: one row per shard count with wall time,
+    executed handovers, kernel fast-path usage, per-cell QoE and the
+    speedup relative to the 1-shard run (the first configured shard
+    count when 1 is not among them).
+    """
+    plan = build_metro_plan(num_cells=num_cells,
+                            ues_per_cell=ues_per_cell,
+                            scheme=scheme, seed=seed, **plan_kwargs)
+    rows: list[dict[str, Any]] = []
+    for shards in shard_counts:
+        network = Network(plan)
+        with measure(f"metro_{shards}shards") as record:
+            reports = network.run(duration_s, shards=shards)
+            for report in reports.values():
+                LEDGER.record(report, cached=False)
+        per_cell = {
+            str(cell_id): {
+                "bitrate_kbps": report.average_bitrate_kbps,
+                "rebuffer_s": report.total_rebuffer_s,
+                "clients": len(report.clients),
+            }
+            for cell_id, report in reports.items()
+        }
+        rows.append({
+            "shards": shards,
+            "cells": num_cells,
+            "ues": len(plan.ues),
+            "wall_time_s": record.wall_time_s,
+            "handovers": network.handover_count,
+            "kernel_cell_runs": network.kernel_cell_runs,
+            "per_cell": per_cell,
+        })
+    baseline = next((row for row in rows if row["shards"] == 1), rows[0])
+    for row in rows:
+        wall = row["wall_time_s"]
+        row["speedup"] = (baseline["wall_time_s"] / wall
+                          if wall > 0 else 0.0)
+    return {
+        "cells": num_cells,
+        "ues": len(plan.ues),
+        "duration_s": duration_s,
+        "scheme": scheme,
+        "seed": seed,
+        "rows": rows,
+    }

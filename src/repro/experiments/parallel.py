@@ -27,11 +27,14 @@ Worker count resolution order: explicit argument, the active
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterator, Sequence
+from multiprocessing.connection import Connection
 from typing import Any
 
 from repro.experiments.cache import (
@@ -360,3 +363,143 @@ def run_matrix(builder: Callable[..., Any],
     for task, report in zip(tasks, reports):
         grouped.setdefault(task.scheme, []).append(report)
     return grouped
+
+
+# ----------------------------------------------------------------------
+# Persistent shard workers (stateful, unlike the stateless task pool)
+# ----------------------------------------------------------------------
+class ShardPoolError(RuntimeError):
+    """A shard worker failed; carries the worker's traceback text."""
+
+
+def _shard_worker(conn: Connection, factory: Callable[..., Any],
+                  args: tuple[Any, ...]) -> None:
+    """Worker loop: build the shard state, then serve method calls.
+
+    Protocol (parent -> worker): ``(method_name, args_tuple)`` per
+    request, ``None`` to shut down.  Worker -> parent: ``("ok",
+    result)`` or ``("err", traceback_text)`` per request (errors keep
+    the worker alive so the parent can decide what to do).
+    """
+    # Forked workers inherit the parent's ambient tracer/profiler (and
+    # the tracer's open file handle) exactly like the task pool's
+    # workers do; shard-side events/spans have nowhere to merge back
+    # to, so drop both (documented in docs/network.md).
+    obs.uninstall()
+    prof.uninstall()
+    try:
+        state = factory(*args)
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", None))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        method, call_args = message
+        try:
+            conn.send(("ok", getattr(state, method)(*call_args)))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+
+
+class ShardPool:
+    """Long-lived worker processes hosting *stateful* shard objects.
+
+    :func:`run_tasks` fans out stateless, order-independent cells;
+    the multi-cell network needs the opposite: each worker owns
+    mutable simulator state (its cells) that must stay on the same
+    process across many small exchange-epoch calls.  A
+    ``ProcessPoolExecutor`` offers no task-to-worker affinity, so this
+    pool speaks a tiny Pipe protocol to one dedicated process per
+    shard instead.
+
+    Each worker builds its own state by calling ``factory(*args)``
+    (the factory must be a module-level callable, picklable by
+    reference — the same spawn-safe contract as
+    :class:`ExperimentTask`), so no simulator objects cross the
+    process boundary at startup.
+
+    Usage::
+
+        with ShardPool(build_shard, [(plan, ids0), (plan, ids1)]) as pool:
+            usages = pool.broadcast("advance", [(2.0, {}), (2.0, {})])
+    """
+
+    def __init__(self, factory: Callable[..., Any],
+                 shard_args: Sequence[tuple[Any, ...]]) -> None:
+        context = multiprocessing.get_context()
+        self._conns: list[Connection] = []
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        for args in shard_args:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker, args=(child_conn, factory, args),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+        # Construction barrier: surface builder failures immediately.
+        for index in range(len(self._conns)):
+            self._receive(index)
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    def _receive(self, shard: int) -> Any:
+        status, payload = self._conns[shard].recv()
+        if status != "ok":
+            raise ShardPoolError(
+                f"shard {shard} worker failed:\n{payload}")
+        return payload
+
+    def call(self, shard: int, method: str, *args: Any) -> Any:
+        """Invoke ``method(*args)`` on one shard's state (blocking)."""
+        self._conns[shard].send((method, args))
+        return self._receive(shard)
+
+    def broadcast(self, method: str,
+                  per_shard_args: Sequence[tuple[Any, ...]]) -> list[Any]:
+        """Invoke ``method`` on every shard concurrently.
+
+        All requests are written before any response is awaited, so
+        the shards genuinely run in parallel; results come back in
+        shard order.
+        """
+        if len(per_shard_args) != len(self._conns):
+            raise ValueError(
+                f"need one args tuple per shard "
+                f"({len(per_shard_args)} != {len(self._conns)})")
+        for conn, args in zip(self._conns, per_shard_args):
+            conn.send((method, args))
+        return [self._receive(index) for index in range(len(self._conns))]
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> ShardPool:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

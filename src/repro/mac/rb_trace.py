@@ -112,6 +112,18 @@ class RbTraceModule:
             self._cumulative_bytes.get(flow_id, 0.0),
         )
 
+    def total_cumulative_prbs(self) -> float:
+        """Total PRBs this cell granted since simulation start.
+
+        Includes flows that have since departed (handover), so the
+        total reflects what *this cell's* air interface transmitted —
+        the quantity inter-cell interference coupling is driven by.
+        """
+        total = 0.0
+        for prbs in self._cumulative_prbs.values():
+            total += prbs
+        return total
+
     def tracked_flows(self) -> Iterable[int]:
         """Flow ids with any recorded activity since the last roll."""
         return sorted(set(self._prbs) | set(self._bytes))

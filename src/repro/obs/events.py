@@ -32,6 +32,9 @@ SEG_ABANDON = "seg.abandon"
 SIM_STEP = "sim.step"
 SIM_EVENTS = "sim.events"
 
+# -- Multi-cell network ------------------------------------------------
+NET_HANDOVER = "net.handover"
+
 #: Every event type with its fields and units.  ``type`` and ``t``
 #: (simulation seconds) are implicit on all events; parallel-worker
 #: shards additionally carry a ``task`` field (submission index).
@@ -110,9 +113,17 @@ EVENT_SCHEMA: dict[str, dict[str, str]] = {
     SIM_EVENTS: {
         "fired": "timed callbacks fired by the event queue this drain",
     },
+    NET_HANDOVER: {
+        "flow": "video flow id handed over",
+        "ue": "UE id of the flow",
+        "source": "source cell id",
+        "target": "target cell id",
+    },
 }
 
 #: The four event families the CLI ``trace`` command reports on.
+#: ``net.handover`` is deliberately absent: the trace scenarios are
+#: single-cell, so a "net" family would (correctly) never fire there.
 EVENT_FAMILIES = {
     "tti.alloc": (TTI_ALLOC,),
     "bai.solve": (BAI_SOLVE,),

@@ -1,8 +1,20 @@
-"""Simulation engine: event queue, cell world object, TTI fast path."""
+"""Simulation engine: event queue, cell world object, TTI fast path.
+
+The multi-cell world lives in :mod:`repro.sim.network`; it is not
+re-exported here because it sits *above* the core/workload layers
+(importing it from this package would cycle through
+``repro.core.controller``, which imports ``repro.sim.cell``).  Import
+it as ``repro.sim.network`` or from the top-level ``repro`` package.
+"""
 
 from repro.sim.cell import Cell, CellConfig, IntervalController
-from repro.sim.engine import EventHandle, EventQueue, earliest_due
-from repro.sim.kernel import TtiKernel, kernel_enabled, kernel_mode
+from repro.sim.engine import (
+    EventHandle,
+    EventQueue,
+    advance_cells_lockstep,
+    earliest_due,
+)
+from repro.sim.kernel import TtiKernel, kernel_enabled, kernel_mode, run_cells
 
 __all__ = [
     "Cell",
@@ -11,7 +23,9 @@ __all__ = [
     "EventQueue",
     "IntervalController",
     "TtiKernel",
+    "advance_cells_lockstep",
     "earliest_due",
     "kernel_enabled",
     "kernel_mode",
+    "run_cells",
 ]

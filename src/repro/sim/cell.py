@@ -182,10 +182,16 @@ class Cell:
 
     def add_video_flow(self, ue: UserEquipment, mpd: MediaPresentation,
                        abr: AbrAlgorithm,
-                       player_config: PlayerConfig | None = None
-                       ) -> HasPlayer:
-        """Attach a HAS video flow + player for ``ue``."""
-        flow = VideoFlow(ue)
+                       player_config: PlayerConfig | None = None,
+                       flow_id: int | None = None) -> HasPlayer:
+        """Attach a HAS video flow + player for ``ue``.
+
+        ``flow_id`` pins the flow's identifier instead of drawing from
+        the process-wide counter — the multi-cell network builders use
+        formula-based ids so a cell constructed inside a shard worker
+        is byte-identical to one constructed in the parent process.
+        """
+        flow = VideoFlow(ue, flow_id=flow_id)
         player = HasPlayer(flow, mpd, abr, player_config)
         self._invalidate_kernel()
         self._flows.append(flow)

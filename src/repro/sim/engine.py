@@ -14,11 +14,15 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.obs import events as obs_events
 from repro.obs import tracer as obs
 from repro.util import require_non_negative, require_positive
+
+if TYPE_CHECKING:
+    from repro.sim.cell import Cell
 
 Callback = Callable[[float], None]
 
@@ -154,3 +158,26 @@ def earliest_due(controllers: Iterable[tuple[object, list[float]]]
         if next_due[0] < bound:
             bound = next_due[0]
     return bound
+
+
+def advance_cells_lockstep(cells: Sequence[Cell], until_s: float) -> None:
+    """Advance many cells to ``until_s`` one fluid step at a time.
+
+    This is the *reference schedule* for multi-cell worlds: every
+    still-running cell takes exactly one step before any cell takes its
+    next, so trace events from different cells interleave in cell
+    order per step.  ``repro.sim.network.Network`` uses it as the
+    ground truth its batched and sharded execution modes are verified
+    against (the per-cell float/step sequences are identical in all
+    three — only the interleaving differs).
+
+    Cells that have already reached ``until_s`` drop out of the scan
+    entirely instead of being re-checked on every pass, which matters
+    when cells finish at staggered times (e.g. mixed-duration worlds).
+    """
+    require_positive("until_s", until_s)
+    active = [cell for cell in cells if cell.now_s < until_s - 1e-9]
+    while active:
+        for cell in active:
+            cell.step()
+        active = [cell for cell in active if cell.now_s < until_s - 1e-9]

@@ -1,0 +1,726 @@
+"""Metro-scale multi-cell world: many cells, one coordinated network.
+
+The paper evaluates FLARE inside a single cell, but its deployment
+story (Section II) is a metro area: many eNodeBs, UEs moving between
+them, one OneAPI backend per cell.  :class:`Network` is that world as
+a first-class object — it owns every :class:`~repro.sim.cell.Cell`,
+the shared PHY geometry (:class:`SitePlan`), mobility-driven X2
+handover through :class:`~repro.workload.handover.HandoverManager`,
+and epoch-frozen inter-cell interference coupling.
+
+Execution contract — the *epoch* (default: one BAI, 2 s) is the unit
+of coordination.  Within an epoch every cell is fully independent:
+interference penalties are frozen (:class:`PenaltyMap`), handovers
+only happen at epoch boundaries, and no cell reads another cell's
+state.  That independence is what makes three execution modes produce
+**byte-identical** per-cell results:
+
+* ``lockstep`` — every cell advances one fluid step before any cell
+  takes its next (:func:`~repro.sim.engine.advance_cells_lockstep`);
+  the reference schedule the old ``MultiCellScenario`` used.
+* batched (``shards=1``) — each cell runs its whole epoch in one
+  :func:`~repro.sim.kernel.run_cells` kernel invocation.
+* sharded (``shards>1``) — cells are partitioned into contiguous
+  blocks across a persistent process pool
+  (:class:`~repro.experiments.parallel.ShardPool`); only cross-shard
+  handover blobs and per-cell PRB usage cross shard boundaries, once
+  per epoch (intra-shard handovers never serialize anything).
+
+Handover is planned in the parent from its own deterministic mobility
+copies (spawn-keyed RNG: parent and workers construct identical
+trajectories independently): at each epoch boundary every UE is
+assigned the site with the least path loss, gated by a hysteresis
+margin.  The migrating player and its FLARE plugin are pickled in a
+single ``dumps`` call so shared references (the plugin is reachable
+both directly and via ``player.abr``) survive as one object.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
+
+from repro.core.controller import FlareSystem
+from repro.has.player import HasPlayer
+from repro.metrics.collector import (
+    CellReport,
+    MetricsSampler,
+    collect_cell_report,
+)
+from repro.obs import events as obs_events
+from repro.obs import prof
+from repro.obs import tracer as obs
+from repro.phy import tbs
+from repro.phy.channel import ChannelModel, FadingProcess
+from repro.phy.cqi import LinkAdaptation
+from repro.phy.mobility import Field, MobilityModel, Position
+from repro.phy.pathloss import LinkBudget, LogDistancePathLoss
+from repro.phy.tbs import PRB_PER_TTI_10MHZ, TTI_MS
+from repro.sim.cell import Cell
+from repro.sim.engine import advance_cells_lockstep
+from repro.sim.kernel import run_cells
+from repro.util import require_non_negative, require_positive
+from repro.workload.handover import HandoverManager, HandoverRecord
+
+
+@dataclass(frozen=True)
+class SitePlan:
+    """Shared PHY geometry of the metro: eNodeB sites + link models.
+
+    Attributes:
+        positions: eNodeB site coordinates; the index is the cell id.
+        bounds: the rectangular field UEs roam inside.
+        pathloss: path-loss model shared by every link.
+        link_budget: link budget shared by every cell (macro default).
+        neighbour_radius_m: sites within this distance interfere with
+            each other (the coupling graph's edge rule).
+    """
+
+    positions: tuple[Position, ...]
+    bounds: Field
+    pathloss: LogDistancePathLoss = LogDistancePathLoss()
+    link_budget: LinkBudget = LinkBudget(tx_power_dbm=46.0)
+    neighbour_radius_m: float = 750.0
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("a SitePlan needs at least one site")
+        require_positive("neighbour_radius_m", self.neighbour_radius_m)
+
+    @property
+    def num_cells(self) -> int:
+        """Number of sites (= cells) in the plan."""
+        return len(self.positions)
+
+    def site(self, cell_id: int) -> Position:
+        """Coordinates of cell ``cell_id``'s eNodeB."""
+        if not 0 <= cell_id < len(self.positions):
+            raise ValueError(f"unknown cell id {cell_id}")
+        return self.positions[cell_id]
+
+    def loss_db(self, cell_id: int, position: Position) -> float:
+        """Path loss from cell ``cell_id``'s site to ``position``."""
+        site = self.site(cell_id)
+        return self.pathloss.loss_db(
+            math.hypot(position[0] - site[0], position[1] - site[1]))
+
+    def best_cell(self, position: Position) -> int:
+        """The least-path-loss cell at ``position``.
+
+        Ties break to the lowest cell id (strict comparison while
+        iterating in id order), keeping the choice deterministic.
+        """
+        best = 0
+        best_loss = self.loss_db(0, position)
+        for cell_id in range(1, len(self.positions)):
+            loss = self.loss_db(cell_id, position)
+            if loss < best_loss:
+                best = cell_id
+                best_loss = loss
+        return best
+
+    def advantage_db(self, position: Position, serving: int,
+                     candidate: int) -> float:
+        """How many dB stronger ``candidate`` is than ``serving``."""
+        return self.loss_db(serving, position) - self.loss_db(
+            candidate, position)
+
+    def neighbours_of(self, cell_id: int) -> tuple[int, ...]:
+        """Ids of sites within ``neighbour_radius_m`` (excl. itself)."""
+        site = self.site(cell_id)
+        out = []
+        for other in range(len(self.positions)):
+            if other == cell_id:
+                continue
+            pos = self.positions[other]
+            if math.hypot(pos[0] - site[0],
+                          pos[1] - site[1]) <= self.neighbour_radius_m:
+                out.append(other)
+        return tuple(out)
+
+
+def grid_site_plan(
+    num_cells: int,
+    isd_m: float = 500.0,
+    pathloss: LogDistancePathLoss | None = None,
+    link_budget: LinkBudget | None = None,
+    neighbour_radius_m: float | None = None,
+) -> SitePlan:
+    """A near-square grid of sites with inter-site distance ``isd_m``.
+
+    Sites sit at grid-square centres; the field is exactly the grid's
+    bounding box, so every UE position has a nearest site at most
+    ``isd_m / sqrt(2)`` away.  Default neighbour radius is 1.5 ISD —
+    the 4-connected grid neighbours plus the diagonals.
+    """
+    require_positive("num_cells", num_cells)
+    require_positive("isd_m", isd_m)
+    cols = math.ceil(math.sqrt(num_cells))
+    rows = math.ceil(num_cells / cols)
+    positions = tuple(
+        ((index % cols + 0.5) * isd_m, (index // cols + 0.5) * isd_m)
+        for index in range(num_cells)
+    )
+    return SitePlan(
+        positions=positions,
+        bounds=Field(cols * isd_m, rows * isd_m),
+        pathloss=pathloss if pathloss is not None else LogDistancePathLoss(),
+        link_budget=(link_budget if link_budget is not None
+                     else LinkBudget(tx_power_dbm=46.0)),
+        neighbour_radius_m=(neighbour_radius_m
+                            if neighbour_radius_m is not None
+                            else 1.5 * isd_m),
+    )
+
+
+class PenaltyMap:
+    """Per-cell interference penalties, frozen for one epoch.
+
+    One instance is shared by every :class:`MetroChannel` in a shard;
+    the network replaces its contents at each epoch boundary.  The
+    ``epoch`` counter is part of the channels' cache key, so a
+    replacement invalidates every cached iTbs without touching the
+    channels themselves.
+    """
+
+    def __init__(self) -> None:
+        self._db: dict[int, float] = {}
+        self.epoch = 0
+
+    def db_for(self, cell_id: int) -> float:
+        """Interference penalty of ``cell_id`` in dB (0 when unset)."""
+        return self._db.get(cell_id, 0.0)
+
+    def replace(self, penalties: Mapping[int, float]) -> None:
+        """Install the next epoch's penalties (invalidates caches)."""
+        self._db = dict(penalties)
+        self.epoch += 1
+
+
+class MetroChannel(ChannelModel):
+    """Full PHY chain against the *serving* site of a :class:`SitePlan`.
+
+    Like :class:`~repro.phy.channel.FadingChannel` — mobility → path
+    loss → fading → SINR → iTbs, cached at the fading resolution — but
+    the eNodeB endpoint is whichever site currently serves the UE, and
+    the epoch's interference penalty for that cell is subtracted from
+    the SINR before link adaptation.  Only :meth:`itbs_at` is
+    overridden, so the TTI kernel treats it as a plain channel and the
+    batched fast path stays available.
+    """
+
+    def __init__(
+        self,
+        mobility: MobilityModel,
+        sites: SitePlan,
+        fading: FadingProcess,
+        serving_cell: int,
+        link_adaptation: LinkAdaptation | None = None,
+        penalties: PenaltyMap | None = None,
+    ) -> None:
+        sites.site(serving_cell)  # validates the id
+        self._mobility = mobility
+        self._sites = sites
+        self._fading = fading
+        self._serving = serving_cell
+        self._la = (link_adaptation if link_adaptation is not None
+                    else LinkAdaptation())
+        self._penalties = penalties if penalties is not None else PenaltyMap()
+        self._period = fading._period  # fading resolution
+        self._cache_key: tuple[int, int] | None = None
+        self._cache_itbs = tbs.MIN_ITBS
+
+    @property
+    def serving_cell(self) -> int:
+        """Id of the cell currently serving this UE."""
+        return self._serving
+
+    @property
+    def mobility(self) -> MobilityModel:
+        """The UE's trajectory."""
+        return self._mobility
+
+    def handover(self, target_cell: int,
+                 penalties: PenaltyMap | None = None) -> None:
+        """Re-point the channel at ``target_cell``'s site.
+
+        ``penalties`` rebinds the shared penalty map — required when
+        the player was pickled across shards, because unpickling gave
+        the channel a private *copy* of the source shard's map.
+        """
+        self._sites.site(target_cell)
+        self._serving = target_cell
+        if penalties is not None:
+            self._penalties = penalties
+        self._cache_key = None
+
+    def sinr_db_at(self, time_s: float) -> float:
+        """SINR towards the serving site, minus its epoch penalty."""
+        loss = self._sites.loss_db(
+            self._serving, self._mobility.position_at(time_s))
+        fade = self._fading.fading_db(time_s)
+        sinr = self._sites.link_budget.sinr_db(loss, fade)
+        return sinr - self._penalties.db_for(self._serving)
+
+    def itbs_at(self, time_s: float) -> int:
+        key = (math.floor(time_s / self._period), self._penalties.epoch)
+        if self._cache_key != key:
+            profiler = prof.PROFILER
+            if profiler is not None:
+                profiler.begin("phy.cqi")
+            self._cache_itbs = self._la.itbs(self.sinr_db_at(time_s))
+            self._cache_key = key
+            if profiler is not None:
+                profiler.end()
+        return self._cache_itbs
+
+
+@dataclass(frozen=True)
+class UePlan:
+    """One UE of the metro: identity and starting cell.
+
+    ``ue_id`` and ``flow_id`` are formula-based (assigned by the
+    scenario builder), so a shard worker constructing only its own
+    cells produces exactly the ids the parent planned.
+    """
+
+    ue_id: int
+    flow_id: int
+    cell_id: int
+
+
+@dataclass
+class BuiltCell:
+    """One constructed cell plus its per-cell machinery."""
+
+    cell: Cell
+    system: FlareSystem | None
+    sampler: MetricsSampler
+    players: dict[int, HasPlayer] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """Complete, picklable description of a metro world.
+
+    A plan must be constructible *identically* in the parent and in
+    every shard worker: builders are module-level callables (pickled
+    by reference) and all randomness is spawn-keyed off ids carried in
+    ``params``.  ``cell_builder(plan, cell_id, penalties)`` returns a
+    fully-wired :class:`BuiltCell`; ``mobility_builder(plan, ue_id)``
+    returns the same trajectory object the cell builder embedded in
+    that UE's channel — the parent uses it to plan handovers without
+    talking to the shards.
+
+    Attributes:
+        exchange_s: epoch length — the handover/interference exchange
+            interval (default: one BAI).
+        coupling_db: penalty per fully-loaded neighbour cell in dB
+            (0 disables interference coupling).
+        hysteresis_db: a candidate cell must beat the serving cell by
+            this margin before a handover is issued.
+        cell_prbs_per_second: per-cell air-interface capacity used to
+            normalise PRB usage into utilisation.
+    """
+
+    sites: SitePlan
+    ues: tuple[UePlan, ...]
+    cell_builder: Callable[["NetworkPlan", int, PenaltyMap], BuiltCell]
+    mobility_builder: Callable[["NetworkPlan", int], MobilityModel]
+    exchange_s: float = 2.0
+    coupling_db: float = 0.0
+    hysteresis_db: float = 3.0
+    cell_prbs_per_second: float = PRB_PER_TTI_10MHZ / (TTI_MS / 1000.0)
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive("exchange_s", self.exchange_s)
+        require_positive("cell_prbs_per_second", self.cell_prbs_per_second)
+        require_non_negative("coupling_db", self.coupling_db)
+        require_non_negative("hysteresis_db", self.hysteresis_db)
+        num_cells = self.sites.num_cells
+        seen: set[int] = set()
+        for ue in self.ues:
+            if not 0 <= ue.cell_id < num_cells:
+                raise ValueError(
+                    f"UE {ue.ue_id} starts in unknown cell {ue.cell_id}")
+            if ue.ue_id in seen:
+                raise ValueError(f"duplicate ue_id {ue.ue_id}")
+            seen.add(ue.ue_id)
+
+
+class NetworkShard:
+    """A contiguous slice of the metro: some cells + their handovers.
+
+    One instance runs per worker process (or a single instance
+    in-process when ``shards=1``).  All cells of a shard share one
+    :class:`PenaltyMap` and one
+    :class:`~repro.workload.handover.HandoverManager`; handovers whose
+    endpoints live on different shards arrive as pickle blobs.
+    """
+
+    def __init__(self, plan: NetworkPlan, cell_ids: Sequence[int]) -> None:
+        self.plan = plan
+        self.penalties = PenaltyMap()
+        self.manager = HandoverManager()
+        self._built: dict[int, BuiltCell] = {}
+        for cell_id in cell_ids:
+            self._built[cell_id] = plan.cell_builder(
+                plan, cell_id, self.penalties)
+
+    @property
+    def cell_ids(self) -> tuple[int, ...]:
+        """Ids of the cells this shard owns."""
+        return tuple(self._built)
+
+    def built(self, cell_id: int) -> BuiltCell:
+        """The constructed cell bundle for ``cell_id``."""
+        return self._built[cell_id]
+
+    def advance(self, epoch_end_s: float, penalties: Mapping[int, float],
+                lockstep: bool = False) -> tuple[dict[int, float], int]:
+        """Run every cell of the shard to the epoch boundary.
+
+        Installs the epoch's frozen interference penalties, advances
+        all cells (one fused kernel invocation per cell, or the
+        per-step lockstep reference schedule), and returns
+        ``(cumulative PRBs per cell, cells that ran on the kernel
+        fast path)``.
+        """
+        self.penalties.replace(penalties)
+        cells = [built.cell for built in self._built.values()]
+        if lockstep:
+            advance_cells_lockstep(cells, epoch_end_s)
+            fast = 0
+        else:
+            fast = run_cells(cells, epoch_end_s)
+        usage = {
+            cell_id: built.cell.trace.total_cumulative_prbs()
+            for cell_id, built in self._built.items()
+        }
+        return usage, fast
+
+    def detach_blob(self, cell_id: int, flow_id: int) -> bytes:
+        """Detach a flow from ``cell_id`` and freeze it for transport.
+
+        The player and its plugin are pickled in *one* call so their
+        shared references stay one object on the receiving side.
+        """
+        built = self._built[cell_id]
+        player = built.cell.player_for(flow_id)
+        plugin = self.manager.detach(player, built.cell, built.system)
+        built.players.pop(flow_id, None)
+        return pickle.dumps((player, plugin),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    def attach_blob(self, cell_id: int, blob: bytes, source_cell_id: int,
+                    time_s: float) -> None:
+        """Thaw a handover blob and attach it to ``cell_id``."""
+        player, plugin = pickle.loads(blob)
+        channel = player.flow.ue.channel
+        if isinstance(channel, MetroChannel):
+            # The pickled channel carries a private copy of the source
+            # shard's penalty map; rebind it to this shard's live one.
+            channel.handover(cell_id, self.penalties)
+        built = self._built[cell_id]
+        self.manager.attach(player, plugin, built.cell, built.system)
+        self.manager.record(time_s, player.flow.flow_id, source_cell_id,
+                            cell_id)
+        built.players[player.flow.flow_id] = player
+
+    def migrate_local(self, source_cell_id: int, target_cell_id: int,
+                      flow_id: int, time_s: float) -> None:
+        """Intra-shard X2: move a flow without any serialization.
+
+        State-equivalent to :meth:`detach_blob` + :meth:`attach_blob`
+        (the pickle round trip is exact), but free — the common case
+        under contiguous cell partitioning, where a UE's next cell
+        usually lives on the same shard.
+        """
+        source = self._built[source_cell_id]
+        player = source.cell.player_for(flow_id)
+        plugin = self.manager.detach(player, source.cell, source.system)
+        source.players.pop(flow_id, None)
+        channel = player.flow.ue.channel
+        if isinstance(channel, MetroChannel):
+            channel.handover(target_cell_id, self.penalties)
+        target = self._built[target_cell_id]
+        self.manager.attach(player, plugin, target.cell, target.system)
+        self.manager.record(time_s, flow_id, source_cell_id,
+                            target_cell_id)
+        target.players[flow_id] = player
+
+    def migrate_many(
+        self, items: Sequence[tuple[int, int, int, float]]) -> None:
+        """Batch :meth:`migrate_local` (``source, target, flow, time``)."""
+        for source_cell_id, target_cell_id, flow_id, time_s in items:
+            self.migrate_local(source_cell_id, target_cell_id, flow_id,
+                               time_s)
+
+    def detach_many(self,
+                    requests: Sequence[tuple[int, int]]) -> list[bytes]:
+        """Batch :meth:`detach_blob` — one IPC round trip per epoch.
+
+        ``requests`` is ``[(cell_id, flow_id), ...]``; blobs come back
+        in request order.
+        """
+        return [self.detach_blob(cell_id, flow_id)
+                for cell_id, flow_id in requests]
+
+    def attach_many(
+        self, items: Sequence[tuple[int, bytes, int, float]]) -> None:
+        """Batch :meth:`attach_blob` (``cell, blob, source, time``)."""
+        for cell_id, blob, source_cell_id, time_s in items:
+            self.attach_blob(cell_id, blob, source_cell_id, time_s)
+
+    def reports(self, duration_s: float) -> dict[int, CellReport]:
+        """Per-cell reports for every cell of the shard."""
+        return {
+            cell_id: collect_cell_report(built.cell, built.sampler,
+                                         duration_s)
+            for cell_id, built in self._built.items()
+        }
+
+    def handover_records(self) -> list[HandoverRecord]:
+        """Handovers whose *target* cell lives on this shard."""
+        return list(self.manager.records)
+
+
+class Network:
+    """The metro world: owns the cells, drives epochs, plans handovers.
+
+    Attributes:
+        plan: the immutable world description.
+        handover_count: handovers executed so far.
+        records: all :class:`HandoverRecord`\\ s, sorted by
+            ``(time, flow)``, populated by :meth:`run`.
+        kernel_cell_runs: cell-epochs that ran on the TTI kernel fast
+            path (scaling-study diagnostic).
+    """
+
+    def __init__(self, plan: NetworkPlan) -> None:
+        self.plan = plan
+        self._serving = {ue.ue_id: ue.cell_id for ue in plan.ues}
+        self._flow_of = {ue.ue_id: ue.flow_id for ue in plan.ues}
+        # The parent's own deterministic mobility copies: spawn-keyed
+        # RNG means these trajectories are bit-identical to the ones
+        # embedded in the shard workers' channels.
+        self._mobility = {
+            ue.ue_id: plan.mobility_builder(plan, ue.ue_id)
+            for ue in plan.ues
+        }
+        self._neighbours = {
+            cell_id: plan.sites.neighbours_of(cell_id)
+            for cell_id in range(plan.sites.num_cells)
+        }
+        self.handover_count = 0
+        self.records: list[HandoverRecord] = []
+        self.kernel_cell_runs = 0
+
+    def serving_cell(self, ue_id: int) -> int:
+        """The cell currently serving ``ue_id``."""
+        return self._serving[ue_id]
+
+    def _plan_handovers(self, now_s: float) -> list[tuple[int, int, int]]:
+        """Handover directives ``(ue, source, target)`` for this epoch.
+
+        A UE moves when some cell's path loss beats its serving cell's
+        by more than the hysteresis margin; the target is always the
+        overall-best cell.  Directives are ordered by UE id.
+        """
+        sites = self.plan.sites
+        directives = []
+        for ue_id in sorted(self._serving):
+            serving = self._serving[ue_id]
+            position = self._mobility[ue_id].position_at(now_s)
+            best = sites.best_cell(position)
+            if best == serving:
+                continue
+            if sites.advantage_db(position, serving,
+                                  best) > self.plan.hysteresis_db:
+                directives.append((ue_id, serving, best))
+        return directives
+
+    def _exchange(self, usages: Mapping[int, float],
+                  usage_prev: dict[int, float], util: dict[int, float],
+                  epoch_s: float) -> dict[int, float]:
+        """Turn this epoch's PRB usage into next epoch's penalties.
+
+        Utilisation is the cell's PRB delta over its epoch capacity
+        (clamped to 1); a cell's penalty is ``coupling_db`` times the
+        summed utilisation of its neighbours.
+        """
+        capacity = self.plan.cell_prbs_per_second * epoch_s
+        for cell_id in sorted(usages):
+            used = usages[cell_id] - usage_prev[cell_id]
+            usage_prev[cell_id] = usages[cell_id]
+            util[cell_id] = min(used / capacity, 1.0)
+        if self.plan.coupling_db <= 0.0:
+            return dict.fromkeys(util, 0.0)
+        penalties = {}
+        for cell_id in sorted(util):
+            load = 0.0
+            for neighbour in self._neighbours[cell_id]:
+                load += util[neighbour]
+            penalties[cell_id] = self.plan.coupling_db * load
+        return penalties
+
+    def run(self, duration_s: float, shards: int = 1,
+            lockstep: bool = False) -> dict[int, CellReport]:
+        """Run the metro for ``duration_s`` and return per-cell reports.
+
+        Args:
+            duration_s: simulated time to cover.
+            shards: worker processes (1 = in-process; capped at the
+                cell count; cells are assigned in contiguous blocks so
+                grid neighbours usually share a shard).
+            lockstep: use the per-step reference schedule instead of
+                per-cell kernel batching (single-process only).
+
+        Returns:
+            ``{cell_id: CellReport}`` for every cell, regardless of
+            which shard ran it.
+        """
+        require_positive("duration_s", duration_s)
+        num_cells = self.plan.sites.num_cells
+        shards = max(1, min(int(shards), num_cells))
+        if lockstep and shards > 1:
+            raise ValueError(
+                "lockstep is the single-process reference mode; "
+                "run it with shards=1")
+        # Contiguous blocks: grid ids are row-major, so a block keeps
+        # geographic neighbours together and most handovers stay
+        # intra-shard (the no-pickle migrate_local path).
+        base, extra = divmod(num_cells, shards)
+        assignment = []
+        start = 0
+        for index in range(shards):
+            size = base + (1 if index < extra else 0)
+            assignment.append(list(range(start, start + size)))
+            start += size
+        shard_of = {}
+        for index, cell_ids in enumerate(assignment):
+            for cell_id in cell_ids:
+                shard_of[cell_id] = index
+
+        pool = None
+        local: NetworkShard | None = None
+        if shards == 1:
+            local = NetworkShard(self.plan, assignment[0])
+            self._local = local
+        else:
+            # Deferred import: repro.experiments pulls in workload
+            # scenario modules, which must not load just because the
+            # sim layer was imported.
+            from repro.experiments.parallel import ShardPool
+            pool = ShardPool(NetworkShard,
+                             [(self.plan, cell_ids)
+                              for cell_ids in assignment])
+
+        def call(shard: int, method: str, *args: Any) -> Any:
+            if pool is not None:
+                return pool.call(shard, method, *args)
+            assert local is not None
+            return getattr(local, method)(*args)
+
+        try:
+            usage_prev = dict.fromkeys(range(num_cells), 0.0)
+            util = dict.fromkeys(range(num_cells), 0.0)
+            penalties = dict.fromkeys(range(num_cells), 0.0)
+            profiler = prof.PROFILER
+            now = 0.0
+            while now < duration_s - 1e-9:
+                epoch_end = min(now + self.plan.exchange_s, duration_s)
+                if profiler is not None:
+                    profiler.begin("net.handover")
+                directives = self._plan_handovers(now)
+                # Batched X2, split by locality.  Intra-shard moves go
+                # through the no-pickle migrate path; cross-shard moves
+                # cost one detach round trip per source shard plus one
+                # attach round trip per target shard.  All flows are
+                # distinct, so detaching everything before attaching
+                # anything is order-equivalent to the per-directive
+                # sequence.
+                local_of: dict[int, list[tuple[int, int, int,
+                                               float]]] = {}
+                detach_of: dict[int, list[tuple[int, int]]] = {}
+                for ue_id, source, target in directives:
+                    flow_id = self._flow_of[ue_id]
+                    if shard_of[source] == shard_of[target]:
+                        local_of.setdefault(shard_of[source], []).append(
+                            (source, target, flow_id, now))
+                    else:
+                        detach_of.setdefault(shard_of[source], []).append(
+                            (source, flow_id))
+                for shard_index, moves in local_of.items():
+                    call(shard_index, "migrate_many", moves)
+                blobs: dict[tuple[int, int], bytes] = {}
+                for shard_index, requests in detach_of.items():
+                    for request, blob in zip(
+                            requests,
+                            call(shard_index, "detach_many", requests)):
+                        blobs[request] = blob
+                attach_of: dict[int, list[tuple[int, bytes, int,
+                                                float]]] = {}
+                for ue_id, source, target in directives:
+                    if shard_of[source] == shard_of[target]:
+                        continue
+                    flow_id = self._flow_of[ue_id]
+                    attach_of.setdefault(shard_of[target], []).append(
+                        (target, blobs[source, flow_id], source, now))
+                for shard_index, items in attach_of.items():
+                    call(shard_index, "attach_many", items)
+                for ue_id, source, target in directives:
+                    self._serving[ue_id] = target
+                    self.handover_count += 1
+                    tracer = obs.TRACER
+                    if tracer is not None:
+                        tracer.emit(obs_events.NET_HANDOVER, now,
+                                    flow=self._flow_of[ue_id], ue=ue_id,
+                                    source=source, target=target)
+                if profiler is not None:
+                    profiler.switch("net.advance")
+                if pool is not None:
+                    replies = pool.broadcast(
+                        "advance",
+                        [(epoch_end, penalties, lockstep)] * shards)
+                else:
+                    assert local is not None
+                    replies = [local.advance(epoch_end, penalties,
+                                             lockstep)]
+                usages: dict[int, float] = {}
+                for usage, fast in replies:
+                    usages.update(usage)
+                    self.kernel_cell_runs += fast
+                if profiler is not None:
+                    profiler.switch("net.exchange")
+                penalties = self._exchange(usages, usage_prev, util,
+                                           epoch_end - now)
+                if profiler is not None:
+                    profiler.end()
+                now = epoch_end
+
+            if pool is not None:
+                report_maps = pool.broadcast("reports",
+                                             [(duration_s,)] * shards)
+                record_lists = pool.broadcast("handover_records",
+                                              [()] * shards)
+            else:
+                assert local is not None
+                report_maps = [local.reports(duration_s)]
+                record_lists = [local.handover_records()]
+        finally:
+            if pool is not None:
+                pool.close()
+
+        reports: dict[int, CellReport] = {}
+        for report_map in report_maps:
+            reports.update(report_map)
+        records = [record for records_ in record_lists
+                   for record in records_]
+        records.sort(key=lambda record: (record.time_s, record.flow_id))
+        self.records = records
+        return {cell_id: reports[cell_id] for cell_id in sorted(reports)}

@@ -30,6 +30,7 @@ from repro.metrics.collector import (
 from repro.net.flows import UserEquipment, reset_entity_ids
 from repro.phy.channel import StaticItbsChannel
 from repro.sim.cell import Cell, CellConfig
+from repro.sim.engine import advance_cells_lockstep
 from repro.util import require_positive
 
 
@@ -58,16 +59,15 @@ class MultiCellScenario:
 
         Lockstep matters when interference coupling is enabled: every
         cell's load estimate must be current when its neighbours'
-        channels are evaluated.
+        channels are evaluated.  The schedule is
+        :func:`~repro.sim.engine.advance_cells_lockstep` — the same
+        per-step reference interleaving the multi-cell
+        :class:`~repro.sim.network.Network` verifies its batched and
+        sharded modes against — which also drops finished cells from
+        the scan instead of re-checking them every pass.
         """
         require_positive("duration_s", self.duration_s)
-        done = False
-        while not done:
-            done = True
-            for cell in self.cells.values():
-                if cell.now_s < self.duration_s - 1e-9:
-                    cell.step()
-                    done = False
+        advance_cells_lockstep(list(self.cells.values()), self.duration_s)
         return {
             cell_id: collect_cell_report(cell, self.samplers[cell_id],
                                          self.duration_s)

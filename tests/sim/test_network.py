@@ -1,0 +1,166 @@
+"""Differential and handover tests for the multi-cell Network.
+
+The network's contract mirrors the TTI kernel's: the batched
+(``shards=1``) and process-sharded (``shards>1``) execution modes must
+produce **byte-identical** serialized ``CellReport``s to the per-step
+lockstep reference — across schemes, seeds and with interference
+coupling on, with the invariant sanitizer armed.  Handover semantics
+get targeted tests: handovers land exactly on epoch boundaries, the
+pickle round-trip preserves player state, streaming continues in the
+target cell, and a stalled player recovers after handing over to a
+healthy cell.
+"""
+
+import pickle
+
+import pytest
+
+from repro import check as chk
+from repro.core.plugin import FlarePlugin
+from repro.has.player import PlaybackState
+from repro.metrics.serialize import dump_cell_report
+from repro.phy.channel import StaticItbsChannel
+from repro.sim.engine import advance_cells_lockstep
+from repro.sim.kernel import kernel_mode
+from repro.sim.network import MetroChannel, Network, NetworkShard
+from repro.workload.handover import HandoverManager
+from repro.workload.metro import build_metro_plan
+from repro.workload.multicell import build_multicell_scenario
+
+
+def small_plan(scheme="flare", seed=0, coupling_db=0.0):
+    """4 cells on a tight grid: guarantees handovers within ~30 s."""
+    return build_metro_plan(num_cells=4, ues_per_cell=2, scheme=scheme,
+                            seed=seed, isd_m=300.0,
+                            coupling_db=coupling_db)
+
+
+def run_reports(plan, duration_s, shards=1, lockstep=False):
+    network = Network(plan)
+    reports = network.run(duration_s, shards=shards, lockstep=lockstep)
+    return network, {cell_id: dump_cell_report(report)
+                     for cell_id, report in reports.items()}
+
+
+class TestDifferentialMatrix:
+    """lockstep == batched == sharded, byte for byte."""
+
+    @pytest.mark.parametrize("scheme,seed,coupling_db", [
+        ("flare", 0, 0.0),
+        ("flare", 0, 6.0),
+        ("flare", 1, 6.0),
+        ("festive", 0, 6.0),
+    ])
+    def test_three_modes_byte_identical(self, scheme, seed, coupling_db):
+        plan = small_plan(scheme, seed, coupling_db)
+        with chk.checked_run():
+            with kernel_mode(False):
+                ref_net, ref = run_reports(plan, 30.0, lockstep=True)
+            bat_net, batched = run_reports(plan, 30.0, shards=1)
+            shard_net, sharded = run_reports(plan, 30.0, shards=2)
+        assert ref == batched
+        assert batched == sharded
+        assert ref_net.records == bat_net.records == shard_net.records
+        assert (ref_net.handover_count == bat_net.handover_count
+                == shard_net.handover_count)
+
+    def test_handovers_actually_happen(self):
+        network, _ = run_reports(small_plan(coupling_db=6.0), 30.0)
+        assert network.handover_count > 0
+        assert len(network.records) == network.handover_count
+
+    def test_interference_coupling_changes_results(self):
+        _, quiet = run_reports(small_plan(coupling_db=0.0), 30.0)
+        _, coupled = run_reports(small_plan(coupling_db=12.0), 30.0)
+        assert quiet != coupled
+
+    def test_lockstep_with_multiple_shards_rejected(self):
+        network = Network(small_plan())
+        with pytest.raises(ValueError):
+            network.run(10.0, shards=2, lockstep=True)
+
+
+class TestHandoverSemantics:
+    def test_handovers_land_on_epoch_boundaries(self):
+        plan = small_plan()
+        network = Network(plan)
+        network.run(30.0, shards=1)
+        assert network.records
+        for record in network.records:
+            epochs = record.time_s / plan.exchange_s
+            assert epochs == pytest.approx(round(epochs))
+            assert 0.0 < record.time_s < 30.0
+
+    def test_serving_map_tracks_last_record(self):
+        network = Network(small_plan())
+        network.run(30.0, shards=1)
+        last = {}
+        for record in network.records:  # sorted by time
+            last[record.flow_id] = record.target_cell_id
+        for flow_id, target in last.items():
+            # metro plans use flow_id == ue_id
+            assert network.serving_cell(flow_id) == target
+
+    def test_blob_roundtrip_preserves_player_and_plugin(self):
+        plan = small_plan()
+        shard = NetworkShard(plan, list(range(plan.sites.num_cells)))
+        shard.advance(4.0, {}, lockstep=False)
+        source = next(cell_id for cell_id in shard.cell_ids
+                      if shard.built(cell_id).players)
+        target = next(cell_id for cell_id in shard.cell_ids
+                      if cell_id != source)
+        flow_id, player = next(iter(
+            shard.built(source).players.items()))
+        segments = len(player.log)
+        buffer_s = player.buffer.level_s
+
+        blob = shard.detach_blob(source, flow_id)
+        thawed, plugin = pickle.loads(blob)
+        # One pickle call: the shipped plugin IS the player's plugin.
+        assert isinstance(plugin, FlarePlugin)
+        assert thawed.abr.plugin is plugin
+
+        shard.attach_blob(target, blob, source, 4.0)
+        arrived = shard.built(target).players[flow_id]
+        assert len(arrived.log) == segments
+        assert arrived.buffer.level_s == pytest.approx(buffer_s)
+        assert isinstance(arrived.flow.ue.channel, MetroChannel)
+        assert arrived.flow.ue.channel.serving_cell == target
+        assert flow_id in shard.built(target).cell.players
+        assert flow_id not in shard.built(source).cell.players
+        [record] = shard.handover_records()
+        assert record.time_s == pytest.approx(4.0)
+        assert (record.source_cell_id, record.target_cell_id) \
+            == (source, target)
+
+        # Streaming continues in the target cell.
+        shard.advance(24.0, {}, lockstep=False)
+        assert len(arrived.log) > segments
+
+    def test_stalled_player_recovers_after_handover(self):
+        scenario = build_multicell_scenario(
+            num_cells=2, clients_per_cell=12, itbs_per_cell=[0, 24],
+            duration_s=1.0, delta=1)
+        cells = list(scenario.cells.values())
+        advance_cells_lockstep(cells, 60.0)
+        player = scenario.players[0][0]
+        stalls_at_handover = player.stall_events
+        assert stalls_at_handover > 0
+        segments_at_handover = len(player.log)
+
+        # The UE leaves the overloaded cell for the healthy one; its
+        # channel improves with the move.
+        player.flow.ue.channel = StaticItbsChannel(24)
+        manager = HandoverManager()
+        manager.migrate(
+            player, scenario.cells[0],
+            scenario.oneapi.system_for(scenario.cells[0]),
+            scenario.cells[1],
+            scenario.oneapi.system_for(scenario.cells[1]))
+        advance_cells_lockstep(cells, 150.0)
+        assert player.state in (PlaybackState.PLAYING,
+                                PlaybackState.FINISHED)
+        assert len(player.log) > segments_at_handover + 3
+        # The healthy cell has headroom: at most one stall can still be
+        # in flight from the handover instant itself.
+        assert player.stall_events <= stalls_at_handover + 1

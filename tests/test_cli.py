@@ -207,6 +207,37 @@ class TestProfileCommand:
             profile["total_s"], rel=0.05)
 
 
+class TestMetroCommand:
+    def test_metro_options_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["metro", "--cells", "8",
+                                  "--ues-per-cell", "2",
+                                  "--duration", "20", "--jobs", "2"])
+        assert args.command == "metro"
+        assert args.cells == 8
+        assert args.ues_per_cell == 2
+        assert parser.parse_args(["metro"]).cells is None
+
+    def test_profile_accepts_metro_target(self):
+        args = build_parser().parse_args(["profile", "metro"])
+        assert args.scenario == "metro"
+
+    def test_metro_writes_scaling_bench(self, capsys, isolated_artifacts):
+        assert main(["metro", "--cells", "4", "--ues-per-cell", "1",
+                     "--duration", "8", "--jobs", "2"]) == 0
+        stdout = capsys.readouterr().out
+        assert "shards" in stdout
+        assert "speedup" in stdout
+        record = json.loads(
+            (isolated_artifacts / "bench"
+             / "BENCH_metro.json").read_text())
+        scaling = record["scaling"]
+        assert scaling["cells"] == 4
+        assert [row["shards"] for row in scaling["rows"]] == [1, 2]
+        assert record["wall_time_s"] > 0
+        assert record["total_cells"] == 8  # 4 cells x 2 shard counts
+
+
 class TestAnalyzeCommand:
     def test_requires_a_path(self):
         with pytest.raises(SystemExit):
