@@ -144,7 +144,10 @@ def _metro_command(args: argparse.Namespace,
     Shard counts swept: 1 plus the resolved ``--jobs`` count (when
     more than one worker is configured), so the emitted
     ``BENCH_metro.json`` always contains the 1-shard baseline the
-    speedup column is relative to.
+    speedup column is relative to.  ``--ues N`` adds the UE-count
+    axis: sharded runs at the 1k/10k/100k ladder points below ``N``
+    plus ``N`` itself, each over a shorter window (at most 20 s) so
+    the 100k point completes on CI-class hardware.
     """
     jobs = resolve_jobs(None)
     shard_counts = (1,) if jobs <= 1 else (1, jobs)
@@ -154,19 +157,28 @@ def _metro_command(args: argparse.Namespace,
                     else (10 if is_full_run() else 4))
     duration = (float(args.duration) if args.duration is not None
                 else (120.0 if is_full_run() else 40.0))
+    ue_counts = None
+    if args.ues:
+        ladder = (1_000, 10_000, 100_000)
+        ue_counts = [count for count in ladder if count < args.ues]
+        ue_counts.append(args.ues)
     study = run_metro_scaling(
         num_cells=num_cells, ues_per_cell=ues_per_cell,
         duration_s=duration, shard_counts=shard_counts,
-        scheme=args.scheme if args.scheme else "flare", seed=args.seed)
+        scheme=args.scheme if args.scheme else "flare", seed=args.seed,
+        ue_counts=ue_counts, ue_duration_s=min(duration, 20.0))
     if record is not None:
         record.extra["scaling"] = study
     lines = [f"metro scaling study: {study['cells']} cells, "
              f"{study['ues']} UEs, {study['duration_s']:g} s simulated",
-             f"{'shards':>7} {'wall_s':>9} {'speedup':>8} "
-             f"{'handovers':>10} {'kernel_cells':>13}"]
+             f"{'shards':>7} {'ues':>8} {'wall_s':>9} {'speedup':>8} "
+             f"{'UE-s/s':>10} {'handovers':>10} {'kernel_cells':>13}"]
     for row in study["rows"]:
-        lines.append(f"{row['shards']:>7} {row['wall_time_s']:>9.2f} "
-                     f"{row['speedup']:>8.2f} {row['handovers']:>10} "
+        speedup = (f"{row['speedup']:>8.2f}" if "speedup" in row
+                   else f"{'-':>8}")
+        lines.append(f"{row['shards']:>7} {row['ues']:>8} "
+                     f"{row['wall_time_s']:>9.2f} {speedup} "
+                     f"{row['ues_per_s']:>10.0f} {row['handovers']:>10} "
                      f"{row['kernel_cell_runs']:>13}")
     return "\n".join(lines)
 
@@ -342,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="metro command: UEs per cell "
                              "(default: 4, or 10 with --full)")
+    parser.add_argument("--ues", type=int, default=None, metavar="N",
+                        help="metro command: add the UE-count scaling "
+                             "axis — sharded runs at the 1k/10k/100k "
+                             "ladder points below N, plus N itself")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed for the trace command")
     parser.add_argument("--no-kernel", action="store_true",

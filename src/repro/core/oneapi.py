@@ -122,8 +122,10 @@ class OneApiServer:
             bytes_per_prb = flow.ue.channel.bytes_per_prb_at(cell.now_s)
         if bytes_per_prb <= 0:
             bytes_per_prb = 1.0  # out-of-range UE: prohibitively costly
-        estimator = self._bpp_estimates.setdefault(
-            flow.flow_id, Ewma(self.cost_smoothing))
+        estimator = self._bpp_estimates.get(flow.flow_id)
+        if estimator is None:
+            estimator = self._bpp_estimates[flow.flow_id] = Ewma(
+                self.cost_smoothing)
         smoothed = estimator.update(bytes_per_prb)
         return self.interval_s / (8.0 * smoothed)
 

@@ -465,6 +465,26 @@ class ShardPool:
         self._conns[shard].send((method, args))
         return self._receive(shard)
 
+    def send(self, shard: int, method: str, *args: Any) -> None:
+        """Dispatch ``method(*args)`` to one shard without waiting.
+
+        Requests pipeline: a worker serves them strictly in arrival
+        order, one reply each, so interleaving ``send``\\ s across
+        shards (or several to one shard) overlaps their compute with
+        the parent's own work.  Every ``send`` must be paired with
+        exactly one :meth:`recv` on the same shard, in send order.
+        """
+        self._conns[shard].send((method, args))
+
+    def recv(self, shard: int) -> Any:
+        """Collect ``shard``'s next pending reply (blocking).
+
+        Replies come back in the order the requests were sent to that
+        shard; a worker-side exception surfaces here as
+        :class:`ShardPoolError`.
+        """
+        return self._receive(shard)
+
     def broadcast(self, method: str,
                   per_shard_args: Sequence[tuple[Any, ...]]) -> list[Any]:
         """Invoke ``method`` on every shard concurrently.

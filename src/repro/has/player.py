@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any
+
 from repro.abr.base import AbrAlgorithm, AbrContext
 from repro.has.buffer import PlayoutBuffer
 from repro.has.mpd import MediaPresentation
@@ -124,8 +126,9 @@ class HasPlayer:
         self._rebuffer_s = 0.0
         self._abandonments = 0
         self._abr_override_index: int | None = None
-        #: (time, buffer_level) samples appended once per playback step.
-        self.buffer_trace: list[tuple[float, float]] = []
+        # Run-length-encoded (time, buffer_level) samples, one logical
+        # sample per playback step; see ``buffer_trace``.
+        self._trace_runs: list[list[Any]] = []
 
     # ------------------------------------------------------------------
     # Derived thresholds
@@ -171,6 +174,36 @@ class HasPlayer:
     def finished(self) -> bool:
         """True once a bounded video has fully played out."""
         return self.state is PlaybackState.FINISHED
+
+    @property
+    def buffer_trace(self) -> list[tuple[float, float]]:
+        """Per-step (time, buffer_level) samples, one per playback step.
+
+        Stored run-length-encoded so a 100k-UE metro does not hold ~50
+        tuples per simulated second per player: a draining or idle
+        stretch is one run entry, and this property replays the runs
+        with the same float operations the per-step path would have
+        performed, so the materialised samples are byte-identical to a
+        plain per-step append (``t += step`` / ``level -= step`` on the
+        stored anchors reproduces the exact clock and level floats).
+        """
+        out: list[tuple[float, float]] = []
+        for run in self._trace_runs:
+            tag = run[0]
+            if tag == "e":              # explicit single sample
+                out.append((run[1], run[2]))
+            elif tag == "p":            # k playing (draining) samples
+                _, t, level, k, step = run
+                for _ in range(k):
+                    t += step
+                    level -= step
+                    out.append((t, level))
+            else:                       # "c": k constant-level samples
+                _, t, level, k, step = run
+                for _ in range(k):
+                    t += step
+                    out.append((t, level))
+        return out
 
     def current_ladder_index(self) -> int | None:
         """Ladder index of the most recently *requested* segment."""
@@ -413,7 +446,7 @@ class HasPlayer:
                     self.state = PlaybackState.STALLED
                     self._stall_events += 1
                     self._rebuffer_s += result.starved_s
-        self.buffer_trace.append((now_s, self.buffer.level_s))
+        self._trace_runs.append(["e", now_s, self.buffer.level_s])
 
     def _video_exhausted(self) -> bool:
         """True when every segment of a bounded video was downloaded."""

@@ -76,6 +76,15 @@ class SegmentLog:
         """Encoding bitrate of each downloaded segment, in order."""
         return [record.bitrate_bps for record in self._records]
 
+    def last_bitrate(self) -> float | None:
+        """Encoding bitrate of the most recent segment (None if empty).
+
+        O(1) accessor for per-interval samplers; ``bitrates()[-1]``
+        rebuilds the whole list on every call.
+        """
+        records = self._records
+        return records[-1].bitrate_bps if records else None
+
     def throughputs(self, last: int = 0) -> list[float]:
         """Observed download throughputs, oldest first.
 

@@ -43,21 +43,30 @@ class MetricsSampler:
     def on_interval(self, now_s: float, cell: Cell) -> None:
         """Take one sample of every flow in ``cell``."""
         elapsed = max(now_s - self._last_time_s, 1e-9)
+        last = self._last_delivered
+        throughput = self.throughput_bps
         for flow in cell.flows:
-            previous = self._last_delivered.get(flow.flow_id, 0.0)
+            flow_id = flow.flow_id
             delivered = flow.total_delivered_bytes
-            rate = bytes_to_bits(delivered - previous) / elapsed
-            self._last_delivered[flow.flow_id] = delivered
-            series = self.throughput_bps.setdefault(flow.flow_id,
-                                                    TimeSeries())
+            rate = bytes_to_bits(delivered - last.get(flow_id, 0.0)) / elapsed
+            last[flow_id] = delivered
+            series = throughput.get(flow_id)
+            if series is None:
+                series = throughput[flow_id] = TimeSeries()
             series.append(now_s, rate)
+        buffers = self.buffer_s
+        bitrates = self.bitrate_bps
         for flow_id, player in cell.players.items():
-            self.buffer_s.setdefault(flow_id, TimeSeries()).append(
-                now_s, player.buffer.level_s)
-            bitrates = player.log.bitrates()
-            if bitrates:
-                self.bitrate_bps.setdefault(flow_id, TimeSeries()).append(
-                    now_s, bitrates[-1])
+            series = buffers.get(flow_id)
+            if series is None:
+                series = buffers[flow_id] = TimeSeries()
+            series.append(now_s, player.buffer.level_s)
+            bitrate = player.log.last_bitrate()
+            if bitrate is not None:
+                series = bitrates.get(flow_id)
+                if series is None:
+                    series = bitrates[flow_id] = TimeSeries()
+                series.append(now_s, bitrate)
         self._last_time_s = now_s
 
     def mean_throughput_bps(self, flow_id: int) -> float:

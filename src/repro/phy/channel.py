@@ -214,19 +214,33 @@ class FadingProcess:
         self._fast_state = 0.0
 
     def _extend_until(self, index: int) -> None:
+        need = index + 1 - len(self._samples)
+        if need <= 0:
+            return
         innovation_std = self._shadow_std * math.sqrt(1.0 - self._corr ** 2)
         fast_innovation_std = (
             self._fast_std * math.sqrt(1.0 - self._fast_corr ** 2))
-        while len(self._samples) <= index:
-            self._shadow_state = (
-                self._corr * self._shadow_state
-                + float(self._rng.normal(0.0, innovation_std))
-            )
-            self._fast_state = (
-                self._fast_corr * self._fast_state
-                + float(self._rng.normal(0.0, fast_innovation_std))
-            )
-            self._samples.append(self._shadow_state + self._fast_state)
+        # One batched draw for both innovation streams.  For a zero
+        # mean, ``Generator.normal(0.0, std)`` is ``standard_normal()
+        # * std`` draw-for-draw, so consuming ``2 * need`` standard
+        # normals here yields a sample trace bit-identical to the
+        # one-call-per-sample loop (see
+        # ``tests/phy/test_channel.py::test_fading_batch_draws``).
+        draws = self._rng.standard_normal(2 * need).tolist()
+        shadow = self._shadow_state
+        fast = self._fast_state
+        corr = self._corr
+        fast_corr = self._fast_corr
+        samples = self._samples
+        position = 0
+        for _ in range(need):
+            shadow = corr * shadow + draws[position] * innovation_std
+            fast = (fast_corr * fast
+                    + draws[position + 1] * fast_innovation_std)
+            samples.append(shadow + fast)
+            position += 2
+        self._shadow_state = shadow
+        self._fast_state = fast
 
     def fading_db(self, time_s: float) -> float:
         """Additive fading in dB at ``time_s`` (piecewise constant)."""

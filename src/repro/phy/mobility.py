@@ -130,6 +130,10 @@ class RandomWaypointMobility(MobilityModel):
         self._legs: list[tuple[float, float, Position, Position]] = []
         self._frontier_time = 0.0
         self._frontier_pos = origin
+        # Index of the leg the previous query landed on; queries at
+        # non-decreasing times resume scanning here instead of from
+        # leg 0, making the epoch-boundary probing O(1) amortised.
+        self._cursor = 0
 
     def _extend_until(self, time_s: float) -> None:
         """Generate legs until the trajectory covers ``time_s``."""
@@ -152,8 +156,21 @@ class RandomWaypointMobility(MobilityModel):
         if time_s < 0:
             raise ValueError(f"time must be >= 0, got {time_s}")
         self._extend_until(time_s)
-        for start_t, end_t, src, dst in self._legs:
+        legs = self._legs
+        # Legs tile the timeline contiguously (each starts where the
+        # previous ends), so when the cursor leg starts *strictly*
+        # before the query time no earlier leg can contain it, and the
+        # forward scan finds exactly the leg a scan from 0 would.  A
+        # query at or before the cursor leg's start replays from 0,
+        # keeping results bit-identical to the cursorless scan no
+        # matter the query order.
+        index = self._cursor
+        if index >= len(legs) or legs[index][0] >= time_s:
+            index = 0
+        while index < len(legs):
+            start_t, end_t, src, dst = legs[index]
             if start_t <= time_s <= end_t:
+                self._cursor = index
                 if end_t == start_t:
                     return dst
                 frac = (time_s - start_t) / (end_t - start_t)
@@ -161,6 +178,7 @@ class RandomWaypointMobility(MobilityModel):
                     src[0] + frac * (dst[0] - src[0]),
                     src[1] + frac * (dst[1] - src[1]),
                 )
+            index += 1
         # time_s falls beyond the last generated leg only through float
         # rounding at the frontier; return the frontier position.
         return self._frontier_pos

@@ -62,6 +62,7 @@ from __future__ import annotations
 import math
 import os
 from array import array
+from bisect import insort
 from contextlib import contextmanager
 from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING, Any, Optional
@@ -120,6 +121,40 @@ _CONST = 0    # StaticItbsChannel: bytes/PRB is a constant
 _PLAIN = 1    # base-class bytes_per_prb_at: itbs_at() + table lookup
 _GENERIC = 2  # channel overrides bytes_per_prb_at: call it
 _CYCLIC = 3   # CyclicItbsChannel: batched triangular sweep
+# Primed per-epoch iTbs tables (duck-typed via KERNEL_PRIMED_ITBS, see
+# repro.sim.network.MetroChannel): refreshed once per fading bucket
+# instead of one itbs_at() call per slot per step.
+_TABLE = 4
+
+# Lazy-playback classes for the event-driven fast step (_step_fast).
+# A HOT player is processed scalarly every step, exactly like
+# ``_step_once`` would; the other classes are provably-inert stretches
+# whose per-step effects are replayed (with the same float operations,
+# in the same order) when the player is next observed.
+_PL_HOT = 0    # per-step scalar processing
+_PL_PLAY = 1   # PLAYING: drains exactly step_s per step
+_PL_START = 2  # STARTUP below threshold: constant buffer level
+_PL_STALL = 3  # STALLED below resume: constant level, accruing rebuffer
+_PL_INERT = 4  # FINISHED or strictly before start: no per-step effects
+
+#: Minimum provably-inert steps before a player is parked lazy; below
+#: this the bookkeeping costs more than the skipped scalar steps.
+_MIN_LAZY = 3
+
+#: Active-set size at which ``_step_fast`` lifts the MAC phase into the
+#: numpy vector lane (see ``TtiKernel._vec_step``), and the size below
+#: which it drops back to the scalar loop.  The gap is hysteresis: a
+#: gather/scatter round trip costs tens of microseconds, so an active
+#: set oscillating around a single threshold must not thrash it.
+_VEC_MIN = 24
+_VEC_EXIT = 12
+
+#: Environment escape hatch for the vector lane only (the scalar fast
+#: path stays on); any non-empty value disables it.
+_VEC_DISABLED = bool(os.environ.get("REPRO_KERNEL_NO_VEC"))
+
+#: numpy view of the iTbs -> bytes/PRB table for batched lookups.
+_BPP_NP = None if np is None else np.array(BYTES_PER_PRB_TABLE)
 
 
 def kernel_enabled() -> bool:
@@ -223,6 +258,8 @@ class TtiKernel:
         # Registry-derived views (rebuilt when registry.version moves).
         self._mbr_cap: list[float] = []
         self._gbr_slots: list[tuple[int, float]] = []
+        self._gbr_rank: list[int] = []
+        self._gbr_rate: list[float] = []
         # Cyclic-channel parameter blocks (array('d') so numpy can view
         # them zero-copy via frombuffer; the no-numpy fallback loops
         # over the same buffers).
@@ -233,6 +270,12 @@ class TtiKernel:
         self._cyc_hi = array("d")
         self._cyc_span = array("d")
         self._cyc_itbs: list[int] = []
+        # Primed-table channels: refreshed once per fading bucket.
+        self._tbl_slots: list[int] = []
+        self._tbl_channels: list[Any] = []
+        self._tbl_itbs: list[int] = []
+        self._tbl_period = 0.0
+        self._tbl_bucket: Optional[int] = None
         # Per-step scratch (reset by slice-copy from _zeros).
         self._zeros: list[float] = []
         self._bpp: list[float] = []
@@ -244,6 +287,57 @@ class TtiKernel:
         self._gbr_granted: list[bool] = []
         # Single-load bundle of the per-slot arrays (see _rebuild).
         self._hot: tuple[list[Any], ...] = ()
+        # Event-driven fast-step state (see _step_fast).  ``_fast_steps``
+        # counts completed fast steps; lazy players and idle TCP slots
+        # record the counter value they are synchronised through, and
+        # the difference is the number of owed per-step effects to
+        # replay at the next observation.
+        self._fast_modes_ok = False
+        self._fast_steps = 0
+        self._act_slots: list[int] = []      # sorted maybe-backlogged slots
+        self._act_member: list[bool] = []
+        self._act_stale = True
+        self._idle_sync: list[int] = []      # per-slot idle-mirror sync point
+        self._pl_slot: list[int] = []        # player index -> flow slot
+        self._slot_pl: list[Optional[int]] = []  # flow slot -> player index
+        self._mode_pos: list[int] = []       # slot -> index in its mode group
+        self._pl_mode: list[int] = []        # per-player lazy class (_PL_*)
+        self._pl_sync: list[int] = []        # per-player playback sync point
+        self._pl_clock: list[float] = []     # clock when the lazy run began
+        self._pl_wake: list[float] = []      # absolute hot-promotion time
+        self._pl_hot_list: list[int] = []    # sorted hot player indices
+        self._pl_wake_min = math.inf
+        # Vector-lane state (see _vec_step).  While ``_vec_hot`` the
+        # numpy shadows below are authoritative for every masked slot;
+        # the list mirrors stay authoritative for everything else.
+        self._vec_ok = False
+        self._vec_hot = False
+        self._vec_bucket: Optional[int] = None
+        self._v_mask: Any = None       # bool: slot is vector-owned
+        self._v_cwnd: Any = None
+        self._v_totals: Any = None
+        self._v_pf: Any = None
+        self._v_pfseen: Any = None
+        self._v_wanted: Any = None
+        self._v_demand: Any = None
+        self._v_bpp: Any = None
+        self._v_backlog: Any = None    # 0.0 for every unmasked slot
+        self._v_ip: Any = None         # trace: interval PRBs
+        self._v_ib: Any = None         # trace: interval bytes
+        self._v_cp: Any = None         # trace: cumulative PRBs
+        self._v_cb: Any = None         # trace: cumulative bytes
+        self._v_iseen: Any = None
+        self._v_cseen: Any = None
+        self._v_sor: Any = None        # step_s / rtt_s
+        self._v_ros: Any = None        # rtt_s / step_s
+        self._v_grow: Any = None
+        self._v_init: Any = None
+        self._v_max: Any = None
+        self._v_mbr: Any = None
+        self._v_tbl: Any = None        # table-mode slot indices
+        self._vg_slots: Any = None     # GBR slots in bearer-rank order
+        self._vg_rates: Any = None
+        self._vg_ident = False         # GBR walk == slots 0..n-1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -300,6 +394,8 @@ class TtiKernel:
                     return False
             if self._last_idle and self._try_fast_forward(end_gate):
                 continue
+            if self._fast_modes_ok and self._step_fast():
+                continue
             self._step_once()
         self.flush()
         return True
@@ -308,10 +404,36 @@ class TtiKernel:
         """Write array mirrors back into the object graph.
 
         Idempotent; a no-op while object state is already
-        authoritative.
+        authoritative.  Lazy fast-step state (owed playback steps, owed
+        idle-TCP accumulation) is replayed first, so objects observed
+        at any boundary are exactly what the per-step reference path
+        would have produced.
         """
         if not self._mirrors_hot:
             return
+        self._fast_drain()
+        self._flush_mirrors()
+
+    def _fast_drain(self) -> None:
+        """Replay every owed lazy effect; objects become step-current."""
+        if self._vec_hot:
+            self._vec_flush()
+        if self._pl_mode:
+            now = self._cell._now_s
+            pl_hot = self._pl_hot_list
+            for j, mode in enumerate(self._pl_mode):
+                if mode != _PL_HOT:
+                    self._pl_materialize(j, now)
+                    insort(pl_hot, j)
+            self._pl_wake_min = math.inf
+        sync = self._idle_sync
+        steps = self._fast_steps
+        for i in range(self._n):
+            if sync[i] != steps:
+                self._idle_materialize(i)
+
+    def _flush_mirrors(self) -> None:
+        """The mirror write-back itself (callers drain lazy state)."""
         self._mirrors_hot = False
         cell = self._cell
         flows = self._flows
@@ -360,6 +482,10 @@ class TtiKernel:
         if not self._sync():
             return False
         self._reload_mutable()
+        # Penalty epochs (and primed tables) only change between
+        # public kernel entries, so the per-bucket iTbs snapshot must
+        # be re-read on the first step of every entry.
+        self._tbl_bucket = None
         return True
 
     def _sync(self) -> bool:
@@ -447,6 +573,10 @@ class TtiKernel:
         self._cyc_lo = array("d")
         self._cyc_hi = array("d")
         self._cyc_span = array("d")
+        self._tbl_slots = []
+        self._tbl_channels = []
+        self._tbl_period = 0.0
+        self._tbl_bucket = None
         for i, channel in enumerate(self._channels):
             if type(channel) is StaticItbsChannel:
                 self._ch_mode[i] = _CONST
@@ -460,12 +590,17 @@ class TtiKernel:
                 self._cyc_lo.append(channel._lo)
                 self._cyc_hi.append(channel._hi)
                 self._cyc_span.append(channel._hi - channel._lo)
+            elif self._classify_table(channel):
+                self._ch_mode[i] = _TABLE
+                self._tbl_slots.append(i)
+                self._tbl_channels.append(channel)
             elif (type(channel).bytes_per_prb_at
                   is ChannelModel.bytes_per_prb_at):
                 self._ch_mode[i] = _PLAIN
             else:
                 self._ch_mode[i] = _GENERIC
         self._cyc_itbs = [0] * len(self._cyc_slots)
+        self._tbl_itbs = [0] * len(self._tbl_slots)
         self._zeros = [0.0] * n
         self._bpp = [0.0] * n
         self._wanted = [0.0] * n
@@ -487,6 +622,33 @@ class TtiKernel:
         self._cum_seen = [False] * n
         self._dirty = False
         self._ready = True
+        # Event-driven fast-step maps and state.  Stateful _GENERIC
+        # channels must see one bytes_per_prb_at() call per step, which
+        # only the reference step guarantees.
+        self._fast_modes_ok = _GENERIC not in self._ch_mode
+        self._fast_steps = 0
+        self._act_stale = True
+        self._act_slots = []
+        self._act_member = [False] * n
+        self._idle_sync = [0] * n
+        self._mode_pos = [0] * n
+        for pos, slot in enumerate(self._tbl_slots):
+            self._mode_pos[slot] = pos
+        for pos, slot in enumerate(self._cyc_slots):
+            self._mode_pos[slot] = pos
+        slot_of = {fid: i for i, fid in enumerate(self._flow_ids)}
+        self._pl_slot = [slot_of[info[0].flow.flow_id]
+                         for info in self._issue_info]
+        self._slot_pl = [None] * n
+        for j, slot in enumerate(self._pl_slot):
+            self._slot_pl[slot] = j
+        players = len(self._issue_info)
+        self._pl_mode = [_PL_HOT] * players
+        self._pl_sync = [0] * players
+        self._pl_clock = [0.0] * players
+        self._pl_wake = [math.inf] * players
+        self._pl_hot_list = list(range(players))
+        self._pl_wake_min = math.inf
         self._resync_registry()
         self._reload_mutable()
         # One-load bundle of every per-slot array the fused step touches
@@ -504,7 +666,42 @@ class TtiKernel:
             self._int_prbs, self._int_bytes, self._cum_prbs,
             self._cum_bytes, self._int_seen, self._cum_seen,
         )
+        # Vector-lane eligibility is structural: every channel must be
+        # bucket-constant (_CONST/_TABLE, i.e. bytes/PRB is a pure
+        # per-bucket table value) and no player may abandon downloads
+        # (abandonment cancels a transfer mid-flight, which only the
+        # per-slot scalar paths detect).
+        self._vec_hot = False
+        self._vec_ok = (
+            np is not None and not _VEC_DISABLED
+            and all(m == _CONST or m == _TABLE for m in self._ch_mode)
+            and not any(info[4] for info in self._issue_info))
         return True
+
+    def _classify_table(self, channel: ChannelModel) -> bool:
+        """True when ``channel`` rides the primed-table fast path.
+
+        Duck-typed against :class:`~repro.sim.network.MetroChannel`
+        (this module cannot import the network layer): the channel
+        type must expose ``KERNEL_PRIMED_ITBS`` *identical to* its own
+        ``itbs_at`` — a subclass overriding ``itbs_at`` (or
+        ``bytes_per_prb_at``) breaks the identity and falls back to
+        the per-step scalar path — and all table channels of a cell
+        must share one fading period so one bucket grid covers them.
+        """
+        channel_type = type(channel)
+        primed_ref = getattr(channel_type, "KERNEL_PRIMED_ITBS", None)
+        if primed_ref is None or primed_ref is not channel_type.itbs_at:
+            return False
+        if channel_type.bytes_per_prb_at is not ChannelModel.bytes_per_prb_at:
+            return False
+        period = getattr(channel, "fading_period_s", None)
+        if not isinstance(period, float) or period <= 0.0:
+            return False
+        if not self._tbl_slots:
+            self._tbl_period = period
+            return True
+        return period == self._tbl_period
 
     def _resync_registry(self) -> None:
         """Refresh the GBR/MBR byte budgets from the bearer registry."""
@@ -526,6 +723,21 @@ class TtiKernel:
             gbr_slots.append(
                 (slot, registry.gbr_bytes_for_step(fid, step_s)))
         self._gbr_slots = gbr_slots
+        # Per-slot views of the same data for the fast step: bearer
+        # priority rank (-1 = no GBR bearer) and per-step guarantee.
+        self._gbr_rank = [-1] * self._n
+        self._gbr_rate = [0.0] * self._n
+        for rank, (slot, guarantee) in enumerate(gbr_slots):
+            self._gbr_rank[slot] = rank
+            self._gbr_rate[slot] = guarantee
+        if self._vec_hot:
+            # Mid-run resync (an in-lane completion callback touched
+            # the registry): refresh the lane's registry-derived views.
+            self._v_mbr = np.array(self._mbr_cap)
+            self._vg_slots = np.array(
+                [slot for slot, _ in gbr_slots], dtype=np.intp)
+            self._vg_rates = np.array([g for _, g in gbr_slots])
+            self._vg_refresh_ident()
         self._reg_version = registry.version
 
     def _reload_mutable(self) -> None:
@@ -558,6 +770,8 @@ class TtiKernel:
             self._cum_bytes[i] = cum_bytes.get(fid, 0.0)
         self._tr_now = trace._now_s
         self._mirrors_hot = False
+        # Boundary code may have issued or cancelled downloads.
+        self._act_stale = True
 
     # ------------------------------------------------------------------
     # Idle fast-forward
@@ -579,10 +793,16 @@ class TtiKernel:
         videos = self._videos
         idle = self._idle
         reset = self._idle_reset
+        sync = self._idle_sync
+        steps = self._fast_steps
         for i in range(self._n):
             video = videos[i]
             if video is None or video._download_active:
                 return False
+            if sync[i] != steps:
+                # Owed lazy idle-TCP accumulation (fast steps defer
+                # it); replay before the threshold comparison below.
+                self._idle_materialize(i)
             if idle[i] < reset[i]:
                 # The window has not collapsed to the restart value
                 # yet; skipping steps would skip that transition.
@@ -616,6 +836,1008 @@ class TtiKernel:
             return False
         cell._now_s = now
         self._ff_steps += skipped
+        return True
+
+    # ------------------------------------------------------------------
+    # Event-driven fast step
+    # ------------------------------------------------------------------
+    def _idle_materialize(self, i: int) -> None:
+        """Replay owed idle-TCP accumulation for slot ``i``.
+
+        An unbacklogged flow's whole per-step effect is ``idle +=
+        step; if idle >= reset: cwnd = init`` — a monotone float
+        accumulation plus an idempotent pin — so replaying the adds in
+        one loop and applying the pin once at the end is byte-identical
+        to the per-step reference.
+        """
+        owed = self._fast_steps - self._idle_sync[i]
+        self._idle_sync[i] = self._fast_steps
+        if owed <= 0:
+            return
+        step_s = self._step_s
+        value = self._idle[i]
+        for _ in range(owed):
+            value += step_s
+        self._idle[i] = value
+        if value >= self._idle_reset[i]:
+            self._cwnd[i] = self._init_cwnd[i]
+
+    def _act_rescan(self) -> None:
+        """Rebuild the maybe-backlogged slot set from the object graph.
+
+        Non-live slots get ``demand`` and ``wanted`` pinned to 0.0: the
+        reference step recomputes both for every slot every step (0.0
+        whenever the backlog is 0), while the fast step's claims loop
+        only touches the active set — the pin keeps the GBR phase
+        (which reads ``demand`` across *all* bearer slots) and the
+        boundary flush of ``demand_bytes`` byte-identical for slots
+        deactivated outside the claims loop (boundary cancellations,
+        in-lane vector completions).
+        """
+        videos = self._videos
+        member = self._act_member
+        demand = self._demand
+        wanted = self._wanted
+        act: list[int] = []
+        for i in range(self._n):
+            video = videos[i]
+            live = video is None or video._download_active
+            member[i] = live
+            if live:
+                act.append(i)
+            else:
+                demand[i] = 0.0
+                wanted[i] = 0.0
+        self._act_slots = act
+        self._act_stale = False
+
+    # ------------------------------------------------------------------
+    # Vector lane: full-width numpy MAC phase for dense active sets
+    # ------------------------------------------------------------------
+    def _vec_gather(self) -> None:
+        """Lift the hot mirrors into numpy shadows (enter the lane).
+
+        Masked (active) slots become vector-owned; the list mirrors
+        stay authoritative for every other slot.  The shadows hold
+        real values for *all* slots so full-width arithmetic never
+        sees garbage — unmasked lanes compute a demand of exactly 0.0
+        (their backlog shadow is pinned to 0.0) and are never
+        committed or scattered.
+        """
+        npx = np
+        self._v_cwnd = npx.array(self._cwnd)
+        self._v_totals = npx.array(self._totals)
+        self._v_pf = npx.array(self._pf_avg)
+        self._v_pfseen = npx.array(self._pf_seen)
+        self._v_wanted = npx.array(self._wanted)
+        self._v_demand = npx.array(self._demand)
+        self._v_ip = npx.array(self._int_prbs)
+        self._v_ib = npx.array(self._int_bytes)
+        self._v_cp = npx.array(self._cum_prbs)
+        self._v_cb = npx.array(self._cum_bytes)
+        self._v_iseen = npx.array(self._int_seen)
+        self._v_cseen = npx.array(self._cum_seen)
+        self._v_sor = npx.array(self._step_over_rtt)
+        self._v_ros = npx.array(self._rtt_over_step)
+        self._v_grow = npx.array(self._growth)
+        self._v_init = npx.array(self._init_cwnd)
+        self._v_max = npx.array(self._max_cwnd)
+        self._v_mbr = npx.array(self._mbr_cap)
+        self._v_bpp = npx.array(self._const_bpp)
+        self._v_tbl = npx.array(self._tbl_slots, dtype=npx.intp)
+        self._vec_bucket = None  # force a table-lookup refresh
+        gbr = self._gbr_slots
+        self._vg_slots = npx.array([slot for slot, _ in gbr],
+                                   dtype=npx.intp)
+        self._vg_rates = npx.array([g for _, g in gbr])
+        mask = npx.zeros(self._n, dtype=bool)
+        backlog = npx.zeros(self._n)
+        videos = self._videos
+        idle = self._idle
+        sync = self._idle_sync
+        synced = self._fast_steps + 1
+        inf = math.inf
+        for i in self._act_slots:
+            mask[i] = True
+            video = videos[i]
+            backlog[i] = inf if video is None else video._remaining_bytes
+            # The delivery branch the lane replaces pins the idle clock
+            # to zero every active step; pre-credit this step's write
+            # (the step always completes once gather runs).
+            idle[i] = 0.0
+            sync[i] = synced
+        self._v_mask = mask
+        self._v_backlog = backlog
+        # Per-step scratch (reused via ``out=`` to avoid allocations).
+        n = self._n
+        self._s_limit = npx.empty(n)
+        self._s_fd = npx.empty(n)
+        self._s_ap = npx.empty(n)
+        self._s_ab = npx.empty(n)
+        self._s_t1 = npx.empty(n)
+        self._s_t2 = npx.empty(n)
+        self._s_t3 = npx.empty(n)
+        self._s_t4 = npx.empty(n)
+        self._s_spare = npx.empty(n)
+        self._s_active = npx.empty(n, dtype=bool)
+        self._s_b1 = npx.empty(n, dtype=bool)
+        self._s_b2 = npx.empty(n, dtype=bool)
+        self._s_b3 = npx.empty(n, dtype=bool)
+        pf = self._sched_obj.pf
+        decay = self._step_s / pf.time_constant_s
+        if decay > 1.0:
+            decay = 1.0
+        self._s_decay = decay
+        self._vg_refresh_ident()
+        self._vec_hot = True
+
+    def _vg_refresh_ident(self) -> None:
+        """Recompute whether the GBR walk is the identity permutation.
+
+        The metro workload registers one GBR bearer per video flow in
+        flow-creation (= slot) order, so the bearer-rank walk visits
+        slots 0..n-1 — the GBR phase then runs full-width elementwise
+        with no index gathers (see ``_vec_step``).
+        """
+        vg = self._vg_slots
+        self._vg_ident = (
+            vg.size == self._n
+            and bool(np.array_equal(vg, np.arange(self._n))))
+
+    def _vec_flush(self) -> None:
+        """Scatter vector-owned state back into the list mirrors.
+
+        After this the lists are authoritative again for every slot,
+        exactly as if the scalar fast step had run: active slots carry
+        a zero idle clock synchronised through the last completed
+        step, and video backlogs are written back onto the flows.
+        """
+        if not self._vec_hot:
+            return
+        self._vec_hot = False
+        npx = np
+        mask = self._v_mask
+        pairs = (
+            (self._cwnd, self._v_cwnd),
+            (self._totals, self._v_totals),
+            (self._pf_avg, self._v_pf),
+            (self._wanted, self._v_wanted),
+            (self._demand, self._v_demand),
+            (self._int_prbs, self._v_ip),
+            (self._int_bytes, self._v_ib),
+            (self._cum_prbs, self._v_cp),
+            (self._cum_bytes, self._v_cb),
+            (self._pf_seen, self._v_pfseen),
+            (self._int_seen, self._v_iseen),
+            (self._cum_seen, self._v_cseen),
+        )
+        for lst, arr in pairs:
+            merged = npx.array(lst)
+            npx.copyto(merged, arr, where=mask)
+            lst[:] = merged.tolist()
+        steps = self._fast_steps
+        sync = self._idle_sync
+        videos = self._videos
+        backlog = self._v_backlog.tolist()
+        for i in npx.nonzero(mask)[0].tolist():
+            # The slot's last delivery set its (lazily skipped) idle
+            # write to "0.0 as of the end of that step".
+            sync[i] = steps
+            video = videos[i]
+            if video is not None:
+                video._remaining_bytes = backlog[i]
+
+    def _vec_join(self, slot: int) -> None:
+        """Gather one newly activated slot into the hot lane.
+
+        The caller has already replayed the slot's owed idle-TCP state
+        (so the list mirrors are current) and inserted it into the
+        active set; this lifts those mirrors into the shadows and pins
+        the idle clock exactly like the scalar delivery branch does on
+        a first active step.
+        """
+        self._v_mask[slot] = True
+        self._v_cwnd[slot] = self._cwnd[slot]
+        self._v_totals[slot] = self._totals[slot]
+        self._v_pf[slot] = self._pf_avg[slot]
+        self._v_pfseen[slot] = self._pf_seen[slot]
+        self._v_ip[slot] = self._int_prbs[slot]
+        self._v_ib[slot] = self._int_bytes[slot]
+        self._v_cp[slot] = self._cum_prbs[slot]
+        self._v_cb[slot] = self._cum_bytes[slot]
+        self._v_iseen[slot] = self._int_seen[slot]
+        self._v_cseen[slot] = self._cum_seen[slot]
+        video = self._videos[slot]
+        self._v_backlog[slot] = (math.inf if video is None
+                                 else video._remaining_bytes)
+        self._idle[slot] = 0.0
+        self._idle_sync[slot] = self._fast_steps + 1
+
+    def _vec_leave(self, i: int) -> None:
+        """Slot-selective write-back at an in-lane completion.
+
+        The completing slot's mirrors and flow/TCP objects are brought
+        step-current before the completion callback runs (the callback
+        chain reads only player-local and this-flow state; scheduler
+        averages and RB-trace objects are boundary-flushed from the
+        now-synchronised lists as usual).  The slot then reverts to
+        list ownership and the lazy idle-TCP discipline.
+        """
+        self._cwnd[i] = vc = float(self._v_cwnd[i])
+        self._totals[i] = vt = float(self._v_totals[i])
+        self._pf_avg[i] = float(self._v_pf[i])
+        self._pf_seen[i] = bool(self._v_pfseen[i])
+        self._wanted[i] = vw = float(self._v_wanted[i])
+        self._demand[i] = float(self._v_demand[i])
+        self._int_prbs[i] = float(self._v_ip[i])
+        self._int_bytes[i] = float(self._v_ib[i])
+        self._cum_prbs[i] = float(self._v_cp[i])
+        self._cum_bytes[i] = float(self._v_cb[i])
+        self._int_seen[i] = bool(self._v_iseen[i])
+        self._cum_seen[i] = bool(self._v_cseen[i])
+        self._idle_sync[i] = self._fast_steps + 1
+        flow = self._flows[i]
+        flow.total_delivered_bytes = vt
+        flow._last_wanted = vw
+        tcp = flow.tcp
+        tcp._cwnd = vc
+        tcp._idle_for_s = 0.0
+        self._v_mask[i] = False
+        self._v_backlog[i] = 0.0
+        self._act_member[i] = False
+        self._act_stale = True
+
+    @staticmethod
+    def _gbr_chain(asks, remaining):
+        """Replay the reference GBR budget chain on python floats.
+
+        The per-bearer grants are elementwise; only the running PRB
+        budget is sequential.  This loop reproduces the reference
+        walk's budget arithmetic exactly — the ``<= 1e-12`` exhaustion
+        break precedes each grant, a zero ask subtracts an exact
+        ``0.0`` (identical to the reference skipping the zero-need
+        bearer), and a clamped grant zeroes the budget via
+        ``remaining - remaining`` — so the caller can commit every
+        pre-cutoff grant as a vector slice operation.
+
+        Returns ``(cut, part, remaining)``: every bearer before
+        ``cut`` took its full ask; ``part`` is the clamped PRB grant
+        absorbed by bearer ``cut`` when the budget ran out mid-ask
+        (``None`` when bearer ``cut`` was refused outright).
+        """
+        cut = len(asks)
+        for k in range(cut):
+            if remaining <= 1e-12:
+                return k, None, remaining
+            ask = asks[k]
+            if ask <= remaining:
+                remaining -= ask
+            else:
+                # Clamp: bearer k absorbs the whole residual budget.
+                return k, remaining, 0.0
+        return cut, None, remaining
+
+    def _vec_step(self, now: float, end: float, step_s: float) -> bool:
+        """Full-width numpy claims -> GBR -> PF -> delivery phase.
+
+        Byte-identity with the scalar loops rests on three facts:
+        elementwise float64 numpy arithmetic performs the same IEEE
+        operations as the scalar expressions it replaces; ``x + 0.0``
+        and ``x - 0.0`` are exact for the non-negative quantities
+        accumulated here, so full-width updates match the reference's
+        skip-if-zero guards; and the two order-sensitive reductions —
+        the GBR budget walk and the PF waterfill — run as exact
+        sequential chains on python floats extracted bit-for-bit from
+        the arrays (``_gbr_chain`` and the scalar ``_waterfill``).
+
+        Returns True when any flow had positive demand this step.
+        """
+        npx = np
+        mask = self._v_mask
+        if self._vec_bucket != self._tbl_bucket:
+            # New fading bucket: batch the per-slot table lookups the
+            # scalar claims loop performs (same table, same indices).
+            self._vec_bucket = self._tbl_bucket
+            if self._tbl_slots:
+                self._v_bpp[self._v_tbl] = _BPP_NP[
+                    npx.array(self._tbl_itbs)]
+        bpp = self._v_bpp
+        backlog = self._v_backlog
+        cwnd = self._v_cwnd
+
+        # --- Claims: demand = min(backlog, window, MBR cap). ---------
+        limit = self._s_limit
+        npx.multiply(cwnd, self._v_sor, out=limit)
+        fd = self._s_fd
+        npx.minimum(backlog, limit, out=fd)
+        npx.minimum(fd, self._v_mbr, out=fd)
+        self._v_demand = demand = fd
+        active = self._s_active
+        npx.greater(fd, 0.0, out=active)
+
+        # --- Phase 1: GBR guarantees in bearer-priority order. -------
+        a_p = self._s_ap
+        a_b = self._s_ab
+        remaining = self._budget
+        vg = self._vg_slots
+        if self._vg_ident:
+            # Every slot carries a bearer and rank order == slot
+            # order: asks come straight off the full-width arrays with
+            # no index gathers, and pre-cutoff grants commit as
+            # contiguous slice ops.
+            t1 = self._s_t1
+            npx.minimum(self._vg_rates, fd, out=t1)     # need
+            npx.divide(t1, bpp, out=t1)                 # prbs asked
+            cut, part, remaining = self._gbr_chain(t1.tolist(),
+                                                   remaining)
+            if cut == self._n:
+                # Budget survived the walk: full asks everywhere.
+                npx.copyto(a_p, t1)
+                npx.multiply(t1, bpp, out=a_b)          # delivered
+                npx.subtract(fd, a_b, out=fd)
+            else:
+                a_p.fill(0.0)
+                a_b.fill(0.0)
+                if cut:
+                    npx.copyto(a_p[:cut], t1[:cut])
+                    ab_head = a_b[:cut]
+                    npx.multiply(t1[:cut], bpp[:cut], out=ab_head)
+                    fd_head = fd[:cut]
+                    npx.subtract(fd_head, ab_head, out=fd_head)
+                if part is not None:
+                    got = part * float(bpp[cut])
+                    a_p[cut] = part
+                    a_b[cut] = got
+                    fd[cut] = float(fd[cut]) - got
+        elif vg.size:
+            # Bearer rank order is a general permutation (handovers
+            # splice joining UEs mid-rank): gather in rank order, run
+            # the same budget chain, scatter the pre-cutoff grants.
+            a_p.fill(0.0)
+            a_b.fill(0.0)
+            d_g = demand[vg]
+            b_g = bpp[vg]
+            asks = npx.minimum(self._vg_rates, d_g)
+            npx.divide(asks, b_g, out=asks)
+            cut, part, remaining = self._gbr_chain(asks.tolist(),
+                                                   remaining)
+            if cut:
+                vh = vg[:cut]
+                ask_h = asks[:cut]
+                delivered = ask_h * b_g[:cut]
+                a_p[vh] = ask_h
+                a_b[vh] = delivered
+                demand[vh] = d_g[:cut] - delivered
+            if part is not None:
+                slot = int(vg[cut])
+                got = part * float(b_g[cut])
+                a_p[slot] = part
+                a_b[slot] = got
+                demand[slot] = float(d_g[cut]) - got
+        else:
+            a_p.fill(0.0)
+            a_b.fill(0.0)
+
+        # --- Phase 2: proportional-fair waterfill of the rest. -------
+        # (bpp > 0 for every slot in vec mode: only OutageChannel can
+        # yield a zero, and outage-wrapped channels disqualify the
+        # lane in ``_rebuild``.)
+        if remaining > 1e-12:
+            cand = self._s_b2
+            npx.greater(demand, 1e-9, out=cand)
+            cand_idx = npx.nonzero(cand)[0]
+            n_cand = len(cand_idx)
+            if n_cand == 1:
+                ci = int(cand_idx[0])
+                dc = float(demand[ci])
+                bc = float(bpp[ci])
+                avg = float(self._v_pf[ci])
+                achievable = (bc * 8) / step_s
+                weight = achievable / (avg if avg >= 1e3 else 1e3)
+                share = remaining * weight / weight
+                prb_cap = dc / bc
+                prbs = prb_cap if share >= prb_cap - 1e-12 else share
+                if prbs > 0:
+                    got = prbs * bc
+                    if got > dc:
+                        got = dc
+                    demand[ci] = dc - got
+                    a_p[ci] += prbs
+                    a_b[ci] += got
+            elif n_cand:
+                dc = demand[cand_idx]
+                bc = bpp[cand_idx]
+                ach = (bc * 8) / step_s
+                weights = ach / npx.maximum(self._v_pf[cand_idx], 1e3)
+                caps = dc / bc
+                # The waterfill's round structure is order-sensitive;
+                # tolist() hands it the same doubles as python floats.
+                grants = _waterfill(remaining, caps.tolist(),
+                                    weights.tolist())
+                gr = npx.array(grants)
+                got = npx.minimum(gr * bc, dc)
+                demand[cand_idx] = dc - got
+                a_p[cand_idx] += gr
+                a_b[cand_idx] += got
+
+        # --- PF served-average EWMA (positive-demand flows only). ----
+        decay = self._s_decay
+        t1 = self._s_t1
+        npx.multiply(a_b, 8, out=t1)
+        npx.divide(t1, step_s, out=t1)              # rate
+        npx.multiply(t1, decay, out=t1)             # decay * rate
+        t2 = self._s_t2
+        npx.multiply(self._v_pf, 1 - decay, out=t2)
+        npx.add(t2, t1, out=t2)
+        npx.copyto(self._v_pf, t2, where=active)
+        self._v_pfseen |= active
+
+        # --- Delivery: totals, TCP window, backlog, RB trace. --------
+        self._v_totals += a_b
+        npx.minimum(backlog, limit, out=t1)         # window_min
+        npx.subtract(t1, 1e-9, out=t1)
+        sel = self._s_b1
+        npx.greater_equal(a_b, t1, out=sel)
+        npx.multiply(cwnd, self._v_grow, out=t2)
+        npx.minimum(t2, self._v_max, out=t2)        # grown
+        t3 = self._s_t3
+        npx.multiply(a_b, self._v_ros, out=t3)
+        npx.multiply(t3, 1.25, out=t3)
+        npx.maximum(t3, self._v_init, out=t3)       # target
+        t4 = self._s_t4
+        npx.subtract(t3, cwnd, out=t4)
+        npx.multiply(t4, 0.5, out=t4)
+        npx.add(cwnd, t4, out=t4)                   # shrunk
+        npx.copyto(t4, t2, where=sel)
+        npx.copyto(cwnd, t4, where=mask)
+        # bpp > 0 for every slot in vec mode, so bytes were delivered
+        # exactly when PRBs were granted: one comparison covers both.
+        granted = self._s_b3
+        npx.greater(a_b, 0.0, out=granted)
+        nb = self._s_spare
+        npx.subtract(backlog, a_b, out=nb)
+        comp = self._s_b2
+        npx.less_equal(nb, 1e-6, out=comp)
+        comp &= granted
+        # Rotate the three backlog buffers: this step's start backlog
+        # becomes the recorded "wanted" (the reference writes
+        # ``wanted[i] = backlog`` in its claims loop), the new backlog
+        # takes over, and the freed wanted array is next step's
+        # subtraction scratch.
+        self._s_spare = self._v_wanted
+        self._v_wanted = backlog
+        self._v_backlog = nb
+        self._v_ip += a_p
+        self._v_ib += a_b
+        self._v_cp += a_p
+        self._v_cb += a_b
+        self._v_iseen |= granted
+        self._v_cseen |= granted
+        if bool(granted.any()) and end > self._tr_now:
+            self._tr_now = end
+
+        # --- Completion boundaries (rare; ascending slot order). -----
+        if bool(comp.any()):
+            cell = self._cell
+            slot_pl = self._slot_pl
+            videos = self._videos
+            for i in npx.nonzero(comp)[0].tolist():
+                self._v_backlog[i] = 0.0
+                self._vec_leave(i)
+                pj = slot_pl[i]
+                if pj is not None and self._pl_mode[pj] != _PL_HOT:
+                    self._pl_materialize(pj, end)
+                    insort(self._pl_hot_list, pj)
+                video = videos[i]
+                video._remaining_bytes = 0.0
+                video._download_active = False
+                callback = video._completion_callback
+                video._completion_callback = None
+                if callback is not None:
+                    callback()
+                if (not self._dirty
+                        and cell.registry.version != self._reg_version):
+                    self._resync_registry()
+        return bool(active.any())
+
+    def _pl_materialize(self, j: int, end_s: float) -> None:
+        """Replay a lazy player's owed steps; the player becomes HOT.
+
+        The replay performs the exact per-step float operations the
+        reference playback path would have run (``level -= step``,
+        ``played += step``, ``rebuffer += step``) and appends one
+        run-length-encoded trace entry covering the stretch (see
+        :attr:`HasPlayer.buffer_trace`), so the object graph ends up
+        byte-identical to per-step evaluation.
+        """
+        mode = self._pl_mode[j]
+        self._pl_mode[j] = _PL_HOT
+        self._pl_wake[j] = math.inf
+        owed = self._fast_steps - self._pl_sync[j]
+        self._pl_sync[j] = self._fast_steps
+        info = self._issue_info[j]
+        player = info[0]
+        player._step_end_s = end_s
+        if mode == _PL_HOT or owed <= 0:
+            return
+        step_s = self._step_s
+        buffer = info[1]
+        if mode == _PL_PLAY:
+            level = buffer._level_s
+            player._trace_runs.append(
+                ["p", self._pl_clock[j], level, owed, step_s])
+            played = buffer._total_played_s
+            for _ in range(owed):
+                level -= step_s
+                played += step_s
+            buffer._level_s = level
+            buffer._total_played_s = played
+        elif mode == _PL_START or mode == _PL_STALL:
+            player._trace_runs.append(
+                ["c", self._pl_clock[j], buffer._level_s, owed, step_s])
+            if mode == _PL_STALL:
+                rebuffer = player._rebuffer_s
+                for _ in range(owed):
+                    rebuffer += step_s
+                player._rebuffer_s = rebuffer
+        # _PL_INERT: no per-step effects beyond _step_end_s.
+
+    def _pl_promote(self, now: float) -> None:
+        """Wake lazy players whose next scalar attention may be due."""
+        wake = self._pl_wake
+        hot = self._pl_hot_list
+        new_min = math.inf
+        for j, mode in enumerate(self._pl_mode):
+            if mode == _PL_HOT:
+                continue
+            when = wake[j]
+            if when <= now + 1e-12:
+                self._pl_materialize(j, now)
+                insort(hot, j)
+            elif when < new_min:
+                new_min = when
+        self._pl_wake_min = new_min
+
+    def _pl_try_lazy(self, j: int, end_s: float) -> bool:
+        """Park player ``j`` lazy when provably inert; True on success.
+
+        The wake bounds carry two-step safety margins on top of the
+        exact-arithmetic crossing estimates (per-step float drift over
+        a bounded window is orders of magnitude below ``step_s``), so
+        every state transition and request decision still happens on
+        the exact per-step scalar path — laziness only skips steps
+        where the issue gate and the playback state machine provably
+        cannot act.
+        """
+        (player, buffer, start_s, threshold_s, can_abandon,
+         mpd) = self._issue_info[j]
+        state = player.state
+        step_s = self._step_s
+        far = 1 << 30
+        if state is PlaybackState.FINISHED:
+            mode = _PL_INERT
+            k = far
+        elif end_s < start_s:
+            mode = _PL_INERT
+            k = int((start_s - end_s) / step_s) - 2
+        elif state is PlaybackState.PLAYING:
+            mode = _PL_PLAY
+            level = buffer._level_s
+            k = int(level / step_s) - 3          # starvation bound
+            pending = player._pending
+            active = player._active
+            if pending is not None:
+                k_issue = int(
+                    (pending.payload_starts_at_s - end_s) / step_s) - 2
+                if k_issue < k:
+                    k = k_issue
+            elif active is not None:
+                if can_abandon and active.ladder_index != 0:
+                    return False          # abandon check runs every step
+            elif mpd.has_segment(player._next_segment_index):
+                k_issue = int((level - threshold_s) / step_s) - 2
+                if k_issue < k:
+                    k = k_issue
+        else:
+            # STARTUP / STALLED: the buffer level is constant, and the
+            # hot step that just ran would already have transitioned or
+            # issued if it could — so the state is static until a
+            # pending payload arrives or a completion wakes the player.
+            level = buffer._level_s
+            threshold = (player.startup_threshold_s
+                         if state is PlaybackState.STARTUP
+                         else player.resume_threshold_s)
+            if level >= threshold:
+                return False              # transition due next step
+            pending = player._pending
+            if pending is not None:
+                k = int((pending.payload_starts_at_s - end_s) / step_s) - 2
+            elif player._active is not None:
+                k = far                   # completion wakes the player
+            elif (level < threshold_s
+                  and mpd.has_segment(player._next_segment_index)):
+                return False              # would issue next step
+            else:
+                k = far
+            mode = (_PL_START if state is PlaybackState.STARTUP
+                    else _PL_STALL)
+        if k < _MIN_LAZY:
+            return False
+        self._pl_mode[j] = mode
+        self._pl_sync[j] = self._fast_steps
+        self._pl_clock[j] = end_s
+        wake = math.inf if k >= far else end_s + k * step_s
+        self._pl_wake[j] = wake
+        if wake < self._pl_wake_min:
+            self._pl_wake_min = wake
+        return True
+
+    def _step_fast(self) -> bool:
+        """One steady-state step running only provably-observable work.
+
+        Exactness relative to ``_step_once``: the skipped work is
+        (a) issue-gate evaluations for lazy players, whose wake bounds
+        prove the gate cannot fire; (b) ``totals[i] += 0.0`` and the
+        RB-trace/PF no-ops for unbacklogged slots; (c) idle-TCP
+        accumulation and playback drain, which are deferred and later
+        replayed with identical float operations (see
+        ``_idle_materialize`` / ``_pl_materialize``).  Everything that
+        does run copies the reference expressions verbatim.
+
+        GBR bearers run the same two-phase schedule as the reference:
+        phase 1 walks ``_gbr_slots`` in bearer-priority order and
+        phase 2 rebuilds the PF candidate set from the post-GBR
+        residual demand, exactly as ``_step_once`` does when
+        ``fused_cand`` is false.
+
+        Returns ``False`` — after replaying all lazy state, with
+        mirrors still authoritative — when the step needs the
+        reference path: a due controller, step hooks, or any
+        observability mode (tracer, checker, profiler all pin the
+        reference kernel so their per-step effects stay exact).
+        """
+        cell = self._cell
+        if (cell._step_hooks
+                or obs.TRACER is not None or chk.CHECKER is not None
+                or prof.PROFILER is not None):
+            self._fast_drain()
+            return False
+        now = cell._now_s
+        for _controller, next_due in cell._controllers:
+            if next_due[0] <= now + 1e-12:
+                self._fast_drain()
+                return False
+        step_s = self._step_s
+        end = now + step_s
+        self._mirrors_hot = True
+        if self._pl_wake_min <= now + 1e-12:
+            self._pl_promote(now)
+        if self._act_stale:
+            self._act_rescan()
+
+        # --- Vector-lane entry/exit (hysteresis, see _VEC_MIN). ------
+        if self._vec_ok:
+            if self._vec_hot:
+                if len(self._act_slots) < _VEC_EXIT:
+                    self._vec_flush()
+            elif len(self._act_slots) >= _VEC_MIN:
+                self._vec_gather()
+
+        # --- Issue gate: hot players only (lazy ones provably skip). -
+        playing = PlaybackState.PLAYING
+        finished = PlaybackState.FINISHED
+        issue_info = self._issue_info
+        pl_slot = self._pl_slot
+        member = self._act_member
+        act_slots = self._act_slots
+        videos = self._videos
+        for j in self._pl_hot_list:
+            (player, buffer, start_s, threshold_s, can_abandon,
+             mpd) = issue_info[j]
+            state = player.state
+            if state is finished or now < start_s:
+                player._step_end_s = end
+                continue
+            pending = player._pending
+            active = player._active
+            called = False
+            if pending is not None:
+                if now >= pending.payload_starts_at_s:
+                    player.issue_requests(now)
+                    called = True
+            elif active is not None:
+                if (state is playing and active.ladder_index != 0
+                        and can_abandon):
+                    player.issue_requests(now)
+                    called = True
+            elif (buffer._level_s < threshold_s
+                  and mpd.has_segment(player._next_segment_index)):
+                player.issue_requests(now)
+                called = True
+            player._step_end_s = end
+            if called:
+                slot = pl_slot[j]
+                if videos[slot]._download_active and not member[slot]:
+                    self._idle_materialize(slot)
+                    member[slot] = True
+                    insort(act_slots, slot)
+                    if self._vec_hot:
+                        self._vec_join(slot)
+
+        # --- Channel table refresh (shared by both MAC phases). ------
+        if self._tbl_slots:
+            bucket = math.floor(now / self._tbl_period)
+            if bucket != self._tbl_bucket:
+                self._fill_table(now, bucket)
+                self._tbl_bucket = bucket
+        if self._vec_hot:
+            # --- Vectorised MAC phase (claims .. completions). -------
+            active_any = self._vec_step(now, end, step_s)
+        else:
+            # --- Claims over the maybe-backlogged set. ---------------
+            (modes, const_bpp, bpp, wanted, demand, videos_h, channels,
+             cwnd, step_over_rtt, mbr_cap, pf_avg, pf_seen, alloc_prbs,
+             alloc_bytes, alloc_gbr, gbr_granted, zeros, totals, idle,
+             idle_reset, init_cwnd, max_cwnd, growth, rtt_over_step,
+             int_prbs, int_bytes, cum_prbs, cum_bytes, int_seen,
+             cum_seen) = self._hot
+            tbl_itbs = self._tbl_itbs
+            mode_pos = self._mode_pos
+            gbr_slots = self._gbr_slots
+            # Without GBR bearers the PF candidate set can be built fused
+            # into the claims loop (phase 1 never touches demand); with
+            # them it is rebuilt after the GBR phase, like the reference.
+            fused_cand = not gbr_slots
+            step_act: list[int] = []
+            active_list: list[int] = []
+            cand: list[int] = []
+            weights: list[float] = []
+            caps: list[float] = []
+            pruned = False
+            for i in act_slots:
+                video = videos_h[i]
+                if video is None:
+                    backlog = math.inf
+                elif video._download_active:
+                    backlog = video._remaining_bytes
+                else:
+                    # Download finished or was abandoned: the slot reverts
+                    # to the reference's idle branch (wanted = 0, lazy idle
+                    # accumulation from this step onwards).  demand is
+                    # pinned to 0.0 so the GBR phase sees the reference
+                    # value for slots the claims loop no longer visits.
+                    wanted[i] = 0.0
+                    demand[i] = 0.0
+                    member[i] = False
+                    pruned = True
+                    continue
+                step_act.append(i)
+                mode = modes[i]
+                if mode == _CONST:
+                    bytes_per_prb = const_bpp[i]
+                elif mode == _TABLE:
+                    bytes_per_prb = BYTES_PER_PRB_TABLE[tbl_itbs[mode_pos[i]]]
+                elif mode == _CYCLIC:
+                    # Scalar replica of the sweep (bit-identical to
+                    # _fill_cyclic, see its docstring).
+                    pos = mode_pos[i]
+                    cycle = self._cyc_cycle[pos]
+                    phase = ((now + self._cyc_off[pos]) % cycle) / cycle
+                    if phase < 0.5:
+                        level = (self._cyc_lo[pos]
+                                 + 2.0 * phase * self._cyc_span[pos])
+                    else:
+                        level = (self._cyc_hi[pos]
+                                 - 2.0 * (phase - 0.5) * self._cyc_span[pos])
+                    bytes_per_prb = BYTES_PER_PRB_TABLE[int(round(level))]
+                else:  # _PLAIN: pure bucket-cached itbs_at
+                    bytes_per_prb = BYTES_PER_PRB_TABLE[
+                        validate_itbs(channels[i].itbs_at(now))]
+                bpp[i] = bytes_per_prb
+                wanted[i] = backlog
+                if backlog <= 0:
+                    flow_demand = 0.0
+                else:
+                    limit = cwnd[i] * step_over_rtt[i]
+                    flow_demand = backlog if backlog <= limit else limit
+                    cap = mbr_cap[i]
+                    if flow_demand > cap:
+                        flow_demand = cap
+                demand[i] = flow_demand
+                if flow_demand > 0:
+                    active_list.append(i)
+                    if fused_cand and flow_demand > 1e-9 and bytes_per_prb > 0:
+                        cand.append(i)
+                        achievable = (bytes_per_prb * 8) / step_s
+                        avg = pf_avg[i]
+                        weights.append(
+                            achievable / (avg if avg >= 1e3 else 1e3))
+                        caps.append(flow_demand / bytes_per_prb)
+            if pruned:
+                self._act_slots = [i for i in act_slots if member[i]]
+
+            # --- Phase 1: GBR guarantees in bearer-priority order. -------
+            # Reference copy minus the tracer/checker-only order
+            # bookkeeping (need_order is always False on this path),
+            # restricted to active bearer slots.  The restriction is exact:
+            # a bearer slot outside the active set has demand pinned to
+            # 0.0, so the reference walk hits a no-op guard there —
+            # ``slot_bpp <= 0: continue`` or ``need <= 0: continue`` —
+            # never touching the budget or any per-slot state, and the
+            # budget-exhausted break still precedes the first grant-eligible
+            # slot.  Walking the active bearers in rank order therefore
+            # reproduces the full walk's grants and float sequence.
+            # ``alloc_gbr`` is not maintained here: it is only ever read
+            # under need_order (tracer/checker active), which pins the
+            # reference step — and that step re-zeroes it before reading.
+            alloc_prbs[:] = zeros
+            alloc_bytes[:] = zeros
+            remaining_budget = self._budget
+            if gbr_slots:
+                gbr_rank = self._gbr_rank
+                gbr_rate = self._gbr_rate
+                gbr_act = [i for i in step_act if gbr_rank[i] >= 0]
+                if len(gbr_act) > 1:
+                    gbr_act.sort(key=gbr_rank.__getitem__)
+                for slot in gbr_act:
+                    slot_bpp = bpp[slot]
+                    if slot_bpp <= 0:
+                        continue
+                    if remaining_budget <= 1e-12:
+                        break
+                    slot_demand = demand[slot]
+                    guarantee = gbr_rate[slot]
+                    need = (guarantee if guarantee <= slot_demand
+                            else slot_demand)
+                    if need <= 0:
+                        continue
+                    prbs_needed = need / slot_bpp
+                    prbs = (prbs_needed if prbs_needed <= remaining_budget
+                            else remaining_budget)
+                    delivered = prbs * slot_bpp
+                    remaining_budget -= prbs
+                    demand[slot] = slot_demand - delivered
+                    alloc_prbs[slot] += prbs
+                    alloc_bytes[slot] += delivered
+
+            # --- Phase 2: proportional-fair waterfill of the rest. -------
+            if remaining_budget > 1e-12:
+                if not fused_cand:
+                    # Post-GBR candidate rebuild.  The reference scans all
+                    # slots; restricting to step_act is exact because every
+                    # other slot has demand pinned to 0.0 (rescan/prune).
+                    for i in step_act:
+                        if demand[i] > 1e-9 and bpp[i] > 0:
+                            cand.append(i)
+                            achievable = (bpp[i] * 8) / step_s
+                            avg = pf_avg[i]
+                            weights.append(
+                                achievable / (avg if avg >= 1e3 else 1e3))
+                            caps.append(demand[i] / bpp[i])
+                if len(cand) == 1:
+                    i = cand[0]
+                    weight = weights[0]
+                    share = remaining_budget * weight / weight
+                    prb_cap = caps[0]
+                    prbs = prb_cap if share >= prb_cap - 1e-12 else share
+                    if prbs > 0:
+                        delivered = prbs * bpp[i]
+                        slot_demand = demand[i]
+                        if delivered > slot_demand:
+                            delivered = slot_demand
+                        demand[i] = slot_demand - delivered
+                        alloc_prbs[i] += prbs
+                        alloc_bytes[i] += delivered
+                elif cand:
+                    grants = _waterfill(remaining_budget, caps, weights)
+                    for g, i in enumerate(cand):
+                        prbs = grants[g]
+                        if prbs <= 0:
+                            continue
+                        delivered = prbs * bpp[i]
+                        slot_demand = demand[i]
+                        if delivered > slot_demand:
+                            delivered = slot_demand
+                        demand[i] = slot_demand - delivered
+                        alloc_prbs[i] += prbs
+                        alloc_bytes[i] += delivered
+
+            # --- PF served-average EWMA (active flows only). -------------
+            decay = step_s / self._sched_obj.pf.time_constant_s
+            if decay > 1.0:
+                decay = 1.0
+            one_minus = 1 - decay
+            for i in active_list:
+                rate = (alloc_bytes[i] * 8) / step_s
+                pf_avg[i] = one_minus * pf_avg[i] + decay * rate
+                pf_seen[i] = True
+
+            # --- Delivery over the backlogged slots. ---------------------
+            fast_steps = self._fast_steps
+            idle_sync = self._idle_sync
+            slot_pl = self._slot_pl
+            for i in step_act:
+                delivered = alloc_bytes[i]
+                prbs = alloc_prbs[i]
+                totals[i] += delivered
+                # wanted[i] > 0 here: the reference's active TCP branch.
+                idle[i] = 0.0
+                idle_sync[i] = fast_steps + 1
+                flow_wanted = wanted[i]
+                limit = cwnd[i] * step_over_rtt[i]
+                window_min = flow_wanted if flow_wanted <= limit else limit
+                if delivered >= window_min - 1e-9:
+                    grown = cwnd[i] * growth[i]
+                    cwnd[i] = grown if grown <= max_cwnd[i] else max_cwnd[i]
+                else:
+                    granted_per_rtt = delivered * rtt_over_step[i]
+                    target = granted_per_rtt * 1.25
+                    if target < init_cwnd[i]:
+                        target = init_cwnd[i]
+                    cwnd[i] += 0.5 * (target - cwnd[i])
+                if delivered > 0:
+                    video = videos_h[i]
+                    if video is not None and video._download_active:
+                        remaining = video._remaining_bytes - delivered
+                        if remaining <= 1e-6:
+                            # Completion boundary.  The callback chain
+                            # (HasPlayer._on_complete) reads only
+                            # player-local state, but the mirrors are
+                            # written back in full first so any observer
+                            # sees the reference-path object state; lazy
+                            # playback of the completing player is
+                            # replayed before the callback runs.
+                            self._flush_mirrors()
+                            pj = slot_pl[i]
+                            if pj is not None and self._pl_mode[pj] != _PL_HOT:
+                                self._pl_materialize(pj, end)
+                                insort(self._pl_hot_list, pj)
+                            video._remaining_bytes = 0.0
+                            video._download_active = False
+                            callback = video._completion_callback
+                            video._completion_callback = None
+                            if callback is not None:
+                                callback()
+                            if (not self._dirty and cell.registry.version
+                                    != self._reg_version):
+                                self._resync_registry()
+                            self._mirrors_hot = True
+                        else:
+                            video._remaining_bytes = remaining
+                if prbs > 0 or delivered > 0:
+                    # Inlined RbTraceModule.record.
+                    int_prbs[i] += prbs
+                    int_bytes[i] += delivered
+                    cum_prbs[i] += prbs
+                    cum_bytes[i] += delivered
+                    int_seen[i] = True
+                    cum_seen[i] = True
+                    if end > self._tr_now:
+                        self._tr_now = end
+            active_any = bool(active_list)
+
+        # --- Playback: hot players only (lazy drains are replayed). --
+        hot = self._pl_hot_list
+        for j in hot:
+            info = issue_info[j]
+            player = info[0]
+            buffer = info[1]
+            level = buffer._level_s
+            if player.state is playing and level >= step_s:
+                player._step_end_s = end
+                level -= step_s
+                buffer._level_s = level
+                buffer._total_played_s += step_s
+                player._trace_runs.append(["e", end, level])
+            else:
+                player.advance_playback(end, step_s)
+
+        cell._now_s = end
+        self._fast_steps += 1
+        if hot:
+            self._pl_hot_list = [j for j in hot
+                                 if not self._pl_try_lazy(j, end)]
+        self._last_idle = not active_any
         return True
 
     # ------------------------------------------------------------------
@@ -697,6 +1919,13 @@ class TtiKernel:
             self._fill_cyclic(now)
         cyc_itbs = self._cyc_itbs
         cyc_index = 0
+        if self._tbl_slots:
+            bucket = math.floor(now / self._tbl_period)
+            if bucket != self._tbl_bucket:
+                self._fill_table(now, bucket)
+                self._tbl_bucket = bucket
+        tbl_itbs = self._tbl_itbs
+        tbl_index = 0
         active_list: list[int] = []
         # Without GBR slots phase 1 never touches ``demand``, so the
         # phase-2 candidate set (and its PF weights and PRB caps) can
@@ -715,6 +1944,12 @@ class TtiKernel:
             elif mode == _CYCLIC:
                 itbs = cyc_itbs[cyc_index]
                 cyc_index += 1
+                if checker is not None:
+                    checker.check_tbs_index(itbs, MIN_ITBS, MAX_ITBS)
+                bytes_per_prb = BYTES_PER_PRB_TABLE[itbs]
+            elif mode == _TABLE:
+                itbs = tbl_itbs[tbl_index]
+                tbl_index += 1
                 if checker is not None:
                     checker.check_tbs_index(itbs, MIN_ITBS, MAX_ITBS)
                 bytes_per_prb = BYTES_PER_PRB_TABLE[itbs]
@@ -960,7 +2195,7 @@ class TtiKernel:
                 buffer._total_played_s += step_s
                 if checker is not None:
                     checker.check_buffer_level(level, buffer._capacity_s)
-                player.buffer_trace.append((end, level))
+                player._trace_runs.append(["e", end, level])
             else:
                 player.advance_playback(end, step_s)
         if profiler is not None:
@@ -985,6 +2220,23 @@ class TtiKernel:
             profiler.end()
         self._last_idle = not active_list
         return True
+
+    def _fill_table(self, now: float, bucket: int) -> None:
+        """Refresh the per-slot iTbs snapshot for one fading bucket.
+
+        Primed channels answer from their epoch table; an unprimed
+        channel (lockstep mode, or a table invalidated by a mid-epoch
+        handover) falls back to its scalar ``itbs_at`` — evaluated at
+        ``now``, the bucket's first stepped time, exactly when the
+        scalar cache would have evaluated it.
+        """
+        channels = self._tbl_channels
+        itbs = self._tbl_itbs
+        for j, channel in enumerate(channels):
+            value = channel.primed_itbs(bucket)
+            if value is None:
+                value = channel.itbs_at(now)
+            itbs[j] = value
 
     def _fill_cyclic(self, now: float) -> None:
         """Evaluate every cyclic channel's triangular sweep at once.

@@ -26,13 +26,18 @@ state.  That independence is what makes three execution modes produce
   handover blobs and per-cell PRB usage cross shard boundaries, once
   per epoch (intra-shard handovers never serialize anything).
 
-Handover is planned in the parent from its own deterministic mobility
-copies (spawn-keyed RNG: parent and workers construct identical
-trajectories independently): at each epoch boundary every UE is
-assigned the site with the least path loss, gated by a hysteresis
-margin.  The migrating player and its FLARE plugin are pickled in a
-single ``dumps`` call so shared references (the plugin is reachable
-both directly and via ``player.abr``) survive as one object.
+Handover is planned in the parent from *working points* the shards
+report: at each epoch boundary every shard evaluates its resident
+UEs' path losses toward every site in one numpy matrix, and ships the
+per-UE argmin row (best cell plus the serving/best losses) back to
+the parent, which applies the hysteresis rule as array operations.
+Because trajectories are deterministic, a shard can evaluate the
+*next* boundary's working points before running the epoch — the
+parent plans epoch ``k+1``'s handovers while the shards are still
+stepping epoch ``k``'s TTIs (see :meth:`Network.run`).  The migrating
+player and its FLARE plugin are pickled in a single ``dumps`` call so
+shared references (the plugin is reachable both directly and via
+``player.abr``) survive as one object.
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ import pickle
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
 from typing import Any
+
+import numpy as np
 
 from repro.core.controller import FlareSystem
 from repro.has.player import HasPlayer
@@ -55,13 +62,17 @@ from repro.obs import prof
 from repro.obs import tracer as obs
 from repro.phy import tbs
 from repro.phy.channel import ChannelModel, FadingProcess
-from repro.phy.cqi import LinkAdaptation
+from repro.phy.cqi import (
+    CQI_SINR_THRESHOLDS_DB,
+    LinkAdaptation,
+    itbs_from_cqi,
+)
 from repro.phy.mobility import Field, MobilityModel, Position
 from repro.phy.pathloss import LinkBudget, LogDistancePathLoss
 from repro.phy.tbs import PRB_PER_TTI_10MHZ, TTI_MS
 from repro.sim.cell import Cell
 from repro.sim.engine import advance_cells_lockstep
-from repro.sim.kernel import run_cells
+from repro.sim.kernel import kernel_enabled, run_cells
 from repro.util import require_non_negative, require_positive
 from repro.workload.handover import HandoverManager, HandoverRecord
 
@@ -127,6 +138,45 @@ class SitePlan:
         """How many dB stronger ``candidate`` is than ``serving``."""
         return self.loss_db(serving, position) - self.loss_db(
             candidate, position)
+
+    def loss_matrix_db(self, xs: Any, ys: Any) -> Any:
+        """Path loss toward every site, as a positions × cells matrix.
+
+        The numpy counterpart of :meth:`loss_db` for the batched
+        handover planner.  ``numpy``'s ``hypot``/``log10`` may differ
+        from ``libm`` by an ULP, which the planner tolerates — the
+        matrix feeds a hysteresis comparison, never the byte-exact
+        channel chain.
+        """
+        model = self.pathloss
+        sx = np.asarray([site[0] for site in self.positions])
+        sy = np.asarray([site[1] for site in self.positions])
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        distance = np.hypot(xs[:, None] - sx[None, :],
+                            ys[:, None] - sy[None, :])
+        clamped = np.maximum(distance, model.reference_m)
+        scale = 10.0 * model.exponent
+        return model.pl0_db + scale * np.log10(clamped / model.reference_m)
+
+    def nearest_cells(self, xs: Any, ys: Any) -> Any:
+        """Least-path-loss cell for many positions at once.
+
+        Matches :meth:`best_cell` per row: loss is strictly
+        increasing in distance beyond the reference distance and
+        saturated below it, so ``argmin`` over the clamped *squared*
+        distance (plain float arithmetic, no transcendentals)
+        reproduces the scalar loss comparison, with ``argmin``'s
+        first-occurrence rule matching the lowest-id tie break.
+        """
+        sx = np.asarray([site[0] for site in self.positions])
+        sy = np.asarray([site[1] for site in self.positions])
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        dist_sq = ((xs[:, None] - sx[None, :]) ** 2
+                   + (ys[:, None] - sy[None, :]) ** 2)
+        reference_sq = self.pathloss.reference_m ** 2
+        return np.argmin(np.maximum(dist_sq, reference_sq), axis=1)
 
     def neighbours_of(self, cell_id: int) -> tuple[int, ...]:
         """Ids of sites within ``neighbour_radius_m`` (excl. itself)."""
@@ -232,6 +282,11 @@ class MetroChannel(ChannelModel):
         self._period = fading._period  # fading resolution
         self._cache_key: tuple[int, int] | None = None
         self._cache_itbs = tbs.MIN_ITBS
+        # Per-epoch primed iTbs table (see prime_metro_channels):
+        # one value per fading bucket, valid for one penalty epoch.
+        self._primed_first_bucket = 0
+        self._primed_itbs: list[int] | None = None
+        self._primed_epoch = -1
 
     @property
     def serving_cell(self) -> int:
@@ -242,6 +297,11 @@ class MetroChannel(ChannelModel):
     def mobility(self) -> MobilityModel:
         """The UE's trajectory."""
         return self._mobility
+
+    @property
+    def fading_period_s(self) -> float:
+        """The fading (and iTbs cache / primed table) resolution."""
+        return self._period
 
     def handover(self, target_cell: int,
                  penalties: PenaltyMap | None = None) -> None:
@@ -256,6 +316,33 @@ class MetroChannel(ChannelModel):
         if penalties is not None:
             self._penalties = penalties
         self._cache_key = None
+        self._primed_itbs = None
+
+    def prime(self, first_bucket: int, itbs_values: Sequence[int],
+              penalty_epoch: int) -> None:
+        """Install one epoch's precomputed per-bucket iTbs table.
+
+        ``itbs_values[k]`` must be the scalar chain evaluated at the
+        first TTI-grid time falling inside fading bucket
+        ``first_bucket + k`` — exactly the time at which the uncached
+        scalar path evaluates that bucket — so a primed lookup is
+        byte-identical to :meth:`itbs_at` without the table.  The
+        table is only honoured while the penalty map still reports
+        ``penalty_epoch``; a handover drops it.
+        """
+        self._primed_first_bucket = first_bucket
+        self._primed_itbs = list(itbs_values)
+        self._primed_epoch = penalty_epoch
+
+    def primed_itbs(self, bucket: int) -> int | None:
+        """The primed iTbs for fading ``bucket``, or None when stale."""
+        values = self._primed_itbs
+        if values is None or self._penalties.epoch != self._primed_epoch:
+            return None
+        offset = bucket - self._primed_first_bucket
+        if 0 <= offset < len(values):
+            return values[offset]
+        return None
 
     def sinr_db_at(self, time_s: float) -> float:
         """SINR towards the serving site, minus its epoch penalty."""
@@ -266,6 +353,10 @@ class MetroChannel(ChannelModel):
         return sinr - self._penalties.db_for(self._serving)
 
     def itbs_at(self, time_s: float) -> int:
+        if self._primed_itbs is not None:
+            primed = self.primed_itbs(math.floor(time_s / self._period))
+            if primed is not None:
+                return primed
         key = (math.floor(time_s / self._period), self._penalties.epoch)
         if self._cache_key != key:
             profiler = prof.PROFILER
@@ -276,6 +367,116 @@ class MetroChannel(ChannelModel):
             if profiler is not None:
                 profiler.end()
         return self._cache_itbs
+
+
+#: Duck-typing sentinel the TTI kernel checks to classify a channel as
+#: primed-table capable without importing this module.  The identity
+#: comparison (``KERNEL_PRIMED_ITBS is type(channel).itbs_at``) means a
+#: subclass overriding ``itbs_at`` no longer matches and falls back to
+#: the per-step scalar path.
+MetroChannel.KERNEL_PRIMED_ITBS = MetroChannel.itbs_at  # type: ignore[attr-defined]
+
+#: iTbs per CQI index 0..15, precomputed for the vectorized priming
+#: chain (``cqi_from_sinr`` reduces to a ``searchsorted`` against the
+#: ascending thresholds; this table finishes the lookup).
+_ITBS_BY_CQI = np.asarray([itbs_from_cqi(cqi) for cqi in range(16)],
+                          dtype=np.int64)
+
+_CQI_THRESHOLDS = np.asarray(CQI_SINR_THRESHOLDS_DB, dtype=np.float64)
+
+
+def prime_metro_channels(channels: Sequence[MetroChannel], start_s: float,
+                         epoch_end_s: float, step_s: float) -> int:
+    """Vectorize one epoch of every channel's iTbs chain.
+
+    Replays the TTI grid from ``start_s`` by repeated float addition —
+    the cells' own clock sequence — to find, for each fading bucket
+    the epoch touches, the first grid time inside it; evaluates every
+    channel's chain at those times; and installs the per-bucket tables
+    via :meth:`MetroChannel.prime`.  Returns the number of buckets
+    primed.  All channels must share one fading period (callers group
+    by :attr:`MetroChannel.fading_period_s`).
+
+    Exactness: positions, path loss and fading go through the same
+    scalar calls the unprimed path makes (``numpy``'s ``hypot`` and
+    ``log10`` can differ from ``libm`` by an ULP, and the byte-identity
+    contract against the lockstep reference tolerates zero
+    divergence); only the SINR arithmetic — elementwise ``+``/``-``,
+    correctly rounded in both numpy and scalar float — and the CQI
+    threshold scan (``searchsorted`` ≡ the break-on-first-fail loop)
+    are batched.
+    """
+    if not channels:
+        return 0
+    period = channels[0]._period
+    buckets: list[int] = []
+    eval_times: list[float] = []
+    last_bucket: int | None = None
+    now = start_s
+    while now < epoch_end_s - 1e-9:
+        bucket = math.floor(now / period)
+        if bucket != last_bucket:
+            buckets.append(bucket)
+            eval_times.append(now)
+            last_bucket = bucket
+        now += step_s
+    if not buckets:
+        return 0
+    loss_rows: list[float] = []
+    fade_rows: list[float] = []
+    hypot = math.hypot
+    log10 = math.log10
+    last = buckets[-1]
+    for channel in channels:
+        position_at = channel._mobility.position_at
+        sites = channel._sites
+        sx, sy = sites.positions[channel._serving]
+        model = sites.pathloss
+        pl0 = model.pl0_db
+        ref = model.reference_m
+        scale = 10.0 * model.exponent
+        # Inlined SitePlan.loss_db / LogDistancePathLoss.loss_db with
+        # the same operations in the same association order (``scale``
+        # hoists ``10.0 * exponent``, the left-assoc prefix of the
+        # scalar expression), so each row is the byte the scalar call
+        # would produce.
+        for time_s in eval_times:
+            x, y = position_at(time_s)
+            d = hypot(x - sx, y - sy)
+            if d < ref:
+                d = ref
+            loss_rows.append(pl0 + scale * log10(d / ref))
+        # One batched fading extension per channel: every bucket the
+        # epoch touches is materialised by a single RNG draw (see
+        # FadingProcess._extend_until), then indexed directly —
+        # ``buckets`` already holds ``int(t / period)`` for each eval
+        # time, which is what fading_db would compute.
+        fading = channel._fading
+        fading._extend_until(last)
+        samples = fading._samples
+        fade_rows += [samples[b] for b in buckets]
+    count = len(channels)
+    width = len(buckets)
+    loss = np.asarray(loss_rows).reshape(count, width)
+    fade = np.asarray(fade_rows).reshape(count, width)
+    tx = np.asarray([c._sites.link_budget.tx_power_dbm
+                     for c in channels])[:, None]
+    noise = np.asarray([c._sites.link_budget.noise_floor_dbm()
+                        for c in channels])[:, None]
+    penalty = np.asarray([c._penalties.db_for(c._serving)
+                          for c in channels])[:, None]
+    backoff = np.asarray([c._la.backoff_db for c in channels])[:, None]
+    # Same association order as the scalar chain: LinkBudget.sinr_db is
+    # ((tx - loss) + fade) - noise, then the penalty, then the backoff
+    # are subtracted one at a time.
+    effective = (tx - loss + fade - noise) - penalty - backoff
+    cqi = np.searchsorted(_CQI_THRESHOLDS, effective, side="right")
+    itbs = _ITBS_BY_CQI[cqi]
+    first = buckets[0]
+    for index, channel in enumerate(channels):
+        channel.prime(first, itbs[index].tolist(),
+                      channel._penalties.epoch)
+    return width
 
 
 @dataclass(frozen=True)
@@ -352,6 +553,24 @@ class NetworkPlan:
             seen.add(ue.ue_id)
 
 
+@dataclass(frozen=True)
+class WorkingPoints:
+    """Per-UE radio working points a shard reports at a boundary.
+
+    Parallel numpy arrays over the shard's resident UEs (arbitrary
+    order): the serving cell, the overall-best cell, and the path
+    losses toward both at the evaluation time.  This is everything the
+    hysteresis rule needs — ~40 bytes per UE cross the process
+    boundary instead of a UEs × cells loss matrix.
+    """
+
+    ue_ids: Any
+    serving: Any
+    best: Any
+    serving_loss_db: Any
+    best_loss_db: Any
+
+
 class NetworkShard:
     """A contiguous slice of the metro: some cells + their handovers.
 
@@ -380,18 +599,70 @@ class NetworkShard:
         """The constructed cell bundle for ``cell_id``."""
         return self._built[cell_id]
 
+    def _metro_channels(self) -> list[MetroChannel]:
+        """Every resident UE's channel, in player-attachment order."""
+        channels = []
+        for built in self._built.values():
+            for player in built.players.values():
+                channel = player.flow.ue.channel
+                if isinstance(channel, MetroChannel):
+                    channels.append(channel)
+        return channels
+
+    def working_points(self, time_s: float) -> WorkingPoints:
+        """Radio working points of every resident UE at ``time_s``.
+
+        Positions come from each channel's own mobility object;
+        trajectories are deterministic, so evaluating the *next*
+        boundary time before the epoch runs yields exactly the
+        positions the UEs will occupy when the handover lands.  The
+        UEs × cells path-loss matrix is one numpy evaluation; only
+        the per-UE argmin row leaves the shard.
+        """
+        ue_ids: list[int] = []
+        serving: list[int] = []
+        xs: list[float] = []
+        ys: list[float] = []
+        for built in self._built.values():
+            for player in built.players.values():
+                ue = player.flow.ue
+                channel = ue.channel
+                if not isinstance(channel, MetroChannel):
+                    continue
+                position = channel.mobility.position_at(time_s)
+                ue_ids.append(ue.ue_id)
+                serving.append(channel.serving_cell)
+                xs.append(position[0])
+                ys.append(position[1])
+        ids = np.asarray(ue_ids, dtype=np.int64)
+        serving_arr = np.asarray(serving, dtype=np.int64)
+        if not ue_ids:
+            empty = np.zeros(0)
+            return WorkingPoints(ids, serving_arr,
+                                 np.zeros(0, dtype=np.int64), empty,
+                                 empty.copy())
+        loss = self.plan.sites.loss_matrix_db(xs, ys)
+        best = np.argmin(loss, axis=1)
+        rows = np.arange(len(ue_ids))
+        return WorkingPoints(ids, serving_arr, best,
+                             loss[rows, serving_arr], loss[rows, best])
+
     def advance(self, epoch_end_s: float, penalties: Mapping[int, float],
                 lockstep: bool = False) -> tuple[dict[int, float], int]:
         """Run every cell of the shard to the epoch boundary.
 
-        Installs the epoch's frozen interference penalties, advances
-        all cells (one fused kernel invocation per cell, or the
-        per-step lockstep reference schedule), and returns
-        ``(cumulative PRBs per cell, cells that ran on the kernel
-        fast path)``.
+        Installs the epoch's frozen interference penalties, primes
+        every channel's per-bucket iTbs table for the epoch (kernel
+        mode only — the lockstep reference keeps the pure scalar
+        path), advances all cells (one fused kernel invocation per
+        cell, or the per-step lockstep reference schedule), and
+        returns ``(cumulative PRBs per cell, cells that ran on the
+        kernel fast path)``.
         """
         self.penalties.replace(penalties)
         cells = [built.cell for built in self._built.values()]
+        if not lockstep and cells and kernel_enabled():
+            self._prime_epoch(cells, epoch_end_s)
         if lockstep:
             advance_cells_lockstep(cells, epoch_end_s)
             fast = 0
@@ -402,6 +673,26 @@ class NetworkShard:
             for cell_id, built in self._built.items()
         }
         return usage, fast
+
+    def _prime_epoch(self, cells: Sequence[Cell],
+                     epoch_end_s: float) -> None:
+        """Batch-evaluate every channel's iTbs tables for one epoch.
+
+        All cells advance together, so their clocks hold the same
+        float; the grid replay starts from that value with the cells'
+        own step size.  Channels are grouped by fading period (the
+        metro uses one) so each group shares a bucket grid.
+        """
+        start_s = cells[0].now_s
+        if epoch_end_s <= start_s + 1e-9:
+            return
+        step_s = cells[0].config.step_s
+        groups: dict[float, list[MetroChannel]] = {}
+        for channel in self._metro_channels():
+            groups.setdefault(channel.fading_period_s,
+                              []).append(channel)
+        for group in groups.values():
+            prime_metro_channels(group, start_s, epoch_end_s, step_s)
 
     def detach_blob(self, cell_id: int, flow_id: int) -> bytes:
         """Detach a flow from ``cell_id`` and freeze it for transport.
@@ -505,13 +796,6 @@ class Network:
         self.plan = plan
         self._serving = {ue.ue_id: ue.cell_id for ue in plan.ues}
         self._flow_of = {ue.ue_id: ue.flow_id for ue in plan.ues}
-        # The parent's own deterministic mobility copies: spawn-keyed
-        # RNG means these trajectories are bit-identical to the ones
-        # embedded in the shard workers' channels.
-        self._mobility = {
-            ue.ue_id: plan.mobility_builder(plan, ue.ue_id)
-            for ue in plan.ues
-        }
         self._neighbours = {
             cell_id: plan.sites.neighbours_of(cell_id)
             for cell_id in range(plan.sites.num_cells)
@@ -524,25 +808,94 @@ class Network:
         """The cell currently serving ``ue_id``."""
         return self._serving[ue_id]
 
-    def _plan_handovers(self, now_s: float) -> list[tuple[int, int, int]]:
-        """Handover directives ``(ue, source, target)`` for this epoch.
+    def _plan_handovers(
+            self,
+            points: Sequence[WorkingPoints]) -> list[tuple[int, int, int]]:
+        """Handover directives ``(ue, source, target)`` for one boundary.
 
-        A UE moves when some cell's path loss beats its serving cell's
-        by more than the hysteresis margin; the target is always the
-        overall-best cell.  Directives are ordered by UE id.
+        Batched over the shard-reported working points: a UE moves
+        when the overall-best site's path loss beats the serving
+        site's by more than the hysteresis margin (the target ties to
+        the lowest cell id, like :meth:`SitePlan.best_cell`).  The
+        working points carry each UE's *post-exchange* serving cell —
+        one argmin row per UE, evaluated against where it actually is
+        — so a UE can receive at most one directive per boundary.
+        Directives are ordered by UE id.
         """
-        sites = self.plan.sites
-        directives = []
-        for ue_id in sorted(self._serving):
-            serving = self._serving[ue_id]
-            position = self._mobility[ue_id].position_at(now_s)
-            best = sites.best_cell(position)
-            if best == serving:
-                continue
-            if sites.advantage_db(position, serving,
-                                  best) > self.plan.hysteresis_db:
-                directives.append((ue_id, serving, best))
-        return directives
+        ue_ids = np.concatenate([p.ue_ids for p in points])
+        if ue_ids.size == 0:
+            return []
+        serving = np.concatenate([p.serving for p in points])
+        best = np.concatenate([p.best for p in points])
+        advantage = (
+            np.concatenate([p.serving_loss_db for p in points])
+            - np.concatenate([p.best_loss_db for p in points]))
+        move = (best != serving) & (advantage > self.plan.hysteresis_db)
+        ids = ue_ids[move]
+        sources = serving[move]
+        targets = best[move]
+        order = np.argsort(ids)
+        return [(int(ids[i]), int(sources[i]), int(targets[i]))
+                for i in order]
+
+    def _apply_directives(self, directives: Sequence[tuple[int, int, int]],
+                          now_s: float, shard_of: Mapping[int, int],
+                          pool: Any, local: NetworkShard | None) -> None:
+        """Execute one boundary's X2 migrations, split by locality.
+
+        Intra-shard moves go through the no-pickle migrate path;
+        cross-shard moves cost one detach round trip per source shard
+        plus one attach round trip per target shard, with all requests
+        of a round written before any reply is awaited.  All flows are
+        distinct, so detaching everything before attaching anything is
+        order-equivalent to the per-directive sequence.
+        """
+        local_of: dict[int, list[tuple[int, int, int, float]]] = {}
+        detach_of: dict[int, list[tuple[int, int]]] = {}
+        for ue_id, source, target in directives:
+            flow_id = self._flow_of[ue_id]
+            if shard_of[source] == shard_of[target]:
+                local_of.setdefault(shard_of[source], []).append(
+                    (source, target, flow_id, now_s))
+            else:
+                detach_of.setdefault(shard_of[source], []).append(
+                    (source, flow_id))
+        if pool is None:
+            assert local is not None
+            for moves in local_of.values():
+                local.migrate_many(moves)
+        else:
+            for shard_index, moves in local_of.items():
+                pool.send(shard_index, "migrate_many", moves)
+            for shard_index, requests in detach_of.items():
+                pool.send(shard_index, "detach_many", requests)
+            for shard_index in local_of:
+                pool.recv(shard_index)
+            blobs: dict[tuple[int, int], bytes] = {}
+            for shard_index, requests in detach_of.items():
+                for request, blob in zip(requests,
+                                         pool.recv(shard_index)):
+                    blobs[request] = blob
+            attach_of: dict[int, list[tuple[int, bytes, int,
+                                            float]]] = {}
+            for ue_id, source, target in directives:
+                if shard_of[source] == shard_of[target]:
+                    continue
+                flow_id = self._flow_of[ue_id]
+                attach_of.setdefault(shard_of[target], []).append(
+                    (target, blobs[source, flow_id], source, now_s))
+            for shard_index, items in attach_of.items():
+                pool.send(shard_index, "attach_many", items)
+            for shard_index in attach_of:
+                pool.recv(shard_index)
+        for ue_id, source, target in directives:
+            self._serving[ue_id] = target
+            self.handover_count += 1
+            tracer = obs.TRACER
+            if tracer is not None:
+                tracer.emit(obs_events.NET_HANDOVER, now_s,
+                            flow=self._flow_of[ue_id], ue=ue_id,
+                            source=source, target=target)
 
     def _exchange(self, usages: Mapping[int, float],
                   usage_prev: dict[int, float], util: dict[int, float],
@@ -620,77 +973,75 @@ class Network:
                              [(self.plan, cell_ids)
                               for cell_ids in assignment])
 
-        def call(shard: int, method: str, *args: Any) -> Any:
-            if pool is not None:
-                return pool.call(shard, method, *args)
-            assert local is not None
-            return getattr(local, method)(*args)
-
         try:
             usage_prev = dict.fromkeys(range(num_cells), 0.0)
             util = dict.fromkeys(range(num_cells), 0.0)
             penalties = dict.fromkeys(range(num_cells), 0.0)
             profiler = prof.PROFILER
+            # Boundary 0's working points, then one epoch per loop
+            # iteration.  Subsequent boundaries are planned *inside*
+            # the previous epoch (see below), so `directives` always
+            # holds the plan for the boundary the loop is entering.
+            if profiler is not None:
+                profiler.begin("net.handover")
+            if pool is not None:
+                for index in range(shards):
+                    pool.send(index, "working_points", 0.0)
+                points = [pool.recv(index) for index in range(shards)]
+            else:
+                assert local is not None
+                points = [local.working_points(0.0)]
+            directives = self._plan_handovers(points)
+            if profiler is not None:
+                profiler.end()
             now = 0.0
             while now < duration_s - 1e-9:
                 epoch_end = min(now + self.plan.exchange_s, duration_s)
+                final = epoch_end >= duration_s - 1e-9
                 if profiler is not None:
                     profiler.begin("net.handover")
-                directives = self._plan_handovers(now)
-                # Batched X2, split by locality.  Intra-shard moves go
-                # through the no-pickle migrate path; cross-shard moves
-                # cost one detach round trip per source shard plus one
-                # attach round trip per target shard.  All flows are
-                # distinct, so detaching everything before attaching
-                # anything is order-equivalent to the per-directive
-                # sequence.
-                local_of: dict[int, list[tuple[int, int, int,
-                                               float]]] = {}
-                detach_of: dict[int, list[tuple[int, int]]] = {}
-                for ue_id, source, target in directives:
-                    flow_id = self._flow_of[ue_id]
-                    if shard_of[source] == shard_of[target]:
-                        local_of.setdefault(shard_of[source], []).append(
-                            (source, target, flow_id, now))
-                    else:
-                        detach_of.setdefault(shard_of[source], []).append(
-                            (source, flow_id))
-                for shard_index, moves in local_of.items():
-                    call(shard_index, "migrate_many", moves)
-                blobs: dict[tuple[int, int], bytes] = {}
-                for shard_index, requests in detach_of.items():
-                    for request, blob in zip(
-                            requests,
-                            call(shard_index, "detach_many", requests)):
-                        blobs[request] = blob
-                attach_of: dict[int, list[tuple[int, bytes, int,
-                                                float]]] = {}
-                for ue_id, source, target in directives:
-                    if shard_of[source] == shard_of[target]:
-                        continue
-                    flow_id = self._flow_of[ue_id]
-                    attach_of.setdefault(shard_of[target], []).append(
-                        (target, blobs[source, flow_id], source, now))
-                for shard_index, items in attach_of.items():
-                    call(shard_index, "attach_many", items)
-                for ue_id, source, target in directives:
-                    self._serving[ue_id] = target
-                    self.handover_count += 1
-                    tracer = obs.TRACER
-                    if tracer is not None:
-                        tracer.emit(obs_events.NET_HANDOVER, now,
-                                    flow=self._flow_of[ue_id], ue=ue_id,
-                                    source=source, target=target)
+                self._apply_directives(directives, now, shard_of, pool,
+                                       local)
                 if profiler is not None:
                     profiler.switch("net.advance")
                 if pool is not None:
-                    replies = pool.broadcast(
-                        "advance",
-                        [(epoch_end, penalties, lockstep)] * shards)
+                    # Pipelined epoch: both requests go out back to
+                    # back per shard; each worker answers the cheap
+                    # working-points probe first and then grinds
+                    # through the epoch's TTIs, so the parent plans
+                    # the *next* boundary's handovers while every
+                    # shard is still simulating this epoch.  Mobility
+                    # is deterministic, which is what makes probing
+                    # the boundary time before the epoch runs exact.
+                    for index in range(shards):
+                        if not final:
+                            pool.send(index, "working_points", epoch_end)
+                        pool.send(index, "advance", epoch_end, penalties,
+                                  lockstep)
+                    directives = []
+                    if not final:
+                        points = [pool.recv(index)
+                                  for index in range(shards)]
+                        if profiler is not None:
+                            profiler.switch("net.handover")
+                        directives = self._plan_handovers(points)
+                        if profiler is not None:
+                            profiler.switch("net.advance")
+                    replies = [pool.recv(index)
+                               for index in range(shards)]
                 else:
                     assert local is not None
+                    directives = []
+                    if not final:
+                        points = [local.working_points(epoch_end)]
                     replies = [local.advance(epoch_end, penalties,
                                              lockstep)]
+                    if not final:
+                        if profiler is not None:
+                            profiler.switch("net.handover")
+                        directives = self._plan_handovers(points)
+                        if profiler is not None:
+                            profiler.switch("net.advance")
                 usages: dict[int, float] = {}
                 for usage, fast in replies:
                     usages.update(usage)

@@ -137,16 +137,20 @@ def build_metro_plan(
     solver: str = "exact",
     delta: int = 4,
     alpha: float = 1.0,
+    total_ues: int | None = None,
 ) -> NetworkPlan:
     """The metro world: ``num_cells`` grid sites, roaming UEs.
 
     ``ues_per_cell`` scales the population — ``num_cells *
     ues_per_cell`` UEs are dropped uniformly over the whole field and
     each starts in its least-path-loss cell, so initial per-cell
-    occupancy is only *approximately* ``ues_per_cell``.  UE ``g``'s
-    ue and flow ids are both ``g``.
+    occupancy is only *approximately* ``ues_per_cell``.  ``total_ues``
+    overrides that product directly (the UE-count axis of the scaling
+    study).  UE ``g``'s ue and flow ids are both ``g``.
     """
     require_positive("ues_per_cell", ues_per_cell)
+    if total_ues is not None:
+        require_positive("total_ues", total_ues)
     if scheme not in METRO_SCHEMES:
         raise ValueError(f"unknown metro scheme {scheme!r}; "
                          f"expected one of {METRO_SCHEMES}")
@@ -169,11 +173,19 @@ def build_metro_plan(
         mobility_builder=metro_mobility, exchange_s=exchange_s,
         coupling_db=coupling_db, hysteresis_db=hysteresis_db,
         params=params)
-    ues = []
-    for index in range(num_cells * ues_per_cell):
+    count = total_ues if total_ues is not None else num_cells * ues_per_cell
+    xs = []
+    ys = []
+    for index in range(count):
         origin = metro_mobility(probe, index).position_at(0.0)
-        ues.append(UePlan(ue_id=index, flow_id=index,
-                          cell_id=sites.best_cell(origin)))
+        xs.append(origin[0])
+        ys.append(origin[1])
+    # Batched initial assignment: one argmin over the clamped squared
+    # distances, exactly the per-UE best_cell() choice (see
+    # SitePlan.nearest_cells) without a Python loop over cells per UE.
+    homes = sites.nearest_cells(np.asarray(xs), np.asarray(ys))
+    ues = [UePlan(ue_id=index, flow_id=index, cell_id=int(home))
+           for index, home in enumerate(homes)]
     return NetworkPlan(
         sites=sites, ues=tuple(ues), cell_builder=build_metro_cell,
         mobility_builder=metro_mobility, exchange_s=exchange_s,

@@ -1,6 +1,9 @@
 """Tests for the parallel, cached experiment-execution layer."""
 
 import dataclasses
+import time
+
+import pytest
 
 from repro.experiments.cache import (
     ResultCache,
@@ -11,6 +14,8 @@ from repro.experiments.cache import (
 from repro.experiments.parallel import (
     LEDGER,
     ExperimentTask,
+    ShardPool,
+    ShardPoolError,
     execution_defaults,
     resolve_jobs,
     resolve_use_cache,
@@ -153,6 +158,63 @@ class TestCellKey:
         assert canonicalize({"b": 2, "a": 1}) == {"a": 1, "b": 2}
         encoded = canonicalize(FlareParams())
         assert encoded["__type__"] == "FlareParams"
+
+
+class SlowEcho:
+    """Shard-state stand-in: replies carry the shard id and call rank.
+
+    ``delay_s`` skews how long each shard grinds per request, so a
+    fast shard's replies are ready long before a slow shard's — the
+    exact condition under which pipelined ``send``/``recv`` must still
+    deliver every reply to the right request.
+    """
+
+    def __init__(self, shard_id, delay_s):
+        self.shard_id = shard_id
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def compute(self, tag):
+        time.sleep(self.delay_s)
+        self.calls += 1
+        return (self.shard_id, self.calls, tag)
+
+    def boom(self):
+        raise RuntimeError("deliberate shard failure")
+
+
+class TestShardPoolPipelining:
+    def test_out_of_order_recv_across_skewed_shards(self):
+        # Shard 0 is slow, shard 1 fast.  Dispatch two requests to
+        # each before collecting anything, then drain the fast shard
+        # first: replies must match (shard, send-rank) regardless of
+        # which worker finished first.
+        with ShardPool(SlowEcho, [(0, 0.05), (1, 0.0)]) as pool:
+            pool.send(0, "compute", "a")
+            pool.send(0, "compute", "b")
+            pool.send(1, "compute", "c")
+            pool.send(1, "compute", "d")
+            assert pool.recv(1) == (1, 1, "c")
+            assert pool.recv(1) == (1, 2, "d")
+            assert pool.recv(0) == (0, 1, "a")
+            assert pool.recv(0) == (0, 2, "b")
+
+    def test_per_shard_fifo_over_many_pipelined_sends(self):
+        with ShardPool(SlowEcho, [(0, 0.0)]) as pool:
+            for tag in range(8):
+                pool.send(0, "compute", tag)
+            replies = [pool.recv(0) for _ in range(8)]
+        assert replies == [(0, rank + 1, rank) for rank in range(8)]
+
+    def test_worker_error_surfaces_on_recv_and_worker_survives(self):
+        with ShardPool(SlowEcho, [(0, 0.0)]) as pool:
+            pool.send(0, "boom")
+            pool.send(0, "compute", "after")
+            with pytest.raises(ShardPoolError, match="deliberate"):
+                pool.recv(0)
+            # The worker stays alive: the pipelined follow-up still
+            # runs, and the failed call did not bump the state.
+            assert pool.recv(0) == (0, 1, "after")
 
 
 class TestExecutionDefaults:

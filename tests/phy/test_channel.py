@@ -109,6 +109,24 @@ class TestFadingProcess:
         with pytest.raises(ValueError):
             process.fading_db(-1.0)
 
+    def test_fading_batch_draws(self):
+        # One batched standard_normal(2 * need) draw must consume the
+        # RNG stream exactly like the one-call-per-sample loop, so a
+        # trace materialised in a single extension is bit-identical to
+        # one grown a sample at a time (see FadingProcess._extend_until).
+        batched = FadingProcess(np.random.default_rng(7),
+                                sample_period_s=0.5)
+        stepwise = FadingProcess(np.random.default_rng(7),
+                                 sample_period_s=0.5)
+        last = 199
+        batched.fading_db(last * 0.5)  # one extension covers everything
+        for index in range(last + 1):
+            assert stepwise.fading_db(index * 0.5) \
+                == batched._samples[index]
+        assert stepwise._samples == batched._samples
+        assert stepwise._shadow_state == batched._shadow_state
+        assert stepwise._fast_state == batched._fast_state
+
 
 class TestFadingChannel:
     def _channel(self, distance_m=300.0):

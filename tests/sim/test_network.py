@@ -11,6 +11,7 @@ target cell, and a stalled player recovers after handing over to a
 healthy cell.
 """
 
+import math
 import pickle
 
 import pytest
@@ -20,9 +21,15 @@ from repro.core.plugin import FlarePlugin
 from repro.has.player import PlaybackState
 from repro.metrics.serialize import dump_cell_report
 from repro.phy.channel import StaticItbsChannel
+from repro.sim import kernel as kernel_mod
 from repro.sim.engine import advance_cells_lockstep
-from repro.sim.kernel import kernel_mode
-from repro.sim.network import MetroChannel, Network, NetworkShard
+from repro.sim.kernel import TtiKernel, kernel_mode
+from repro.sim.network import (
+    MetroChannel,
+    Network,
+    NetworkShard,
+    prime_metro_channels,
+)
 from repro.workload.handover import HandoverManager
 from repro.workload.metro import build_metro_plan
 from repro.workload.multicell import build_multicell_scenario
@@ -164,3 +171,113 @@ class TestHandoverSemantics:
         # The healthy cell has headroom: at most one stall can still be
         # in flight from the handover instant itself.
         assert player.stall_events <= stalls_at_handover + 1
+
+
+def dense_plan(seed=0, ues_per_cell=64):
+    """2 cells loaded past the kernel's vector-lane entry threshold.
+
+    Under load the number of *concurrently active* transfers is well
+    below the resident count (players pace themselves on full
+    buffers), so ``ues_per_cell`` must comfortably exceed ``_VEC_MIN``
+    for the full-width masked numpy MAC phase to engage.
+    """
+    return build_metro_plan(num_cells=2, ues_per_cell=ues_per_cell,
+                            seed=seed, isd_m=300.0, coupling_db=6.0)
+
+
+class TestVectorLane:
+    """The numpy MAC lane == the scalar fast path == lockstep."""
+
+    @pytest.mark.parametrize("seed,shards", [(0, 2), (3, 2)])
+    def test_vec_scalar_lockstep_sharded_identical(self, seed, shards,
+                                                   monkeypatch):
+        # The sanitizer guards the lockstep reference only: an armed
+        # CHECKER forces every kernel onto the per-step reference
+        # schedule (kernel.py's _step_fast bail-out), so the fast
+        # paths under test must run unchecked to engage at all.
+        plan = dense_plan(seed)
+        with chk.checked_run():
+            with kernel_mode(False):
+                _, ref = run_reports(plan, 30.0, lockstep=True)
+        # Scalar fast path: vector lane structurally disabled.
+        monkeypatch.setattr(kernel_mod, "_VEC_DISABLED", True)
+        _, scalar = run_reports(plan, 30.0, shards=1)
+        monkeypatch.setattr(kernel_mod, "_VEC_DISABLED", False)
+        # Vector lane, with a spy proving it actually engaged.
+        engaged = []
+        orig_gather = TtiKernel._vec_gather
+
+        def spying_gather(kernel):
+            engaged.append(True)
+            return orig_gather(kernel)
+
+        monkeypatch.setattr(TtiKernel, "_vec_gather", spying_gather)
+        _, vec = run_reports(plan, 30.0, shards=1)
+        assert engaged, "vector lane never engaged; raise ues_per_cell"
+        _, sharded = run_reports(plan, 30.0, shards=shards)
+        assert ref == scalar
+        assert scalar == vec
+        assert vec == sharded
+
+    def test_empty_cells_and_singleton_shards(self):
+        # 2 UEs across a 4-cell grid: some cells start empty, and with
+        # shards=4 every shard owns exactly one cell (some with no
+        # players at all).  All three modes must still agree.
+        plan = build_metro_plan(num_cells=4, ues_per_cell=1, seed=0,
+                                isd_m=300.0, coupling_db=6.0, total_ues=2)
+        assert len({ue.cell_id for ue in plan.ues}) < 4
+        with chk.checked_run():
+            with kernel_mode(False):
+                _, ref = run_reports(plan, 30.0, lockstep=True)
+            _, batched = run_reports(plan, 30.0, shards=1)
+            _, sharded = run_reports(plan, 30.0, shards=4)
+        assert ref == batched
+        assert batched == sharded
+
+
+class TestChannelPriming:
+    """prime_metro_channels == the per-UE scalar iTbs chain, per bucket."""
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_primed_tables_match_scalar_chain(self, seed):
+        plan = build_metro_plan(num_cells=4, ues_per_cell=3, seed=seed,
+                                isd_m=300.0, coupling_db=6.0)
+        shard = NetworkShard(plan, list(range(plan.sites.num_cells)))
+        channels = shard._metro_channels()
+        assert channels
+        step_s = shard.built(shard.cell_ids[0]).cell.config.step_s
+        epoch_end = plan.exchange_s
+        primed = prime_metro_channels(channels, 0.0, epoch_end, step_s)
+        assert primed > 0
+        for channel in channels:
+            table = list(channel._primed_itbs)
+            first = channel._primed_first_bucket
+            assert len(table) == primed
+            # Drop the table (fading samples stay materialised) and
+            # replay the TTI grid the way the cells' clocks do —
+            # repeated float addition — evaluating the scalar chain at
+            # the first grid time inside each fading bucket, exactly
+            # where the primed table claims to have been evaluated.
+            channel._primed_itbs = None
+            period = channel.fading_period_s
+            scalar = {}
+            now = 0.0
+            while now < epoch_end - 1e-9:
+                bucket = math.floor(now / period)
+                if bucket not in scalar:
+                    scalar[bucket] = channel.itbs_at(now)
+                now += step_s
+            assert table == [scalar[first + k] for k in range(primed)]
+
+    def test_handover_drops_primed_table(self):
+        plan = small_plan()
+        shard = NetworkShard(plan, list(range(plan.sites.num_cells)))
+        channels = shard._metro_channels()
+        step_s = shard.built(shard.cell_ids[0]).cell.config.step_s
+        prime_metro_channels(channels, 0.0, plan.exchange_s, step_s)
+        channel = channels[0]
+        assert channel.primed_itbs(channel._primed_first_bucket) is not None
+        target = next(c for c in range(plan.sites.num_cells)
+                      if c != channel.serving_cell)
+        channel.handover(target)
+        assert channel.primed_itbs(channel._primed_first_bucket) is None

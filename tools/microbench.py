@@ -1,6 +1,6 @@
 """Micro-benchmarks for the TTI hot-loop stages.
 
-Two micro-kernels, each at N = 16 / 256 / 2048 UEs:
+Three micro-kernels:
 
 * ``sched`` — ``PrioritySetScheduler.allocate`` over N backlogged
   data flows: the GBR phase, the proportional-fair waterfill and the
@@ -9,9 +9,14 @@ Two micro-kernels, each at N = 16 / 256 / 2048 UEs:
   channels (``TtiKernel._fill_cyclic`` plus the TBS-table gather);
   N = 16 exercises the scalar per-slot loop, the larger populations
   the batched numpy sweep.
+* ``itbs`` — the metro's batched per-epoch channel priming
+  (``prime_metro_channels``: scalar loss/fade collection plus the
+  vectorised SINR→CQI→iTbs sweep) over N roaming ``MetroChannel``
+  UEs at the scaling-study populations N = 1k / 10k / 100k.
 
-Each (kernel, N) cell runs a fixed amount of total work (the step
-count scales inversely with N) and reports the best of ``--repeats``
+``sched`` and ``chain`` run at N = 16 / 256 / 2048.  Each
+(kernel, N) cell runs a fixed amount of total work (the step count
+scales inversely with N) and reports the best of ``--repeats``
 timings.  The artifact is a standard ``BENCH_micro.json`` written to
 ``REPRO_BENCH_DIR``; its ``wall_time_s`` is the sum of the best
 timings — the quantity ``tools/perf_gate.py`` gates in CI — and the
@@ -28,25 +33,45 @@ import argparse
 import sys
 import time
 
+import numpy as np
+
 from repro.experiments.bench import measure, write_bench_json
 from repro.mac.gbr import BearerRegistry
 from repro.mac.priority_set import PrioritySetScheduler
 from repro.net.flows import DataFlow, UserEquipment, reset_entity_ids
 from repro.net.tcp import FluidTcp
-from repro.phy.channel import CyclicItbsChannel, StaticItbsChannel
+from repro.phy.channel import CyclicItbsChannel, FadingProcess, StaticItbsChannel
+from repro.phy.mobility import RandomWaypointMobility
 from repro.phy.tbs import BYTES_PER_PRB_TABLE
 from repro.sim.cell import Cell, CellConfig
 from repro.sim.kernel import TtiKernel
+from repro.sim.network import (
+    MetroChannel,
+    PenaltyMap,
+    grid_site_plan,
+    prime_metro_channels,
+)
 
-#: UE populations each micro-kernel runs at.
+#: UE populations the TTI-loop micro-kernels run at.
 POPULATIONS = (16, 256, 2048)
+
+#: UE populations the metro priming kernel runs at (the scaling
+#: study's --ues ladder).
+ITBS_POPULATIONS = (1_000, 10_000, 100_000)
 
 #: Total flow-steps per (kernel, N) measurement; the per-N step count
 #: is this divided by N, so every cell times a comparable amount of
 #: work regardless of population.
 WORK_UNITS = 81_920
 
+#: Total channel-epochs per ``itbs`` measurement (epochs × N).
+ITBS_WORK_UNITS = 100_000
+
 STEP_S = 0.02
+
+#: Metro epoch the ``itbs`` kernel primes per step (the network's
+#: default ``exchange_s``).
+EPOCH_S = 2.0
 
 
 def _data_flow(itbs: int) -> DataFlow:
@@ -100,16 +125,46 @@ def bench_chain(n: int, steps: int) -> float:
     return elapsed
 
 
-KERNELS = {"sched": bench_sched, "chain": bench_chain}
+def bench_itbs(n: int, steps: int) -> float:
+    """Batched metro channel priming: N UEs, ``steps`` epochs."""
+    sites = grid_site_plan(100)
+    num_cells = sites.num_cells
+    penalties = PenaltyMap()
+    channels = []
+    for i in range(n):
+        mobility = RandomWaypointMobility(
+            sites.bounds, np.random.default_rng([7, 611, i]))
+        fading = FadingProcess(np.random.default_rng([7, 612, i]))
+        channels.append(MetroChannel(mobility, sites, fading,
+                                     i % num_cells, penalties=penalties))
+    started = time.perf_counter()
+    start_s = 0.0
+    buckets = 0
+    for _ in range(steps):
+        penalties.replace({cell: 1.5 for cell in range(num_cells)})
+        buckets += prime_metro_channels(channels, start_s,
+                                        start_s + EPOCH_S, STEP_S)
+        start_s += EPOCH_S
+    elapsed = time.perf_counter() - started
+    assert buckets > 0
+    return elapsed
+
+
+#: kernel name -> (function, populations, total work units).
+KERNELS = {
+    "sched": (bench_sched, POPULATIONS, WORK_UNITS),
+    "chain": (bench_chain, POPULATIONS, WORK_UNITS),
+    "itbs": (bench_itbs, ITBS_POPULATIONS, ITBS_WORK_UNITS),
+}
 
 
 def run_micro(repeats: int) -> dict[str, dict[str, float]]:
     """Best-of-``repeats`` seconds for every (kernel, N) cell."""
     results: dict[str, dict[str, float]] = {}
-    for name, fn in KERNELS.items():
+    for name, (fn, populations, work_units) in KERNELS.items():
         per_n: dict[str, float] = {}
-        for n in POPULATIONS:
-            steps = max(1, WORK_UNITS // n)
+        for n in populations:
+            steps = max(1, work_units // n)
             per_n[str(n)] = min(fn(n, steps) for _ in range(repeats))
         results[name] = per_n
     return results
@@ -122,7 +177,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="timings per cell; the best is kept")
     args = parser.parse_args(argv)
     with measure("micro", populations=list(POPULATIONS),
-                 work_units=WORK_UNITS, repeats=args.repeats) as record:
+                 work_units=WORK_UNITS,
+                 itbs_populations=list(ITBS_POPULATIONS),
+                 itbs_work_units=ITBS_WORK_UNITS,
+                 repeats=args.repeats) as record:
         results = run_micro(args.repeats)
     record.extra["micro"] = results
     # The gate compares wall_time_s; the measured region above also
