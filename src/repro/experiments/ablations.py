@@ -25,8 +25,9 @@ from repro.experiments.runner import (
 )
 from repro.workload.scenarios import FlareParams, build_cell_scenario
 
-#: Ablation name -> FlareParams override.
-ABLATIONS: dict[str, FlareParams] = {
+#: Ablation name -> FlareParams override.  Read-only after import
+#: (FlareParams is frozen); never mutated by workers.
+ABLATIONS: dict[str, FlareParams] = {  # flarelint: disable=FL009
     "flare": FlareParams(),
     "no_hysteresis": FlareParams(delta=0),
     "no_step_limit": FlareParams(enforce_step_limit=False),

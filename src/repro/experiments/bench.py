@@ -52,7 +52,8 @@ _GIT_REV: str | None = None
 
 def _git_revision() -> str:
     """The repo's short commit hash, or ``"unknown"`` (cached)."""
-    global _GIT_REV
+    # Parent-process provenance cache; never read inside a worker.
+    global _GIT_REV  # flarelint: disable=FL009
     if _GIT_REV is None:
         try:
             _GIT_REV = subprocess.run(

@@ -197,7 +197,9 @@ def execution_defaults(jobs: int | None = None,
     reach every ``run_comparison`` call without threading arguments
     through each figure function.
     """
-    global _DEFAULTS
+    # Parent-process execution defaults; workers receive explicit
+    # task arguments and never consult this module global.
+    global _DEFAULTS  # flarelint: disable=FL009
     previous = _DEFAULTS
     _DEFAULTS = ExecutionDefaults(jobs=jobs, use_cache=use_cache,
                                   cache_dir=cache_dir)

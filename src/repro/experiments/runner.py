@@ -74,7 +74,9 @@ def full_mode(enabled: bool) -> Iterator[None]:
     restored, so in-process callers (CLI tests, notebooks) can't leak
     paper-scale mode into later work.
     """
-    global _FORCED_FULL
+    # Parent-process scale toggle, exported to workers via the
+    # environment (like kernel_mode), not via this module global.
+    global _FORCED_FULL  # flarelint: disable=FL009
     previous = _FORCED_FULL
     _FORCED_FULL = enabled
     try:

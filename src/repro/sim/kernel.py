@@ -90,7 +90,7 @@ from repro.phy.tbs import (
     validate_itbs,
 )
 from repro.sim.engine import earliest_due
-from repro.util import require_positive
+from repro.util import require_positive, sequential_replay
 
 if TYPE_CHECKING:
     from repro.sim.cell import Cell
@@ -156,6 +156,93 @@ _VEC_DISABLED = bool(os.environ.get("REPRO_KERNEL_NO_VEC"))
 #: numpy view of the iTbs -> bytes/PRB table for batched lookups.
 _BPP_NP = None if np is None else np.array(BYTES_PER_PRB_TABLE)
 
+#: The checked mirror-coverage allowlist (``Class.attr`` -> reason).
+#:
+#: The parity analyzer (``python -m tools.flarelint.parity``) extracts
+#: every instance attribute the scalar object path mutates after
+#: construction and requires each to be a maintained kernel mirror —
+#: an attribute name with both a gather (load) and a flush (store)
+#: site inside :class:`TtiKernel`.  Attributes that are mutated but
+#: deliberately *not* mirrored must be listed here with a reason, and
+#: the analyzer cross-checks the list both ways: an unexplained
+#: unmirrored attribute fails CI, and so does a stale entry (one that
+#: is no longer mutated, or that has since become a real mirror).
+#:
+#: This dict must stay a literal (str keys, str values): the analyzer
+#: reads it from the AST without importing the simulator.
+KERNEL_UNMIRRORED: dict[str, str] = {  # flarelint: disable=FL009
+    # -- Cell topology: every mutation funnels through
+    #    Cell._invalidate_kernel(), which discards this kernel so
+    #    _rebuild() re-derives all mirrors from scratch.
+    "Cell._kernel": "kernel lifecycle itself; rebuilt on invalidation",
+    "Cell._flows": "topology; mutation invalidates the kernel (rebuild)",
+    "Cell._players": "topology; mutation invalidates the kernel (rebuild)",
+    "Cell._ladders": "topology; mutation invalidates the kernel (rebuild)",
+    "Cell._controllers": "topology; mutation invalidates the kernel (rebuild)",
+    "Cell._step_hooks": "topology; mutation invalidates the kernel (rebuild)",
+    "Cell._usage_snapshots": "observation-boundary output; appended by "
+                             "boundary code while objects are authoritative",
+    # -- Player/buffer state: the kernel never simulates these
+    #    transitions itself — it calls the player's own methods
+    #    (issue_requests, completion callbacks) at observation
+    #    boundaries, so the object is authoritative whenever they run.
+    "HasPlayer.state": "object-authoritative; kernel only reads it to "
+                       "classify lazy-playback stretches",
+    "HasPlayer._pending": "object-authoritative via issue_requests at "
+                          "boundaries",
+    "HasPlayer._active": "object-authoritative via issue_requests at "
+                         "boundaries",
+    "HasPlayer._next_segment_index": "object-authoritative via "
+                                     "issue_requests at boundaries",
+    "HasPlayer._payload_start_s": "object-authoritative via issue_requests "
+                                  "at boundaries",
+    "HasPlayer._step_end_s": "flush-only mirror: kernel writes the "
+                             "observation timestamp, never reads it back",
+    "HasPlayer._startup_delay_s": "set once on the STARTUP->PLAYING edge, "
+                                  "which always runs on the object",
+    "HasPlayer._stall_events": "incremented on the PLAYING->STALLED edge, "
+                               "which always runs on the object",
+    "HasPlayer._abandonments": "abandonment decisions run on the object "
+                               "(kernel treats abandonment-enabled "
+                               "players as HOT)",
+    "HasPlayer._abr_override_index": "written by ABR callbacks, which fire "
+                                     "at observation boundaries",
+    "HasPlayer.log": "segment records are appended by completion "
+                     "callbacks, which fire at observation boundaries",
+    "HasPlayer.buffer": "buffer.add runs in completion callbacks at "
+                        "observation boundaries",
+    "PlayoutBuffer._total_starved_s": "starvation accrues only in STALLED "
+                                      "drains, which run on the object "
+                                      "(lazy stalls replay via "
+                                      "_pl_materialize's rebuffer path)",
+    "PlayoutBuffer._overfill_clipped_s": "overfill clipping happens in "
+                                         "buffer.add at boundaries",
+    "PlayoutBuffer._total_flushed_s": "flush() is a handover/reset "
+                                      "operation; it invalidates the "
+                                      "kernel",
+    # -- Scheduler/MAC transients: recomputed from scratch every step;
+    #    the kernel computes its own allocation arrays and flushes the
+    #    per-interval/cumulative accumulators, not the scratch.
+    "Allocation.prbs": "per-step transient; kernel computes allocations "
+                       "directly into SoA arrays",
+    "Allocation.bytes_delivered": "per-step transient; kernel computes "
+                                  "allocations directly into SoA arrays",
+    "Scheduler._claim_pool": "recycled per-step scratch objects; never "
+                             "observable across a step",
+    "RbTraceModule._interval_start_s": "roll() is boundary code; the "
+                                       "kernel flushes _prbs/_bytes "
+                                       "before any roll can run",
+    # -- GBR registry: the kernel resyncs wholesale when
+    #    registry.version moves (_resync_registry), instead of
+    #    mirroring the dicts field by field.
+    "BearerRegistry._bearers": "wholesale resync via registry.version",
+    "BearerRegistry._version": "wholesale resync via registry.version",
+    "BearerRegistry._updates": "wholesale resync via registry.version",
+    # -- Flow demand bookkeeping.
+    "Flow._last_wanted": "flush-only mirror: kernel recomputes wanted "
+                         "bytes each step and writes the last value back",
+}
+
 
 def kernel_enabled() -> bool:
     """True when the vectorized TTI fast path should be used.
@@ -181,7 +268,9 @@ def kernel_mode(enabled: bool) -> Iterator[None]:
     set for the duration so worker processes forked by the experiment
     pool inherit the selection; both are restored on exit.
     """
-    global _FORCED
+    # Scoped override, mirrored into the environment below precisely
+    # so forked shard workers inherit it deterministically.
+    global _FORCED  # flarelint: disable=FL009
     previous_forced = _FORCED
     previous_env = os.environ.get(KERNEL_ENV)
     _FORCED = enabled
@@ -1088,6 +1177,7 @@ class TtiKernel:
         self._act_stale = True
 
     @staticmethod
+    @sequential_replay
     def _gbr_chain(asks, remaining):
         """Replay the reference GBR budget chain on python floats.
 
@@ -2277,6 +2367,7 @@ class TtiKernel:
             itbs[j] = int(round(level))
 
 
+@sequential_replay
 def _waterfill(budget: float, caps: list[float],
                weights: list[float]) -> list[float]:
     """Slot-indexed replica of :func:`repro.mac.scheduler.waterfill_prbs`.

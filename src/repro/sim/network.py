@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import math
 import pickle
+import struct
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
 from typing import Any
@@ -73,7 +74,11 @@ from repro.phy.tbs import PRB_PER_TTI_10MHZ, TTI_MS
 from repro.sim.cell import Cell
 from repro.sim.engine import advance_cells_lockstep
 from repro.sim.kernel import kernel_enabled, run_cells
-from repro.util import require_non_negative, require_positive
+from repro.util import (
+    cross_shard_message,
+    require_non_negative,
+    require_positive,
+)
 from repro.workload.handover import HandoverManager, HandoverRecord
 
 
@@ -553,6 +558,7 @@ class NetworkPlan:
             seen.add(ue.ue_id)
 
 
+@cross_shard_message
 @dataclass(frozen=True)
 class WorkingPoints:
     """Per-UE radio working points a shard reports at a boundary.
@@ -562,6 +568,12 @@ class WorkingPoints:
     losses toward both at the evaluation time.  This is everything the
     hysteresis rule needs — ~40 bytes per UE cross the process
     boundary instead of a UEs × cells loss matrix.
+
+    Crossing the ShardPool pipe uses the blob contract (flarelint
+    FL010): a fixed-layout byte string — UE count, then the int64 id /
+    serving / best columns, then the float64 loss columns — instead of
+    recursive object pickling, so the wire format is deterministic and
+    version-independent.  Pickle delegates to the same blob.
     """
 
     ue_ids: Any
@@ -569,6 +581,41 @@ class WorkingPoints:
     best: Any
     serving_loss_db: Any
     best_loss_db: Any
+
+    _COLUMNS = ("ue_ids", "serving", "best",
+                "serving_loss_db", "best_loss_db")
+    _DTYPES = ("int64", "int64", "int64", "float64", "float64")
+
+    def to_blob(self) -> bytes:
+        """Serialize to the fixed-layout column blob."""
+        count = int(np.asarray(self.ue_ids).shape[0])
+        parts = [struct.pack("<q", count)]
+        for name, dtype in zip(self._COLUMNS, self._DTYPES):
+            column = np.ascontiguousarray(getattr(self, name),
+                                          dtype=np.dtype(dtype))
+            parts.append(column.tobytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> WorkingPoints:
+        """Reconstruct from :meth:`to_blob` output."""
+        (count,) = struct.unpack_from("<q", blob, 0)
+        offset = struct.calcsize("<q")
+        columns = {}
+        for name, dtype in zip(cls._COLUMNS, cls._DTYPES):
+            dt = np.dtype(dtype)
+            columns[name] = np.frombuffer(
+                blob, dtype=dt, count=count, offset=offset).copy()
+            offset += count * dt.itemsize
+        return cls(**columns)
+
+    def __getstate__(self) -> bytes:
+        return self.to_blob()
+
+    def __setstate__(self, state: bytes) -> None:
+        thawed = type(self).from_blob(state)
+        for name in self._COLUMNS:
+            object.__setattr__(self, name, getattr(thawed, name))
 
 
 class NetworkShard:

@@ -9,10 +9,46 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
 
 #: Bits per byte, named to keep unit conversions greppable.
 BITS_PER_BYTE = 8
+
+_ReplayF = TypeVar("_ReplayF", bound=Callable[..., Any])
+_MessageT = TypeVar("_MessageT")
+
+
+def sequential_replay(func: _ReplayF) -> _ReplayF:
+    """Mark a sanctioned order-sensitive sequential-replay helper.
+
+    The byte-identity contract (see docs/development.md) forbids
+    order-sensitive reductions (``np.sum``, ``np.dot``, ``cumsum``…)
+    over registered accumulators anywhere in the hot path, because
+    pairwise/blocked summation orders differ between numpy versions
+    and array layouts.  The sanctioned alternative is a *sequential
+    replay*: a helper that walks the accumulator as an exact chain of
+    python-float operations, reproducing the reference order
+    bit-for-bit.  Decorating such a helper with ``@sequential_replay``
+    exempts its body from flarelint rule FL008; the decorator itself
+    is a no-op at runtime.
+    """
+    return func
+
+
+def cross_shard_message(cls: type[_MessageT]) -> type[_MessageT]:
+    """Mark a class whose instances cross a ShardPool pipe.
+
+    Cross-shard messages must not rely on default pickling of live
+    simulation objects (object identity, RNG state and channel wiring
+    do not survive a naive round-trip).  flarelint rule FL010 requires
+    every decorated class to implement the pickle-free blob contract:
+    either ``to_blob()``/``from_blob()`` or an explicit
+    ``__getstate__``/``__setstate__`` pair.  The decorator itself is a
+    no-op at runtime; it exists so the contract is greppable and
+    statically checkable.
+    """
+    return cls
 
 #: Milliseconds per second.
 MS_PER_S = 1000.0

@@ -25,22 +25,48 @@ OneAPI registration steps are skipped.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.core.controller import FlareSystem
 from repro.core.plugin import FlarePlugin
 from repro.has.player import HasPlayer
 from repro.sim.cell import Cell
+from repro.util import cross_shard_message
+
+#: Wire layout of one :class:`HandoverRecord`: time (float64) and the
+#: three ids (int64), little-endian, 32 bytes total.
+_RECORD_STRUCT = struct.Struct("<dqqq")
 
 
+@cross_shard_message
 @dataclass(frozen=True)
 class HandoverRecord:
-    """Audit entry of one executed handover."""
+    """Audit entry of one executed handover.
+
+    Records cross the ShardPool pipe when the parent collects each
+    shard's audit trail at epoch boundaries, so the class carries the
+    flarelint FL010 blob contract: a fixed 32-byte struct layout
+    instead of object pickling.
+    """
 
     time_s: float
     flow_id: int
     source_cell_id: int
     target_cell_id: int
+
+    def to_blob(self) -> bytes:
+        """Serialize to the fixed 32-byte wire layout."""
+        return _RECORD_STRUCT.pack(self.time_s, self.flow_id,
+                                   self.source_cell_id,
+                                   self.target_cell_id)
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> HandoverRecord:
+        """Reconstruct from :meth:`to_blob` output."""
+        time_s, flow_id, source, target = _RECORD_STRUCT.unpack(blob)
+        return cls(time_s=time_s, flow_id=flow_id,
+                   source_cell_id=source, target_cell_id=target)
 
 
 class HandoverManager:

@@ -14,6 +14,7 @@ healthy cell.
 import math
 import pickle
 
+import numpy as np
 import pytest
 
 from repro import check as chk
@@ -28,6 +29,7 @@ from repro.sim.network import (
     MetroChannel,
     Network,
     NetworkShard,
+    WorkingPoints,
     prime_metro_channels,
 )
 from repro.workload.handover import HandoverManager
@@ -219,6 +221,36 @@ class TestVectorLane:
         assert scalar == vec
         assert vec == sharded
 
+    def test_perturbed_vec_lane_is_detected(self, monkeypatch):
+        """The differential harness has teeth.
+
+        A small relative error injected into a single vector-lane
+        operand must break byte-identity against the scalar fast path
+        (the ``REPRO_KERNEL_NO_VEC`` configuration).  If this
+        comparison ever stops detecting the seeded divergence, the
+        byte-identity suite is vacuous.
+        """
+        plan = dense_plan(0)
+        monkeypatch.setattr(kernel_mod, "_VEC_DISABLED", True)
+        _, scalar = run_reports(plan, 30.0, shards=1)
+        monkeypatch.setattr(kernel_mod, "_VEC_DISABLED", False)
+
+        engaged = []
+        orig_step = TtiKernel._vec_step
+
+        def perturbing_step(kernel, now, end, step_s):
+            engaged.append(True)
+            # Skew the in-lane congestion windows by 0.1% per step: a
+            # small relative error in one vector-lane operand, of the
+            # kind a wrong dtype or a reordered reduction produces.
+            kernel._v_cwnd *= 1.0 + 1e-3
+            return orig_step(kernel, now, end, step_s)
+
+        monkeypatch.setattr(TtiKernel, "_vec_step", perturbing_step)
+        _, perturbed = run_reports(plan, 30.0, shards=1)
+        assert engaged, "vector lane never engaged; raise ues_per_cell"
+        assert perturbed != scalar
+
     def test_empty_cells_and_singleton_shards(self):
         # 2 UEs across a 4-cell grid: some cells start empty, and with
         # shards=4 every shard owns exactly one cell (some with no
@@ -281,3 +313,53 @@ class TestChannelPriming:
                       if c != channel.serving_cell)
         channel.handover(target)
         assert channel.primed_itbs(channel._primed_first_bucket) is None
+
+
+class TestWorkingPointsBlob:
+    """The pickle-free wire contract for shard boundary reports."""
+
+    @staticmethod
+    def _points():
+        return WorkingPoints(
+            ue_ids=np.array([11, 7, 3], dtype=np.int64),
+            serving=np.array([0, 1, 1], dtype=np.int64),
+            best=np.array([0, 1, 2], dtype=np.int64),
+            serving_loss_db=np.array([91.5, 88.25, 104.0]),
+            best_loss_db=np.array([91.5, 88.25, 96.125]),
+        )
+
+    def test_blob_round_trip(self):
+        points = self._points()
+        thawed = WorkingPoints.from_blob(points.to_blob())
+        for name in WorkingPoints._COLUMNS:
+            np.testing.assert_array_equal(getattr(thawed, name),
+                                          getattr(points, name))
+
+    def test_blob_layout_is_fixed(self):
+        points = self._points()
+        blob = points.to_blob()
+        # count header + 3 int64 columns + 2 float64 columns.
+        assert len(blob) == 8 + 3 * (3 * 8) + 2 * (3 * 8)
+        assert blob[:8] == (3).to_bytes(8, "little")
+        # Byte-identical serialization is the whole point.
+        assert blob == self._points().to_blob()
+
+    def test_pickle_delegates_to_blob(self):
+        points = self._points()
+        thawed = pickle.loads(pickle.dumps(points))
+        for name in WorkingPoints._COLUMNS:
+            np.testing.assert_array_equal(getattr(thawed, name),
+                                          getattr(points, name))
+        # The pickle payload embeds the blob, not per-array pickles.
+        assert points.to_blob() in pickle.dumps(points)
+
+    def test_empty_points(self):
+        empty = WorkingPoints(
+            ue_ids=np.array([], dtype=np.int64),
+            serving=np.array([], dtype=np.int64),
+            best=np.array([], dtype=np.int64),
+            serving_loss_db=np.array([]),
+            best_loss_db=np.array([]),
+        )
+        thawed = WorkingPoints.from_blob(empty.to_blob())
+        assert thawed.ue_ids.shape == (0,)

@@ -16,7 +16,12 @@ import sys
 
 import pytest
 
-from tools.flarelint import lint_source
+from tools.flarelint import (
+    apply_suppressions,
+    lint_source,
+    load_suppressions,
+    render_github,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 FIXTURES = REPO_ROOT / "tools" / "flarelint" / "fixtures"
@@ -125,3 +130,140 @@ class TestCli:
             cwd=REPO_ROOT, capture_output=True, text=True,
         )
         assert result.returncode == 2
+
+    def test_full_tree_is_clean_with_baseline(self):
+        # Satellite contract: the linter runs green over the whole
+        # repo once the committed suppression baseline is applied.
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint",
+             "src/repro", "tools", "tests"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "suppressed" in result.stderr
+
+    def test_parse_failure_exits_two(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint", str(broken)],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 2
+        assert "parse error" in result.stderr
+
+    def test_parse_failure_dominates_findings(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint",
+             "tools/flarelint/fixtures/bad_mutable_default.py",
+             str(broken)],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        # The FL004 findings are still printed, but a file that failed
+        # to parse must not masquerade as a mere lint failure.
+        assert result.returncode == 2
+        assert "FL004" in result.stdout
+
+    def test_github_format_emits_annotations(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint",
+             "tools/flarelint/fixtures/bad_mutable_default.py",
+             "--format", "github"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        for line in result.stdout.splitlines():
+            assert line.startswith("::error file=")
+        assert "title=flarelint FL004" in result.stdout
+
+
+class TestSuppressions:
+    def test_load_suppressions(self, tmp_path):
+        supp = tmp_path / "supp.txt"
+        supp.write_text(
+            "# comment\n\nFL003 tests/*\nFL001 tools/microbench.py\n",
+            encoding="utf-8")
+        assert load_suppressions(supp) == [
+            ("FL003", "tests/*"),
+            ("FL001", "tools/microbench.py"),
+        ]
+
+    def test_malformed_suppression_raises(self, tmp_path):
+        supp = tmp_path / "supp.txt"
+        supp.write_text("FL003\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_suppressions(supp)
+
+    def test_apply_suppressions_filters_by_code_and_glob(self):
+        source = "def f(x=[]):\n    return x\n"
+        finding = lint_source(source, "tests/unit/test_x.py")[0]
+        kept, dropped = apply_suppressions(
+            [finding], [("FL004", "tests/*")])
+        assert kept == [] and dropped == 1
+        kept, dropped = apply_suppressions(
+            [finding], [("FL003", "tests/*"), ("FL004", "docs/*")])
+        assert kept == [finding] and dropped == 0
+
+    def test_cli_suppression_round_trip(self, tmp_path):
+        flagged = tmp_path / "flagged.py"
+        flagged.write_text("def f(x=[]):\n    return x\n",
+                           encoding="utf-8")
+        supp = tmp_path / "supp.txt"
+        supp.write_text(f"FL004 {flagged.as_posix()}\n",
+                        encoding="utf-8")
+        bare = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint", str(flagged),
+             "--no-suppressions"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert bare.returncode == 1
+        quiet = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint", str(flagged),
+             "--suppressions", str(supp)],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert quiet.returncode == 0, quiet.stdout + quiet.stderr
+        assert "1 suppressed" in quiet.stderr
+
+    def test_cli_malformed_suppressions_exit_two(self, tmp_path):
+        supp = tmp_path / "supp.txt"
+        supp.write_text("not-a-code\n", encoding="utf-8")
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint", "src/repro",
+             "--suppressions", str(supp)],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 2
+
+
+class TestInlineDisable:
+    def test_disable_comment_silences_one_line(self):
+        noisy = "def f(rate_bps, goal_bps):\n    return rate_bps == goal_bps\n"
+        quiet = ("def f(rate_bps, goal_bps):\n"
+                 "    return rate_bps == goal_bps"
+                 "  # flarelint: disable=FL003\n")
+        path = "src/repro/core/x.py"
+        assert lint_source(noisy, path, select=["FL003"])
+        assert lint_source(quiet, path, select=["FL003"]) == []
+
+    def test_disable_is_line_and_code_scoped(self):
+        source = ("def f(rate_bps, goal_bps):\n"
+                  "    x = rate_bps == goal_bps"
+                  "  # flarelint: disable=FL001\n"
+                  "    return rate_bps == goal_bps\n")
+        findings = lint_source(source, "src/repro/core/x.py",
+                               select=["FL003"])
+        # Wrong code in the comment: both comparisons still flagged.
+        assert [f.line for f in findings] == [2, 3]
+
+
+def test_render_github_format():
+    source = "def f(x=[]):\n    return x\n"
+    finding = lint_source(source, "src/repro/core/x.py")[0]
+    assert render_github(finding) == (
+        "::error file=src/repro/core/x.py,line=1,col=8,"
+        "title=flarelint FL004::mutable default argument in f(); "
+        "default to None and construct inside the function"
+    )

@@ -1,0 +1,164 @@
+"""Self-tests for the mirror-coverage parity analyzer.
+
+The fixture trees under ``tools/flarelint/fixtures/parity`` are tiny
+scalar+kernel module pairs:
+
+- ``good``   — ``_cwnd`` mirrored (gather+flush), ``_log`` allowlisted.
+- ``bad``    — the seeded mirror omission: ``_cwnd`` is gathered but
+  never flushed, so the analyzer must flag it (FL100).
+- ``stale``  — allowlist entries for a now-mirrored attribute and a
+  never-mutated one (both FL101).
+- ``missing``— kernel module without a ``KERNEL_UNMIRRORED`` dict
+  (FL102).
+
+On top of the fixtures, the analyzer must hold on the real tree:
+``src/repro`` at HEAD reports zero unexplained unmirrored attributes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from tools.flarelint.parity import SCALAR_MODULES, analyze, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+PARITY_FIXTURES = (REPO_ROOT / "tools" / "flarelint" / "fixtures"
+                   / "parity")
+
+FIXTURE_SCALAR = ("scalar.py",)
+FIXTURE_KERNEL = "kernel.py"
+
+
+def _analyze_fixture(tree: str):
+    return analyze(PARITY_FIXTURES / tree, FIXTURE_SCALAR,
+                   FIXTURE_KERNEL, ("TtiKernel",))
+
+
+class TestFixtureTrees:
+    def test_good_tree_is_clean(self):
+        findings, report = _analyze_fixture("good")
+        assert findings == []
+        assert report["counts"] == {
+            "mutated_attrs": 2,
+            "covered": 1,
+            "allowlisted": 1,
+            "unexplained": 0,
+            "kernel_mirrors": 1,
+            "findings": 0,
+        }
+        assert set(report["mirrored_attrs"]) == {"_cwnd"}
+        assert report["covered"] == ["Flow._cwnd"]
+        assert list(report["allowlisted"]) == ["Flow._log"]
+
+    def test_good_tree_records_gather_and_flush_scopes(self):
+        _, report = _analyze_fixture("good")
+        mirror = report["mirrored_attrs"]["_cwnd"]
+        assert "_gather" in mirror["gather_scopes"]
+        assert "_flush" in mirror["flush_scopes"]
+
+    def test_seeded_mirror_omission_is_caught(self):
+        findings, report = _analyze_fixture("bad")
+        assert [f.code for f in findings] == ["FL100"]
+        assert "Flow._cwnd" in findings[0].message
+        assert report["unexplained"] == ["Flow._cwnd"]
+        # Gather-only is not a mirror: the name never reaches the
+        # flush set, so the kernel has no maintained `_cwnd` lane.
+        assert report["counts"]["kernel_mirrors"] == 0
+
+    def test_stale_allowlist_entries_are_caught(self):
+        findings, report = _analyze_fixture("stale")
+        assert [f.code for f in findings] == ["FL101", "FL101"]
+        messages = " ".join(f.message for f in findings)
+        assert "Flow._cwnd" in messages  # mirrored now
+        assert "Flow._gone" in messages  # never mutated
+        assert report["unexplained"] == []
+
+    def test_missing_allowlist_is_caught(self):
+        findings, report = _analyze_fixture("missing")
+        codes = [f.code for f in findings]
+        assert "FL102" in codes
+        # Without an allowlist the mutated attr is also unexplained.
+        assert "FL100" in codes
+        assert report["counts"]["unexplained"] == 1
+
+
+class TestRealTree:
+    def test_src_repro_has_no_unexplained_unmirrored_attrs(self):
+        findings, report = analyze(REPO_ROOT / "src")
+        assert findings == [], [f.render() for f in findings]
+        assert report["unexplained"] == []
+        assert report["counts"]["covered"] > 0
+        assert report["counts"]["allowlisted"] > 0
+
+    def test_known_mirrors_are_detected(self):
+        _, report = analyze(REPO_ROOT / "src")
+        mirrored = set(report["mirrored_attrs"])
+        # Spot-check the load-bearing mirrors of the SoA fast path.
+        assert {"_cwnd", "_avg_rate_bps", "_level_s",
+                "_rebuffer_s"} <= mirrored
+        assert "FluidTcp._cwnd" in report["covered"]
+
+    def test_scalar_modules_all_exist(self):
+        for module in SCALAR_MODULES:
+            assert (REPO_ROOT / "src" / module).is_file(), module
+
+
+class TestCli:
+    def test_real_tree_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint.parity"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 unexplained" in result.stderr
+
+    def test_seeded_omission_exits_one(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint.parity",
+             "--source-root", "tools/flarelint/fixtures/parity/bad",
+             "--scalar", "scalar.py", "--kernel", "kernel.py"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "FL100" in result.stdout
+
+    def test_missing_module_exits_two(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint.parity",
+             "--source-root", "no/such/root"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 2
+        assert "no such module" in result.stderr
+
+    def test_github_format(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "tools.flarelint.parity",
+             "--source-root", "tools/flarelint/fixtures/parity/bad",
+             "--scalar", "scalar.py", "--kernel", "kernel.py",
+             "--format", "github"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert result.stdout.startswith("::error file=")
+        assert "title=flarelint FL100" in result.stdout
+
+    def test_report_file_is_written(self, tmp_path):
+        report_path = tmp_path / "parity" / "coverage.json"
+        rc = main(["--report", str(report_path),
+                   "--source-root", str(REPO_ROOT / "src")])
+        assert rc == 0
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["counts"]["unexplained"] == 0
+        assert report["mirrored_attrs"]
+
+
+@pytest.mark.parametrize("tree", ["good", "bad", "stale", "missing"])
+def test_fixture_trees_are_present(tree):
+    assert (PARITY_FIXTURES / tree / "scalar.py").is_file()
+    assert (PARITY_FIXTURES / tree / "kernel.py").is_file()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.workload.handover import HandoverManager
+from repro.workload.handover import HandoverManager, HandoverRecord
 from repro.workload.multicell import build_multicell_scenario
 
 
@@ -94,3 +94,21 @@ class TestMigration:
                             scenario.oneapi.system_for(scenario.cells[0]),
                             scenario.cells[1],
                             scenario.oneapi.system_for(scenario.cells[1]))
+
+
+class TestHandoverRecordBlob:
+    """The fixed 32-byte wire contract for cross-shard audit entries."""
+
+    def test_blob_round_trip(self):
+        record = HandoverRecord(time_s=12.5, flow_id=42,
+                                source_cell_id=3, target_cell_id=7)
+        blob = record.to_blob()
+        assert len(blob) == 32
+        assert HandoverRecord.from_blob(blob) == record
+
+    def test_blob_is_deterministic(self):
+        def make():
+            return HandoverRecord(time_s=0.001, flow_id=1,
+                                  source_cell_id=0, target_cell_id=1)
+
+        assert make().to_blob() == make().to_blob()

@@ -1,9 +1,10 @@
 """flarelint: AST lint rules specific to the FLARE reproduction.
 
 Generic linters cannot know that this simulator's correctness rests on
-seeded determinism, a zero-cost tracer fast path, and float-tolerant
-rate comparisons.  flarelint encodes those repo-specific contracts as
-four AST rules:
+seeded determinism, a zero-cost tracer fast path, float-tolerant rate
+comparisons, and the byte-identity contract between the object path,
+the SoA kernel, the numpy vector lane and sharded execution.  flarelint
+encodes those repo-specific contracts as AST rules:
 
 * **FL001 determinism** — no module-global randomness (bare ``random``
   module functions, unseeded ``np.random.default_rng()``, legacy
@@ -18,28 +19,61 @@ four AST rules:
   or buffer levels; accumulated float state needs tolerant
   comparisons.
 * **FL004 mutable defaults** — no mutable default arguments.
+* **FL005 prof timing** — simulator code times itself through
+  ``repro.obs.prof`` spans, never raw clocks.
+* **FL006 aliased out=** — an input array reused as ``out=`` in a
+  non-elementwise numpy op (``dot``, ``cumsum``, ``einsum``…) is
+  undefined behaviour; elementwise in-place aliasing stays sanctioned.
+* **FL007 narrow dtypes** — no float32/int16/… in simulator
+  arithmetic; the byte-identity lanes are float64/int64.
+* **FL008 ordered reductions** — no ``np.sum``/``np.dot``/``cumsum``
+  over registered byte-identity accumulators outside a
+  ``@sequential_replay`` helper (reduction order varies across numpy
+  versions and layouts).
+* **FL009 shard module state** — no module-level mutable containers
+  or ``global`` rebinds in worker-reachable ``repro`` modules.
+* **FL010 blob contract** — classes crossing ShardPool pipes must be
+  ``@cross_shard_message`` with ``to_blob``/``from_blob`` (or an
+  explicit ``__getstate__``/``__setstate__`` pair).
 
-Run it with::
+The mirror-coverage *parity analyzer* lives alongside the rules:
+``python -m tools.flarelint.parity`` statically proves every scalar
+object-path mutation is either kernel-mirrored or explicitly
+allowlisted in ``sim.kernel.KERNEL_UNMIRRORED``.
 
-    python -m tools.flarelint src/repro
+Run the linter with::
 
-Exit status is 0 when clean, 1 when any finding is reported.
+    python -m tools.flarelint src/repro tools tests
+
+Exit status is 0 when clean, 1 on findings, 2 when a file fails to
+parse (or a named path is missing).  A trailing
+``# flarelint: disable=FLxxx`` comment silences a finding on that
+line; the committed ``suppressions.txt`` baselines intentional
+patterns path-wide.
 """
 
 from __future__ import annotations
 
 from tools.flarelint.rules import (
     ALL_CODES,
+    BYTE_IDENTITY_ACCUMULATORS,
     Finding,
+    apply_suppressions,
     lint_file,
     lint_paths,
     lint_source,
+    load_suppressions,
+    render_github,
 )
 
 __all__ = [
     "ALL_CODES",
+    "BYTE_IDENTITY_ACCUMULATORS",
     "Finding",
+    "apply_suppressions",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_suppressions",
+    "render_github",
 ]

@@ -1,11 +1,34 @@
-"""CLI entry point: ``python -m tools.flarelint <paths>``."""
+"""CLI entry point: ``python -m tools.flarelint <paths>``.
+
+Exit codes:
+
+* ``0`` — no findings,
+* ``1`` — findings (after suppressions),
+* ``2`` — operational failure: a named path does not exist or a file
+  failed to *parse*.  Parse failures must not masquerade as lint
+  passes (or as mere findings), so they dominate the exit code even
+  when other files produced findings.
+"""
 
 from __future__ import annotations
 
 import argparse
 import pathlib
 import sys
-from tools.flarelint.rules import ALL_CODES, lint_paths
+
+from tools.flarelint.rules import (
+    ALL_CODES,
+    Finding,
+    apply_suppressions,
+    iter_python_files,
+    lint_file,
+    load_suppressions,
+    render_github,
+)
+
+#: The committed baseline of intentional findings; used automatically
+#: when it exists (``--no-suppressions`` opts out).
+DEFAULT_SUPPRESSIONS = pathlib.Path("tools/flarelint/suppressions.txt")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -14,25 +37,72 @@ def main(argv: list[str] | None = None) -> int:
         prog="flarelint",
         description="FLARE-repo-specific AST lint rules "
                     "(determinism, tracer fast path, float equality, "
-                    "mutable defaults).",
+                    "mutable defaults, numpy safety, shard safety).",
     )
     parser.add_argument("paths", nargs="+", type=pathlib.Path,
                         help="files or directories to lint")
     parser.add_argument("--select", nargs="*", choices=ALL_CODES,
                         default=None, metavar="CODE",
                         help="restrict to specific rule codes")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text", dest="fmt",
+                        help="finding output format (github emits "
+                             "workflow annotations)")
+    parser.add_argument("--suppressions", type=pathlib.Path,
+                        default=None, metavar="FILE",
+                        help="suppression file (default: "
+                             f"{DEFAULT_SUPPRESSIONS} when present)")
+    parser.add_argument("--no-suppressions", action="store_true",
+                        help="ignore the default suppression file")
     args = parser.parse_args(argv)
+
     for path in args.paths:
         if not path.exists():
             print(f"flarelint: no such path: {path}", file=sys.stderr)
             return 2
-    findings = lint_paths(args.paths, select=args.select)
+
+    suppression_rules: list[tuple[str, str]] = []
+    if not args.no_suppressions:
+        suppression_path = args.suppressions
+        if suppression_path is None and DEFAULT_SUPPRESSIONS.is_file():
+            suppression_path = DEFAULT_SUPPRESSIONS
+        if suppression_path is not None:
+            try:
+                suppression_rules = load_suppressions(suppression_path)
+            except (OSError, ValueError) as exc:
+                print(f"flarelint: {exc}", file=sys.stderr)
+                return 2
+
+    findings: list[Finding] = []
+    parse_errors: list[str] = []
+    for file_path in iter_python_files(args.paths):
+        try:
+            findings.extend(lint_file(file_path, select=args.select))
+        except SyntaxError as exc:
+            line = exc.lineno or 1
+            parse_errors.append(f"{file_path}:{line}: parse error: "
+                                f"{exc.msg}")
+
+    findings, suppressed = apply_suppressions(sorted(findings),
+                                              suppression_rules)
     for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"flarelint: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    return 0
+        print(render_github(finding) if args.fmt == "github"
+              else finding.render())
+    for error in parse_errors:
+        if args.fmt == "github":
+            path, line, rest = error.split(":", 2)
+            print(f"::error file={path},line={line}"
+                  f"::flarelint parse error:{rest}")
+        print(error, file=sys.stderr)
+
+    if findings or suppressed:
+        print(f"flarelint: {len(findings)} finding(s), "
+              f"{suppressed} suppressed", file=sys.stderr)
+    if parse_errors:
+        print(f"flarelint: {len(parse_errors)} file(s) failed to parse",
+              file=sys.stderr)
+        return 2
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,356 @@
+"""Attribute-dataflow extraction shared by the parity analyzer.
+
+The mirror-coverage analysis (:mod:`tools.flarelint.parity`) needs two
+views of the codebase, both derived purely from the stdlib ``ast``:
+
+* **scalar-side mutations** — for every class in the object-path
+  modules, the set of instance attributes the simulation *mutates
+  after construction* (``self.x = ...`` outside ``__init__``, augmented
+  assigns, subscript stores on ``self.x``, and mutating container
+  method calls like ``self.x.append(...)``), plus the same through
+  one level of local aliasing (``pool = self._claim_pool`` followed by
+  ``pool.append(...)``);
+
+* **kernel-side accesses** — inside :class:`TtiKernel`, every
+  attribute *load* and *store* on a non-``self`` receiver.  Loads are
+  the gather surface (``self._cwnd[i] = tcp._cwnd``), stores the flush
+  surface (``tcp._cwnd = cwnd[i]``); an attribute with both is a
+  maintained mirror.  Alias tracking covers the kernel's idiom of
+  hoisting a container once and writing through the local
+  (``averages = sched.pf._avg_rate_bps`` … ``averages[fid] = v``).
+
+Everything here is deliberately *syntactic*: no imports are resolved
+and no types inferred.  Attribute names are matched as names, which is
+exactly the kernel's own mirroring convention (the SoA field for
+``FluidTcp._cwnd`` is loaded from and flushed to an attribute spelled
+``_cwnd``).  The parity analyzer layers the semantic policy — the
+allowlist, the mirror requirement — on top of these raw facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+#: Constructor-ish methods whose attribute writes are *initialisation*,
+#: not simulation-time mutation.
+INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "pop",
+    "popitem", "remove", "discard", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "fill",
+})
+
+
+@dataclass(frozen=True)
+class AttrEvent:
+    """One attribute access: where and how."""
+
+    attr: str
+    line: int
+    kind: str      # "assign" | "augassign" | "subscript" | "call" | "load"
+    scope: str     # enclosing function/method name
+
+
+@dataclass
+class ClassMutations:
+    """Post-construction instance-attribute mutations of one class."""
+
+    name: str
+    events: dict[str, list[AttrEvent]] = field(default_factory=dict)
+
+    def add(self, event: AttrEvent) -> None:
+        self.events.setdefault(event.attr, []).append(event)
+
+    @property
+    def attrs(self) -> set[str]:
+        return set(self.events)
+
+
+def _receiver_is(node: ast.expr, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _self_attr(node: ast.expr, self_name: str) -> str | None:
+    """``self.x`` -> ``x`` (one level only), else None."""
+    if isinstance(node, ast.Attribute) and _receiver_is(node.value,
+                                                       self_name):
+        return node.attr
+    return None
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Scan one method body for mutations of ``self`` attributes."""
+
+    def __init__(self, self_name: str, scope: str,
+                 sink: ClassMutations) -> None:
+        self.self_name = self_name
+        self.scope = scope
+        self.sink = sink
+        # local name -> self-attribute it aliases
+        self.aliases: dict[str, str] = {}
+
+    def _record(self, attr: str, line: int, kind: str) -> None:
+        self.sink.add(AttrEvent(attr, line, kind, self.scope))
+
+    def _mutated_target(self, target: ast.expr, line: int,
+                        kind: str) -> None:
+        attr = _self_attr(target, self.self_name)
+        if attr is not None:
+            self._record(attr, line, kind)
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            attr = _self_attr(base, self.self_name)
+            if attr is not None:
+                self._record(attr, line, "subscript")
+            elif isinstance(base, ast.Name) and base.id in self.aliases:
+                self._record(self.aliases[base.id], line, "subscript")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutated_target(element, line, kind)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._mutated_target(target, node.lineno, "assign")
+        # Alias creation: ``pool = self._claim_pool`` (also the chained
+        # form ``pool = self._claim_pool = []``).
+        attr_sources = [_self_attr(t, self.self_name)
+                        for t in node.targets]
+        value_attr = _self_attr(node.value, self.self_name)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                source = value_attr
+                if source is None:
+                    source = next((a for a in attr_sources
+                                   if a is not None), None)
+                if source is not None:
+                    self.aliases[target.id] = source
+                else:
+                    self.aliases.pop(target.id, None)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._mutated_target(node.target, node.lineno, "assign")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._mutated_target(node.target, node.lineno, "augassign")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._mutated_target(target, node.lineno, "assign")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS):
+            receiver = func.value
+            attr = _self_attr(receiver, self.self_name)
+            if attr is not None:
+                self._record(attr, node.lineno, "call")
+            elif (isinstance(receiver, ast.Name)
+                  and receiver.id in self.aliases):
+                self._record(self.aliases[receiver.id], node.lineno,
+                             "call")
+        self.generic_visit(node)
+
+
+def collect_class_mutations(tree: ast.Module) -> dict[str, ClassMutations]:
+    """Per-class post-construction mutations for one module."""
+    result: dict[str, ClassMutations] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        mutations = ClassMutations(node.name)
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if item.name in INIT_METHODS:
+                continue
+            args = item.args.posonlyargs + item.args.args
+            if not args:
+                continue  # staticmethod: no instance to mutate
+            scanner = _MethodScanner(args[0].arg, item.name, mutations)
+            for statement in item.body:
+                scanner.visit(statement)
+        result[node.name] = mutations
+    return result
+
+
+@dataclass
+class KernelAccesses:
+    """Attribute loads/stores on non-``self`` receivers in the kernel."""
+
+    loads: dict[str, list[AttrEvent]] = field(default_factory=dict)
+    stores: dict[str, list[AttrEvent]] = field(default_factory=dict)
+
+    def mirrored(self) -> set[str]:
+        """Attributes with both a gather (load) and a flush (store)."""
+        return set(self.loads) & set(self.stores)
+
+    def scopes_for(self, attr: str) -> tuple[list[str], list[str]]:
+        """(load scopes, store scopes) for one attribute, sorted."""
+        return (
+            sorted({e.scope for e in self.loads.get(attr, [])}),
+            sorted({e.scope for e in self.stores.get(attr, [])}),
+        )
+
+
+class _KernelScanner(ast.NodeVisitor):
+    """Scan one kernel method for object-graph attribute traffic."""
+
+    def __init__(self, self_name: str, scope: str,
+                 sink: KernelAccesses) -> None:
+        self.self_name = self_name
+        self.scope = scope
+        self.sink = sink
+        # local name -> the attribute name it was loaded from
+        # (``averages = sched.pf._avg_rate_bps`` -> averages: _avg_rate_bps)
+        self.aliases: dict[str, str] = {}
+
+    def _load(self, attr: str, line: int) -> None:
+        self.sink.loads.setdefault(attr, []).append(
+            AttrEvent(attr, line, "load", self.scope))
+
+    def _store(self, attr: str, line: int, kind: str) -> None:
+        self.sink.stores.setdefault(attr, []).append(
+            AttrEvent(attr, line, kind, self.scope))
+
+    def _is_object_attr(self, node: ast.Attribute) -> bool:
+        """True for ``obj.attr`` where obj is not the kernel itself."""
+        return not _receiver_is(node.value, self.self_name)
+
+    def _store_target(self, target: ast.expr, line: int) -> None:
+        if isinstance(target, ast.Attribute):
+            if self._is_object_attr(target):
+                self._store(target.attr, line, "assign")
+            # the receiver chain is still a load
+            self.visit(target.value)
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if (isinstance(base, ast.Attribute)
+                    and self._is_object_attr(base)):
+                self._store(base.attr, line, "subscript")
+            elif isinstance(base, ast.Name) and base.id in self.aliases:
+                self._store(self.aliases[base.id], line, "subscript")
+            self.visit(target.value)
+            self.visit(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store_target(element, line)
+            return
+        self.visit(target)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._store_target(target, node.lineno)
+        # Alias creation from an attribute chain ending off-self.
+        if (isinstance(node.value, ast.Attribute)
+                and self._is_object_attr(node.value)):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.aliases[target.id] = node.value.attr
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.aliases.pop(target.id, None)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        target = node.target
+        if (isinstance(target, ast.Attribute)
+                and self._is_object_attr(target)):
+            self._store(target.attr, node.lineno, "augassign")
+            self._load(target.attr, node.lineno)
+            self.visit(target.value)
+        else:
+            self._store_target(target, node.lineno)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS):
+            receiver = func.value
+            if (isinstance(receiver, ast.Attribute)
+                    and self._is_object_attr(receiver)):
+                self._store(receiver.attr, node.lineno, "call")
+            elif (isinstance(receiver, ast.Name)
+                  and receiver.id in self.aliases):
+                self._store(self.aliases[receiver.id], node.lineno,
+                            "call")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and self._is_object_attr(node):
+            self._load(node.attr, node.lineno)
+        self.generic_visit(node)
+
+
+def collect_kernel_accesses(tree: ast.Module,
+                            class_names: Iterable[str]) -> KernelAccesses:
+    """Object-graph attribute traffic inside the named classes."""
+    wanted = set(class_names)
+    accesses = KernelAccesses()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name not in wanted:
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            args = item.args.posonlyargs + item.args.args
+            if not args:
+                continue
+            scanner = _KernelScanner(args[0].arg, item.name, accesses)
+            for statement in item.body:
+                scanner.visit(statement)
+    return accesses
+
+
+def parse_literal_str_dict(tree: ast.Module,
+                           name: str) -> dict[str, str] | None:
+    """Extract a module-level ``NAME = {str: str}`` literal, or None.
+
+    Used to read the ``KERNEL_UNMIRRORED`` allowlist out of
+    ``sim/kernel.py`` without importing it.  Raises ``ValueError``
+    when the assignment exists but is not a literal str->str dict —
+    the allowlist must stay statically checkable.
+    """
+    for node in tree.body:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == name
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            raise ValueError(f"{name} must be a literal dict")
+        result: dict[str, str] = {}
+        for key_node, value_node in zip(value.keys, value.values):
+            if (not isinstance(key_node, ast.Constant)
+                    or not isinstance(key_node.value, str)
+                    or not isinstance(value_node, ast.Constant)
+                    or not isinstance(value_node.value, str)):
+                raise ValueError(
+                    f"{name} entries must be 'Class.attr': 'reason' "
+                    f"string literals")
+            result[key_node.value] = value_node.value
+        return result
+    return None

@@ -1,0 +1,11 @@
+# lint-path: src/repro/sim/vec_bad.py
+"""Non-elementwise ops reusing an input as ``out=`` corrupt results."""
+import numpy as np
+
+
+def fused(a, b, acc):
+    np.dot(a, b, out=a)  # FL006
+    np.cumsum(acc, out=acc)  # FL006
+    np.add.accumulate(b, out=b)  # FL006
+    np.matmul(a, b, out=b)  # FL006
+    return a, b, acc

@@ -1,0 +1,17 @@
+# lint-path: src/repro/workload/handover.py
+"""Cross-shard messages without the pickle-free blob contract."""
+from dataclasses import dataclass
+
+from repro.util import cross_shard_message
+
+
+@dataclass(frozen=True)
+class DriftRecord:  # FL010
+    time_s: float
+    ue_id: int
+
+
+@cross_shard_message
+@dataclass(frozen=True)
+class LossyPayload:  # FL010
+    data: bytes

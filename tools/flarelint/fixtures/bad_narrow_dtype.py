@@ -1,0 +1,10 @@
+# lint-path: src/repro/phy/narrow_bad.py
+"""Narrow dtypes silently change promotion in the float64 lanes."""
+import numpy as np
+
+
+def build(values, table):
+    zeros = np.zeros(8, dtype=np.float32)  # FL007
+    ids = np.asarray(values, dtype="int16")  # FL007
+    shrunk = table.astype(np.float16)  # FL007
+    return zeros, ids, shrunk

@@ -1,0 +1,13 @@
+# lint-path: src/repro/sim/reduce_bad.py
+"""Order-sensitive numpy reductions over registered accumulators."""
+import math
+
+import numpy as np
+
+
+def flush(cum_bytes, pf_avg, records):
+    total = np.sum(cum_bytes)  # FL008
+    smoothed = np.dot(pf_avg, pf_avg)  # FL008
+    running = cum_bytes.cumsum()  # FL008
+    exact = math.fsum(record.backlog for record in records)  # FL008
+    return total, smoothed, running, exact

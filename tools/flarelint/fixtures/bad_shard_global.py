@@ -1,0 +1,10 @@
+# lint-path: src/repro/workload/state_bad.py
+"""Module-level mutable state reachable from ShardPool workers."""
+CACHE = {}  # FL009
+SEEN: set = set()  # FL009
+_BUFFERS = []  # FL009
+
+
+def remember(key, value):
+    global CACHE  # FL009
+    CACHE = {key: value}

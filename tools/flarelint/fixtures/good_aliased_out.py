@@ -1,0 +1,12 @@
+# lint-path: src/repro/sim/vec_good.py
+"""Sanctioned ``out=``: elementwise aliasing, distinct buffers else."""
+import numpy as np
+
+
+def fused(a, b, scratch):
+    np.multiply(a, b, out=a)
+    np.minimum(a, b, out=b)
+    np.subtract(a, b, out=a)
+    np.dot(a, b, out=scratch)
+    np.add.accumulate(a, out=scratch)
+    return scratch

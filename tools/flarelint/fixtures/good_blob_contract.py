@@ -1,0 +1,31 @@
+# lint-path: src/repro/sim/network.py
+"""Cross-shard messages honouring the blob contract."""
+from dataclasses import dataclass
+
+from repro.util import cross_shard_message
+
+
+@cross_shard_message
+@dataclass(frozen=True)
+class EpochPoints:
+    data: bytes
+
+    def to_blob(self):
+        return self.data
+
+    @classmethod
+    def from_blob(cls, blob):
+        return cls(blob)
+
+
+@cross_shard_message
+class StateMessage:
+    def __getstate__(self):
+        return b""
+
+    def __setstate__(self, state):
+        del state
+
+
+class ShardWorker:
+    """No message suffix, no decorator: not a wire type."""

@@ -1,0 +1,13 @@
+# lint-path: src/repro/phy/narrow_good.py
+"""The byte-identity lanes: float64/int64/intp/bool only."""
+import numpy as np
+
+
+def build(values, table):
+    wide = np.zeros(8, dtype=np.float64)
+    ids = np.asarray(values, dtype=np.int64)
+    slots = np.asarray(values, dtype=np.intp)
+    mask = np.zeros(8, dtype=bool)
+    plain = np.asarray(values, dtype=float)
+    promoted = table.astype(np.int64)
+    return wide, ids, slots, mask, plain, promoted

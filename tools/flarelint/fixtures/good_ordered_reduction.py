@@ -1,0 +1,23 @@
+# lint-path: src/repro/sim/reduce_good.py
+"""Sequential replay and non-accumulator reductions stay clean."""
+import numpy as np
+
+from repro.util import sequential_replay
+
+
+@sequential_replay
+def replay_totals(cum_bytes):
+    # Inside the sanctioned helper the rule is off: the helper's
+    # byte-identity is guaranteed by differential tests instead.
+    running = np.cumsum(cum_bytes)
+    total = 0.0
+    for value in cum_bytes:
+        total = total + value
+    return total, running
+
+
+def rank_stats(ranks, weights):
+    # Builtin ``sum`` is an exact left fold — always allowed.
+    plain = sum(ranks)
+    # numpy reductions over non-registered quantities are fine too.
+    return plain, float(np.sum(ranks)), float(np.dot(weights, ranks))

@@ -1,0 +1,14 @@
+# lint-path: src/repro/workload/state_good.py
+"""Immutable module constants and function-local state are fine."""
+LIMITS = (8, 16)
+NAMES = frozenset({"flare", "festive"})
+DEFAULT = None
+
+__all__ = ["DEFAULT", "LIMITS", "NAMES", "collect"]
+
+
+def collect(items):
+    seen = set()
+    for item in items:
+        seen.add(item)
+    return sorted(seen)

@@ -1,0 +1,9 @@
+# lint-path: src/repro/workload/inline.py
+"""Inline ``# flarelint: disable=...`` comments silence single lines."""
+CACHE = {}  # flarelint: disable=FL009
+
+
+def delays(samples, rate_bps, target_bps):
+    if rate_bps == target_bps:  # flarelint: disable=FL003
+        return list(samples)
+    return [sample / rate_bps for sample in samples]

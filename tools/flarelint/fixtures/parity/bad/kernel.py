@@ -1,0 +1,23 @@
+"""Parity fixture with a seeded mirror omission.
+
+``_cwnd`` is gathered into the SoA lane but never flushed back, so the
+object path silently diverges after the first kernel window.  The
+analyzer must report it as unexplained (FL100).
+"""
+
+KERNEL_UNMIRRORED = {
+    "Flow._log": "observation-only audit trail; appended via object calls",
+}
+
+
+class TtiKernel:
+    def __init__(self, flows):
+        self._flows = list(flows)
+        self._cwnd = [0.0] * len(self._flows)
+
+    def _gather(self):
+        for slot, flow in enumerate(self._flows):
+            self._cwnd[slot] = flow._cwnd
+
+    def _flush(self):
+        return None

@@ -1,0 +1,19 @@
+"""Parity fixture: kernel mirrors ``_cwnd`` with a gather and a flush."""
+
+KERNEL_UNMIRRORED = {
+    "Flow._log": "observation-only audit trail; appended via object calls",
+}
+
+
+class TtiKernel:
+    def __init__(self, flows):
+        self._flows = list(flows)
+        self._cwnd = [0.0] * len(self._flows)
+
+    def _gather(self):
+        for slot, flow in enumerate(self._flows):
+            self._cwnd[slot] = flow._cwnd
+
+    def _flush(self):
+        for slot, flow in enumerate(self._flows):
+            flow._cwnd = self._cwnd[slot]

@@ -1,0 +1,13 @@
+"""Parity fixture: scalar object path mutating two attributes."""
+
+
+class Flow:
+    def __init__(self):
+        self._cwnd = 10.0
+        self._log = []
+
+    def on_delivered(self, delivered):
+        self._cwnd = self._cwnd + delivered
+
+    def note(self, entry):
+        self._log.append(entry)

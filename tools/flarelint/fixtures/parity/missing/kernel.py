@@ -1,0 +1,6 @@
+"""Parity fixture: kernel module without a ``KERNEL_UNMIRRORED`` dict."""
+
+
+class TtiKernel:
+    def __init__(self, flows):
+        self._flows = list(flows)

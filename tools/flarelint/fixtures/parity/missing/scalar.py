@@ -1,0 +1,9 @@
+"""Parity fixture: mutated attribute with no allowlist in the kernel."""
+
+
+class Flow:
+    def __init__(self):
+        self._log = []
+
+    def note(self, entry):
+        self._log.append(entry)

@@ -1,0 +1,25 @@
+"""Parity fixture with two stale allowlist entries.
+
+``Flow._cwnd`` is fully mirrored yet still allowlisted, and
+``Flow._gone`` is no longer mutated anywhere.  Both must be reported
+as stale (FL101) so the allowlist cannot rot.
+"""
+
+KERNEL_UNMIRRORED = {
+    "Flow._cwnd": "stale: this attribute is mirrored now",
+    "Flow._gone": "stale: this attribute no longer exists",
+}
+
+
+class TtiKernel:
+    def __init__(self, flows):
+        self._flows = list(flows)
+        self._cwnd = [0.0] * len(self._flows)
+
+    def _gather(self):
+        for slot, flow in enumerate(self._flows):
+            self._cwnd[slot] = flow._cwnd
+
+    def _flush(self):
+        for slot, flow in enumerate(self._flows):
+            flow._cwnd = self._cwnd[slot]

@@ -1,0 +1,9 @@
+"""Parity fixture: scalar object path mutating a single attribute."""
+
+
+class Flow:
+    def __init__(self):
+        self._cwnd = 10.0
+
+    def on_delivered(self, delivered):
+        self._cwnd = self._cwnd + delivered

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
 #: All rule codes, in report order.
-ALL_CODES = ("FL001", "FL002", "FL003", "FL004", "FL005")
+ALL_CODES = ("FL001", "FL002", "FL003", "FL004", "FL005",
+             "FL006", "FL007", "FL008", "FL009", "FL010")
 
 #: Modules allowed to read wall clocks (established timing sites:
 #: metrics-registry timers, the profiler's ``clock()`` primitive,
@@ -72,6 +73,79 @@ _MUTABLE_CALL_NAMES = frozenset({
     "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
     "OrderedDict",
 })
+
+#: numpy module aliases used across the repo (``npx`` is the kernel's
+#: local non-None rebinding of its optional ``np`` import).
+_NUMPY_ALIASES = frozenset({"np", "npx", "numpy"})
+
+#: numpy operations that are *not* elementwise: they read input
+#: elements in an order that interleaves with writes to ``out=``, so
+#: aliasing an input as the output buffer is undefined behaviour
+#: (unlike elementwise ufuncs, where in-place aliasing is sanctioned
+#: and used heavily by the kernel's vector lane).
+_FL006_NON_ELEMENTWISE = frozenset({
+    "dot", "matmul", "vdot", "inner", "outer", "tensordot", "einsum",
+    "cumsum", "cumprod", "nancumsum", "nancumprod", "convolve",
+    "correlate", "cross", "trace", "accumulate", "reduce", "reduceat",
+})
+
+#: dtypes that silently narrow the byte-identity lanes.  The kernel's
+#: arithmetic is float64 end to end and its index/flag arrays are
+#: int64/intp/bool; mixing a narrow dtype into hot-path arithmetic
+#: promotes per-element results differently than the scalar reference.
+_FL007_NARROW_DTYPES = frozenset({
+    "float16", "float32", "half", "single", "csingle", "complex64",
+    "int8", "int16", "int32", "uint8", "uint16", "uint32", "uint64",
+    "longdouble", "longfloat",
+})
+
+#: The byte-identity accumulator registry (rule FL008).
+#:
+#: Identifier fragments naming quantities that are accumulated across
+#: flows/steps and compared byte-for-byte between the object path, the
+#: SoA kernel, the vector lane and sharded execution.  An
+#: order-sensitive numpy reduction (``np.sum``, ``np.dot``,
+#: ``cumsum``, …) over an operand whose identifier contains one of
+#: these fragments is flagged unless it runs inside a function
+#: decorated ``@sequential_replay`` (the sanctioned exact-chain
+#: helper; see ``repro.util.sequential_replay`` and the "Byte-identity
+#: contract" section of docs/development.md).  To register a new
+#: order-sensitive accumulator, add its name fragment here.
+BYTE_IDENTITY_ACCUMULATORS = frozenset({
+    "cwnd", "totals", "total_delivered", "pf_avg", "avg_rate",
+    "cum_prbs", "cum_bytes", "int_prbs", "int_bytes",
+    "alloc_prbs", "alloc_bytes", "backlog", "wanted", "demand",
+    "rebuffer", "gbr_budget", "waterfill",
+})
+
+#: Order-sensitive reduction entry points (module functions and array
+#: methods).  Pairwise/blocked summation order differs across numpy
+#: versions, array layouts and slice offsets, so none of these may
+#: touch a registered accumulator outside a sequential-replay helper.
+_FL008_REDUCTIONS = frozenset({
+    "sum", "nansum", "dot", "vdot", "inner", "matmul", "einsum",
+    "cumsum", "nancumsum", "prod", "nanprod", "cumprod", "trace",
+    "reduce", "accumulate", "reduceat", "fsum",
+})
+
+#: Modules whose classes cross ShardPool process boundaries (rule
+#: FL010): the shard worker protocol, handover migration records and
+#: the network's epoch-exchange working points.
+_FL010_CROSS_SHARD_MODULES = (
+    "repro/sim/network.py",
+    "repro/experiments/parallel.py",
+    "repro/workload/handover.py",
+)
+
+#: Class-name suffixes that mark a type as a cross-shard message.
+_FL010_MESSAGE_SUFFIXES = (
+    "Record", "Points", "Message", "Blob", "Payload", "Directive",
+)
+
+#: Inline suppression: ``x = compute()  # flarelint: disable=FL009``
+#: silences the listed codes on that line only.
+_INLINE_DISABLE = re.compile(
+    r"#\s*flarelint:\s*disable=([A-Z0-9,\s]+?)\s*(?:#|$)")
 
 
 @dataclass(frozen=True, order=True)
@@ -456,6 +530,258 @@ def _check_prof_timing(tree: ast.Module, path: str,
 
 
 # ---------------------------------------------------------------------------
+# FL006: aliased out= operands in non-elementwise numpy ops
+# ---------------------------------------------------------------------------
+def _call_op_name(func: ast.expr) -> tuple[str | None, bool]:
+    """(operation name, receiver-is-numpy-module) for a call target.
+
+    ``np.dot`` -> ("dot", True); ``np.add.accumulate`` ->
+    ("accumulate", True); ``x.cumsum`` -> ("cumsum", False);
+    ``math.fsum`` -> ("fsum", False).
+    """
+    full = _unparse(func)
+    if not full or "." not in full:
+        return (full or None), False
+    head, _, tail = full.partition(".")
+    op = full.rsplit(".", 1)[-1]
+    del tail
+    return op, head in _NUMPY_ALIASES
+
+
+def _check_aliased_out(tree: ast.Module, path: str,
+                       findings: list[Finding]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        out_kw = next((kw for kw in node.keywords if kw.arg == "out"),
+                      None)
+        if out_kw is None:
+            continue
+        op, _ = _call_op_name(node.func)
+        if op not in _FL006_NON_ELEMENTWISE:
+            continue
+        out_exprs = [out_kw.value]
+        if isinstance(out_kw.value, ast.Tuple):
+            out_exprs = list(out_kw.value.elts)
+        out_srcs = {_unparse(e) for e in out_exprs} - {""}
+        inputs = list(node.args) + [kw.value for kw in node.keywords
+                                    if kw.arg != "out"]
+        receiver = (node.func.value
+                    if isinstance(node.func, ast.Attribute) else None)
+        if receiver is not None and not (
+                isinstance(receiver, ast.Name)
+                and receiver.id in _NUMPY_ALIASES):
+            # ``x.cumsum(out=...)``: the receiver is an input too
+            # (skip ``np.add`` in ``np.add.accumulate``).
+            if not (isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id in _NUMPY_ALIASES):
+                inputs.append(receiver)
+        aliased = sorted(out_srcs & ({_unparse(a) for a in inputs} - {""}))
+        if aliased:
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL006",
+                f"out= aliases input operand '{aliased[0]}' in "
+                f"non-elementwise op '{op}'; these ops read inputs "
+                f"while writing out, so aliasing corrupts the result",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# FL007: narrow dtypes in simulator arithmetic
+# ---------------------------------------------------------------------------
+def _dtype_name(node: ast.expr) -> str | None:
+    """The dtype an expression names: np.float32 / "float32" / float32."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _check_narrow_dtypes(tree: ast.Module, path: str,
+                         findings: list[Finding]) -> None:
+    if not re.search(r"(?:^|/)repro/", _posix(path)):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        suspects: list[ast.expr] = [
+            kw.value for kw in node.keywords if kw.arg == "dtype"]
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype" and node.args):
+            suspects.append(node.args[0])
+        for suspect in suspects:
+            name = _dtype_name(suspect)
+            if name is not None and name in _FL007_NARROW_DTYPES:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "FL007",
+                    f"narrow dtype '{name}' in simulator code; the "
+                    f"byte-identity lanes are float64/int64 — a narrow "
+                    f"dtype promotes differently than the scalar "
+                    f"reference arithmetic",
+                ))
+
+
+# ---------------------------------------------------------------------------
+# FL008: order-sensitive reductions on byte-identity accumulators
+# ---------------------------------------------------------------------------
+def _is_sequential_replay(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(_unparse(d).endswith("sequential_replay")
+               for d in node.decorator_list)
+
+
+def _operand_identifiers(node: ast.expr) -> set[str]:
+    idents: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            idents.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            idents.add(sub.attr)
+    return idents
+
+
+def _registered_accumulator(idents: set[str]) -> str | None:
+    for ident in sorted(idents):
+        lowered = ident.lower()
+        for fragment in BYTE_IDENTITY_ACCUMULATORS:
+            if fragment in lowered:
+                return ident
+    return None
+
+
+def _check_ordered_reductions(tree: ast.Module, path: str,
+                              findings: list[Finding]) -> None:
+
+    def scan(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_sequential_replay(node):
+                return  # sanctioned exact-chain helper
+            for child in ast.iter_child_nodes(node):
+                scan(child)
+            return
+        if isinstance(node, ast.Call):
+            op, _ = _call_op_name(node.func)
+            # Bare-name calls are python builtins (``sum``, ``prod``
+            # over iterables): those are exact sequential left folds,
+            # which is the sanctioned accumulation pattern.  Only
+            # numpy-module functions, array/ufunc *methods* and
+            # ``math.fsum`` reduce in a lane-dependent order.
+            if (op in _FL008_REDUCTIONS
+                    and isinstance(node.func, ast.Attribute)):
+                operands = list(node.args) + [
+                    kw.value for kw in node.keywords if kw.arg != "out"]
+                if isinstance(node.func, ast.Attribute):
+                    receiver = node.func.value
+                    if not (isinstance(receiver, ast.Name)
+                            and receiver.id in (_NUMPY_ALIASES
+                                                | {"math"})):
+                        operands.append(receiver)
+                idents: set[str] = set()
+                for operand in operands:
+                    idents |= _operand_identifiers(operand)
+                hit = _registered_accumulator(idents)
+                if hit is not None:
+                    findings.append(Finding(
+                        path, node.lineno, node.col_offset, "FL008",
+                        f"order-sensitive reduction '{op}' over "
+                        f"byte-identity accumulator '{hit}'; reduction "
+                        f"order varies across numpy versions/layouts — "
+                        f"use a @sequential_replay helper",
+                    ))
+        for child in ast.iter_child_nodes(node):
+            scan(child)
+
+    scan(tree)
+
+
+# ---------------------------------------------------------------------------
+# FL009: module-level mutable state reachable from ShardPool workers
+# ---------------------------------------------------------------------------
+def _check_shard_module_state(tree: ast.Module, path: str,
+                              findings: list[Finding]) -> None:
+    posix = _posix(path)
+    if not re.search(r"(?:^|/)repro/", posix):
+        return
+    # The ambient-singleton implementation modules (tracer, profiler,
+    # checker) own their module state by design; the shard worker entry
+    # explicitly uninstalls them.  The CLI never runs inside a worker.
+    if any(marker in posix or posix.endswith(marker)
+           for marker in AMBIENT_IMPL_PREFIXES):
+        return
+    if posix.endswith("repro/cli.py"):
+        return
+
+    for node in tree.body:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names or names == ["__all__"]:
+            continue
+        if _is_mutable_default(value):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL009",
+                f"module-level mutable container '{names[0]}' is shared "
+                f"state reachable from ShardPool workers; use an "
+                f"immutable value (tuple/frozenset) or an explicit "
+                f"'# flarelint: disable=FL009' with a reason",
+            ))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Global):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL009",
+                f"'global {', '.join(node.names)}' rebinds module state "
+                f"at runtime; shard determinism forbids cross-call "
+                f"module state in worker-reachable code",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# FL010: cross-shard message classes must honour the blob contract
+# ---------------------------------------------------------------------------
+def _has_blob_contract(node: ast.ClassDef) -> bool:
+    methods = {item.name for item in node.body
+               if isinstance(item, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef))}
+    return ({"to_blob", "from_blob"} <= methods
+            or {"__getstate__", "__setstate__"} <= methods)
+
+
+def _check_blob_contract(tree: ast.Module, path: str,
+                         findings: list[Finding]) -> None:
+    posix = _posix(path)
+    if not any(posix.endswith(module)
+               for module in _FL010_CROSS_SHARD_MODULES):
+        return
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decorated = any(_unparse(d).endswith("cross_shard_message")
+                        for d in node.decorator_list)
+        if decorated and not _has_blob_contract(node):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL010",
+                f"@cross_shard_message class {node.name} lacks the "
+                f"pickle-free blob contract: implement "
+                f"to_blob()/from_blob() or __getstate__/__setstate__",
+            ))
+        elif not decorated and node.name.endswith(_FL010_MESSAGE_SUFFIXES):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "FL010",
+                f"class {node.name} looks like a cross-shard message "
+                f"(name suffix) but is not marked "
+                f"@cross_shard_message with a blob contract",
+            ))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 _RULES = (
@@ -464,7 +790,26 @@ _RULES = (
     ("FL003", _check_float_equality),
     ("FL004", _check_mutable_defaults),
     ("FL005", _check_prof_timing),
+    ("FL006", _check_aliased_out),
+    ("FL007", _check_narrow_dtypes),
+    ("FL008", _check_ordered_reductions),
+    ("FL009", _check_shard_module_state),
+    ("FL010", _check_blob_contract),
 )
+
+
+def _inline_disabled(source: str) -> dict[int, frozenset[str]]:
+    """line number -> codes disabled by a trailing flarelint comment."""
+    disabled: dict[int, frozenset[str]] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _INLINE_DISABLE.search(line)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",")
+                if code.strip())
+            if codes:
+                disabled[line_number] = codes
+    return disabled
 
 
 def lint_source(source: str, path: str,
@@ -476,6 +821,10 @@ def lint_source(source: str, path: str,
     for code, rule in _RULES:
         if code in selected:
             rule(tree, path, findings)
+    disabled = _inline_disabled(source)
+    if disabled:
+        findings = [f for f in findings
+                    if f.code not in disabled.get(f.line, frozenset())]
     return sorted(findings)
 
 
@@ -486,12 +835,27 @@ def lint_file(path: pathlib.Path,
     return lint_source(source, str(path), select=select)
 
 
+#: Directory fragments skipped when *expanding directories*: the
+#: fixture corpus is deliberate bad code (that is its job) and must
+#: only be linted when named explicitly (as the self-tests do).
+EXCLUDED_DIR_FRAGMENTS = ("tools/flarelint/fixtures",)
+
+
 def iter_python_files(paths: Sequence[pathlib.Path]) -> list[pathlib.Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Files found by directory expansion are filtered through
+    :data:`EXCLUDED_DIR_FRAGMENTS`; paths named explicitly are kept.
+    """
     files: set[pathlib.Path] = set()
     for path in paths:
         if path.is_dir():
-            files.update(path.rglob("*.py"))
+            for found in path.rglob("*.py"):
+                posix = found.as_posix()
+                if any(fragment in posix
+                       for fragment in EXCLUDED_DIR_FRAGMENTS):
+                    continue
+                files.add(found)
         else:
             files.add(path)
     return sorted(files)
@@ -504,3 +868,55 @@ def lint_paths(paths: Sequence[pathlib.Path],
     for file_path in iter_python_files(paths):
         findings.extend(lint_file(file_path, select=select))
     return sorted(findings)
+
+
+def render_github(finding: Finding) -> str:
+    """One finding as a GitHub Actions workflow annotation."""
+    return (f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col},title=flarelint {finding.code}"
+            f"::{finding.message}")
+
+
+def load_suppressions(path: pathlib.Path) -> list[tuple[str, str]]:
+    """Parse a suppression file into ``(code, path glob)`` pairs.
+
+    Format: one ``CODE glob`` pair per line; blank lines and ``#``
+    comments are ignored.  Globs use :mod:`fnmatch` semantics against
+    posix-normalised finding paths (``fnmatch`` does not treat ``/``
+    specially, so ``tests/*`` also covers nested files).
+
+    Raises ``ValueError`` on a malformed line so a typo in the
+    baseline file fails loudly instead of silently suppressing
+    nothing.
+    """
+    rules: list[tuple[str, str]] = []
+    for line_number, raw in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or not re.fullmatch(r"FL\d{3}", parts[0]):
+            raise ValueError(
+                f"{path}:{line_number}: malformed suppression "
+                f"{raw!r}; expected 'FLxxx <path glob>'")
+        rules.append((parts[0], parts[1]))
+    return rules
+
+
+def apply_suppressions(
+        findings: Sequence[Finding],
+        rules: Sequence[tuple[str, str]]) -> tuple[list[Finding], int]:
+    """Filter findings through suppression rules -> (kept, dropped)."""
+    import fnmatch
+
+    def suppressed(finding: Finding) -> bool:
+        posix = _posix(finding.path)
+        return any(
+            finding.code == code
+            and (fnmatch.fnmatch(posix, glob)
+                 or fnmatch.fnmatch(posix, "*/" + glob))
+            for code, glob in rules)
+
+    kept = [f for f in findings if not suppressed(f)]
+    return kept, len(findings) - len(kept)
